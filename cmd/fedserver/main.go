@@ -1,0 +1,62 @@
+// Command fedserver runs the integration server: the FDBS with the
+// federated functions of the purchasing scenario registered through the
+// chosen architecture, listening for SQL over the client protocol.
+//
+//	fedserver -addr 127.0.0.1:4711 -arch wfms
+//	fedserver -addr 127.0.0.1:4711 -arch udtf -direct
+//
+// Connect with the fedsql command.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"fedwf/internal/fdbs"
+	"fedwf/internal/fedfunc"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:4711", "listen address")
+	archName := flag.String("arch", "wfms", "integration architecture: wfms or udtf")
+	direct := flag.Bool("direct", false, "bypass the controller (ablation configuration)")
+	flag.Parse()
+
+	var arch fedfunc.Arch
+	switch strings.ToLower(*archName) {
+	case "wfms":
+		arch = fedfunc.ArchWfMS
+	case "udtf":
+		arch = fedfunc.ArchUDTF
+	default:
+		fmt.Fprintf(os.Stderr, "fedserver: unknown architecture %q (want wfms or udtf)\n", *archName)
+		os.Exit(1)
+	}
+
+	srv, err := fdbs.NewServer(fdbs.Config{Arch: arch, Direct: *direct})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fedserver:", err)
+		os.Exit(1)
+	}
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fedserver:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("fedserver: %s listening on %s (controller: %v)\n", arch, bound, !*direct)
+	fmt.Println("fedserver: application systems:", strings.Join(srv.Apps().Systems(), ", "))
+	fmt.Println("fedserver: federated functions registered; connect with fedsql -addr", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\nfedserver: shutting down")
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "fedserver:", err)
+		os.Exit(1)
+	}
+}

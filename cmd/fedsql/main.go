@@ -1,0 +1,78 @@
+// Command fedsql is the interactive SQL client for a running fedserver:
+//
+//	fedsql -addr 127.0.0.1:4711
+//	fedsql -addr 127.0.0.1:4711 -c "SELECT * FROM TABLE (BuySuppComp(4, 'washer')) AS R"
+//
+// In interactive mode, statements end with a semicolon; \q quits.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fedwf/internal/fdbs"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:4711", "fedserver address")
+	command := flag.String("c", "", "execute one statement and exit")
+	flag.Parse()
+
+	client, err := fdbs.DialClient(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fedsql:", err)
+		os.Exit(1)
+	}
+	defer client.Close()
+
+	if *command != "" {
+		if !execute(client, *command) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Println("fedsql: connected to", *addr, "- terminate statements with ';', \\q quits")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := "fedsql> "
+	for {
+		fmt.Print(prompt)
+		if !scanner.Scan() {
+			fmt.Println()
+			return
+		}
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && (trimmed == `\q` || trimmed == "quit" || trimmed == "exit") {
+			return
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.HasSuffix(strings.TrimSpace(buf.String()), ";") {
+			stmt := strings.TrimSuffix(strings.TrimSpace(buf.String()), ";")
+			buf.Reset()
+			prompt = "fedsql> "
+			if strings.TrimSpace(stmt) != "" {
+				execute(client, stmt)
+			}
+		} else {
+			prompt = "   ...> "
+		}
+	}
+}
+
+func execute(client *fdbs.Client, sql string) bool {
+	tab, err := client.Exec(sql)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return false
+	}
+	fmt.Print(tab.String())
+	fmt.Printf("(%d rows)\n", tab.Len())
+	return true
+}

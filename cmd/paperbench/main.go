@@ -1,0 +1,127 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation on the simulated testbed:
+//
+//	paperbench -exp all          # everything (default)
+//	paperbench -exp complexity   # Sect. 3 mapping-complexity table (E1)
+//	paperbench -exp fig5         # Fig. 5 elapsed-time comparison (E2)
+//	paperbench -exp fig6         # Fig. 6 time-portion breakdowns (E3)
+//	paperbench -exp bootstate    # cold/warm/hot call times (E4)
+//	paperbench -exp parallel     # parallel vs sequential (E5)
+//	paperbench -exp loop         # do-until loop scaling (E6)
+//	paperbench -exp controller   # controller ablation (E7)
+//	paperbench -exp batch        # batch throughput scaling (E8, extension)
+//
+// Measurements run on the deterministic virtual clock, so the output is
+// identical on every machine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fedwf/internal/benchharn"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: all, complexity, fig5, fig6, bootstate, parallel, loop, controller, batch")
+	bootFn := flag.String("bootfn", "GetSuppQual", "federated function for the boot-state experiment")
+	flag.Parse()
+
+	h, err := benchharn.New()
+	if err != nil {
+		fail(err)
+	}
+	selected := strings.ToLower(*exp)
+	run := func(id string) bool { return selected == "all" || selected == id }
+	any := false
+
+	if run("complexity") {
+		any = true
+		section("E1 - Mapping complexity (Sect. 3 table)")
+		rows, err := h.Capabilities()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(benchharn.RenderCapabilities(rows))
+	}
+	if run("fig5") {
+		any = true
+		section("E2 - Elapsed-time comparison (Fig. 5)")
+		rows, err := h.Fig5()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(benchharn.RenderFig5(rows))
+	}
+	if run("fig6") {
+		any = true
+		section("E3 - Time portions of GetNoSuppComp (Fig. 6)")
+		wf, ud, err := h.Fig6()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(benchharn.RenderBreakdown(wf))
+		fmt.Println(benchharn.RenderBreakdown(ud))
+	}
+	if run("bootstate") {
+		any = true
+		section("E4 - Boot states: initial / after-other-function / repeated")
+		rows, err := h.BootStates(*bootFn)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(benchharn.RenderBootStates(rows))
+	}
+	if run("parallel") {
+		any = true
+		section("E5 - Parallel (GetSuppQualRelia) vs sequential (GetSuppQual)")
+		rows, err := h.ParallelVsSequential()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(benchharn.RenderParallel(rows))
+	}
+	if run("loop") {
+		any = true
+		section("E6 - Do-until loop scaling (AllCompNames)")
+		rows, err := h.LoopScaling([]int{1, 2, 4, 8, 16, 24})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(benchharn.RenderLoop(rows))
+	}
+	if run("controller") {
+		any = true
+		section("E7 - Controller ablation")
+		rows, with, without, err := h.ControllerAblation()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(benchharn.RenderAblation(rows, with, without))
+	}
+	if run("batch") {
+		any = true
+		section("E8 - Batch throughput scaling (extension beyond the paper)")
+		rows, err := h.BatchScaling([]int{1, 2, 4, 8, 16})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(benchharn.RenderBatch(rows))
+	}
+	if !any {
+		fail(fmt.Errorf("unknown experiment %q", *exp))
+	}
+}
+
+func section(title string) {
+	fmt.Println()
+	fmt.Println("=== " + title + " ===")
+	fmt.Println()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "paperbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// Command wfrun executes one federated function's workflow process
+// directly on the workflow engine (bypassing the FDBS), printing the
+// output container and optionally the audit trail:
+//
+//	wfrun -list
+//	wfrun -process BuySuppComp -args "4,washer" -audit
+//	wfrun -process AllCompNames
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fedwf/internal/appsys"
+	"fedwf/internal/fedfunc"
+	"fedwf/internal/rpc"
+	"fedwf/internal/simlat"
+	"fedwf/internal/types"
+	"fedwf/internal/wfms"
+)
+
+func main() {
+	name := flag.String("process", "", "federated function whose process to run")
+	argList := flag.String("args", "", "comma-separated input arguments")
+	audit := flag.Bool("audit", false, "print the audit trail")
+	list := flag.Bool("list", false, "list available processes")
+	flag.Parse()
+
+	if *list {
+		for _, spec := range fedfunc.Specs() {
+			params := make([]string, len(spec.Params))
+			for i, p := range spec.Params {
+				params[i] = p.Name + " " + p.Type.String()
+			}
+			fmt.Printf("%-22s (%s)  [%s]\n", spec.Name, strings.Join(params, ", "), spec.Case)
+		}
+		return
+	}
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "wfrun: -process is required (try -list)")
+		os.Exit(1)
+	}
+	spec, err := fedfunc.SpecByName(*name)
+	if err != nil {
+		fail(err)
+	}
+	process := spec.Process()
+
+	var rawArgs []string
+	if strings.TrimSpace(*argList) != "" {
+		rawArgs = strings.Split(*argList, ",")
+	}
+	if len(rawArgs) != len(spec.Params) {
+		fail(fmt.Errorf("%s expects %d arguments, got %d", spec.Name, len(spec.Params), len(rawArgs)))
+	}
+	input := make(map[string]types.Value, len(rawArgs))
+	for i, raw := range rawArgs {
+		v, err := types.Cast(types.NewString(strings.TrimSpace(raw)), spec.Params[i].Type)
+		if err != nil {
+			fail(fmt.Errorf("argument %s: %w", spec.Params[i].Name, err))
+		}
+		input[strings.ToLower(spec.Params[i].Name)] = v
+	}
+
+	apps, err := appsys.BuildScenario()
+	if err != nil {
+		fail(err)
+	}
+	client := rpc.NewInProc(apps.Handler())
+	invoker := wfms.InvokerFunc(func(task *simlat.Task, system, function string, args []types.Value) (*types.Table, error) {
+		return client.Call(task, rpc.Request{System: system, Function: function, Args: args})
+	})
+	profile := simlat.DefaultProfile()
+	engine := wfms.New(invoker, wfms.CostsFromProfile(profile))
+
+	task := simlat.NewVirtualTask()
+	res, err := engine.RunDetailed(task, process, input)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("process %s: %d activities, %s simulated elapsed time\n\n",
+		process.Name, res.Activities, task.Elapsed())
+	fmt.Print(res.Output.String())
+	fmt.Printf("(%d rows)\n", res.Output.Len())
+	if *audit {
+		fmt.Println("\naudit trail:")
+		for _, ev := range res.Audit {
+			fmt.Printf("  %10s  %-20s %-10s rows=%d\n", ev.At, ev.Node, ev.Event, ev.Rows)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "wfrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,27 @@
+// Package fedwf is a from-scratch Go reproduction of
+//
+//	K. Hergula, T. Härder: "Coupling of FDBS and WfMS for Integrating
+//	Database and Application Systems: Architecture, Complexity,
+//	Performance", EDBT 2002.
+//
+// The module implements the paper's complete integration server: a
+// federated database system (SQL parser, planner, Volcano executor,
+// SQL/MED wrappers, user-defined table functions), a production workflow
+// management system (activities, control/data connectors, parallel
+// navigation, do-until blocks), the controller process, three simulated
+// application systems, and both measured integration architectures — the
+// WfMS approach and the enhanced SQL UDTF approach — plus the experiment
+// harness that regenerates every table and figure of the evaluation.
+//
+// Entry points:
+//
+//   - internal/fdbs:      the assembled integration server facade
+//   - internal/fedfunc:   the federated function mapping catalog and the
+//     two architecture stacks
+//   - internal/benchharn: the experiment harness (E1-E7)
+//   - cmd/paperbench:     regenerates the paper's tables and figures
+//   - cmd/fedserver, cmd/fedsql, cmd/wfrun: server, client, workflow runner
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package fedwf

@@ -1,0 +1,111 @@
+// Complexity demonstrates every heterogeneity case of the paper's Sect. 3
+// on both integration architectures: each federated function of the
+// mapping catalog is executed on the WfMS stack and on the enhanced SQL
+// UDTF stack, the results are compared, and the support matrix is
+// printed. The cyclic case shows the capability gap: SQL has no loop
+// construct, but the workflow's do-until block and the Go I-UDTF variant
+// both handle it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"fedwf/internal/appsys"
+	"fedwf/internal/benchharn"
+	"fedwf/internal/fedfunc"
+	"fedwf/internal/simlat"
+	"fedwf/internal/types"
+)
+
+func main() {
+	apps, err := appsys.BuildScenario()
+	if err != nil {
+		log.Fatal(err)
+	}
+	wf, err := fedfunc.NewStack(fedfunc.ArchWfMS, fedfunc.Options{Apps: apps})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ud, err := fedfunc.NewStack(fedfunc.ArchUDTF, fedfunc.Options{Apps: apps})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, spec := range fedfunc.Specs() {
+		fmt.Printf("== %s — %s ==\n", spec.Name, spec.Case)
+		fmt.Printf("   local functions: %v\n", spec.LocalFunctions)
+		args := spec.SampleArgs[0]
+		fmt.Printf("   sample call:     %s(%s)\n", spec.Name, formatArgs(args))
+
+		wfRes, err := wf.Call(simlat.Free(), spec.Name, args)
+		if err != nil {
+			log.Fatalf("WfMS stack: %v", err)
+		}
+		fmt.Printf("   WfMS result:     %s\n", rowsOf(wfRes))
+
+		if spec.SupportsUDTF() {
+			udRes, err := ud.Call(simlat.Free(), spec.Name, args)
+			if err != nil {
+				log.Fatalf("UDTF stack: %v", err)
+			}
+			fmt.Printf("   UDTF result:     %s\n", rowsOf(udRes))
+			if rowsOf(wfRes) != rowsOf(udRes) {
+				log.Fatalf("architectures disagree for %s", spec.Name)
+			}
+		} else {
+			fmt.Printf("   UDTF result:     not supported (%s)\n", spec.UDTFMechanism)
+		}
+		if spec.GoBody != nil {
+			goRes, err := ud.Call(simlat.Free(), spec.Name+"_Go", args)
+			if err != nil {
+				log.Fatalf("Go I-UDTF: %v", err)
+			}
+			fmt.Printf("   Go I-UDTF:       %s\n", rowsOf(goRes))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("== Support matrix (the paper's Sect. 3 table) ==")
+	h, err := benchharn.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, err := h.Capabilities()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(benchharn.RenderCapabilities(rows))
+}
+
+func formatArgs(args []types.Value) string {
+	out := ""
+	for i, a := range args {
+		if i > 0 {
+			out += ", "
+		}
+		out += a.String()
+	}
+	return out
+}
+
+// rowsOf canonicalises a result for order-insensitive display/compare.
+func rowsOf(t *types.Table) string {
+	if t.Len() == 0 {
+		return "(no rows)"
+	}
+	rows := make([]string, t.Len())
+	for i, r := range t.Rows {
+		rows[i] = r.String()
+	}
+	sort.Strings(rows)
+	out := rows[0]
+	for _, r := range rows[1:] {
+		out += " " + r
+	}
+	if len(out) > 90 {
+		out = out[:87] + "..."
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module fedwf
+
+go 1.24

@@ -1,0 +1,199 @@
+// Package appsys simulates the paper's encapsulated application systems:
+// packaged software whose data is reachable only through predefined
+// functions, never through SQL. Three systems populate the purchasing
+// scenario of Sect. 1:
+//
+//   - the stock-keeping system (components in stock, supplier quality),
+//   - the product data management system (bill of material),
+//   - the purchasing system (suppliers, reliability, discounts).
+//
+// Each system owns a private store (built on the same storage engine the
+// FDBS uses, but reachable exclusively through its function interface) and
+// a set of local functions with declared signatures and per-call service
+// times.
+package appsys
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"fedwf/internal/rpc"
+	"fedwf/internal/simlat"
+	"fedwf/internal/storage"
+	"fedwf/internal/types"
+)
+
+// Function is one predefined local function of an application system.
+type Function struct {
+	Name        string
+	Params      []types.Column
+	Returns     types.Schema
+	ServiceTime time.Duration // simulated execution time per call
+	Impl        func(sys *System, args []types.Value) (*types.Table, error)
+}
+
+// System is one application system.
+type System struct {
+	name  string
+	store *storage.Store
+	funcs map[string]*Function
+}
+
+// NewSystem creates an application system with an empty private store.
+func NewSystem(name string) *System {
+	return &System{name: name, store: storage.NewStore(), funcs: make(map[string]*Function)}
+}
+
+// Name returns the system name.
+func (s *System) Name() string { return s.name }
+
+// Store exposes the private store for scenario setup. Integration layers
+// never touch it; the encapsulation property is what forces function
+// access in the first place.
+func (s *System) Store() *storage.Store { return s.store }
+
+// Register installs a local function.
+func (s *System) Register(f *Function) error {
+	key := strings.ToLower(f.Name)
+	if _, ok := s.funcs[key]; ok {
+		return fmt.Errorf("appsys: %s already provides %s", s.name, f.Name)
+	}
+	s.funcs[key] = f
+	return nil
+}
+
+// Function returns a registered function by name.
+func (s *System) Function(name string) (*Function, error) {
+	f, ok := s.funcs[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("appsys: system %s has no function %s", s.name, name)
+	}
+	return f, nil
+}
+
+// Functions lists the system's function names in sorted order.
+func (s *System) Functions() []string {
+	out := make([]string, 0, len(s.funcs))
+	for _, f := range s.funcs {
+		out = append(out, f.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Call invokes a local function: arguments are cast to the declared
+// parameter types, the service time is charged to the task, and the
+// result is coerced to the declared return schema.
+func (s *System) Call(task *simlat.Task, name string, args []types.Value) (*types.Table, error) {
+	f, err := s.Function(name)
+	if err != nil {
+		return nil, err
+	}
+	if len(args) != len(f.Params) {
+		return nil, fmt.Errorf("appsys: %s.%s expects %d arguments, got %d", s.name, f.Name, len(f.Params), len(args))
+	}
+	cast := make([]types.Value, len(args))
+	for i, p := range f.Params {
+		v, err := types.Cast(args[i], p.Type)
+		if err != nil {
+			return nil, fmt.Errorf("appsys: %s.%s parameter %s: %w", s.name, f.Name, p.Name, err)
+		}
+		cast[i] = v
+	}
+	task.Spend(f.ServiceTime)
+	res, err := f.Impl(s, cast)
+	if err != nil {
+		return nil, fmt.Errorf("appsys: %s.%s: %w", s.name, f.Name, err)
+	}
+	out := types.NewTable(f.Returns.Clone())
+	for _, r := range res.Rows {
+		cr, err := types.CoerceRow(r, f.Returns)
+		if err != nil {
+			return nil, fmt.Errorf("appsys: %s.%s result: %w", s.name, f.Name, err)
+		}
+		out.Rows = append(out.Rows, cr)
+	}
+	return out, nil
+}
+
+// Registry is the set of reachable application systems.
+type Registry struct {
+	systems map[string]*System
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{systems: make(map[string]*System)} }
+
+// Add registers a system.
+func (r *Registry) Add(s *System) error {
+	key := strings.ToLower(s.name)
+	if _, ok := r.systems[key]; ok {
+		return fmt.Errorf("appsys: system %s already registered", s.name)
+	}
+	r.systems[key] = s
+	return nil
+}
+
+// System returns a registered system.
+func (r *Registry) System(name string) (*System, error) {
+	s, ok := r.systems[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("appsys: no system named %s", name)
+	}
+	return s, nil
+}
+
+// Systems lists the registered system names in sorted order.
+func (r *Registry) Systems() []string {
+	out := make([]string, 0, len(r.systems))
+	for _, s := range r.systems {
+		out = append(out, s.name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Call routes an invocation to the named system.
+func (r *Registry) Call(task *simlat.Task, system, function string, args []types.Value) (*types.Table, error) {
+	s, err := r.System(system)
+	if err != nil {
+		return nil, err
+	}
+	return s.Call(task, function, args)
+}
+
+// Resolve finds the unique system providing the named function; the
+// integration layers use it so mappings can name functions without
+// spelling out their hosting system.
+func (r *Registry) Resolve(function string) (*System, *Function, error) {
+	var foundSys *System
+	var foundFn *Function
+	for _, s := range r.systems {
+		if f, err := s.Function(function); err == nil {
+			if foundSys != nil {
+				return nil, nil, fmt.Errorf("appsys: function %s is provided by both %s and %s", function, foundSys.name, s.name)
+			}
+			foundSys, foundFn = s, f
+		}
+	}
+	if foundSys == nil {
+		return nil, nil, fmt.Errorf("appsys: no system provides function %s", function)
+	}
+	return foundSys, foundFn, nil
+}
+
+// Handler adapts the registry to the RPC substrate.
+func (r *Registry) Handler() rpc.Handler {
+	return func(task *simlat.Task, req rpc.Request) (*types.Table, error) {
+		if req.System == "" {
+			sys, _, err := r.Resolve(req.Function)
+			if err != nil {
+				return nil, err
+			}
+			return sys.Call(task, req.Function, req.Args)
+		}
+		return r.Call(task, req.System, req.Function, req.Args)
+	}
+}

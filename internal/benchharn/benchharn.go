@@ -1,0 +1,565 @@
+// Package benchharn is the experiment harness: it regenerates every table
+// and figure of the paper's evaluation (Sect. 3 and Sect. 4) on the
+// simulated testbed.
+//
+//	E1 — Sect. 3 capability table (mapping complexity per architecture)
+//	E2 — Fig. 5 elapsed-time comparison over the mapping catalog
+//	E3 — Fig. 6 time-portion breakdowns for GetNoSuppComp
+//	E4 — cold / warm / hot boot states
+//	E5 — parallel vs sequential function under both architectures
+//	E6 — do-until loop scaling (AllCompNames)
+//	E7 — controller ablation
+//
+// All measurements run on the deterministic virtual clock, so the harness
+// produces identical numbers on every machine; the testing.B benchmarks in
+// the repository root replay the same workloads in wall mode.
+package benchharn
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"fedwf/internal/appsys"
+	"fedwf/internal/fedfunc"
+	"fedwf/internal/simlat"
+	"fedwf/internal/udtf"
+	"fedwf/internal/wfms"
+)
+
+// Harness owns one wired instance of each architecture over shared
+// application systems.
+type Harness struct {
+	profile simlat.Profile
+	apps    *appsys.Registry
+	wf, ud  *fedfunc.Stack
+}
+
+// New builds a harness with the calibrated default profile.
+func New() (*Harness, error) {
+	return NewWithProfile(simlat.DefaultProfile())
+}
+
+// NewWithProfile builds a harness with a custom cost profile.
+func NewWithProfile(profile simlat.Profile) (*Harness, error) {
+	apps, err := appsys.BuildScenario()
+	if err != nil {
+		return nil, err
+	}
+	wf, err := fedfunc.NewStack(fedfunc.ArchWfMS, fedfunc.Options{Profile: profile, Apps: apps})
+	if err != nil {
+		return nil, err
+	}
+	ud, err := fedfunc.NewStack(fedfunc.ArchUDTF, fedfunc.Options{Profile: profile, Apps: apps})
+	if err != nil {
+		return nil, err
+	}
+	return &Harness{profile: profile, apps: apps, wf: wf, ud: ud}, nil
+}
+
+// Profile returns the harness's cost profile.
+func (h *Harness) Profile() simlat.Profile { return h.profile }
+
+// WfMSStack returns the workflow-architecture stack.
+func (h *Harness) WfMSStack() *fedfunc.Stack { return h.wf }
+
+// UDTFStack returns the UDTF-architecture stack.
+func (h *Harness) UDTFStack() *fedfunc.Stack { return h.ud }
+
+// measureHot returns the virtual elapsed time of one repeated (hot) call.
+func measureHot(s *fedfunc.Stack, spec *fedfunc.Spec, sample int) (time.Duration, error) {
+	if _, err := s.CallSpec(simlat.Free(), spec, sample); err != nil {
+		return 0, err
+	}
+	task := simlat.NewVirtualTask()
+	if _, err := s.CallSpec(task, spec, sample); err != nil {
+		return 0, err
+	}
+	return task.Elapsed(), nil
+}
+
+// ------------------------------------------------------------------- E1
+
+// CapabilityRow is one line of the Sect. 3 table, annotated with whether
+// the mapping actually executed on each stack.
+type CapabilityRow struct {
+	Case          string
+	Function      string
+	UDTFMechanism string
+	WfMSMechanism string
+	UDTFRuns      bool
+	WfMSRuns      bool
+}
+
+// Capabilities executes every mapping on both stacks and reports the
+// Sect. 3 support matrix from observed behaviour.
+func (h *Harness) Capabilities() ([]CapabilityRow, error) {
+	var rows []CapabilityRow
+	for _, spec := range fedfunc.Specs() {
+		row := CapabilityRow{
+			Case:          spec.Case.String(),
+			Function:      spec.Name,
+			UDTFMechanism: spec.UDTFMechanism,
+			WfMSMechanism: spec.WfMSMechanism,
+		}
+		if _, err := h.wf.CallSpec(simlat.Free(), spec, 0); err == nil {
+			row.WfMSRuns = true
+		}
+		if spec.SupportsUDTF() {
+			if _, err := h.ud.CallSpec(simlat.Free(), spec, 0); err == nil {
+				row.UDTFRuns = true
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderCapabilities prints the support matrix like the paper's table.
+func RenderCapabilities(rows []CapabilityRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %-20s %-9s %-9s %-55s %s\n",
+		"Case", "Federated function", "UDTF", "WfMS", "UDTF mechanism", "WfMS mechanism")
+	b.WriteString(strings.Repeat("-", 150) + "\n")
+	mark := func(ok bool) string {
+		if ok {
+			return "yes"
+		}
+		return "no"
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %-20s %-9s %-9s %-55s %s\n",
+			r.Case, r.Function, mark(r.UDTFRuns), mark(r.WfMSRuns), r.UDTFMechanism, r.WfMSMechanism)
+	}
+	return b.String()
+}
+
+// ------------------------------------------------------------------- E2
+
+// Fig5Row is one bar pair of Fig. 5.
+type Fig5Row struct {
+	Function string
+	Case     string
+	LocalFns int
+	WfMS     time.Duration // 0 when unsupported
+	UDTF     time.Duration // 0 when unsupported
+	Ratio    float64       // WfMS / UDTF, 0 when either is unsupported
+}
+
+// Fig5 measures every federated function of the catalog on both
+// architectures with repeated (hot) calls.
+func (h *Harness) Fig5() ([]Fig5Row, error) {
+	var rows []Fig5Row
+	for _, spec := range fedfunc.Specs() {
+		row := Fig5Row{Function: spec.Name, Case: spec.Case.String(), LocalFns: len(spec.LocalFunctions)}
+		if spec.Name == "AllCompNames" {
+			// The loop executes one local function per component; count the
+			// calls it actually makes.
+			row.LocalFns = appsys.NumComponents
+		}
+		d, err := measureHot(h.wf, spec, 0)
+		if err != nil {
+			return nil, fmt.Errorf("benchharn: %s on WfMS: %w", spec.Name, err)
+		}
+		row.WfMS = d
+		if spec.SupportsUDTF() {
+			d, err := measureHot(h.ud, spec, 0)
+			if err != nil {
+				return nil, fmt.Errorf("benchharn: %s on UDTF: %w", spec.Name, err)
+			}
+			row.UDTF = d
+			row.Ratio = float64(row.WfMS) / float64(row.UDTF)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFig5 prints the comparison like the paper's bar chart, as rows.
+func RenderFig5(rows []Fig5Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %-18s %7s %12s %12s %8s\n",
+		"Federated function", "Case", "LocalFn", "WfMS", "UDTF", "Ratio")
+	b.WriteString(strings.Repeat("-", 84) + "\n")
+	for _, r := range rows {
+		udtfCol, ratioCol := "not supp.", "-"
+		if r.UDTF > 0 {
+			udtfCol = fmtPaperMS(r.UDTF)
+			ratioCol = fmt.Sprintf("%.2f", r.Ratio)
+		}
+		fmt.Fprintf(&b, "%-22s %-18s %7d %12s %12s %8s\n",
+			r.Function, r.Case, r.LocalFns, fmtPaperMS(r.WfMS), udtfCol, ratioCol)
+	}
+	return b.String()
+}
+
+// ------------------------------------------------------------------- E3
+
+// Breakdown is one architecture's Fig. 6 time-portion table.
+type Breakdown struct {
+	Arch  string
+	Total time.Duration
+	Steps []BreakdownStep
+}
+
+// BreakdownStep is one labelled portion.
+type BreakdownStep struct {
+	Name    string
+	Total   time.Duration
+	Percent int
+}
+
+// Fig6 produces the step breakdown of one hot GetNoSuppComp call under
+// each architecture.
+func (h *Harness) Fig6() (wf, ud *Breakdown, err error) {
+	spec, err := fedfunc.SpecByName("GetNoSuppComp")
+	if err != nil {
+		return nil, nil, err
+	}
+	wf, err = breakdownOf(h.wf, spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	ud, err = breakdownOf(h.ud, spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return wf, ud, nil
+}
+
+func breakdownOf(s *fedfunc.Stack, spec *fedfunc.Spec) (*Breakdown, error) {
+	if _, err := s.CallSpec(simlat.Free(), spec, 0); err != nil {
+		return nil, err
+	}
+	task := simlat.NewVirtualTask()
+	rec := simlat.NewRecorder()
+	task.SetRecorder(rec)
+	if _, err := s.CallSpec(task, spec, 0); err != nil {
+		return nil, err
+	}
+	out := &Breakdown{Arch: s.Arch().String(), Total: rec.Total()}
+	for _, p := range rec.Percentages() {
+		var total time.Duration
+		for _, st := range rec.Steps() {
+			if st.Name == p.Name {
+				total = st.Total
+			}
+		}
+		out.Steps = append(out.Steps, BreakdownStep{Name: p.Name, Total: total, Percent: p.Percent})
+	}
+	return out, nil
+}
+
+// RenderBreakdown prints one Fig. 6 table.
+func RenderBreakdown(b *Breakdown) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (total %s)\n", b.Arch, fmtPaperMS(b.Total))
+	fmt.Fprintf(&sb, "  %-42s %10s %6s\n", "Step", "Time", "Share")
+	sb.WriteString("  " + strings.Repeat("-", 60) + "\n")
+	for _, s := range b.Steps {
+		fmt.Fprintf(&sb, "  %-42s %10s %5d%%\n", s.Name, fmtPaperMS(s.Total), s.Percent)
+	}
+	return sb.String()
+}
+
+// ------------------------------------------------------------------- E4
+
+// BootRow reports the three boot states of one function under one
+// architecture.
+type BootRow struct {
+	Arch     string
+	Function string
+	Cold     time.Duration
+	Warm     time.Duration
+	Hot      time.Duration
+}
+
+// BootStates measures the initial (cold), after-other-function (warm), and
+// repeated (hot) call times of a federated function under both stacks.
+func (h *Harness) BootStates(function string) ([]BootRow, error) {
+	spec, err := fedfunc.SpecByName(function)
+	if err != nil {
+		return nil, err
+	}
+	var rows []BootRow
+	for _, s := range []*fedfunc.Stack{h.wf, h.ud} {
+		if !s.Supports(spec.Name) {
+			continue
+		}
+		row := BootRow{Arch: s.Arch().String(), Function: spec.Name}
+		measure := func(level udtf.BootLevel) (time.Duration, error) {
+			s.Flush(level)
+			task := simlat.NewVirtualTask()
+			if _, err := s.CallSpec(task, spec, 0); err != nil {
+				return 0, err
+			}
+			return task.Elapsed(), nil
+		}
+		if row.Cold, err = measure(udtf.FlushCold); err != nil {
+			return nil, err
+		}
+		if row.Warm, err = measure(udtf.FlushWarm); err != nil {
+			return nil, err
+		}
+		if row.Hot, err = measure(udtf.FlushHot); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderBootStates prints the E4 table.
+func RenderBootStates(rows []BootRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %-18s %12s %12s %12s\n", "Architecture", "Function", "Cold", "Warm", "Hot")
+	b.WriteString(strings.Repeat("-", 88) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s %-18s %12s %12s %12s\n",
+			r.Arch, r.Function, fmtPaperMS(r.Cold), fmtPaperMS(r.Warm), fmtPaperMS(r.Hot))
+	}
+	return b.String()
+}
+
+// ------------------------------------------------------------------- E5
+
+// ParallelRow compares the parallel and sequential two-function mappings
+// under one architecture.
+type ParallelRow struct {
+	Arch       string
+	Parallel   time.Duration // GetSuppQualRelia
+	Sequential time.Duration // GetSuppQual
+}
+
+// ParallelVsSequential reproduces the Sect. 4 observation about parallel
+// activities.
+func (h *Harness) ParallelVsSequential() ([]ParallelRow, error) {
+	par, err := fedfunc.SpecByName("GetSuppQualRelia")
+	if err != nil {
+		return nil, err
+	}
+	seq, err := fedfunc.SpecByName("GetSuppQual")
+	if err != nil {
+		return nil, err
+	}
+	var rows []ParallelRow
+	for _, s := range []*fedfunc.Stack{h.wf, h.ud} {
+		row := ParallelRow{Arch: s.Arch().String()}
+		if row.Parallel, err = measureHot(s, par, 0); err != nil {
+			return nil, err
+		}
+		if row.Sequential, err = measureHot(s, seq, 0); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderParallel prints the E5 table.
+func RenderParallel(rows []ParallelRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %14s %14s %s\n", "Architecture", "Parallel", "Sequential", "Faster variant")
+	b.WriteString(strings.Repeat("-", 78) + "\n")
+	for _, r := range rows {
+		faster := "sequential"
+		if r.Parallel < r.Sequential {
+			faster = "parallel"
+		}
+		fmt.Fprintf(&b, "%-28s %14s %14s %s\n", r.Arch, fmtPaperMS(r.Parallel), fmtPaperMS(r.Sequential), faster)
+	}
+	return b.String()
+}
+
+// ------------------------------------------------------------------- E6
+
+// LoopRow is one point of the loop-scaling series.
+type LoopRow struct {
+	Calls   int
+	Elapsed time.Duration
+}
+
+// LoopScaling runs AllCompNames workflows with increasing iteration
+// counts and reports the elapsed times; the paper observes a linear rise.
+func (h *Harness) LoopScaling(counts []int) ([]LoopRow, error) {
+	// Run the loop directly on the workflow stack's process with a start
+	// cursor limiting the iteration count.
+	var rows []LoopRow
+	for _, n := range counts {
+		if n < 1 || n > appsys.NumComponents {
+			return nil, fmt.Errorf("benchharn: loop count %d out of range 1..%d", n, appsys.NumComponents)
+		}
+		process := fedfunc.AllCompNamesProcess(appsys.NumComponents - n)
+		task, err := h.runProcessHot(process)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, LoopRow{Calls: n, Elapsed: task})
+	}
+	return rows, nil
+}
+
+// runProcessHot measures one process run through a scratch workflow UDTF
+// on a fresh stack sharing the harness's application systems.
+func (h *Harness) runProcessHot(process *wfms.Process) (time.Duration, error) {
+	stack, err := fedfunc.NewStack(fedfunc.ArchWfMS, fedfunc.Options{Profile: h.profile, Apps: h.apps})
+	if err != nil {
+		return 0, err
+	}
+	process.Name = process.Name + "_Scaled"
+	if err := stack.RegisterProcess(process); err != nil {
+		return 0, err
+	}
+	if _, err := stack.Call(simlat.Free(), process.Name, nil); err != nil {
+		return 0, err
+	}
+	task := simlat.NewVirtualTask()
+	if _, err := stack.Call(task, process.Name, nil); err != nil {
+		return 0, err
+	}
+	return task.Elapsed(), nil
+}
+
+// RenderLoop prints the E6 series with a linearity check column.
+func RenderLoop(rows []LoopRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s %14s %16s\n", "Calls", "Elapsed", "Per call")
+	b.WriteString(strings.Repeat("-", 42) + "\n")
+	for _, r := range rows {
+		per := time.Duration(0)
+		if r.Calls > 0 {
+			per = r.Elapsed / time.Duration(r.Calls)
+		}
+		fmt.Fprintf(&b, "%8d %14s %16s\n", r.Calls, fmtPaperMS(r.Elapsed), fmtPaperMS(per))
+	}
+	return b.String()
+}
+
+// ------------------------------------------------------------------- E7
+
+// AblationRow reports one architecture with and without the controller.
+type AblationRow struct {
+	Arch      string
+	With      time.Duration
+	Without   time.Duration
+	SavingPct float64
+}
+
+// ControllerAblation measures GetNoSuppComp with the controller in the
+// path and with direct connections.
+func (h *Harness) ControllerAblation() ([]AblationRow, float64, float64, error) {
+	spec, err := fedfunc.SpecByName("GetNoSuppComp")
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	var rows []AblationRow
+	measure := func(arch fedfunc.Arch, direct bool) (time.Duration, error) {
+		s, err := fedfunc.NewStack(arch, fedfunc.Options{Profile: h.profile, Apps: h.apps, Direct: direct})
+		if err != nil {
+			return 0, err
+		}
+		return measureHot(s, spec, 0)
+	}
+	var withT, withoutT [2]time.Duration
+	for i, arch := range []fedfunc.Arch{fedfunc.ArchWfMS, fedfunc.ArchUDTF} {
+		w, err := measure(arch, false)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		wo, err := measure(arch, true)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		withT[i], withoutT[i] = w, wo
+		rows = append(rows, AblationRow{
+			Arch:      arch.String(),
+			With:      w,
+			Without:   wo,
+			SavingPct: (1 - float64(wo)/float64(w)) * 100,
+		})
+	}
+	ratioWith := float64(withT[0]) / float64(withT[1])
+	ratioWithout := float64(withoutT[0]) / float64(withoutT[1])
+	return rows, ratioWith, ratioWithout, nil
+}
+
+// RenderAblation prints the E7 table.
+func RenderAblation(rows []AblationRow, ratioWith, ratioWithout float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %14s %14s %10s\n", "Architecture", "With ctl", "Without ctl", "Saving")
+	b.WriteString(strings.Repeat("-", 72) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s %14s %14s %9.1f%%\n", r.Arch, fmtPaperMS(r.With), fmtPaperMS(r.Without), r.SavingPct)
+	}
+	fmt.Fprintf(&b, "WfMS/UDTF ratio: %.2f with controller -> %.2f without\n", ratioWith, ratioWithout)
+	return b.String()
+}
+
+// fmtPaperMS renders a duration in paper milliseconds.
+func fmtPaperMS(d time.Duration) string {
+	return fmt.Sprintf("%.1f ms", float64(d)/float64(simlat.PaperMS))
+}
+
+// ------------------------------------------------------------------- E8
+
+// BatchRow is one point of the batch-scaling series (extension
+// experiment: the paper defers "scalability" to future work).
+type BatchRow struct {
+	Calls int
+	WfMS  time.Duration
+	UDTF  time.Duration
+}
+
+// BatchScaling drives both architectures with a batch query — a lateral
+// join of a local driver table against the federated function
+// GetSuppQualRelia — and reports elapsed time per batch size. Both
+// architectures scale linearly in the number of federated calls; the gap
+// between them is the per-call overhead difference of Fig. 5.
+func (h *Harness) BatchScaling(sizes []int) ([]BatchRow, error) {
+	var rows []BatchRow
+	for _, n := range sizes {
+		if n < 1 {
+			return nil, fmt.Errorf("benchharn: batch size %d out of range", n)
+		}
+		row := BatchRow{Calls: n}
+		for _, arch := range []fedfunc.Arch{fedfunc.ArchWfMS, fedfunc.ArchUDTF} {
+			stack, err := fedfunc.NewStack(arch, fedfunc.Options{Profile: h.profile, Apps: h.apps})
+			if err != nil {
+				return nil, err
+			}
+			session := stack.Engine().NewSession()
+			session.MustExec("CREATE TABLE batch_driver (SupplierNo INT)")
+			for i := 0; i < n; i++ {
+				session.MustExec(fmt.Sprintf("INSERT INTO batch_driver VALUES (%d)", 1+i%appsys.NumSuppliers))
+			}
+			query := `SELECT COUNT(*) FROM batch_driver b, TABLE (GetSuppQualRelia(b.SupplierNo)) AS QR`
+			if _, err := session.Query(query); err != nil { // warm
+				return nil, err
+			}
+			task := simlat.NewVirtualTask()
+			session.SetTask(task)
+			if _, err := session.Query(query); err != nil {
+				return nil, err
+			}
+			if arch == fedfunc.ArchWfMS {
+				row.WfMS = task.Elapsed()
+			} else {
+				row.UDTF = task.Elapsed()
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderBatch prints the E8 series.
+func RenderBatch(rows []BatchRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s %14s %14s %8s\n", "Calls", "WfMS", "UDTF", "Ratio")
+	b.WriteString(strings.Repeat("-", 50) + "\n")
+	for _, r := range rows {
+		ratio := float64(r.WfMS) / float64(r.UDTF)
+		fmt.Fprintf(&b, "%8d %14s %14s %8.2f\n", r.Calls, fmtPaperMS(r.WfMS), fmtPaperMS(r.UDTF), ratio)
+	}
+	return b.String()
+}

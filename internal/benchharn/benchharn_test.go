@@ -1,0 +1,291 @@
+package benchharn
+
+import (
+	"strings"
+	"testing"
+
+	"fedwf/internal/simlat"
+)
+
+func newHarness(t *testing.T) *Harness {
+	t.Helper()
+	h, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestCapabilitiesMatrix(t *testing.T) {
+	h := newHarness(t)
+	rows, err := h.Capabilities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.WfMSRuns {
+			t.Errorf("%s: WfMS approach must support every case", r.Function)
+		}
+		wantUDTF := r.Case != "dependent: cyclic"
+		if r.UDTFRuns != wantUDTF {
+			t.Errorf("%s (%s): UDTF support = %v, want %v", r.Function, r.Case, r.UDTFRuns, wantUDTF)
+		}
+	}
+	out := RenderCapabilities(rows)
+	for _, want := range []string{"trivial", "dependent: cyclic", "loop construct with sub-workflow", "yes", "no"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	h := newHarness(t)
+	rows, err := h.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]Fig5Row, len(rows))
+	for _, r := range rows {
+		byName[r.Function] = r
+		if r.UDTF == 0 {
+			if r.Function != "AllCompNames" {
+				t.Errorf("%s unexpectedly unsupported by UDTF", r.Function)
+			}
+			continue
+		}
+		// The WfMS approach is slower everywhere. Fixed-overhead-dominated
+		// (single-function) and helper-heavy mappings run up to ~5x; the
+		// paper's "up to three times" headline is anchored at the
+		// multi-function workloads (see EXPERIMENTS.md).
+		if r.Ratio <= 1.0 || r.Ratio > 5.5 {
+			t.Errorf("%s: ratio = %.2f out of band", r.Function, r.Ratio)
+		}
+	}
+	// The headline function's ratio is ~3.
+	if r := byName["GetNoSuppComp"]; r.Ratio < 2.7 || r.Ratio > 3.3 {
+		t.Errorf("GetNoSuppComp ratio = %.2f, want ~3", r.Ratio)
+	}
+	// Processing times rise less steeply for UDTF: compare the sequential
+	// family GibKompNr (1 fn) -> GetSuppQual (2 fns) -> GetNoSuppComp (3
+	// fns), whose workflow realisations serialise their activities.
+	seq := []string{"GibKompNr", "GetSuppQual", "GetNoSuppComp"}
+	for i := 1; i < len(seq); i++ {
+		wfSlope := byName[seq[i]].WfMS - byName[seq[i-1]].WfMS
+		udSlope := byName[seq[i]].UDTF - byName[seq[i-1]].UDTF
+		if wfSlope <= udSlope {
+			t.Errorf("%s->%s: WfMS slope (%v) should exceed UDTF slope (%v)",
+				seq[i-1], seq[i], wfSlope, udSlope)
+		}
+	}
+	out := RenderFig5(rows)
+	if !strings.Contains(out, "not supp.") || !strings.Contains(out, "BuySuppComp") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestFig6Breakdowns(t *testing.T) {
+	h := newHarness(t)
+	wf, ud, err := h.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overall ratio ~3.
+	ratio := float64(wf.Total) / float64(ud.Total)
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Errorf("total ratio = %.2f", ratio)
+	}
+	pct := func(b *Breakdown, name string) int {
+		for _, s := range b.Steps {
+			if s.Name == name {
+				return s.Percent
+			}
+		}
+		return -1
+	}
+	// WfMS approach portions (paper: 9/11/3/10/51/9/5/0/2).
+	checks := []struct {
+		b      *Breakdown
+		step   string
+		lo, hi int
+	}{
+		{wf, simlat.StepStartUDTF, 7, 11},
+		{wf, simlat.StepProcessUDTF, 9, 13},
+		{wf, simlat.StepRMICall, 1, 5},
+		{wf, simlat.StepStartWorkflow, 8, 12},
+		{wf, simlat.StepActivities, 47, 55},
+		{wf, simlat.StepWorkflowEngine, 7, 11},
+		{wf, simlat.StepController, 3, 7},
+		{wf, simlat.StepRMIReturn, 0, 1},
+		{wf, simlat.StepFinishUDTF, 1, 4},
+		// UDTF approach portions (paper: 11/28/24/0/6/21/1/9).
+		{ud, simlat.StepStartIUDTF, 9, 13},
+		{ud, simlat.StepPrepareAUDTF, 26, 30},
+		{ud, simlat.StepRMICall, 22, 26},
+		{ud, simlat.StepControllerRuns, 0, 2},
+		{ud, simlat.StepLocalFunctions, 4, 8},
+		{ud, simlat.StepFinishAUDTF, 19, 23},
+		{ud, simlat.StepRMIReturn, 0, 2},
+		{ud, simlat.StepFinishIUDTF, 7, 11},
+	}
+	for _, c := range checks {
+		got := pct(c.b, c.step)
+		if got < c.lo || got > c.hi {
+			t.Errorf("%s: %q = %d%%, want %d..%d%%", c.b.Arch, c.step, got, c.lo, c.hi)
+		}
+	}
+	out := RenderBreakdown(wf) + RenderBreakdown(ud)
+	if !strings.Contains(out, "Process activities") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestBootStatesOrdering(t *testing.T) {
+	h := newHarness(t)
+	rows, err := h.BootStates("GetSuppQual")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !(r.Cold > r.Warm && r.Warm > r.Hot) {
+			t.Errorf("%s: cold=%v warm=%v hot=%v not ordered", r.Arch, r.Cold, r.Warm, r.Hot)
+		}
+	}
+	if _, err := h.BootStates("NoSuchFn"); err == nil {
+		t.Error("unknown function accepted")
+	}
+	out := RenderBootStates(rows)
+	if !strings.Contains(out, "Cold") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestParallelVsSequentialShape(t *testing.T) {
+	h := newHarness(t)
+	rows, err := h.ParallelVsSequential()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		isWf := strings.Contains(r.Arch, "WfMS")
+		parWins := r.Parallel < r.Sequential
+		if isWf && !parWins {
+			t.Errorf("WfMS: parallel should win (%v vs %v)", r.Parallel, r.Sequential)
+		}
+		if !isWf && parWins {
+			t.Errorf("UDTF: sequential should win (%v vs %v)", r.Parallel, r.Sequential)
+		}
+	}
+	out := RenderParallel(rows)
+	if !strings.Contains(out, "parallel") || !strings.Contains(out, "sequential") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestLoopScalingLinearity(t *testing.T) {
+	h := newHarness(t)
+	rows, err := h.LoopScaling([]int{2, 4, 8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Linear: equal increments per doubling of the increment size.
+	d1 := rows[1].Elapsed - rows[0].Elapsed // +2 calls
+	d2 := rows[2].Elapsed - rows[1].Elapsed // +4 calls
+	d3 := rows[3].Elapsed - rows[2].Elapsed // +8 calls
+	if d2 != 2*d1 || d3 != 2*d2 {
+		t.Errorf("not linear: d1=%v d2=%v d3=%v", d1, d2, d3)
+	}
+	if _, err := h.LoopScaling([]int{0}); err == nil {
+		t.Error("invalid count accepted")
+	}
+	if _, err := h.LoopScaling([]int{10_000}); err == nil {
+		t.Error("excessive count accepted")
+	}
+	out := RenderLoop(rows)
+	if !strings.Contains(out, "Per call") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestControllerAblationShape(t *testing.T) {
+	h := newHarness(t)
+	rows, with, without, err := h.ControllerAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].SavingPct < 5 || rows[0].SavingPct > 11 {
+		t.Errorf("WfMS saving = %.1f%%, want ~8%%", rows[0].SavingPct)
+	}
+	if rows[1].SavingPct < 20 || rows[1].SavingPct > 30 {
+		t.Errorf("UDTF saving = %.1f%%, want ~25%%", rows[1].SavingPct)
+	}
+	if with < 2.7 || with > 3.3 {
+		t.Errorf("ratio with controller = %.2f", with)
+	}
+	if without < 3.3 || without > 4.1 {
+		t.Errorf("ratio without controller = %.2f", without)
+	}
+	out := RenderAblation(rows, with, without)
+	if !strings.Contains(out, "->") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestBatchScalingLinearAndOrdered(t *testing.T) {
+	h := newHarness(t)
+	rows, err := h.BatchScaling([]int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.WfMS <= r.UDTF {
+			t.Errorf("calls=%d: WfMS (%v) should exceed UDTF (%v)", r.Calls, r.WfMS, r.UDTF)
+		}
+	}
+	// Per-call growth is linear on both stacks.
+	dw1 := rows[1].WfMS - rows[0].WfMS
+	dw2 := rows[2].WfMS - rows[1].WfMS
+	if dw2 != 2*dw1 {
+		t.Errorf("WfMS batch growth not linear: %v then %v", dw1, dw2)
+	}
+	du1 := rows[1].UDTF - rows[0].UDTF
+	du2 := rows[2].UDTF - rows[1].UDTF
+	if du2 != 2*du1 {
+		t.Errorf("UDTF batch growth not linear: %v then %v", du1, du2)
+	}
+	if _, err := h.BatchScaling([]int{0}); err == nil {
+		t.Error("invalid batch size accepted")
+	}
+	out := RenderBatch(rows)
+	if !strings.Contains(out, "Ratio") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestHarnessAccessors(t *testing.T) {
+	h := newHarness(t)
+	if h.Profile() == (simlat.Profile{}) {
+		t.Error("profile empty")
+	}
+	if h.WfMSStack() == nil || h.UDTFStack() == nil {
+		t.Error("stack accessors nil")
+	}
+}

@@ -1,0 +1,134 @@
+// Package controller implements the paper's controller process (Sect. 4):
+// a long-lived bridge between the UDTF processes and the rest of the
+// integration server. DB2's fenced-UDTF security restrictions forced the
+// prototype to route every UDTF call through this extra process; it also
+// keeps the connection to the workflow engine warm so integration UDTFs
+// do not reconnect on every call.
+//
+// The Bridge type models how a UDTF reaches the controller: via simulated
+// RMI hops (the measured configuration) or directly (the "assume we can
+// implement our prototypes without the controller" ablation, experiment
+// E7). Removing the controller removes the RMI hops to it and its own
+// processing time — 8% of the WfMS architecture's elapsed time but 25% of
+// the UDTF architecture's, moving their ratio from 3 to 3.7.
+package controller
+
+import (
+	"sync"
+
+	"fedwf/internal/rpc"
+	"fedwf/internal/simlat"
+	"fedwf/internal/types"
+	"fedwf/internal/wfms"
+)
+
+// Controller is the long-lived bridge process.
+type Controller struct {
+	profile simlat.Profile
+	wf      *wfms.Engine
+	apps    rpc.Client
+
+	mu        sync.Mutex
+	connected bool
+}
+
+// New creates a controller in front of a workflow engine and an
+// application-system endpoint.
+func New(profile simlat.Profile, wf *wfms.Engine, apps rpc.Client) *Controller {
+	return &Controller{profile: profile, wf: wf, apps: apps}
+}
+
+// WorkflowEngine returns the workflow engine behind the controller.
+func (c *Controller) WorkflowEngine() *wfms.Engine { return c.wf }
+
+// ensureConnected charges the one-time connect cost: the controller is
+// started once when the environment boots, connects to the WfMS, and
+// keeps it active.
+func (c *Controller) ensureConnected(task *simlat.Task) {
+	c.mu.Lock()
+	wasConnected := c.connected
+	c.connected = true
+	c.mu.Unlock()
+	if !wasConnected {
+		task.Step(simlat.StepController, c.profile.ControllerConnect)
+	}
+}
+
+// Reset drops the warm state, as after a reboot of the whole environment
+// (the cold measurement of experiment E4).
+func (c *Controller) Reset() {
+	c.mu.Lock()
+	c.connected = false
+	c.mu.Unlock()
+}
+
+// RunWorkflow starts a workflow process instance on behalf of a UDTF,
+// charging the controller's own work.
+func (c *Controller) RunWorkflow(task *simlat.Task, p *wfms.Process, input map[string]types.Value) (*types.Table, error) {
+	c.ensureConnected(task)
+	task.Step(simlat.StepController, c.profile.ControllerInvokeWf)
+	return c.wf.Run(task, p, input)
+}
+
+// CallFunction dispatches one local-function call of an access UDTF. In
+// the UDTF architecture the controller is already running, so dispatch is
+// cheap — the paper measures the three controller runs of GetNoSuppComp
+// at ~0% of elapsed time.
+func (c *Controller) CallFunction(task *simlat.Task, system, function string, args []types.Value) (*types.Table, error) {
+	c.ensureConnected(task)
+	task.Step(simlat.StepControllerRuns, c.profile.ControllerDispatch)
+	return c.apps.Call(task, rpc.Request{System: system, Function: function, Args: args})
+}
+
+// Bridge is the UDTF-side view of the controller. With the controller
+// enabled every call pays the RMI round trip plus the controller's work;
+// in direct mode (the E7 ablation) the UDTF reaches the workflow engine
+// and the application systems itself and those costs disappear.
+type Bridge struct {
+	profile simlat.Profile
+	ctl     *Controller
+	direct  bool
+}
+
+// NewBridge wires a UDTF layer to the controller.
+func NewBridge(profile simlat.Profile, ctl *Controller) *Bridge {
+	return &Bridge{profile: profile, ctl: ctl}
+}
+
+// NewDirectBridge builds the no-controller configuration.
+func NewDirectBridge(profile simlat.Profile, ctl *Controller) *Bridge {
+	return &Bridge{profile: profile, ctl: ctl, direct: true}
+}
+
+// Direct reports whether the bridge bypasses the controller.
+func (b *Bridge) Direct() bool { return b.direct }
+
+// Controller returns the controller behind the bridge.
+func (b *Bridge) Controller() *Controller { return b.ctl }
+
+// RunWorkflow executes a workflow process through the controller (or
+// directly against the workflow engine in the ablation).
+func (b *Bridge) RunWorkflow(task *simlat.Task, p *wfms.Process, input map[string]types.Value) (*types.Table, error) {
+	if b.direct {
+		return b.ctl.wf.Run(task, p, input)
+	}
+	task.Step(simlat.StepRMICall, b.profile.RMICall)
+	out, err := b.ctl.RunWorkflow(task, p, input)
+	task.Step(simlat.StepRMIReturn, b.profile.RMIReturn)
+	return out, err
+}
+
+// CallFunction invokes one local function through the controller (or
+// directly in the ablation).
+func (b *Bridge) CallFunction(task *simlat.Task, system, function string, args []types.Value) (*types.Table, error) {
+	if b.direct {
+		return b.ctl.apps.Call(task, rpc.Request{System: system, Function: function, Args: args})
+	}
+	task.Step(simlat.StepRMICall, b.profile.RMICall)
+	out, err := b.ctl.CallFunction(task, system, function, args)
+	task.Step(simlat.StepRMIReturn, b.profile.RMIReturn)
+	return out, err
+}
+
+// Reset forwards to the controller.
+func (b *Bridge) Reset() { b.ctl.Reset() }

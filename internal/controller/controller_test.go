@@ -1,0 +1,171 @@
+package controller
+
+import (
+	"testing"
+
+	"fedwf/internal/appsys"
+	"fedwf/internal/rpc"
+	"fedwf/internal/simlat"
+	"fedwf/internal/types"
+	"fedwf/internal/wfms"
+)
+
+func testSetup(t *testing.T) (*Controller, simlat.Profile) {
+	t.Helper()
+	profile := simlat.DefaultProfile()
+	apps := appsys.MustBuildScenario()
+	client := rpc.NewInProc(apps.Handler())
+	invoker := wfms.InvokerFunc(func(task *simlat.Task, system, function string, args []types.Value) (*types.Table, error) {
+		return client.Call(task, rpc.Request{System: system, Function: function, Args: args})
+	})
+	wfEngine := wfms.New(invoker, wfms.CostsFromProfile(profile))
+	return New(profile, wfEngine, client), profile
+}
+
+func qualProcess() *wfms.Process {
+	return &wfms.Process{
+		Name:   "Q",
+		Input:  []types.Column{{Name: "SupplierNo", Type: types.Integer}},
+		Output: types.Schema{{Name: "Qual", Type: types.Integer}},
+		Nodes: []wfms.Node{
+			&wfms.FunctionActivity{Name: "GQ", System: appsys.StockKeeping, Function: "GetQuality",
+				Args: []wfms.Source{wfms.Input("SupplierNo")}},
+		},
+		Result: "GQ",
+	}
+}
+
+func TestControllerConnectChargedOnce(t *testing.T) {
+	ctl, profile := testSetup(t)
+	input := map[string]types.Value{"supplierno": types.NewInt(3)}
+
+	first := simlat.NewVirtualTask()
+	if _, err := ctl.RunWorkflow(first, qualProcess(), input); err != nil {
+		t.Fatal(err)
+	}
+	second := simlat.NewVirtualTask()
+	if _, err := ctl.RunWorkflow(second, qualProcess(), input); err != nil {
+		t.Fatal(err)
+	}
+	if first.Elapsed()-second.Elapsed() != profile.ControllerConnect {
+		t.Errorf("connect cost: first=%v second=%v, diff should be %v",
+			first.Elapsed(), second.Elapsed(), profile.ControllerConnect)
+	}
+	// Reset forces a reconnect.
+	ctl.Reset()
+	third := simlat.NewVirtualTask()
+	if _, err := ctl.RunWorkflow(third, qualProcess(), input); err != nil {
+		t.Fatal(err)
+	}
+	if third.Elapsed() != first.Elapsed() {
+		t.Errorf("after Reset: %v, want %v", third.Elapsed(), first.Elapsed())
+	}
+}
+
+func TestCallFunctionDispatch(t *testing.T) {
+	ctl, profile := testSetup(t)
+	warm := simlat.NewVirtualTask()
+	ctl.ensureConnected(warm) // absorb connect cost
+
+	task := simlat.NewVirtualTask()
+	tab, err := ctl.CallFunction(task, appsys.StockKeeping, "GetQuality", []types.Value{types.NewInt(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 1 || tab.Rows[0][0].Int() != int64(appsys.SupplierQuality(3)) {
+		t.Errorf("result:\n%s", tab)
+	}
+	want := profile.ControllerDispatch + appsys.DefaultServiceTime
+	if task.Elapsed() != want {
+		t.Errorf("dispatch cost = %v, want %v", task.Elapsed(), want)
+	}
+	if _, err := ctl.CallFunction(task, "nope", "GetQuality", nil); err == nil {
+		t.Error("unknown system accepted")
+	}
+}
+
+func TestBridgeRMICharging(t *testing.T) {
+	ctl, profile := testSetup(t)
+	ctl.ensureConnected(simlat.NewVirtualTask())
+
+	viaRMI := NewBridge(profile, ctl)
+	direct := NewDirectBridge(profile, ctl)
+	if viaRMI.Direct() || !direct.Direct() {
+		t.Fatal("Direct flags")
+	}
+	if viaRMI.Controller() != ctl {
+		t.Fatal("Controller accessor")
+	}
+
+	args := []types.Value{types.NewInt(3)}
+	t1 := simlat.NewVirtualTask()
+	if _, err := viaRMI.CallFunction(t1, appsys.StockKeeping, "GetQuality", args); err != nil {
+		t.Fatal(err)
+	}
+	t2 := simlat.NewVirtualTask()
+	if _, err := direct.CallFunction(t2, appsys.StockKeeping, "GetQuality", args); err != nil {
+		t.Fatal(err)
+	}
+	saving := t1.Elapsed() - t2.Elapsed()
+	want := profile.RMICall + profile.RMIReturn + profile.ControllerDispatch
+	if saving != want {
+		t.Errorf("direct saving = %v, want %v", saving, want)
+	}
+
+	input := map[string]types.Value{"supplierno": types.NewInt(3)}
+	w1 := simlat.NewVirtualTask()
+	if _, err := viaRMI.RunWorkflow(w1, qualProcess(), input); err != nil {
+		t.Fatal(err)
+	}
+	w2 := simlat.NewVirtualTask()
+	if _, err := direct.RunWorkflow(w2, qualProcess(), input); err != nil {
+		t.Fatal(err)
+	}
+	wfSaving := w1.Elapsed() - w2.Elapsed()
+	wantWf := profile.RMICall + profile.RMIReturn + profile.ControllerInvokeWf
+	if wfSaving != wantWf {
+		t.Errorf("workflow saving = %v, want %v", wfSaving, wantWf)
+	}
+}
+
+func TestBridgeReset(t *testing.T) {
+	ctl, profile := testSetup(t)
+	b := NewBridge(profile, ctl)
+	input := map[string]types.Value{"supplierno": types.NewInt(1)}
+	if _, err := b.RunWorkflow(simlat.Free(), qualProcess(), input); err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	task := simlat.NewVirtualTask()
+	if _, err := b.RunWorkflow(task, qualProcess(), input); err != nil {
+		t.Fatal(err)
+	}
+	if task.Elapsed() < profile.ControllerConnect {
+		t.Errorf("reconnect not charged after Reset: %v", task.Elapsed())
+	}
+	if ctl.WorkflowEngine() == nil {
+		t.Error("WorkflowEngine accessor")
+	}
+}
+
+func TestBreakdownAttribution(t *testing.T) {
+	ctl, profile := testSetup(t)
+	ctl.ensureConnected(simlat.NewVirtualTask())
+	b := NewBridge(profile, ctl)
+
+	task := simlat.NewVirtualTask()
+	rec := simlat.NewRecorder()
+	task.SetRecorder(rec)
+	if _, err := b.CallFunction(task, appsys.StockKeeping, "GetQuality", []types.Value{types.NewInt(3)}); err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]bool)
+	for _, s := range rec.Steps() {
+		byName[s.Name] = true
+	}
+	for _, want := range []string{simlat.StepRMICall, simlat.StepRMIReturn, simlat.StepControllerRuns} {
+		if !byName[want] {
+			t.Errorf("step %q missing from breakdown: %v", want, rec.Steps())
+		}
+	}
+}

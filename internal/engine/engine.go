@@ -1,0 +1,554 @@
+// Package engine ties the SQL front end, planner, executor, and catalog
+// into the FDBS database engine used as the paper's integration server
+// core. It offers an embedded API (sessions with Exec/Query), executes
+// DDL including the SQL/MED statements and CREATE FUNCTION (registering
+// SQL and external UDTFs), and implements catalog.QueryRunner so UDTF
+// bodies can run nested SQL.
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"fedwf/internal/catalog"
+	"fedwf/internal/exec"
+	"fedwf/internal/plan"
+	"fedwf/internal/simlat"
+	"fedwf/internal/sqlparser"
+	"fedwf/internal/types"
+)
+
+// ExternalImpl is a host-provided table-function implementation, referenced
+// by CREATE FUNCTION ... LANGUAGE EXTERNAL NAME '<name>'.
+type ExternalImpl func(rt catalog.QueryRunner, task *simlat.Task, args []types.Value) (*types.Table, error)
+
+// Engine is one FDBS instance.
+type Engine struct {
+	cat *catalog.Catalog
+
+	mu              sync.RWMutex
+	externals       map[string]ExternalImpl
+	wrappers        map[string]catalog.WrapperFactory
+	compositionCost time.Duration
+	planOpts        plan.Options
+	funcCache       bool
+}
+
+// New returns an empty engine.
+func New() *Engine {
+	return &Engine{
+		cat:       catalog.New(),
+		externals: make(map[string]ExternalImpl),
+		wrappers:  make(map[string]catalog.WrapperFactory),
+	}
+}
+
+// Catalog exposes the engine's catalog.
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// RegisterExternal installs a host implementation under the given external
+// name, making it available to CREATE FUNCTION ... LANGUAGE EXTERNAL.
+func (e *Engine) RegisterExternal(name string, impl ExternalImpl) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := e.externals[key]; ok {
+		return fmt.Errorf("engine: external implementation %s already registered", name)
+	}
+	e.externals[key] = impl
+	return nil
+}
+
+// RegisterWrapperImpl links a wrapper implementation into the server; a
+// later CREATE WRAPPER statement activates it in the catalog.
+func (e *Engine) RegisterWrapperImpl(name string, factory catalog.WrapperFactory) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := e.wrappers[key]; ok {
+		return fmt.Errorf("engine: wrapper implementation %s already registered", name)
+	}
+	e.wrappers[key] = factory
+	return nil
+}
+
+// SetCompositionCost configures the simulated cost of composing
+// independent result sets in the executor (joins between independent FROM
+// items); zero disables the accounting.
+func (e *Engine) SetCompositionCost(d time.Duration) {
+	e.mu.Lock()
+	e.compositionCost = d
+	e.mu.Unlock()
+}
+
+// SetPlanOptions configures the planner (e.g. the hash-join ablation).
+func (e *Engine) SetPlanOptions(opts plan.Options) {
+	e.mu.Lock()
+	e.planOpts = opts
+	e.mu.Unlock()
+}
+
+// SetFunctionCache enables per-statement memoisation of table-function
+// results: repeated lateral invocations with identical arguments reuse
+// the first result. Only enable it for deterministic functions.
+func (e *Engine) SetFunctionCache(enabled bool) {
+	e.mu.Lock()
+	e.funcCache = enabled
+	e.mu.Unlock()
+}
+
+// RunSelect implements catalog.QueryRunner: nested execution of UDTF
+// bodies and remote pushdown targets.
+func (e *Engine) RunSelect(sel *sqlparser.Select, params map[string]types.Value, task *simlat.Task) (*types.Table, error) {
+	e.mu.RLock()
+	cc := e.compositionCost
+	opts := e.planOpts
+	cache := e.funcCache
+	e.mu.RUnlock()
+	op, err := plan.CompileSelectOpts(e.cat, sel, params, opts)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &exec.Ctx{Task: task, Runner: e, CompositionCost: cc}
+	if cache {
+		ctx.FuncCache = exec.NewFuncCache()
+	}
+	return exec.Run(op, ctx)
+}
+
+// Session is one client connection to the engine. Sessions are cheap; the
+// task meter charges simulated costs for the experiments (defaults to a
+// free meter).
+type Session struct {
+	eng  *Engine
+	task *simlat.Task
+}
+
+// NewSession opens a session.
+func (e *Engine) NewSession() *Session {
+	return &Session{eng: e, task: simlat.Free()}
+}
+
+// SetTask attaches the cost meter used by subsequent statements.
+func (s *Session) SetTask(t *simlat.Task) { s.task = t }
+
+// Task returns the session's current cost meter.
+func (s *Session) Task() *simlat.Task { return s.task }
+
+// Engine returns the engine this session talks to.
+func (s *Session) Engine() *Engine { return s.eng }
+
+// Result is the outcome of one statement.
+type Result struct {
+	Table        *types.Table // non-nil for queries, EXPLAIN and SHOW
+	RowsAffected int
+	Message      string
+}
+
+// Query executes a SELECT and returns its result table.
+func (s *Session) Query(sql string) (*types.Table, error) {
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.eng.RunSelect(sel, nil, s.task)
+}
+
+// Exec parses and executes any single statement.
+func (s *Session) Exec(sql string) (*Result, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecStmt(stmt)
+}
+
+// ExecScript executes a semicolon-separated statement sequence, stopping
+// at the first error.
+func (s *Session) ExecScript(sql string) ([]*Result, error) {
+	stmts, err := sqlparser.ParseScript(sql)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*Result, 0, len(stmts))
+	for _, stmt := range stmts {
+		r, err := s.ExecStmt(stmt)
+		if err != nil {
+			return results, fmt.Errorf("engine: executing %q: %w", stmt.String(), err)
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// MustExec executes a statement and panics on error; for fixtures whose
+// statements are statically known to be valid.
+func (s *Session) MustExec(sql string) *Result {
+	r, err := s.Exec(sql)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// ExecStmt executes one parsed statement.
+func (s *Session) ExecStmt(stmt sqlparser.Statement) (*Result, error) {
+	switch st := stmt.(type) {
+	case *sqlparser.Select:
+		tab, err := s.eng.RunSelect(st, nil, s.task)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Table: tab, RowsAffected: tab.Len()}, nil
+
+	case *sqlparser.CreateTable:
+		schema := make(types.Schema, len(st.Columns))
+		var pk string
+		for i, col := range st.Columns {
+			schema[i] = types.Column{Name: col.Name, Type: col.Type}
+			if col.PrimaryKey {
+				if pk != "" {
+					return nil, fmt.Errorf("engine: table %s declares multiple primary keys", st.Name)
+				}
+				pk = col.Name
+			}
+		}
+		tab, err := s.eng.cat.CreateTable(st.Name, schema)
+		if err != nil {
+			return nil, err
+		}
+		if pk != "" {
+			if err := tab.CreateIndex(pk); err != nil {
+				return nil, err
+			}
+		}
+		return &Result{Message: "table " + st.Name + " created"}, nil
+
+	case *sqlparser.DropTable:
+		if err := s.eng.cat.DropTable(st.Name); err != nil {
+			return nil, err
+		}
+		return &Result{Message: "table " + st.Name + " dropped"}, nil
+
+	case *sqlparser.CreateView:
+		// Validate the defining query now, as with CREATE FUNCTION.
+		s.eng.mu.RLock()
+		opts := s.eng.planOpts
+		s.eng.mu.RUnlock()
+		if err := plan.ValidateView(s.eng.cat, st.Query, opts); err != nil {
+			return nil, fmt.Errorf("engine: view %s does not compile: %w", st.Name, err)
+		}
+		if err := s.eng.cat.CreateView(st.Name, st.Query); err != nil {
+			return nil, err
+		}
+		return &Result{Message: "view " + st.Name + " created"}, nil
+
+	case *sqlparser.DropView:
+		if err := s.eng.cat.DropView(st.Name); err != nil {
+			return nil, err
+		}
+		return &Result{Message: "view " + st.Name + " dropped"}, nil
+
+	case *sqlparser.CreateIndex:
+		tab, err := s.eng.cat.Table(st.Table)
+		if err != nil {
+			return nil, err
+		}
+		if err := tab.CreateIndex(st.Column); err != nil {
+			return nil, err
+		}
+		return &Result{Message: "index " + st.Name + " created"}, nil
+
+	case *sqlparser.Insert:
+		return s.execInsert(st)
+
+	case *sqlparser.Update:
+		return s.execUpdate(st)
+
+	case *sqlparser.Delete:
+		return s.execDelete(st)
+
+	case *sqlparser.CreateFunction:
+		return s.execCreateFunction(st)
+
+	case *sqlparser.DropFunction:
+		if err := s.eng.cat.DropFunc(st.Name); err != nil {
+			return nil, err
+		}
+		return &Result{Message: "function " + st.Name + " dropped"}, nil
+
+	case *sqlparser.CreateWrapper:
+		s.eng.mu.RLock()
+		factory, ok := s.eng.wrappers[strings.ToLower(st.Name)]
+		s.eng.mu.RUnlock()
+		if !ok {
+			return nil, fmt.Errorf("engine: no wrapper implementation linked under %s", st.Name)
+		}
+		if err := s.eng.cat.RegisterWrapper(st.Name, factory); err != nil {
+			return nil, err
+		}
+		return &Result{Message: "wrapper " + st.Name + " created"}, nil
+
+	case *sqlparser.CreateServer:
+		if err := s.eng.cat.CreateServer(st.Name, st.Wrapper, st.Options); err != nil {
+			return nil, err
+		}
+		return &Result{Message: "server " + st.Name + " created"}, nil
+
+	case *sqlparser.CreateNickname:
+		if err := s.eng.cat.CreateNickname(st.Name, st.Server, st.Remote); err != nil {
+			return nil, err
+		}
+		return &Result{Message: "nickname " + st.Name + " created"}, nil
+
+	case *sqlparser.Explain:
+		return s.execExplain(st)
+
+	case *sqlparser.Show:
+		return s.execShow(st)
+
+	default:
+		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+}
+
+func (s *Session) execInsert(st *sqlparser.Insert) (*Result, error) {
+	tab, err := s.eng.cat.Table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := tab.Schema()
+	colIdx := make([]int, 0, len(schema))
+	if len(st.Columns) == 0 {
+		for i := range schema {
+			colIdx = append(colIdx, i)
+		}
+	} else {
+		for _, c := range st.Columns {
+			i := schema.ColumnIndex(c)
+			if i < 0 {
+				return nil, fmt.Errorf("engine: table %s has no column %s", st.Table, c)
+			}
+			colIdx = append(colIdx, i)
+		}
+	}
+
+	var rows []types.Row
+	if st.Query != nil {
+		res, err := s.eng.RunSelect(st.Query, nil, s.task)
+		if err != nil {
+			return nil, err
+		}
+		rows = res.Rows
+	} else {
+		for _, exprRow := range st.Rows {
+			row := make(types.Row, len(exprRow))
+			for i, ast := range exprRow {
+				ce, err := plan.CompileRowExpr(s.eng.cat, "", nil, ast)
+				if err != nil {
+					return nil, err
+				}
+				v, err := ce.Eval(nil)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			rows = append(rows, row)
+		}
+	}
+	n := 0
+	for _, r := range rows {
+		if len(r) != len(colIdx) {
+			return nil, fmt.Errorf("engine: INSERT supplies %d values for %d columns", len(r), len(colIdx))
+		}
+		full := make(types.Row, len(schema))
+		for i := range full {
+			full[i] = types.Null
+		}
+		for i, v := range r {
+			full[colIdx[i]] = v
+		}
+		if err := tab.Insert(full); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return &Result{RowsAffected: n, Message: fmt.Sprintf("%d rows inserted", n)}, nil
+}
+
+func (s *Session) execUpdate(st *sqlparser.Update) (*Result, error) {
+	tab, err := s.eng.cat.Table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := tab.Schema()
+	pred, err := s.compilePredicate(st.Table, schema, st.Where)
+	if err != nil {
+		return nil, err
+	}
+	type setter struct {
+		idx  int
+		expr exec.Expr
+	}
+	setters := make([]setter, 0, len(st.Assignments))
+	for _, a := range st.Assignments {
+		i := schema.ColumnIndex(a.Column)
+		if i < 0 {
+			return nil, fmt.Errorf("engine: table %s has no column %s", st.Table, a.Column)
+		}
+		ce, err := plan.CompileRowExpr(s.eng.cat, st.Table, schema, a.Expr)
+		if err != nil {
+			return nil, err
+		}
+		setters = append(setters, setter{idx: i, expr: ce})
+	}
+	var evalErr error
+	n, err := tab.Update(pred, func(r types.Row) types.Row {
+		for _, set := range setters {
+			v, err := set.expr.Eval(r)
+			if err != nil {
+				if evalErr == nil {
+					evalErr = err
+				}
+				return r
+			}
+			r[set.idx] = v
+		}
+		return r
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{RowsAffected: n, Message: fmt.Sprintf("%d rows updated", n)}, nil
+}
+
+func (s *Session) execDelete(st *sqlparser.Delete) (*Result, error) {
+	tab, err := s.eng.cat.Table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := s.compilePredicate(st.Table, tab.Schema(), st.Where)
+	if err != nil {
+		return nil, err
+	}
+	n := tab.Delete(pred)
+	return &Result{RowsAffected: n, Message: fmt.Sprintf("%d rows deleted", n)}, nil
+}
+
+// compilePredicate compiles a WHERE clause over one table's rows; a nil
+// clause matches everything. Row-level evaluation errors surface as
+// "no match" after recording, which cannot happen for type-checked
+// predicates over validated rows.
+func (s *Session) compilePredicate(table string, schema types.Schema, where sqlparser.Expr) (func(types.Row) bool, error) {
+	if where == nil {
+		return func(types.Row) bool { return true }, nil
+	}
+	ce, err := plan.CompileRowExpr(s.eng.cat, table, schema, where)
+	if err != nil {
+		return nil, err
+	}
+	return func(r types.Row) bool {
+		v, err := ce.Eval(r)
+		if err != nil {
+			return false
+		}
+		ok, err := exec.Truthy(v)
+		return err == nil && ok
+	}, nil
+}
+
+func (s *Session) execCreateFunction(st *sqlparser.CreateFunction) (*Result, error) {
+	params := make([]types.Column, len(st.Params))
+	for i, p := range st.Params {
+		params[i] = types.Column{Name: p.Name, Type: p.Type}
+	}
+	switch st.Language {
+	case "SQL":
+		fn := &catalog.SQLFunc{
+			FName:    st.Name,
+			FParams:  params,
+			FReturns: st.Returns.Clone(),
+			Body:     st.Body,
+		}
+		// Validate the body now (DB2 validates at creation time): compile
+		// it with NULL-bound parameters to surface unknown columns,
+		// functions, or unsupported constructs.
+		probe := make(map[string]types.Value, 2*len(params))
+		for _, p := range params {
+			probe[strings.ToLower(p.Name)] = types.Null
+			probe[strings.ToLower(st.Name)+"."+strings.ToLower(p.Name)] = types.Null
+		}
+		if _, err := plan.CompileSelect(s.eng.cat, st.Body, probe); err != nil {
+			return nil, fmt.Errorf("engine: body of %s does not compile: %w", st.Name, err)
+		}
+		if err := s.eng.cat.RegisterFunc(fn); err != nil {
+			return nil, err
+		}
+	case "EXTERNAL":
+		s.eng.mu.RLock()
+		impl, ok := s.eng.externals[strings.ToLower(st.ExternalName)]
+		s.eng.mu.RUnlock()
+		if !ok {
+			return nil, fmt.Errorf("engine: no external implementation registered under %s", st.ExternalName)
+		}
+		fn := &catalog.GoFunc{
+			FName:    st.Name,
+			FParams:  params,
+			FReturns: st.Returns.Clone(),
+			Fn:       impl,
+		}
+		if err := s.eng.cat.RegisterFunc(fn); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("engine: unsupported function language %s", st.Language)
+	}
+	return &Result{Message: "function " + st.Name + " created"}, nil
+}
+
+func (s *Session) execExplain(st *sqlparser.Explain) (*Result, error) {
+	sel, ok := st.Stmt.(*sqlparser.Select)
+	if !ok {
+		return nil, fmt.Errorf("engine: EXPLAIN supports SELECT statements only")
+	}
+	s.eng.mu.RLock()
+	opts := s.eng.planOpts
+	s.eng.mu.RUnlock()
+	op, err := plan.CompileSelectOpts(s.eng.cat, sel, nil, opts)
+	if err != nil {
+		return nil, err
+	}
+	tab := types.NewTable(types.Schema{{Name: "PLAN", Type: types.VarChar}})
+	for _, line := range strings.Split(strings.TrimRight(exec.ExplainString(op), "\n"), "\n") {
+		tab.Rows = append(tab.Rows, types.Row{types.NewString(line)})
+	}
+	return &Result{Table: tab}, nil
+}
+
+func (s *Session) execShow(st *sqlparser.Show) (*Result, error) {
+	var col string
+	var names []string
+	switch st.What {
+	case "TABLES":
+		col, names = "TABLE", s.eng.cat.Tables()
+	case "FUNCTIONS":
+		col, names = "FUNCTION", s.eng.cat.Funcs()
+	case "SERVERS":
+		col, names = "SERVER", s.eng.cat.Servers()
+	case "VIEWS":
+		col, names = "VIEW", s.eng.cat.Views()
+	default:
+		return nil, fmt.Errorf("engine: unsupported SHOW %s", st.What)
+	}
+	tab := types.NewTable(types.Schema{{Name: col, Type: types.VarChar}})
+	for _, n := range names {
+		tab.Rows = append(tab.Rows, types.Row{types.NewString(n)})
+	}
+	return &Result{Table: tab}, nil
+}

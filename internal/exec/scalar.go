@@ -1,0 +1,257 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"fedwf/internal/types"
+)
+
+// ScalarFunc is a built-in scalar function implementation.
+type ScalarFunc func(args []types.Value) (types.Value, error)
+
+// LookupScalar resolves a built-in scalar function by name
+// (case-insensitive) and validates its arity. The cast-style functions
+// INT/INTEGER/BIGINT/SMALLINT/DOUBLE/VARCHAR/CHAR mirror DB2's casting
+// functions used by the paper (e.g. BIGINT(GN.Number)).
+func LookupScalar(name string, arity int) (ScalarFunc, error) {
+	spec, ok := scalarFuncs[strings.ToUpper(name)]
+	if !ok {
+		return nil, fmt.Errorf("exec: unknown function %s", name)
+	}
+	if arity < spec.minArgs || (spec.maxArgs >= 0 && arity > spec.maxArgs) {
+		return nil, fmt.Errorf("exec: function %s called with %d arguments", name, arity)
+	}
+	return spec.fn, nil
+}
+
+type scalarSpec struct {
+	minArgs, maxArgs int // maxArgs < 0 means variadic
+	fn               ScalarFunc
+}
+
+func castFunc(t types.Type) ScalarFunc {
+	return func(args []types.Value) (types.Value, error) { return types.Cast(args[0], t) }
+}
+
+var scalarFuncs = map[string]scalarSpec{
+	"SMALLINT": {1, 1, castFunc(types.SmallInt)},
+	"INT":      {1, 1, castFunc(types.Integer)},
+	"INTEGER":  {1, 1, castFunc(types.Integer)},
+	"BIGINT":   {1, 1, castFunc(types.BigInt)},
+	"DOUBLE":   {1, 1, castFunc(types.Double)},
+	"VARCHAR":  {1, 1, castFunc(types.VarChar)},
+	"CHAR":     {1, 1, castFunc(types.VarChar)},
+
+	"UPPER": {1, 1, stringFunc(strings.ToUpper)},
+	"LOWER": {1, 1, stringFunc(strings.ToLower)},
+	"TRIM":  {1, 1, stringFunc(strings.TrimSpace)},
+	"LTRIM": {1, 1, stringFunc(func(s string) string { return strings.TrimLeft(s, " ") })},
+	"RTRIM": {1, 1, stringFunc(func(s string) string { return strings.TrimRight(s, " ") })},
+
+	"LENGTH": {1, 1, func(args []types.Value) (types.Value, error) {
+		if args[0].IsNull() {
+			return types.Null, nil
+		}
+		s, err := args[0].AsString()
+		if err != nil {
+			return types.Null, err
+		}
+		return types.NewInt(int64(len(s))), nil
+	}},
+
+	"SUBSTR": {2, 3, func(args []types.Value) (types.Value, error) {
+		if args[0].IsNull() || args[1].IsNull() {
+			return types.Null, nil
+		}
+		s, err := args[0].AsString()
+		if err != nil {
+			return types.Null, err
+		}
+		start, err := args[1].AsInt()
+		if err != nil {
+			return types.Null, err
+		}
+		// SQL SUBSTR is 1-based.
+		if start < 1 {
+			start = 1
+		}
+		if start > int64(len(s)) {
+			return types.NewString(""), nil
+		}
+		rest := s[start-1:]
+		if len(args) == 3 {
+			if args[2].IsNull() {
+				return types.Null, nil
+			}
+			n, err := args[2].AsInt()
+			if err != nil {
+				return types.Null, err
+			}
+			if n < 0 {
+				return types.Null, fmt.Errorf("exec: SUBSTR length must be non-negative")
+			}
+			if n < int64(len(rest)) {
+				rest = rest[:n]
+			}
+		}
+		return types.NewString(rest), nil
+	}},
+
+	"CONCAT": {2, -1, func(args []types.Value) (types.Value, error) {
+		out := args[0]
+		var err error
+		for _, a := range args[1:] {
+			out, err = types.Concat(out, a)
+			if err != nil {
+				return types.Null, err
+			}
+		}
+		return out, nil
+	}},
+
+	"ABS": {1, 1, func(args []types.Value) (types.Value, error) {
+		v := args[0]
+		switch v.Kind() {
+		case types.KindNull:
+			return types.Null, nil
+		case types.KindInt:
+			if v.Int() < 0 {
+				return types.Neg(v)
+			}
+			return v, nil
+		case types.KindFloat:
+			return types.NewFloat(math.Abs(v.Float())), nil
+		default:
+			return types.Null, fmt.Errorf("exec: ABS requires a numeric argument")
+		}
+	}},
+
+	"MOD": {2, 2, func(args []types.Value) (types.Value, error) {
+		return types.Mod(args[0], args[1])
+	}},
+
+	"ROUND": {1, 2, func(args []types.Value) (types.Value, error) {
+		if args[0].IsNull() {
+			return types.Null, nil
+		}
+		f, err := args[0].AsFloat()
+		if err != nil {
+			return types.Null, err
+		}
+		digits := int64(0)
+		if len(args) == 2 {
+			if args[1].IsNull() {
+				return types.Null, nil
+			}
+			if digits, err = args[1].AsInt(); err != nil {
+				return types.Null, err
+			}
+		}
+		scale := math.Pow(10, float64(digits))
+		return types.NewFloat(math.Round(f*scale) / scale), nil
+	}},
+
+	"FLOOR": {1, 1, floatFunc(math.Floor)},
+	"CEIL":  {1, 1, floatFunc(math.Ceil)},
+	"SQRT": {1, 1, func(args []types.Value) (types.Value, error) {
+		if args[0].IsNull() {
+			return types.Null, nil
+		}
+		f, err := args[0].AsFloat()
+		if err != nil {
+			return types.Null, err
+		}
+		if f < 0 {
+			return types.Null, fmt.Errorf("exec: SQRT of negative value")
+		}
+		return types.NewFloat(math.Sqrt(f)), nil
+	}},
+
+	"COALESCE": {1, -1, func(args []types.Value) (types.Value, error) {
+		for _, a := range args {
+			if !a.IsNull() {
+				return a, nil
+			}
+		}
+		return types.Null, nil
+	}},
+
+	"NULLIF": {2, 2, func(args []types.Value) (types.Value, error) {
+		c, err := types.Compare(args[0], args[1])
+		if err == types.ErrNullCompare {
+			return args[0], nil
+		}
+		if err != nil {
+			return types.Null, err
+		}
+		if c == 0 {
+			return types.Null, nil
+		}
+		return args[0], nil
+	}},
+
+	"LEAST":    {1, -1, extremeFunc(-1)},
+	"GREATEST": {1, -1, extremeFunc(1)},
+}
+
+func stringFunc(f func(string) string) ScalarFunc {
+	return func(args []types.Value) (types.Value, error) {
+		if args[0].IsNull() {
+			return types.Null, nil
+		}
+		s, err := args[0].AsString()
+		if err != nil {
+			return types.Null, err
+		}
+		return types.NewString(f(s)), nil
+	}
+}
+
+func floatFunc(f func(float64) float64) ScalarFunc {
+	return func(args []types.Value) (types.Value, error) {
+		if args[0].IsNull() {
+			return types.Null, nil
+		}
+		x, err := args[0].AsFloat()
+		if err != nil {
+			return types.Null, err
+		}
+		return types.NewFloat(f(x)), nil
+	}
+}
+
+// extremeFunc returns LEAST (sign=-1) or GREATEST (sign=1); NULL inputs
+// yield NULL, per SQL.
+func extremeFunc(sign int) ScalarFunc {
+	return func(args []types.Value) (types.Value, error) {
+		best := args[0]
+		if best.IsNull() {
+			return types.Null, nil
+		}
+		for _, a := range args[1:] {
+			if a.IsNull() {
+				return types.Null, nil
+			}
+			c, err := types.Compare(a, best)
+			if err != nil {
+				return types.Null, err
+			}
+			if c*sign > 0 {
+				best = a
+			}
+		}
+		return best, nil
+	}
+}
+
+// IsAggregateName reports whether the (case-insensitive) name denotes a
+// built-in aggregate function.
+func IsAggregateName(name string) bool {
+	switch strings.ToUpper(name) {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,170 @@
+// Package fdbs assembles the paper's integration server (Fig. 2): the
+// FDBS engine with the federated functions of the mapping catalog
+// registered through the chosen architecture (WfMS or enhanced SQL UDTF),
+// the three application systems, the controller, and the SQL wrapper for
+// attaching further remote SQL sources. It is the facade used by the
+// server binary and the examples.
+package fdbs
+
+import (
+	"fmt"
+	"net"
+	"strings"
+
+	"fedwf/internal/appsys"
+	"fedwf/internal/engine"
+	"fedwf/internal/fedfunc"
+	"fedwf/internal/rpc"
+	"fedwf/internal/simlat"
+	"fedwf/internal/types"
+	"fedwf/internal/wrapper"
+)
+
+// Config selects the integration architecture and its environment.
+type Config struct {
+	// Arch picks the integration architecture (default: WfMS approach).
+	Arch fedfunc.Arch
+	// Profile is the simulated cost profile (default: calibrated paper
+	// profile).
+	Profile simlat.Profile
+	// Direct removes the controller from the call path.
+	Direct bool
+	// Apps shares an existing application-system registry; a fresh
+	// scenario is built when nil.
+	Apps *appsys.Registry
+}
+
+// Server is one running integration server.
+type Server struct {
+	stack   *fedfunc.Stack
+	apps    *appsys.Registry
+	wrapReg *wrapper.Registry
+	rpcSrv  *rpc.Server
+}
+
+// NewServer builds and wires an integration server.
+func NewServer(cfg Config) (*Server, error) {
+	profile := cfg.Profile
+	if profile == (simlat.Profile{}) {
+		profile = simlat.DefaultProfile()
+	}
+	apps := cfg.Apps
+	if apps == nil {
+		var err error
+		apps, err = appsys.BuildScenario()
+		if err != nil {
+			return nil, err
+		}
+	}
+	stack, err := fedfunc.NewStack(cfg.Arch, fedfunc.Options{
+		Profile: profile,
+		Direct:  cfg.Direct,
+		Apps:    apps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	wrapReg := wrapper.NewRegistry(profile)
+	if err := wrapReg.Link(stack.Engine()); err != nil {
+		return nil, err
+	}
+	return &Server{stack: stack, apps: apps, wrapReg: wrapReg}, nil
+}
+
+// Session opens a SQL session against the integration server.
+func (s *Server) Session() *engine.Session { return s.stack.Engine().NewSession() }
+
+// Stack exposes the architecture stack (for experiments).
+func (s *Server) Stack() *fedfunc.Stack { return s.stack }
+
+// Engine exposes the FDBS engine.
+func (s *Server) Engine() *engine.Engine { return s.stack.Engine() }
+
+// Apps exposes the application systems.
+func (s *Server) Apps() *appsys.Registry { return s.apps }
+
+// AttachInProcSource registers an in-process remote SQL engine under a
+// target name; CREATE SERVER ... OPTIONS (target '<name>') then federates
+// it.
+func (s *Server) AttachInProcSource(target string, eng *engine.Engine) {
+	s.wrapReg.AddInProc(target, eng)
+}
+
+// Protocol functions served by Listen.
+const (
+	fnExec = "exec"
+)
+
+// handler serves the client protocol: "exec" runs any statement; queries
+// return their table, other statements return a one-row message table.
+func (s *Server) handler() rpc.Handler {
+	return func(task *simlat.Task, req rpc.Request) (*types.Table, error) {
+		if !strings.EqualFold(req.Function, fnExec) {
+			return nil, fmt.Errorf("fdbs: unknown protocol function %s", req.Function)
+		}
+		if len(req.Args) != 1 {
+			return nil, fmt.Errorf("fdbs: exec expects one statement argument")
+		}
+		text, err := req.Args[0].AsString()
+		if err != nil {
+			return nil, err
+		}
+		session := s.Session()
+		session.SetTask(task)
+		res, err := session.Exec(text)
+		if err != nil {
+			return nil, err
+		}
+		if res.Table != nil {
+			return res.Table, nil
+		}
+		out := types.NewTable(types.Schema{{Name: "Result", Type: types.VarChar}})
+		msg := res.Message
+		if msg == "" {
+			msg = fmt.Sprintf("%d rows affected", res.RowsAffected)
+		}
+		out.MustAppend(types.Row{types.NewString(msg)})
+		return out, nil
+	}
+}
+
+// Listen serves the client protocol over TCP until Close.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	if s.rpcSrv != nil {
+		return nil, fmt.Errorf("fdbs: server already listening")
+	}
+	s.rpcSrv = rpc.NewServer(s.handler())
+	return s.rpcSrv.Listen(addr)
+}
+
+// Close stops the TCP listener, if any.
+func (s *Server) Close() error {
+	if s.rpcSrv == nil {
+		return nil
+	}
+	err := s.rpcSrv.Close()
+	s.rpcSrv = nil
+	return err
+}
+
+// Client is a remote session against a listening integration server.
+type Client struct {
+	c rpc.Client
+}
+
+// DialClient connects to a listening integration server.
+func DialClient(addr string) (*Client, error) {
+	c, err := rpc.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{c: c}, nil
+}
+
+// Exec runs one statement remotely and returns its result table.
+func (c *Client) Exec(sql string) (*types.Table, error) {
+	return c.c.Call(nil, rpc.Request{Function: fnExec, Args: []types.Value{types.NewString(sql)}})
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.c.Close() }

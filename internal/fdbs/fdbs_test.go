@@ -1,0 +1,167 @@
+package fdbs
+
+import (
+	"strings"
+	"testing"
+
+	"fedwf/internal/engine"
+	"fedwf/internal/fedfunc"
+	"fedwf/internal/rpc"
+	"fedwf/internal/types"
+)
+
+func TestIntegrationServerWfMS(t *testing.T) {
+	srv, err := NewServer(Config{Arch: fedfunc.ArchWfMS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := srv.Session()
+	tab, err := s.Query("SELECT BSC.Decision FROM TABLE (BuySuppComp(4, 'washer')) AS BSC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("decision:\n%s", tab)
+	}
+	if d := tab.Rows[0][0].Str(); d != "YES" && d != "NO" {
+		t.Errorf("decision = %q", d)
+	}
+	if srv.Apps() == nil || srv.Stack() == nil || srv.Engine() == nil {
+		t.Error("accessors returned nil")
+	}
+}
+
+// TestFederatedFunctionCombinedWithLocalTable demonstrates the point of
+// the whole architecture: one SQL statement mixing a federated function
+// (application-system data) with an ordinary FDBS table.
+func TestFederatedFunctionCombinedWithLocalTable(t *testing.T) {
+	srv, err := NewServer(Config{Arch: fedfunc.ArchUDTF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := srv.Session()
+	s.MustExec("CREATE TABLE watchlist (SupplierNo INT, Note VARCHAR(30))")
+	s.MustExec("INSERT INTO watchlist VALUES (3, 'strategic'), (7, 'probation')")
+	tab, err := s.Query(`SELECT w.Note, QR.Qual, QR.Relia
+		FROM watchlist w, TABLE (GetSuppQualRelia(w.SupplierNo)) AS QR
+		ORDER BY w.SupplierNo`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 2 || tab.Rows[0][0].Str() != "strategic" {
+		t.Errorf("combined query:\n%s", tab)
+	}
+}
+
+// TestHomogenizedView realises the paper's upper tier: applications refer
+// to a homogenized view that hides whether the data comes from SQL tables
+// or from application-system functions.
+func TestHomogenizedView(t *testing.T) {
+	srv, err := NewServer(Config{Arch: fedfunc.ArchWfMS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := srv.Session()
+	s.MustExec("CREATE TABLE known_suppliers (SupplierNo INT)")
+	s.MustExec("INSERT INTO known_suppliers VALUES (2), (5)")
+	s.MustExec(`CREATE VIEW supplier_scores AS
+		SELECT k.SupplierNo, QR.Qual, QR.Relia
+		FROM known_suppliers k, TABLE (GetSuppQualRelia(k.SupplierNo)) AS QR`)
+	tab, err := s.Query("SELECT SupplierNo, Qual FROM supplier_scores WHERE Relia > 0 ORDER BY SupplierNo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 2 || tab.Rows[0][0].Int() != 2 {
+		t.Errorf("homogenized view:\n%s", tab)
+	}
+}
+
+func TestRemoteProtocol(t *testing.T) {
+	srv, err := NewServer(Config{Arch: fedfunc.ArchUDTF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := srv.Listen("127.0.0.1:0"); err == nil {
+		t.Error("double Listen accepted")
+	}
+
+	client, err := DialClient(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	tab, err := client.Exec("SELECT Q.Qual FROM TABLE (GetSuppQual('Supplier3')) AS Q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 1 {
+		t.Errorf("remote federated call:\n%s", tab)
+	}
+	// DDL over the wire returns a message table.
+	tab, err = client.Exec("CREATE TABLE t (a INT)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 1 || !strings.Contains(tab.Rows[0][0].Str(), "created") {
+		t.Errorf("ddl response:\n%s", tab)
+	}
+	tab, err = client.Exec("INSERT INTO t VALUES (1), (2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tab.Rows[0][0].Str(), "2 rows") {
+		t.Errorf("dml response:\n%s", tab)
+	}
+	if _, err := client.Exec("SELECT nope FROM nowhere"); err == nil {
+		t.Error("remote error not propagated")
+	}
+}
+
+func TestAttachInProcSource(t *testing.T) {
+	srv, err := NewServer(Config{Arch: fedfunc.ArchWfMS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := engine.New()
+	rs := remote.NewSession()
+	rs.MustExec("CREATE TABLE prices (CompNo INT, Price DOUBLE)")
+	rs.MustExec("INSERT INTO prices VALUES (2, 0.05), (3, 0.02)")
+	srv.AttachInProcSource("erp", remote)
+
+	s := srv.Session()
+	s.MustExec("CREATE WRAPPER sqlwrapper")
+	s.MustExec("CREATE SERVER erpsrv WRAPPER sqlwrapper OPTIONS (target 'erp')")
+	s.MustExec("CREATE NICKNAME prices FOR erpsrv.prices")
+
+	// Federated function output joined with a remote SQL source: the
+	// paper's combined data-and-function integration in one statement.
+	tab, err := s.Query(`SELECT K.KompNr, p.Price
+		FROM TABLE (GibKompNr('nut')) AS K, prices p
+		WHERE K.KompNr = p.CompNo`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 1 || tab.Rows[0][1].Float() != 0.05 {
+		t.Errorf("function+data federation:\n%s", tab)
+	}
+}
+
+func TestProtocolValidation(t *testing.T) {
+	srv, err := NewServer(Config{Arch: fedfunc.ArchUDTF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := srv.handler()
+	if _, err := h(nil, rpc.Request{Function: "nope", Args: []types.Value{types.NewString("SELECT 1")}}); err == nil {
+		t.Error("unknown protocol function accepted")
+	}
+	if _, err := h(nil, rpc.Request{Function: "exec"}); err == nil {
+		t.Error("missing statement accepted")
+	}
+}

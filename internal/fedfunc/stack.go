@@ -1,0 +1,228 @@
+package fedfunc
+
+import (
+	"fmt"
+	"strings"
+
+	"fedwf/internal/appsys"
+	"fedwf/internal/controller"
+	"fedwf/internal/engine"
+	"fedwf/internal/rpc"
+	"fedwf/internal/simlat"
+	"fedwf/internal/types"
+	"fedwf/internal/udtf"
+	"fedwf/internal/wfms"
+)
+
+// Arch identifies an integration architecture.
+type Arch int
+
+// The two measured architectures of Sect. 4.
+const (
+	// ArchWfMS is the workflow approach: FDBS -> workflow UDTF ->
+	// controller -> WfMS -> application systems.
+	ArchWfMS Arch = iota
+	// ArchUDTF is the enhanced SQL UDTF approach: FDBS -> SQL I-UDTF ->
+	// A-UDTFs -> controller -> application systems.
+	ArchUDTF
+)
+
+// String names the architecture as in the paper.
+func (a Arch) String() string {
+	if a == ArchWfMS {
+		return "WfMS approach"
+	}
+	return "enhanced SQL UDTF approach"
+}
+
+// Stack is one fully wired integration architecture: an FDBS engine with
+// the federated functions of the mapping catalog registered the
+// architecture's way, in front of the shared application systems.
+type Stack struct {
+	arch       Arch
+	engine     *engine.Engine
+	bridge     *controller.Bridge
+	instrument *udtf.Instrument
+	profile    simlat.Profile
+	supported  map[string]bool
+}
+
+// Options configures stack construction.
+type Options struct {
+	Profile simlat.Profile
+	// Direct removes the controller from the call path (experiment E7).
+	Direct bool
+	// Apps is the shared application-system registry; a fresh scenario is
+	// built when nil.
+	Apps *appsys.Registry
+	// AppsClient overrides how the stack reaches the application systems:
+	// pass an rpc.Dial client to place them in another process (real
+	// distribution; wall-clock semantics only, since a remote callee
+	// cannot charge this process's virtual meter). When nil, an in-process
+	// client over Apps is used.
+	AppsClient rpc.Client
+}
+
+// NewStack wires one architecture.
+func NewStack(arch Arch, opts Options) (*Stack, error) {
+	profile := opts.Profile
+	if profile == (simlat.Profile{}) {
+		profile = simlat.DefaultProfile()
+	}
+	apps := opts.Apps
+	if apps == nil {
+		var err error
+		apps, err = appsys.BuildScenario()
+		if err != nil {
+			return nil, err
+		}
+	}
+	appsClient := opts.AppsClient
+	if appsClient == nil {
+		appsClient = rpc.NewInProc(apps.Handler())
+	}
+	invoker := wfms.InvokerFunc(func(task *simlat.Task, system, function string, args []types.Value) (*types.Table, error) {
+		return appsClient.Call(task, rpc.Request{System: system, Function: function, Args: args})
+	})
+	wfEngine := wfms.New(invoker, wfms.CostsFromProfile(profile))
+	ctl := controller.New(profile, wfEngine, appsClient)
+	var bridge *controller.Bridge
+	if opts.Direct {
+		bridge = controller.NewDirectBridge(profile, ctl)
+	} else {
+		bridge = controller.NewBridge(profile, ctl)
+	}
+
+	s := &Stack{
+		arch:       arch,
+		engine:     engine.New(),
+		bridge:     bridge,
+		instrument: udtf.NewInstrument(profile),
+		profile:    profile,
+		supported:  make(map[string]bool),
+	}
+	s.engine.SetCompositionCost(profile.JoinComposition)
+	specs := Specs()
+	switch arch {
+	case ArchWfMS:
+		for _, spec := range specs {
+			if err := udtf.RegisterWorkflowUDTF(s.engine, bridge, s.instrument, spec.Process()); err != nil {
+				return nil, fmt.Errorf("fedfunc: registering %s: %w", spec.Name, err)
+			}
+			s.supported[strings.ToLower(spec.Name)] = true
+		}
+	case ArchUDTF:
+		if err := s.registerAccessUDTFs(apps); err != nil {
+			return nil, err
+		}
+		for _, spec := range specs {
+			if !spec.SupportsUDTF() {
+				continue // the cyclic case: no SQL realisation
+			}
+			if err := udtf.RegisterSQLIntegrationUDTF(s.engine, s.instrument, spec.SQLDefinition); err != nil {
+				return nil, fmt.Errorf("fedfunc: registering %s: %w", spec.Name, err)
+			}
+			s.supported[strings.ToLower(spec.Name)] = true
+		}
+		// The Go I-UDTF variants (enhanced Java UDTF architecture) ride on
+		// the same A-UDTFs.
+		for _, spec := range specs {
+			if spec.GoBody == nil {
+				continue
+			}
+			name := spec.Name + "_Go"
+			if err := udtf.RegisterGoIntegrationUDTF(s.engine, s.instrument, name,
+				spec.Params, spec.Returns, udtf.GoBody(spec.GoBody)); err != nil {
+				return nil, fmt.Errorf("fedfunc: registering %s: %w", name, err)
+			}
+			s.supported[strings.ToLower(name)] = true
+		}
+	default:
+		return nil, fmt.Errorf("fedfunc: unknown architecture %d", arch)
+	}
+	return s, nil
+}
+
+// registerAccessUDTFs creates one A-UDTF per local function of every
+// application system, under the local function's own name.
+func (s *Stack) registerAccessUDTFs(apps *appsys.Registry) error {
+	for _, sysName := range apps.Systems() {
+		sys, err := apps.System(sysName)
+		if err != nil {
+			return err
+		}
+		for _, fnName := range sys.Functions() {
+			fn, err := sys.Function(fnName)
+			if err != nil {
+				return err
+			}
+			if err := udtf.RegisterAccessUDTF(s.engine, s.bridge, s.instrument,
+				fn.Name, sysName, fn.Name, fn.Params, fn.Returns); err != nil {
+				return fmt.Errorf("fedfunc: A-UDTF %s: %w", fn.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Arch returns the stack's architecture.
+func (s *Stack) Arch() Arch { return s.arch }
+
+// RegisterProcess installs an additional federated function from a
+// workflow process template (WfMS stacks only); the experiment harness
+// uses it for parameterised loop-scaling processes.
+func (s *Stack) RegisterProcess(p *wfms.Process) error {
+	if s.arch != ArchWfMS {
+		return fmt.Errorf("fedfunc: %s cannot host workflow processes", s.arch)
+	}
+	if err := udtf.RegisterWorkflowUDTF(s.engine, s.bridge, s.instrument, p); err != nil {
+		return err
+	}
+	s.supported[strings.ToLower(p.Name)] = true
+	return nil
+}
+
+// Engine exposes the stack's FDBS engine (for examples and ad-hoc SQL).
+func (s *Stack) Engine() *engine.Engine { return s.engine }
+
+// Profile returns the cost profile the stack was built with.
+func (s *Stack) Profile() simlat.Profile { return s.profile }
+
+// Supports reports whether the architecture realises the named federated
+// function.
+func (s *Stack) Supports(name string) bool { return s.supported[strings.ToLower(name)] }
+
+// Flush discards cached state down to the given boot level; a cold flush
+// also drops the controller's warm WfMS connection.
+func (s *Stack) Flush(level udtf.BootLevel) {
+	s.instrument.Flush(level)
+	if level == udtf.FlushCold {
+		s.bridge.Reset()
+	}
+}
+
+// Call invokes a federated function through the full stack: the statement
+// "SELECT * FROM TABLE (Fn(args...)) AS R" enters the FDBS, whose
+// executor drives the architecture's UDTF.
+func (s *Stack) Call(task *simlat.Task, name string, args []types.Value) (*types.Table, error) {
+	if !s.Supports(name) {
+		return nil, fmt.Errorf("fedfunc: %s does not support %s", s.arch, name)
+	}
+	lits := make([]string, len(args))
+	for i, v := range args {
+		lits[i] = v.String()
+	}
+	sql := fmt.Sprintf("SELECT * FROM TABLE (%s(%s)) AS R", name, strings.Join(lits, ", "))
+	session := s.engine.NewSession()
+	session.SetTask(task)
+	return session.Query(sql)
+}
+
+// CallSpec invokes a spec's federated function with one of its sample
+// argument vectors.
+func (s *Stack) CallSpec(task *simlat.Task, spec *Spec, sampleIdx int) (*types.Table, error) {
+	if sampleIdx < 0 || sampleIdx >= len(spec.SampleArgs) {
+		return nil, fmt.Errorf("fedfunc: %s has no sample %d", spec.Name, sampleIdx)
+	}
+	return s.Call(task, spec.Name, spec.SampleArgs[sampleIdx])
+}

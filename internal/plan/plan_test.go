@@ -1,0 +1,342 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"fedwf/internal/catalog"
+	"fedwf/internal/exec"
+	"fedwf/internal/simlat"
+	"fedwf/internal/sqlparser"
+	"fedwf/internal/types"
+)
+
+// testCatalog builds a catalog with two tables and two table functions.
+func testCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	sup, err := cat.CreateTable("suppliers", types.Schema{
+		{Name: "No", Type: types.Integer},
+		{Name: "Name", Type: types.VarCharN(30)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.InsertAll([]types.Row{
+		{types.NewInt(1), types.NewString("ACME")},
+		{types.NewInt(2), types.NewString("Globex")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	parts, err := cat.CreateTable("parts", types.Schema{
+		{Name: "PartNo", Type: types.Integer},
+		{Name: "SuppNo", Type: types.Integer},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := parts.InsertAll([]types.Row{
+		{types.NewInt(10), types.NewInt(1)},
+		{types.NewInt(11), types.NewInt(2)},
+		{types.NewInt(12), types.NewInt(1)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.RegisterFunc(&catalog.GoFunc{
+		FName:    "Twice",
+		FParams:  []types.Column{{Name: "x", Type: types.Integer}},
+		FReturns: types.Schema{{Name: "y", Type: types.Integer}},
+		Fn: func(rt catalog.QueryRunner, task *simlat.Task, args []types.Value) (*types.Table, error) {
+			out := types.NewTable(types.Schema{{Name: "y", Type: types.Integer}})
+			out.MustAppend(types.Row{types.NewInt(2 * args[0].Int())})
+			return out, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.RegisterFunc(&catalog.GoFunc{
+		FName:    "Nums",
+		FParams:  nil,
+		FReturns: types.Schema{{Name: "n", Type: types.Integer}},
+		Fn: func(rt catalog.QueryRunner, task *simlat.Task, args []types.Value) (*types.Table, error) {
+			out := types.NewTable(types.Schema{{Name: "n", Type: types.Integer}})
+			for i := int64(1); i <= 3; i++ {
+				out.MustAppend(types.Row{types.NewInt(i)})
+			}
+			return out, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func compile(t *testing.T, cat *catalog.Catalog, sql string, params map[string]types.Value) exec.Operator {
+	t.Helper()
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := CompileSelect(cat, sel, params)
+	if err != nil {
+		t.Fatalf("CompileSelect(%q): %v", sql, err)
+	}
+	return op
+}
+
+func run(t *testing.T, cat *catalog.Catalog, sql string, params map[string]types.Value) *types.Table {
+	t.Helper()
+	op := compile(t, cat, sql, params)
+	tab, err := exec.Run(op, &exec.Ctx{Task: simlat.Free()})
+	if err != nil {
+		t.Fatalf("Run(%q): %v", sql, err)
+	}
+	return tab
+}
+
+func planOf(t *testing.T, cat *catalog.Catalog, sql string) string {
+	t.Helper()
+	return exec.ExplainString(compile(t, cat, sql, nil))
+}
+
+func TestHashJoinSelectedForIndependentEquiJoin(t *testing.T) {
+	cat := testCatalog(t)
+	p := planOf(t, cat, "SELECT s.Name FROM suppliers s, parts p WHERE s.No = p.SuppNo")
+	if !strings.Contains(p, "HashJoin") {
+		t.Errorf("plan lacks HashJoin:\n%s", p)
+	}
+	// The equi conjunct must not reappear as a filter.
+	if strings.Contains(p, "Filter") {
+		t.Errorf("equi conjunct double-applied:\n%s", p)
+	}
+}
+
+func TestHashJoinAblation(t *testing.T) {
+	cat := testCatalog(t)
+	sel, err := sqlparser.ParseSelect("SELECT s.Name FROM suppliers s, parts p WHERE s.No = p.SuppNo ORDER BY s.Name, p.PartNo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	withHJ, err := CompileSelectOpts(cat, sel, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withoutHJ, err := CompileSelectOpts(cat, sel, nil, Options{DisableHashJoin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(exec.ExplainString(withHJ), "HashJoin") {
+		t.Error("default plan lacks HashJoin")
+	}
+	p := exec.ExplainString(withoutHJ)
+	if strings.Contains(p, "HashJoin") || !strings.Contains(p, "Apply") {
+		t.Errorf("ablated plan:\n%s", p)
+	}
+	// Both strategies produce identical results.
+	r1, err := exec.Run(withHJ, &exec.Ctx{Task: simlat.Free()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := exec.Run(withoutHJ, &exec.Ctx{Task: simlat.Free()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Len() != r2.Len() {
+		t.Fatalf("row counts differ: %d vs %d", r1.Len(), r2.Len())
+	}
+	for i := range r1.Rows {
+		if !r1.Rows[i].Equal(r2.Rows[i]) {
+			t.Errorf("row %d differs: %v vs %v", i, r1.Rows[i], r2.Rows[i])
+		}
+	}
+}
+
+func TestLateralForcesApply(t *testing.T) {
+	cat := testCatalog(t)
+	p := planOf(t, cat, "SELECT tw.y FROM suppliers s, TABLE (Twice(s.No)) AS tw")
+	if !strings.Contains(p, "Apply (lateral)") {
+		t.Errorf("plan lacks lateral Apply:\n%s", p)
+	}
+	if strings.Contains(p, "HashJoin") {
+		t.Errorf("lateral wrongly hash-joined:\n%s", p)
+	}
+	tab := run(t, cat, "SELECT s.No, tw.y FROM suppliers s, TABLE (Twice(s.No)) AS tw ORDER BY s.No", nil)
+	if tab.Len() != 2 || tab.Rows[0][1].Int() != 2 || tab.Rows[1][1].Int() != 4 {
+		t.Errorf("lateral result:\n%s", tab)
+	}
+}
+
+func TestPredicatePushdownPlacement(t *testing.T) {
+	cat := testCatalog(t)
+	// The single-table conjunct must attach below the join (before parts
+	// joins in), the join conjunct at the join.
+	p := planOf(t, cat, "SELECT s.Name FROM suppliers s, parts p WHERE s.No = p.SuppNo AND s.Name = 'ACME'")
+	idxFilter := strings.Index(p, "Filter")
+	idxJoin := strings.Index(p, "HashJoin")
+	if idxFilter < 0 || idxJoin < 0 || idxFilter < idxJoin {
+		t.Errorf("single-table filter not pushed below the join:\n%s", p)
+	}
+	tab := run(t, cat, "SELECT p.PartNo FROM suppliers s, parts p WHERE s.No = p.SuppNo AND s.Name = 'ACME' ORDER BY p.PartNo", nil)
+	if tab.Len() != 2 || tab.Rows[0][0].Int() != 10 {
+		t.Errorf("pushdown result:\n%s", tab)
+	}
+}
+
+func TestParameterResolution(t *testing.T) {
+	cat := testCatalog(t)
+	params := map[string]types.Value{
+		"lim":      types.NewInt(1),
+		"getx.lim": types.NewInt(1),
+	}
+	tab := run(t, cat, "SELECT No FROM suppliers WHERE No > lim", params)
+	if tab.Len() != 1 || tab.Rows[0][0].Int() != 2 {
+		t.Errorf("bare param:\n%s", tab)
+	}
+	tab = run(t, cat, "SELECT No FROM suppliers WHERE No > GetX.lim", params)
+	if tab.Len() != 1 {
+		t.Errorf("qualified param:\n%s", tab)
+	}
+	// Scope columns shadow parameters of the same name.
+	params2 := map[string]types.Value{"no": types.NewInt(99)}
+	tab = run(t, cat, "SELECT No FROM suppliers WHERE No = 1", params2)
+	if tab.Len() != 1 {
+		t.Errorf("shadowing:\n%s", tab)
+	}
+}
+
+func TestOrderByWithFunctionOutput(t *testing.T) {
+	cat := testCatalog(t)
+	tab := run(t, cat, "SELECT n FROM TABLE (Nums()) AS f ORDER BY n DESC LIMIT 2", nil)
+	if tab.Len() != 2 || tab.Rows[0][0].Int() != 3 {
+		t.Errorf("order by:\n%s", tab)
+	}
+}
+
+func TestAggregationOverFunction(t *testing.T) {
+	cat := testCatalog(t)
+	tab := run(t, cat, "SELECT COUNT(*), SUM(n), MIN(n) FROM TABLE (Nums()) AS f", nil)
+	r := tab.Rows[0]
+	if r[0].Int() != 3 || r[1].Int() != 6 || r[2].Int() != 1 {
+		t.Errorf("aggregates: %v", r)
+	}
+	// Group expression reused in SELECT and HAVING.
+	tab = run(t, cat, `SELECT MOD(n, 2) AS par, COUNT(*) FROM TABLE (Nums()) AS f
+		GROUP BY MOD(n, 2) HAVING COUNT(*) > 1 ORDER BY par`, nil)
+	if tab.Len() != 1 || tab.Rows[0][0].Int() != 1 || tab.Rows[0][1].Int() != 2 {
+		t.Errorf("group by expression:\n%s", tab)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cat := testCatalog(t)
+	for _, bad := range []string{
+		"SELECT nope FROM suppliers",
+		"SELECT s.nope FROM suppliers s",
+		"SELECT x.No FROM suppliers s",                    // unknown qualifier
+		"SELECT No FROM suppliers s, suppliers s",         // duplicate correlation
+		"SELECT * FROM TABLE (Twice(1, 2)) AS f",          // arity
+		"SELECT * FROM TABLE (NoFn(1)) AS f",              // unknown function
+		"SELECT COUNT(*)",                                 // aggregate without FROM is fine? -> scalar agg over no rows... keep: it should compile
+		"SELECT Name, COUNT(*) FROM suppliers",            // Name not grouped
+		"SELECT COUNT(No, Name) FROM suppliers",           // aggregate arity
+		"SELECT SUM(COUNT(*)) FROM suppliers",             // nested aggregate
+		"SELECT * FROM suppliers GROUP BY Name",           // star with group by
+		"SELECT No FROM suppliers WHERE SUM(No) > 1",      // aggregate in WHERE
+		"SELECT No FROM suppliers ORDER BY 9",             // position out of range
+		"SELECT DISTINCT Name FROM suppliers ORDER BY No", // distinct + hidden sort key
+		"SELECT nope.* FROM suppliers s",                  // unknown star qualifier
+		"SELECT *",                                        // star without FROM
+	} {
+		sel, err := sqlparser.ParseSelect(bad)
+		if err != nil {
+			t.Fatalf("parse %q: %v", bad, err)
+		}
+		if bad == "SELECT COUNT(*)" {
+			if _, err := CompileSelect(cat, sel, nil); err != nil {
+				t.Errorf("scalar aggregate without FROM should compile: %v", err)
+			}
+			continue
+		}
+		if _, err := CompileSelect(cat, sel, nil); err == nil {
+			t.Errorf("CompileSelect(%q) should fail", bad)
+		}
+	}
+}
+
+func TestSelectWithoutFromWithWhere(t *testing.T) {
+	cat := testCatalog(t)
+	tab := run(t, cat, "SELECT 1 WHERE 1 = 2", nil)
+	if tab.Len() != 0 {
+		t.Errorf("false WHERE without FROM:\n%s", tab)
+	}
+	tab = run(t, cat, "SELECT 1 WHERE 1 = 1", nil)
+	if tab.Len() != 1 {
+		t.Errorf("true WHERE without FROM:\n%s", tab)
+	}
+}
+
+func TestCompileRowExpr(t *testing.T) {
+	cat := testCatalog(t)
+	schema := types.Schema{{Name: "A", Type: types.Integer}, {Name: "B", Type: types.Integer}}
+	e, err := CompileRowExpr(cat, "t", schema, mustExpr(t, "A + t.B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.Eval(types.Row{types.NewInt(2), types.NewInt(3)})
+	if err != nil || v.Int() != 5 {
+		t.Errorf("row expr = %v, %v", v, err)
+	}
+	// Constant-only compilation with nil schema.
+	e, err = CompileRowExpr(cat, "", nil, mustExpr(t, "UPPER('x')"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err = e.Eval(nil)
+	if err != nil || v.Str() != "X" {
+		t.Errorf("const expr = %v, %v", v, err)
+	}
+	if _, err := CompileRowExpr(cat, "", nil, mustExpr(t, "A")); err == nil {
+		t.Error("column without schema accepted")
+	}
+}
+
+// mustExpr parses an expression by wrapping it in a SELECT.
+func mustExpr(t *testing.T, text string) sqlparser.Expr {
+	t.Helper()
+	sel, err := sqlparser.ParseSelect("SELECT " + text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sel.Items[0].Expr
+}
+
+func TestBindResetIsolatesDerivedTables(t *testing.T) {
+	cat := testCatalog(t)
+	// A derived table containing a lateral chain sits to the right of a
+	// base table: its internal column indexes must not shift.
+	sql := `SELECT s.Name, d.y
+		FROM suppliers s,
+		     (SELECT tw.y AS y FROM TABLE (Nums()) AS f, TABLE (Twice(f.n)) AS tw WHERE f.n = 1) AS d
+		WHERE s.No = 1`
+	tab := run(t, cat, sql, nil)
+	if tab.Len() != 1 || tab.Rows[0][1].Int() != 2 {
+		t.Errorf("derived-table isolation:\n%s", tab)
+	}
+	p := planOf(t, cat, sql)
+	if !strings.Contains(p, "BindReset") {
+		t.Errorf("plan lacks BindReset:\n%s", p)
+	}
+}
+
+func TestExplicitJoinConditionsStayAtJoin(t *testing.T) {
+	cat := testCatalog(t)
+	tab := run(t, cat, `SELECT s.Name FROM suppliers s JOIN parts p ON s.No = p.SuppNo AND p.PartNo > 10 ORDER BY s.Name`, nil)
+	if tab.Len() != 2 {
+		t.Errorf("join with extra condition:\n%s", tab)
+	}
+	// CROSS JOIN has no condition.
+	tab = run(t, cat, "SELECT COUNT(*) FROM suppliers CROSS JOIN parts", nil)
+	if tab.Rows[0][0].Int() != 6 {
+		t.Errorf("cross join count = %v", tab.Rows[0][0])
+	}
+}

@@ -1,0 +1,22 @@
+package plan
+
+import (
+	"strings"
+
+	"fedwf/internal/catalog"
+	"fedwf/internal/exec"
+	"fedwf/internal/sqlparser"
+	"fedwf/internal/types"
+)
+
+// CompileRowExpr compiles a scalar expression against the rows of a single
+// relation exposed under the given correlation name (the engine's UPDATE,
+// DELETE, and INSERT ... VALUES paths). With a nil schema only literals,
+// operators, and scalar functions are permitted.
+func CompileRowExpr(cat *catalog.Catalog, corr string, schema types.Schema, e sqlparser.Expr) (exec.Expr, error) {
+	c := &compiler{cat: cat}
+	if schema != nil {
+		c.appendScope(strings.ToLower(corr), schema)
+	}
+	return c.compileExpr(e)
+}

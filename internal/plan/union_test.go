@@ -1,0 +1,83 @@
+package plan
+
+import (
+	"testing"
+
+	"fedwf/internal/sqlparser"
+)
+
+func parseSel(t *testing.T, sql string) (*sqlparser.Select, error) {
+	t.Helper()
+	return sqlparser.ParseSelect(sql)
+}
+
+func TestUnionAll(t *testing.T) {
+	cat := testCatalog(t)
+	tab := run(t, cat, "SELECT No FROM suppliers UNION ALL SELECT SuppNo FROM parts ORDER BY 1", nil)
+	if tab.Len() != 5 {
+		t.Fatalf("UNION ALL rows = %d\n%s", tab.Len(), tab)
+	}
+	if tab.Rows[0][0].Int() != 1 || tab.Rows[4][0].Int() != 2 {
+		t.Errorf("ordering:\n%s", tab)
+	}
+}
+
+func TestUnionDistinct(t *testing.T) {
+	cat := testCatalog(t)
+	tab := run(t, cat, "SELECT No FROM suppliers UNION SELECT SuppNo FROM parts ORDER BY No", nil)
+	if tab.Len() != 2 {
+		t.Fatalf("UNION rows = %d\n%s", tab.Len(), tab)
+	}
+}
+
+func TestUnionMixedChain(t *testing.T) {
+	cat := testCatalog(t)
+	// Left-associative: (a UNION b) UNION ALL c keeps duplicates added by
+	// the final ALL member.
+	tab := run(t, cat, `SELECT No FROM suppliers
+		UNION SELECT SuppNo FROM parts
+		UNION ALL SELECT No FROM suppliers ORDER BY 1`, nil)
+	if tab.Len() != 4 {
+		t.Fatalf("mixed chain rows = %d\n%s", tab.Len(), tab)
+	}
+}
+
+func TestUnionWithFunctionsAndLimit(t *testing.T) {
+	cat := testCatalog(t)
+	tab := run(t, cat, `SELECT n FROM TABLE (Nums()) AS f
+		UNION ALL SELECT y FROM TABLE (Twice(10)) AS tw ORDER BY n DESC LIMIT 2`, nil)
+	if tab.Len() != 2 || tab.Rows[0][0].Int() != 20 || tab.Rows[1][0].Int() != 3 {
+		t.Errorf("union over functions:\n%s", tab)
+	}
+	// Column names come from the first member.
+	if tab.Schema[0].Name != "n" {
+		t.Errorf("schema = %v", tab.Schema)
+	}
+}
+
+func TestUnionInDerivedTableAndView(t *testing.T) {
+	cat := testCatalog(t)
+	tab := run(t, cat, `SELECT COUNT(*) FROM
+		(SELECT No FROM suppliers UNION ALL SELECT SuppNo FROM parts) AS u`, nil)
+	if tab.Rows[0][0].Int() != 5 {
+		t.Errorf("union in derived table: %v", tab.Rows[0])
+	}
+}
+
+func TestUnionErrors(t *testing.T) {
+	cat := testCatalog(t)
+	for _, bad := range []string{
+		"SELECT No, Name FROM suppliers UNION SELECT SuppNo FROM parts",         // arity
+		"SELECT No FROM suppliers UNION SELECT nope FROM parts",                 // member error
+		"SELECT No FROM suppliers UNION SELECT SuppNo FROM parts ORDER BY Name", // key not in output
+		"SELECT No FROM suppliers UNION SELECT SuppNo FROM parts ORDER BY 9",    // position
+	} {
+		sel, err := parseSel(t, bad)
+		if err != nil {
+			t.Fatalf("parse %q: %v", bad, err)
+		}
+		if _, err := CompileSelect(cat, sel, nil); err == nil {
+			t.Errorf("CompileSelect(%q) should fail", bad)
+		}
+	}
+}

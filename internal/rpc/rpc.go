@@ -1,0 +1,308 @@
+// Package rpc is the communication substrate standing in for the paper's
+// Java RMI: the hops between integration UDTFs, the controller, the
+// workflow engine, and the application systems.
+//
+// Two transports exist:
+//
+//   - in-process (NewInProc): a direct call that threads the caller's
+//     simlat.Task through, so simulated costs charged inside the callee
+//     land on the caller's meter. All virtual-clock experiments use it.
+//   - TCP with gob framing (Serve/Dial): real remote processes for the
+//     daemon and the examples. The callee cannot charge the caller's
+//     virtual meter across a wire, so TCP is meaningful in wall mode,
+//     where server-side sleeps are observed by the blocked client.
+package rpc
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"fedwf/internal/simlat"
+	"fedwf/internal/types"
+)
+
+// Request names one function invocation on a target system.
+type Request struct {
+	System   string
+	Function string
+	Args     []types.Value
+}
+
+// Handler serves requests. The task is the caller's cost meter for
+// in-process transports and a free meter for TCP servers.
+type Handler func(task *simlat.Task, req Request) (*types.Table, error)
+
+// Client issues requests.
+type Client interface {
+	Call(task *simlat.Task, req Request) (*types.Table, error)
+	Close() error
+}
+
+// ----------------------------------------------------------- in-process
+
+type inProcClient struct{ h Handler }
+
+// NewInProc returns a client that dispatches directly to the handler.
+func NewInProc(h Handler) Client { return &inProcClient{h: h} }
+
+// Call implements Client.
+func (c *inProcClient) Call(task *simlat.Task, req Request) (*types.Table, error) {
+	return c.h(task, req)
+}
+
+// Close implements Client.
+func (c *inProcClient) Close() error { return nil }
+
+// ------------------------------------------------------------- wire form
+
+// wireValue is the gob-encodable image of a types.Value.
+type wireValue struct {
+	Kind uint8
+	I    int64
+	F    float64
+	S    string
+	B    bool
+}
+
+func toWireValue(v types.Value) wireValue {
+	switch v.Kind() {
+	case types.KindBool:
+		return wireValue{Kind: 1, B: v.Bool()}
+	case types.KindInt:
+		return wireValue{Kind: 2, I: v.Int()}
+	case types.KindFloat:
+		return wireValue{Kind: 3, F: v.Float()}
+	case types.KindString:
+		return wireValue{Kind: 4, S: v.Str()}
+	default:
+		return wireValue{Kind: 0}
+	}
+}
+
+func fromWireValue(w wireValue) types.Value {
+	switch w.Kind {
+	case 1:
+		return types.NewBool(w.B)
+	case 2:
+		return types.NewInt(w.I)
+	case 3:
+		return types.NewFloat(w.F)
+	case 4:
+		return types.NewString(w.S)
+	default:
+		return types.Null
+	}
+}
+
+type wireColumn struct {
+	Name     string
+	BaseType uint8
+	Length   int
+}
+
+type wireRequest struct {
+	System   string
+	Function string
+	Args     []wireValue
+}
+
+type wireResponse struct {
+	Err     string
+	Columns []wireColumn
+	Rows    [][]wireValue
+}
+
+func toWireTable(t *types.Table) ([]wireColumn, [][]wireValue) {
+	cols := make([]wireColumn, len(t.Schema))
+	for i, c := range t.Schema {
+		cols[i] = wireColumn{Name: c.Name, BaseType: uint8(c.Type.Base), Length: c.Type.Length}
+	}
+	rows := make([][]wireValue, len(t.Rows))
+	for i, r := range t.Rows {
+		wr := make([]wireValue, len(r))
+		for j, v := range r {
+			wr[j] = toWireValue(v)
+		}
+		rows[i] = wr
+	}
+	return cols, rows
+}
+
+func fromWireTable(cols []wireColumn, rows [][]wireValue) *types.Table {
+	schema := make(types.Schema, len(cols))
+	for i, c := range cols {
+		schema[i] = types.Column{Name: c.Name, Type: types.Type{Base: types.BaseType(c.BaseType), Length: c.Length}}
+	}
+	out := types.NewTable(schema)
+	for _, wr := range rows {
+		r := make(types.Row, len(wr))
+		for j, w := range wr {
+			r[j] = fromWireValue(w)
+		}
+		out.Rows = append(out.Rows, r)
+	}
+	return out
+}
+
+// ------------------------------------------------------------ TCP server
+
+// Server serves RPC requests over TCP.
+type Server struct {
+	h  Handler
+	ln net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer creates a server around a handler.
+func NewServer(h Handler) *Server {
+	return &Server{h: h, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen binds the address (use "127.0.0.1:0" for an ephemeral port) and
+// serves in the background until Close.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var wreq wireRequest
+		if err := dec.Decode(&wreq); err != nil {
+			return
+		}
+		args := make([]types.Value, len(wreq.Args))
+		for i, w := range wreq.Args {
+			args[i] = fromWireValue(w)
+		}
+		res, err := s.h(simlat.Free(), Request{System: wreq.System, Function: wreq.Function, Args: args})
+		var wres wireResponse
+		if err != nil {
+			wres.Err = err.Error()
+		} else {
+			wres.Columns, wres.Rows = toWireTable(res)
+		}
+		if err := enc.Encode(&wres); err != nil {
+			return
+		}
+	}
+}
+
+// Addr returns the bound address, or nil before Listen.
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops the listener and all connections and waits for the serving
+// goroutines to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// ------------------------------------------------------------ TCP client
+
+type tcpClient struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects to a Server. The client serialises concurrent calls; open
+// several clients for parallelism.
+func Dial(addr string) (Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpClient{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// Call implements Client. The task is not transmitted; TCP callees charge
+// their own clocks (wall-mode semantics).
+func (c *tcpClient) Call(_ *simlat.Task, req Request) (*types.Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	wreq := wireRequest{System: req.System, Function: req.Function, Args: make([]wireValue, len(req.Args))}
+	for i, v := range req.Args {
+		wreq.Args[i] = toWireValue(v)
+	}
+	if err := c.enc.Encode(&wreq); err != nil {
+		return nil, fmt.Errorf("rpc: send: %w", err)
+	}
+	var wres wireResponse
+	if err := c.dec.Decode(&wres); err != nil {
+		return nil, fmt.Errorf("rpc: receive: %w", err)
+	}
+	if wres.Err != "" {
+		return nil, errors.New(wres.Err)
+	}
+	return fromWireTable(wres.Columns, wres.Rows), nil
+}
+
+// Close implements Client.
+func (c *tcpClient) Close() error { return c.conn.Close() }

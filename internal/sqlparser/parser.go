@@ -1,0 +1,1281 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"fedwf/internal/types"
+)
+
+// Parse parses a single SQL statement (an optional trailing semicolon is
+// allowed).
+func Parse(input string) (Statement, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.acceptOp(";")
+	if p.peek().Kind != TokEOF {
+		return nil, p.errf("unexpected %s after statement", p.peek())
+	}
+	return stmt, nil
+}
+
+// ParseSelect parses a query expression; the input must be a SELECT.
+func ParseSelect(input string) (*Select, error) {
+	stmt, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*Select)
+	if !ok {
+		return nil, fmt.Errorf("sql: expected a SELECT statement, got %T", stmt)
+	}
+	return sel, nil
+}
+
+// ParseScript parses a semicolon-separated sequence of statements,
+// ignoring empty statements.
+func ParseScript(input string) ([]Statement, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmts []Statement
+	for {
+		for p.acceptOp(";") {
+		}
+		if p.peek().Kind == TokEOF {
+			return stmts, nil
+		}
+		stmt, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, stmt)
+		if p.peek().Kind != TokEOF && !p.peekOp(";") {
+			return nil, p.errf("expected ';' between statements, got %s", p.peek())
+		}
+	}
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+func (p *parser) peek2() Token { // token after next, EOF-safe
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.peek()
+	return fmt.Errorf("sql: line %d col %d: %s", t.Line, t.Col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.peek()
+	return t.Kind == TokKeyword && t.Text == kw
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peekKeyword(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errf("expected %s, got %s", kw, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) peekOp(op string) bool {
+	t := p.peek()
+	return t.Kind == TokOp && t.Text == op
+}
+
+func (p *parser) acceptOp(op string) bool {
+	if p.peekOp(op) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return p.errf("expected %q, got %s", op, p.peek())
+	}
+	return nil
+}
+
+// expectIdent consumes an identifier. Non-reserved usage of keywords is
+// not supported; quoted identifiers lex as TokIdent already.
+func (p *parser) expectIdent(what string) (string, error) {
+	t := p.peek()
+	if t.Kind != TokIdent {
+		return "", p.errf("expected %s, got %s", what, t)
+	}
+	p.pos++
+	return t.Text, nil
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	t := p.peek()
+	if t.Kind != TokKeyword {
+		return nil, p.errf("expected a statement, got %s", t)
+	}
+	switch t.Text {
+	case "SELECT":
+		return p.parseSelect()
+	case "CREATE":
+		return p.parseCreate()
+	case "DROP":
+		return p.parseDrop()
+	case "INSERT":
+		return p.parseInsert()
+	case "UPDATE":
+		return p.parseUpdate()
+	case "DELETE":
+		return p.parseDelete()
+	case "EXPLAIN":
+		p.next()
+		inner, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		return &Explain{Stmt: inner}, nil
+	case "SHOW":
+		p.next()
+		w := p.peek()
+		if w.Kind != TokKeyword || (w.Text != "TABLES" && w.Text != "FUNCTIONS" && w.Text != "SERVERS" && w.Text != "VIEWS") {
+			return nil, p.errf("expected TABLES, FUNCTIONS, SERVERS or VIEWS after SHOW, got %s", w)
+		}
+		p.next()
+		return &Show{What: w.Text}, nil
+	default:
+		return nil, p.errf("unsupported statement %s", t.Text)
+	}
+}
+
+// ---------------------------------------------------------------- SELECT
+
+// parseSelect parses a full query expression: a select core, optional
+// UNION [ALL] members (select cores, per standard SQL), and the chain's
+// ORDER BY / LIMIT / OFFSET.
+func (p *parser) parseSelect() (*Select, error) {
+	sel, err := p.parseSelectCore()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("UNION") {
+		all := p.acceptKeyword("ALL")
+		branch, err := p.parseSelectCore()
+		if err != nil {
+			return nil, err
+		}
+		sel.Unions = append(sel.Unions, UnionBranch{All: all, Query: branch})
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		n, err := p.parseIntLiteral("LIMIT")
+		if err != nil {
+			return nil, err
+		}
+		sel.Limit = n
+	}
+	if p.acceptKeyword("OFFSET") {
+		n, err := p.parseIntLiteral("OFFSET")
+		if err != nil {
+			return nil, err
+		}
+		sel.Offset = n
+	}
+	return sel, nil
+}
+
+// parseSelectCore parses SELECT ... FROM ... WHERE ... GROUP BY ... HAVING
+// without set operators or ordering.
+func (p *parser) parseSelectCore() (*Select, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &Select{Limit: -1}
+	if p.acceptKeyword("DISTINCT") {
+		sel.Distinct = true
+	} else {
+		p.acceptKeyword("ALL")
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("FROM") {
+		for {
+			f, err := p.parseFromItem()
+			if err != nil {
+				return nil, err
+			}
+			sel.From = append(sel.From, f)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = e
+	}
+	return sel, nil
+}
+
+func (p *parser) parseIntLiteral(what string) (int64, error) {
+	t := p.peek()
+	if t.Kind != TokNumber {
+		return 0, p.errf("expected integer after %s, got %s", what, t)
+	}
+	n, err := strconv.ParseInt(t.Text, 10, 64)
+	if err != nil {
+		return 0, p.errf("%s wants an integer, got %s", what, t.Text)
+	}
+	p.next()
+	return n, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.acceptOp("*") {
+		return SelectItem{Star: true}, nil
+	}
+	// corr.* form: ident '.' '*'
+	if p.peek().Kind == TokIdent && p.peek2().Kind == TokOp && p.peek2().Text == "." {
+		if p.pos+2 < len(p.toks) && p.toks[p.pos+2].Kind == TokOp && p.toks[p.pos+2].Text == "*" {
+			q := p.next().Text
+			p.next() // '.'
+			p.next() // '*'
+			return SelectItem{Star: true, Qualifier: q}, nil
+		}
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		a, err := p.expectIdent("alias")
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = a
+	} else if p.peek().Kind == TokIdent {
+		item.Alias = p.next().Text
+	}
+	return item, nil
+}
+
+func (p *parser) parseFromItem() (FromItem, error) {
+	left, err := p.parseFromPrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.peekKeyword("JOIN") || p.peekKeyword("INNER"):
+			p.acceptKeyword("INNER")
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			right, err := p.parseFromPrimary()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			left = &JoinRef{Type: InnerJoin, Left: left, Right: right, On: on}
+		case p.peekKeyword("LEFT"):
+			p.next()
+			p.acceptKeyword("OUTER")
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			right, err := p.parseFromPrimary()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			left = &JoinRef{Type: LeftJoin, Left: left, Right: right, On: on}
+		case p.peekKeyword("CROSS"):
+			p.next()
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			right, err := p.parseFromPrimary()
+			if err != nil {
+				return nil, err
+			}
+			left = &JoinRef{Type: CrossJoin, Left: left, Right: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseFromPrimary() (FromItem, error) {
+	switch {
+	case p.peekKeyword("TABLE"):
+		// TABLE ( Fn(arg, ...) ) [AS] corr  — correlation name mandatory,
+		// matching the DB2 UDB v7.1 syntax quoted in the paper.
+		p.next()
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent("table function name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var args []Expr
+		if !p.peekOp(")") {
+			for {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if !p.acceptOp(",") {
+					break
+				}
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		p.acceptKeyword("AS")
+		corr, err := p.expectIdent("correlation name (mandatory after TABLE(...))")
+		if err != nil {
+			return nil, err
+		}
+		return &TableFuncRef{Name: name, Args: args, Alias: corr}, nil
+	case p.peekOp("("):
+		p.next()
+		if !p.peekKeyword("SELECT") {
+			return nil, p.errf("expected SELECT in derived table, got %s", p.peek())
+		}
+		q, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		p.acceptKeyword("AS")
+		corr, err := p.expectIdent("correlation name for derived table")
+		if err != nil {
+			return nil, err
+		}
+		return &SubqueryRef{Query: q, Alias: corr}, nil
+	default:
+		name, err := p.expectIdent("table name")
+		if err != nil {
+			return nil, err
+		}
+		ref := &TableRef{Name: name}
+		if p.acceptKeyword("AS") {
+			a, err := p.expectIdent("correlation name")
+			if err != nil {
+				return nil, err
+			}
+			ref.Alias = a
+		} else if p.peek().Kind == TokIdent {
+			ref.Alias = p.next().Text
+		}
+		return ref, nil
+	}
+}
+
+// ------------------------------------------------------------------ DDL
+
+func (p *parser) parseCreate() (Statement, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.acceptKeyword("TABLE"):
+		return p.parseCreateTable()
+	case p.acceptKeyword("INDEX"):
+		return p.parseCreateIndex()
+	case p.acceptKeyword("VIEW"):
+		name, err := p.expectIdent("view name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AS"); err != nil {
+			return nil, err
+		}
+		q, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &CreateView{Name: name, Query: q}, nil
+	case p.acceptKeyword("FUNCTION"):
+		return p.parseCreateFunction()
+	case p.acceptKeyword("WRAPPER"):
+		name, err := p.expectIdent("wrapper name")
+		if err != nil {
+			return nil, err
+		}
+		opts, err := p.parseOptions()
+		if err != nil {
+			return nil, err
+		}
+		return &CreateWrapper{Name: name, Options: opts}, nil
+	case p.acceptKeyword("SERVER"):
+		name, err := p.expectIdent("server name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("WRAPPER"); err != nil {
+			return nil, err
+		}
+		w, err := p.expectIdent("wrapper name")
+		if err != nil {
+			return nil, err
+		}
+		opts, err := p.parseOptions()
+		if err != nil {
+			return nil, err
+		}
+		return &CreateServer{Name: name, Wrapper: w, Options: opts}, nil
+	case p.acceptKeyword("NICKNAME"):
+		name, err := p.expectIdent("nickname")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("FOR"); err != nil {
+			return nil, err
+		}
+		server, err := p.expectIdent("server name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("."); err != nil {
+			return nil, err
+		}
+		remote, err := p.expectIdent("remote table name")
+		if err != nil {
+			return nil, err
+		}
+		return &CreateNickname{Name: name, Server: server, Remote: remote}, nil
+	default:
+		return nil, p.errf("unsupported CREATE %s", p.peek())
+	}
+}
+
+func (p *parser) parseCreateTable() (Statement, error) {
+	name, err := p.expectIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	var cols []ColumnDef
+	for {
+		cn, err := p.expectIdent("column name")
+		if err != nil {
+			return nil, err
+		}
+		ct, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		col := ColumnDef{Name: cn, Type: ct}
+		if p.acceptKeyword("PRIMARY") {
+			if err := p.expectKeyword("KEY"); err != nil {
+				return nil, err
+			}
+			col.PrimaryKey = true
+		}
+		cols = append(cols, col)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return &CreateTable{Name: name, Columns: cols}, nil
+}
+
+func (p *parser) parseCreateIndex() (Statement, error) {
+	name, err := p.expectIdent("index name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	col, err := p.expectIdent("column name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return &CreateIndex{Name: name, Table: table, Column: col}, nil
+}
+
+func (p *parser) parseCreateFunction() (Statement, error) {
+	name, err := p.expectIdent("function name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	var params []ParamDef
+	if !p.peekOp(")") {
+		for {
+			pn, err := p.expectIdent("parameter name")
+			if err != nil {
+				return nil, err
+			}
+			pt, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			params = append(params, ParamDef{Name: pn, Type: pt})
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("RETURNS"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	var rets types.Schema
+	for {
+		rn, err := p.expectIdent("result column name")
+		if err != nil {
+			return nil, err
+		}
+		rt, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		rets = append(rets, types.Column{Name: rn, Type: rt})
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("LANGUAGE"); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.acceptKeyword("SQL"):
+		if err := p.expectKeyword("RETURN"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &CreateFunction{Name: name, Params: params, Returns: rets, Language: "SQL", Body: body}, nil
+	case p.acceptKeyword("EXTERNAL"):
+		// LANGUAGE EXTERNAL NAME 'registered-host-implementation'
+		n := p.peek()
+		if n.Kind != TokIdent || !strings.EqualFold(n.Text, "NAME") {
+			return nil, p.errf("expected NAME after LANGUAGE EXTERNAL, got %s", n)
+		}
+		p.next()
+		s := p.peek()
+		if s.Kind != TokString {
+			return nil, p.errf("expected string literal after EXTERNAL NAME, got %s", s)
+		}
+		p.next()
+		return &CreateFunction{Name: name, Params: params, Returns: rets, Language: "EXTERNAL", ExternalName: s.Text}, nil
+	default:
+		return nil, p.errf("expected SQL or EXTERNAL after LANGUAGE, got %s", p.peek())
+	}
+}
+
+func (p *parser) parseOptions() (map[string]string, error) {
+	if !p.acceptKeyword("OPTIONS") {
+		return nil, nil
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	opts := make(map[string]string)
+	for {
+		k, err := p.expectIdent("option name")
+		if err != nil {
+			return nil, err
+		}
+		v := p.peek()
+		if v.Kind != TokString {
+			return nil, p.errf("expected string value for option %s, got %s", k, v)
+		}
+		p.next()
+		opts[strings.ToLower(k)] = v.Text
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return opts, nil
+}
+
+func (p *parser) parseDrop() (Statement, error) {
+	if err := p.expectKeyword("DROP"); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.acceptKeyword("TABLE"):
+		name, err := p.expectIdent("table name")
+		if err != nil {
+			return nil, err
+		}
+		return &DropTable{Name: name}, nil
+	case p.acceptKeyword("FUNCTION"):
+		name, err := p.expectIdent("function name")
+		if err != nil {
+			return nil, err
+		}
+		return &DropFunction{Name: name}, nil
+	case p.acceptKeyword("VIEW"):
+		name, err := p.expectIdent("view name")
+		if err != nil {
+			return nil, err
+		}
+		return &DropView{Name: name}, nil
+	default:
+		return nil, p.errf("unsupported DROP %s", p.peek())
+	}
+}
+
+// ------------------------------------------------------------------ DML
+
+func (p *parser) parseInsert() (Statement, error) {
+	if err := p.expectKeyword("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: table}
+	if p.acceptOp("(") {
+		for {
+			c, err := p.expectIdent("column name")
+			if err != nil {
+				return nil, err
+			}
+			ins.Columns = append(ins.Columns, c)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	if p.peekKeyword("SELECT") {
+		q, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		ins.Query = q
+		return ins, nil
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	return ins, nil
+}
+
+func (p *parser) parseUpdate() (Statement, error) {
+	if err := p.expectKeyword("UPDATE"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	u := &Update{Table: table}
+	for {
+		col, err := p.expectIdent("column name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		u.Assignments = append(u.Assignments, Assignment{Column: col, Expr: e})
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		u.Where = e
+	}
+	return u, nil
+}
+
+func (p *parser) parseDelete() (Statement, error) {
+	if err := p.expectKeyword("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	d := &Delete{Table: table}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Where = e
+	}
+	return d, nil
+}
+
+// parseType parses a SQL type name: IDENT [(n)] with the special two-word
+// form DOUBLE PRECISION.
+func (p *parser) parseType() (types.Type, error) {
+	t := p.peek()
+	if t.Kind != TokIdent {
+		return types.Type{}, p.errf("expected a type name, got %s", t)
+	}
+	p.next()
+	name := t.Text
+	if strings.EqualFold(name, "DOUBLE") && p.peek().Kind == TokIdent &&
+		strings.EqualFold(p.peek().Text, "PRECISION") {
+		p.next()
+	}
+	if p.acceptOp("(") {
+		nTok := p.peek()
+		if nTok.Kind != TokNumber {
+			return types.Type{}, p.errf("expected length in type %s, got %s", name, nTok)
+		}
+		p.next()
+		if err := p.expectOp(")"); err != nil {
+			return types.Type{}, err
+		}
+		name = fmt.Sprintf("%s(%s)", name, nTok.Text)
+	}
+	ty, err := types.ParseType(name)
+	if err != nil {
+		return types.Type{}, p.errf("%v", err)
+	}
+	return ty, nil
+}
+
+// ------------------------------------------------------------ expressions
+
+// parseExpr parses a full boolean expression (lowest precedence: OR).
+func (p *parser) parseExpr() (Expr, error) {
+	return p.parseOr()
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "OR", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "AND", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.acceptKeyword("IS") {
+		not := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNull{X: left, Not: not}, nil
+	}
+	not := false
+	if p.peekKeyword("NOT") {
+		// Only consume NOT when followed by BETWEEN / IN / LIKE.
+		nx := p.peek2()
+		if nx.Kind == TokKeyword && (nx.Text == "BETWEEN" || nx.Text == "IN" || nx.Text == "LIKE") {
+			p.next()
+			not = true
+		}
+	}
+	switch {
+	case p.acceptKeyword("BETWEEN"):
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &Between{X: left, Lo: lo, Hi: hi, Not: not}, nil
+	case p.acceptKeyword("IN"):
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var list []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &InList{X: left, List: list, Not: not}, nil
+	case p.acceptKeyword("LIKE"):
+		pat, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &Like{X: left, Pattern: pat, Not: not}, nil
+	}
+	for _, op := range []string{"<=", ">=", "<>", "!=", "=", "<", ">"} {
+		if p.acceptOp(op) {
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			if op == "!=" {
+				op = "<>"
+			}
+			return &BinaryExpr{Op: op, L: left, R: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.acceptOp("+"):
+			op = "+"
+		case p.acceptOp("-"):
+			op = "-"
+		case p.acceptOp("||"):
+			op = "||"
+		default:
+			return left, nil
+		}
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.acceptOp("*"):
+			op = "*"
+		case p.acceptOp("/"):
+			op = "/"
+		case p.acceptOp("%"):
+			op = "%"
+		default:
+			return left, nil
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.acceptOp("-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", X: x}, nil
+	}
+	p.acceptOp("+")
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokNumber:
+		p.next()
+		if strings.ContainsAny(t.Text, ".eE") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.Text)
+			}
+			return &Literal{Val: types.NewFloat(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.Text)
+		}
+		return &Literal{Val: types.NewInt(n)}, nil
+	case TokString:
+		p.next()
+		return &Literal{Val: types.NewString(t.Text)}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "NULL":
+			p.next()
+			return &Literal{Val: types.Null}, nil
+		case "TRUE":
+			p.next()
+			return &Literal{Val: types.NewBool(true)}, nil
+		case "FALSE":
+			p.next()
+			return &Literal{Val: types.NewBool(false)}, nil
+		case "CAST":
+			p.next()
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("AS"); err != nil {
+				return nil, err
+			}
+			ty, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &CastExpr{X: x, Type: ty}, nil
+		case "CASE":
+			return p.parseCase()
+		}
+		return nil, p.errf("unexpected keyword %s in expression", t.Text)
+	case TokOp:
+		if t.Text == "(" {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		return nil, p.errf("unexpected %s in expression", t)
+	case TokIdent:
+		p.next()
+		name := t.Text
+		// Function call?
+		if p.acceptOp("(") {
+			call := &FuncCall{Name: name}
+			if p.acceptOp("*") {
+				call.Star = true
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				return call, nil
+			}
+			if p.acceptKeyword("DISTINCT") {
+				call.Distinct = true
+			}
+			if !p.peekOp(")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.acceptOp(",") {
+						break
+					}
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		// Qualified column: ident '.' ident
+		if p.acceptOp(".") {
+			col, err := p.expectIdent("column name")
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Qualifier: name, Name: col}, nil
+		}
+		return &ColumnRef{Name: name}, nil
+	default:
+		return nil, p.errf("unexpected %s in expression", t)
+	}
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	if err := p.expectKeyword("CASE"); err != nil {
+		return nil, err
+	}
+	c := &CaseExpr{}
+	for p.acceptKeyword("WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		res, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, WhenClause{Cond: cond, Result: res})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errf("CASE requires at least one WHEN arm")
+	}
+	if p.acceptKeyword("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func optionsString(opts map[string]string) string {
+	if len(opts) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(opts))
+	for k := range opts {
+		keys = append(keys, k)
+	}
+	// Deterministic rendering for round-trip equality.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + " '" + strings.ReplaceAll(opts[k], "'", "''") + "'"
+	}
+	return " OPTIONS (" + strings.Join(parts, ", ") + ")"
+}

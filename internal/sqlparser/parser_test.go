@@ -1,0 +1,465 @@
+package sqlparser
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"fedwf/internal/types"
+)
+
+func mustParse(t *testing.T, sql string) Statement {
+	t.Helper()
+	stmt, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return stmt
+}
+
+// roundTrip asserts that rendering a parsed statement and reparsing it
+// yields an identical AST.
+func roundTrip(t *testing.T, sql string) Statement {
+	t.Helper()
+	s1 := mustParse(t, sql)
+	s2, err := Parse(s1.String())
+	if err != nil {
+		t.Fatalf("reparse of %q -> %q failed: %v", sql, s1.String(), err)
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("round trip changed AST:\n in: %q\nout: %q", sql, s1.String())
+	}
+	return s1
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("SELECT a, 'it''s', 1.5e3 FROM t -- comment\n/* block */ WHERE x <> 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokenKind
+	var texts []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+		texts = append(texts, tok.Text)
+	}
+	want := []string{"SELECT", "a", ",", "it's", ",", "1.5e3", "FROM", "t", "WHERE", "x", "<>", "2", ""}
+	if len(texts) != len(want) {
+		t.Fatalf("tokens = %v", texts)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, texts[i], want[i])
+		}
+	}
+	if kinds[3] != TokString || kinds[5] != TokNumber || kinds[10] != TokOp {
+		t.Errorf("kinds = %v", kinds)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, bad := range []string{
+		"SELECT 'unterminated",
+		`SELECT "unterminated`,
+		"SELECT 1e",
+		"SELECT /* unterminated",
+		"SELECT a ? b",
+	} {
+		if _, err := Lex(bad); err == nil {
+			t.Errorf("Lex(%q) should fail", bad)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("SELECT\n  x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("position of x = line %d col %d", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestParsePaperBuySuppComp(t *testing.T) {
+	// The exact statement from Sect. 2 of the paper.
+	sql := `SELECT DP.Answer
+	 FROM TABLE (GetQuality(SupplierNo)) AS GQ,
+	      TABLE (GetReliability(SupplierNo)) AS GR,
+	      TABLE (GetGrade(GQ.Qual, GR.Relia)) AS GG,
+	      TABLE (GetCompNo(CompName)) AS GCN,
+	      TABLE (DecidePurchase(GG.Grade, GCN.No)) AS DP`
+	stmt := roundTrip(t, sql)
+	sel := stmt.(*Select)
+	if len(sel.From) != 5 {
+		t.Fatalf("FROM items = %d", len(sel.From))
+	}
+	tf, ok := sel.From[2].(*TableFuncRef)
+	if !ok || tf.Name != "GetGrade" || tf.Alias != "GG" || len(tf.Args) != 2 {
+		t.Fatalf("third item = %#v", sel.From[2])
+	}
+	arg0 := tf.Args[0].(*ColumnRef)
+	if arg0.Qualifier != "GQ" || arg0.Name != "Qual" {
+		t.Errorf("lateral arg = %v", arg0)
+	}
+	if sel.From[2].Corr() != "GG" {
+		t.Errorf("Corr = %q", sel.From[2].Corr())
+	}
+}
+
+func TestParsePaperCreateFunction(t *testing.T) {
+	// The exact I-UDTF definition from Sect. 2.
+	sql := `CREATE FUNCTION BuySuppComp (SupplierNo INT, CompName VARCHAR)
+	 RETURNS TABLE (Decision VARCHAR) LANGUAGE SQL RETURN
+	 SELECT DP.Answer
+	 FROM TABLE (GetQuality(BuySuppComp.SupplierNo)) AS GQ,
+	      TABLE (GetReliability(BuySuppComp.SupplierNo)) AS GR,
+	      TABLE (GetGrade(GQ.Qual, GR.Relia)) AS GG,
+	      TABLE (GetCompNo(BuySuppComp.CompName)) AS GCN,
+	      TABLE (DecidePurchase(GG.Grade, GCN.No)) AS DP`
+	stmt := roundTrip(t, sql)
+	cf := stmt.(*CreateFunction)
+	if cf.Name != "BuySuppComp" || cf.Language != "SQL" {
+		t.Fatalf("cf = %+v", cf)
+	}
+	if len(cf.Params) != 2 || cf.Params[0].Type != types.Integer || cf.Params[1].Type != types.VarChar {
+		t.Errorf("params = %v", cf.Params)
+	}
+	if len(cf.Returns) != 1 || cf.Returns[0].Name != "Decision" {
+		t.Errorf("returns = %v", cf.Returns)
+	}
+	// Parameter references parse as qualified column refs.
+	arg := cf.Body.From[0].(*TableFuncRef).Args[0].(*ColumnRef)
+	if arg.Qualifier != "BuySuppComp" || arg.Name != "SupplierNo" {
+		t.Errorf("param ref = %v", arg)
+	}
+}
+
+func TestParsePaperGetNumberSupp1234(t *testing.T) {
+	sql := `CREATE FUNCTION GetNumberSupp1234 (CompNo INT)
+	 RETURNS TABLE (Number BIGINT) LANGUAGE SQL RETURN
+	 SELECT BIGINT(GN.Number)
+	 FROM TABLE (GetNumber(1234, GetNumberSupp1234.CompNo)) AS GN`
+	stmt := roundTrip(t, sql)
+	cf := stmt.(*CreateFunction)
+	call := cf.Body.Items[0].Expr.(*FuncCall)
+	if call.Name != "BIGINT" || len(call.Args) != 1 {
+		t.Errorf("cast call = %v", call)
+	}
+	lit := cf.Body.From[0].(*TableFuncRef).Args[0].(*Literal)
+	if lit.Val.Int() != 1234 {
+		t.Errorf("constant arg = %v", lit.Val)
+	}
+}
+
+func TestParsePaperIndependentCase(t *testing.T) {
+	sql := `CREATE FUNCTION GetSubCompDiscounts (CompNo INT, Discount INT)
+	 RETURNS TABLE (SubCompNo INT, SupplierNo INT)
+	 LANGUAGE SQL RETURN
+	 SELECT GSCD.SubCompNo, GCS4D.SupplierNo
+	 FROM TABLE (GetSubCompNo(GetSubCompDiscounts.CompNo)) AS GSCD,
+	      TABLE (GetCompSupp4Discount(GetSubCompDiscounts.Discount)) AS GCS4D
+	 WHERE GSCD.SubCompNo = GCS4D.CompNo`
+	stmt := roundTrip(t, sql)
+	cf := stmt.(*CreateFunction)
+	be := cf.Body.Where.(*BinaryExpr)
+	if be.Op != "=" {
+		t.Errorf("join predicate = %v", be)
+	}
+}
+
+func TestParseSelectFull(t *testing.T) {
+	sql := `SELECT DISTINCT s.Name AS n, COUNT(*) AS c
+	 FROM suppliers AS s JOIN parts p ON s.No = p.SuppNo
+	 WHERE s.Rating >= 3 AND p.Price BETWEEN 1 AND 10 OR p.Name LIKE 'bol%'
+	 GROUP BY s.Name HAVING COUNT(*) > 2
+	 ORDER BY c DESC, n LIMIT 10 OFFSET 5`
+	sel := roundTrip(t, sql).(*Select)
+	if !sel.Distinct || sel.Limit != 10 || sel.Offset != 5 {
+		t.Errorf("flags: %+v", sel)
+	}
+	if len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Errorf("order by = %v", sel.OrderBy)
+	}
+	if _, ok := sel.From[0].(*JoinRef); !ok {
+		t.Errorf("from = %T", sel.From[0])
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	sel := roundTrip(t, "SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.x CROSS JOIN c").(*Select)
+	outer := sel.From[0].(*JoinRef)
+	if outer.Type != CrossJoin {
+		t.Fatalf("outer join type = %v", outer.Type)
+	}
+	inner := outer.Left.(*JoinRef)
+	if inner.Type != LeftJoin || inner.On == nil {
+		t.Errorf("inner = %+v", inner)
+	}
+	if outer.Corr() != "" {
+		t.Errorf("join Corr = %q", outer.Corr())
+	}
+}
+
+func TestParseUnion(t *testing.T) {
+	sel := roundTrip(t, "SELECT a FROM t UNION ALL SELECT b FROM u UNION SELECT c FROM v ORDER BY 1 LIMIT 5").(*Select)
+	if len(sel.Unions) != 2 {
+		t.Fatalf("unions = %d", len(sel.Unions))
+	}
+	if !sel.Unions[0].All || sel.Unions[1].All {
+		t.Errorf("ALL flags = %v, %v", sel.Unions[0].All, sel.Unions[1].All)
+	}
+	// ORDER BY and LIMIT belong to the chain, not the last member.
+	if sel.Limit != 5 || len(sel.OrderBy) != 1 {
+		t.Errorf("chain order/limit: %+v", sel)
+	}
+	if sel.Unions[1].Query.Limit != -1 || len(sel.Unions[1].Query.OrderBy) != 0 {
+		t.Errorf("member inherited order/limit: %+v", sel.Unions[1].Query)
+	}
+	// Union inside a derived table.
+	roundTrip(t, "SELECT * FROM (SELECT a FROM t UNION SELECT b FROM u) AS d")
+	if _, err := Parse("SELECT a FROM t UNION"); err == nil {
+		t.Error("dangling UNION accepted")
+	}
+}
+
+func TestParseDerivedTable(t *testing.T) {
+	sel := roundTrip(t, "SELECT d.x FROM (SELECT a AS x FROM t) AS d").(*Select)
+	sub := sel.From[0].(*SubqueryRef)
+	if sub.Alias != "d" || len(sub.Query.Items) != 1 {
+		t.Errorf("subquery = %+v", sub)
+	}
+}
+
+func TestParseExpressions(t *testing.T) {
+	for _, sql := range []string{
+		"SELECT 1 + 2 * 3 - 4 / 5 % 6",
+		"SELECT -x, NOT a, b IS NULL, c IS NOT NULL",
+		"SELECT a IN (1, 2, 3), b NOT IN ('x'), c NOT BETWEEN 1 AND 2",
+		"SELECT x NOT LIKE 'a_%', y || 'suffix'",
+		"SELECT CASE WHEN a > 1 THEN 'big' WHEN a = 1 THEN 'one' ELSE 'small' END",
+		"SELECT CAST(x AS BIGINT), CAST('5' AS VARCHAR(2))",
+		"SELECT COUNT(*), COUNT(DISTINCT x), SUM(a + b), TRUE, FALSE, NULL",
+		"SELECT ((a OR b) AND NOT (c OR d))",
+		"SELECT 1.5, .5, 2e10, 'it''s'",
+	} {
+		roundTrip(t, sql)
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	sel := mustParse(t, "SELECT 1 + 2 * 3").(*Select)
+	add := sel.Items[0].Expr.(*BinaryExpr)
+	if add.Op != "+" {
+		t.Fatalf("top op = %s", add.Op)
+	}
+	mul := add.R.(*BinaryExpr)
+	if mul.Op != "*" {
+		t.Errorf("right op = %s", mul.Op)
+	}
+	sel = mustParse(t, "SELECT a OR b AND c").(*Select)
+	or := sel.Items[0].Expr.(*BinaryExpr)
+	if or.Op != "OR" {
+		t.Fatalf("top boolean op = %s", or.Op)
+	}
+	if and := or.R.(*BinaryExpr); and.Op != "AND" {
+		t.Errorf("right boolean op = %s", and.Op)
+	}
+	// != normalises to <>.
+	sel = mustParse(t, "SELECT a != b").(*Select)
+	if ne := sel.Items[0].Expr.(*BinaryExpr); ne.Op != "<>" {
+		t.Errorf("!= normalisation = %s", ne.Op)
+	}
+}
+
+func TestParseDDL(t *testing.T) {
+	ct := roundTrip(t, "CREATE TABLE suppliers (No INT PRIMARY KEY, Name VARCHAR(30), Rating DOUBLE)").(*CreateTable)
+	if len(ct.Columns) != 3 || !ct.Columns[0].PrimaryKey || ct.Columns[1].Type != types.VarCharN(30) {
+		t.Errorf("create table = %+v", ct)
+	}
+	roundTrip(t, "DROP TABLE suppliers")
+	ci := roundTrip(t, "CREATE INDEX idx ON suppliers (Name)").(*CreateIndex)
+	if ci.Table != "suppliers" || ci.Column != "Name" {
+		t.Errorf("create index = %+v", ci)
+	}
+	roundTrip(t, "DROP FUNCTION f")
+	cf := roundTrip(t, "CREATE FUNCTION f (x INT) RETURNS TABLE (y INT) LANGUAGE EXTERNAL NAME 'appsys.GetQuality'").(*CreateFunction)
+	if cf.Language != "EXTERNAL" || cf.ExternalName != "appsys.GetQuality" {
+		t.Errorf("external function = %+v", cf)
+	}
+}
+
+func TestParseSQLMED(t *testing.T) {
+	cw := roundTrip(t, "CREATE WRAPPER wfwrapper OPTIONS (endpoint 'inproc', mode 'sync')").(*CreateWrapper)
+	if cw.Options["endpoint"] != "inproc" {
+		t.Errorf("wrapper opts = %v", cw.Options)
+	}
+	cs := roundTrip(t, "CREATE SERVER wfserver WRAPPER wfwrapper OPTIONS (host 'localhost')").(*CreateServer)
+	if cs.Wrapper != "wfwrapper" {
+		t.Errorf("server = %+v", cs)
+	}
+	cn := roundTrip(t, "CREATE NICKNAME remote_parts FOR partsrv.parts").(*CreateNickname)
+	if cn.Server != "partsrv" || cn.Remote != "parts" {
+		t.Errorf("nickname = %+v", cn)
+	}
+}
+
+func TestParseDML(t *testing.T) {
+	ins := roundTrip(t, "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").(*Insert)
+	if len(ins.Rows) != 2 || len(ins.Columns) != 2 {
+		t.Errorf("insert = %+v", ins)
+	}
+	insSel := roundTrip(t, "INSERT INTO t SELECT a, b FROM s WHERE a > 1").(*Insert)
+	if insSel.Query == nil {
+		t.Error("insert-select lost query")
+	}
+	up := roundTrip(t, "UPDATE t SET a = a + 1, b = 'z' WHERE a < 10").(*Update)
+	if len(up.Assignments) != 2 || up.Where == nil {
+		t.Errorf("update = %+v", up)
+	}
+	del := roundTrip(t, "DELETE FROM t WHERE a = 1").(*Delete)
+	if del.Where == nil {
+		t.Errorf("delete = %+v", del)
+	}
+	roundTrip(t, "DELETE FROM t")
+}
+
+func TestParseExplainAndShow(t *testing.T) {
+	ex := roundTrip(t, "EXPLAIN SELECT * FROM t").(*Explain)
+	if _, ok := ex.Stmt.(*Select); !ok {
+		t.Errorf("explain wraps %T", ex.Stmt)
+	}
+	sh := roundTrip(t, "SHOW TABLES").(*Show)
+	if sh.What != "TABLES" {
+		t.Errorf("show = %+v", sh)
+	}
+	roundTrip(t, "SHOW FUNCTIONS")
+	roundTrip(t, "SHOW SERVERS")
+}
+
+func TestParseScript(t *testing.T) {
+	stmts, err := ParseScript("CREATE TABLE t (a INT); INSERT INTO t VALUES (1);; SELECT * FROM t;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("script stmts = %d", len(stmts))
+	}
+	if _, err := ParseScript("SELECT 1 SELECT 2"); err == nil {
+		t.Error("missing semicolon accepted")
+	}
+	empty, err := ParseScript("  ;; ")
+	if err != nil || len(empty) != 0 {
+		t.Errorf("empty script = %v, %v", empty, err)
+	}
+}
+
+func TestParseSelectHelper(t *testing.T) {
+	if _, err := ParseSelect("SELECT 1"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ParseSelect("DROP TABLE t"); err == nil {
+		t.Error("ParseSelect accepted DDL")
+	}
+	if _, err := ParseSelect("SELEC 1"); err == nil {
+		t.Error("ParseSelect accepted garbage")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"FROB x",
+		"SELECT",
+		"SELECT * FROM",
+		"SELECT * FROM TABLE (f(1))", // missing mandatory correlation
+		"SELECT * FROM (SELECT 1)",   // missing derived-table alias
+		"SELECT * FROM t WHERE",      //
+		"SELECT a FROM t ORDER",      // ORDER without BY
+		"SELECT a FROM t GROUP x",    // GROUP without BY
+		"SELECT a FROM t LIMIT x",    //
+		"SELECT CASE END",            // CASE without WHEN
+		"SELECT CAST(a AS )",         //
+		"SELECT CAST(a AS FROB)",     // unknown type
+		"CREATE TABLE t (a)",         // column without type
+		"CREATE TABLE t (a INT",      // unclosed
+		"CREATE FUNCTION f () RETURNS TABLE (x INT) LANGUAGE COBOL RETURN SELECT 1",
+		"CREATE FUNCTION f () RETURNS TABLE (x INT) LANGUAGE EXTERNAL NAME f",
+		"CREATE SERVER s",                // missing WRAPPER
+		"CREATE NICKNAME n FOR s",        // missing .table
+		"INSERT INTO t VALUES 1",         // missing parens
+		"UPDATE t SET",                   //
+		"DELETE t",                       // missing FROM
+		"SHOW COLUMNS",                   //
+		"SELECT 1; junk",                 //
+		"SELECT a FROM t JOIN u",         // missing ON
+		"SELECT x IN ()",                 // empty IN list — needs at least one
+		"CREATE WRAPPER w OPTIONS (k v)", // option value must be a string
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestIdentQuoting(t *testing.T) {
+	// A quoted identifier that collides with a keyword must survive the
+	// round trip via re-quoting.
+	sel := roundTrip(t, `SELECT "select" FROM "table"`).(*Select)
+	ref := sel.Items[0].Expr.(*ColumnRef)
+	if ref.Name != "select" {
+		t.Errorf("quoted ident = %q", ref.Name)
+	}
+	if !strings.Contains(sel.String(), `"select"`) {
+		t.Errorf("rendering lost quoting: %s", sel.String())
+	}
+}
+
+// Round-trip property over a corpus of generated-ish statements covering
+// every AST node type.
+func TestRoundTripCorpus(t *testing.T) {
+	corpus := []string{
+		"SELECT * FROM t",
+		"SELECT t.* FROM t",
+		"SELECT a, b AS c FROM t AS x WHERE a = 1",
+		"SELECT a FROM t WHERE a IS NULL OR b IS NOT NULL",
+		"SELECT MOD(a, 2) FROM t WHERE a <> 3 AND b <= 4 AND c >= 5",
+		"SELECT 'a' || 'b' FROM t LIMIT 1",
+		"SELECT x FROM TABLE (F()) AS f0",
+		"SELECT x FROM TABLE (F(1, 'two', a.b)) AS f1, u",
+		"INSERT INTO t VALUES (NULL, TRUE, FALSE)",
+		"UPDATE t SET a = CASE WHEN b THEN 1 ELSE 2 END",
+		"CREATE TABLE t (a SMALLINT, b BIGINT, c DOUBLE, d BOOLEAN, e VARCHAR(9))",
+		"SELECT COUNT(a), MIN(b), MAX(c), AVG(d), SUM(e) FROM t GROUP BY f",
+	}
+	for _, sql := range corpus {
+		roundTrip(t, sql)
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	toks, err := Lex("SELECT 'x'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].String() != "SELECT" || toks[1].String() != "'x'" {
+		t.Errorf("token strings: %v %v", toks[0], toks[1])
+	}
+	if toks[len(toks)-1].String() != "end of input" {
+		t.Errorf("EOF string = %q", toks[len(toks)-1])
+	}
+}
+
+func TestParseViewStatements(t *testing.T) {
+	cv := roundTrip(t, "CREATE VIEW v AS SELECT a FROM t WHERE a > 1").(*CreateView)
+	if cv.Name != "v" || cv.Query == nil {
+		t.Errorf("create view = %+v", cv)
+	}
+	roundTrip(t, "DROP VIEW v")
+	roundTrip(t, "SHOW VIEWS")
+	for _, bad := range []string{"CREATE VIEW v SELECT 1", "CREATE VIEW AS SELECT 1", "DROP VIEW"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,323 @@
+// Package storage implements the in-memory relational storage engine that
+// backs both the FDBS's local tables and the private databases of the
+// simulated application systems.
+//
+// Tables are heap-organised slices of rows guarded by an RW mutex, with
+// optional single-column hash indexes that are maintained transparently on
+// every mutation. Scans operate on copy-on-read snapshots, so a running
+// query never observes a torn mutation.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"fedwf/internal/types"
+)
+
+// Table is one heap table with optional hash indexes.
+type Table struct {
+	mu      sync.RWMutex
+	name    string
+	schema  types.Schema
+	rows    []types.Row
+	indexes map[string]*hashIndex // lower-cased column name -> index
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(name string, schema types.Schema) (*Table, error) {
+	if name == "" {
+		return nil, fmt.Errorf("storage: table name must not be empty")
+	}
+	if len(schema) == 0 {
+		return nil, fmt.Errorf("storage: table %s needs at least one column", name)
+	}
+	seen := make(map[string]bool, len(schema))
+	for _, c := range schema {
+		lc := strings.ToLower(c.Name)
+		if seen[lc] {
+			return nil, fmt.Errorf("storage: duplicate column %s in table %s", c.Name, name)
+		}
+		seen[lc] = true
+	}
+	return &Table{
+		name:    name,
+		schema:  schema.Clone(),
+		indexes: make(map[string]*hashIndex),
+	}, nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns a copy of the table schema.
+func (t *Table) Schema() types.Schema {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.schema.Clone()
+}
+
+// Len returns the current row count.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Insert validates, coerces, and appends a row.
+func (t *Table) Insert(r types.Row) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	coerced, err := types.CoerceRow(r, t.schema)
+	if err != nil {
+		return fmt.Errorf("storage: insert into %s: %w", t.name, err)
+	}
+	pos := len(t.rows)
+	t.rows = append(t.rows, coerced)
+	for _, idx := range t.indexes {
+		idx.add(coerced, pos)
+	}
+	return nil
+}
+
+// InsertAll inserts every row, stopping at the first error.
+func (t *Table) InsertAll(rows []types.Row) error {
+	for _, r := range rows {
+		if err := t.Insert(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scan returns a snapshot of all rows. The returned slice is fresh but the
+// rows are shared; callers must not mutate row values (values are
+// immutable by construction).
+func (t *Table) Scan() []types.Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]types.Row, len(t.rows))
+	copy(out, t.rows)
+	return out
+}
+
+// Select returns a snapshot of the rows satisfying pred.
+func (t *Table) Select(pred func(types.Row) bool) []types.Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []types.Row
+	for _, r := range t.rows {
+		if pred(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Update rewrites every row satisfying pred with transform(row) and
+// returns the number of rows changed. The transform receives a clone and
+// its result is validated against the schema.
+func (t *Table) Update(pred func(types.Row) bool, transform func(types.Row) types.Row) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for i, r := range t.rows {
+		if !pred(r) {
+			continue
+		}
+		nr, err := types.CoerceRow(transform(r.Clone()), t.schema)
+		if err != nil {
+			return n, fmt.Errorf("storage: update %s: %w", t.name, err)
+		}
+		for _, idx := range t.indexes {
+			idx.remove(t.rows[i], i)
+			idx.add(nr, i)
+		}
+		t.rows[i] = nr
+		n++
+	}
+	return n, nil
+}
+
+// Delete removes every row satisfying pred and returns how many were
+// removed.
+func (t *Table) Delete(pred func(types.Row) bool) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	kept := t.rows[:0]
+	n := 0
+	for _, r := range t.rows {
+		if pred(r) {
+			n++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	if n == 0 {
+		return 0
+	}
+	t.rows = kept
+	// Positions shifted; rebuild all indexes.
+	for _, idx := range t.indexes {
+		idx.rebuild(t.rows)
+	}
+	return n
+}
+
+// Truncate removes all rows.
+func (t *Table) Truncate() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows = nil
+	for _, idx := range t.indexes {
+		idx.rebuild(nil)
+	}
+}
+
+// CreateIndex builds a hash index on the named column. Creating an index
+// that already exists is a no-op.
+func (t *Table) CreateIndex(column string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ci := t.schema.ColumnIndex(column)
+	if ci < 0 {
+		return fmt.Errorf("storage: no column %s in table %s", column, t.name)
+	}
+	key := strings.ToLower(column)
+	if _, ok := t.indexes[key]; ok {
+		return nil
+	}
+	idx := &hashIndex{column: ci, buckets: make(map[uint64][]int)}
+	idx.rebuild(t.rows)
+	t.indexes[key] = idx
+	return nil
+}
+
+// HasIndex reports whether a hash index exists on the named column.
+func (t *Table) HasIndex(column string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.indexes[strings.ToLower(column)]
+	return ok
+}
+
+// Lookup returns a snapshot of the rows whose indexed column equals v,
+// using the hash index when present and a scan otherwise.
+func (t *Table) Lookup(column string, v types.Value) ([]types.Row, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ci := t.schema.ColumnIndex(column)
+	if ci < 0 {
+		return nil, fmt.Errorf("storage: no column %s in table %s", column, t.name)
+	}
+	if idx, ok := t.indexes[strings.ToLower(column)]; ok {
+		var out []types.Row
+		for _, pos := range idx.buckets[v.Hash()] {
+			if t.rows[pos][ci].Equal(v) {
+				out = append(out, t.rows[pos])
+			}
+		}
+		return out, nil
+	}
+	var out []types.Row
+	for _, r := range t.rows {
+		if r[ci].Equal(v) {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// hashIndex maps value hashes to row positions; collisions are resolved by
+// re-checking equality at lookup time.
+type hashIndex struct {
+	column  int
+	buckets map[uint64][]int
+}
+
+func (ix *hashIndex) add(r types.Row, pos int) {
+	h := r[ix.column].Hash()
+	ix.buckets[h] = append(ix.buckets[h], pos)
+}
+
+func (ix *hashIndex) remove(r types.Row, pos int) {
+	h := r[ix.column].Hash()
+	bucket := ix.buckets[h]
+	for i, p := range bucket {
+		if p == pos {
+			ix.buckets[h] = append(bucket[:i], bucket[i+1:]...)
+			return
+		}
+	}
+}
+
+func (ix *hashIndex) rebuild(rows []types.Row) {
+	ix.buckets = make(map[uint64][]int, len(rows))
+	for i, r := range rows {
+		ix.add(r, i)
+	}
+}
+
+// Store is a named collection of tables (one database).
+type Store struct {
+	mu     sync.RWMutex
+	tables map[string]*Table // lower-cased name -> table
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{tables: make(map[string]*Table)}
+}
+
+// Create adds a new table; it fails if the name is taken.
+func (s *Store) Create(name string, schema types.Schema) (*Table, error) {
+	t, err := NewTable(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := s.tables[key]; ok {
+		return nil, fmt.Errorf("storage: table %s already exists", name)
+	}
+	s.tables[key] = t
+	return t, nil
+}
+
+// Get returns the named table, or an error when absent.
+func (s *Store) Get(name string) (*Table, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("storage: no table named %s", name)
+	}
+	return t, nil
+}
+
+// Drop removes the named table.
+func (s *Store) Drop(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := s.tables[key]; !ok {
+		return fmt.Errorf("storage: no table named %s", name)
+	}
+	delete(s.tables, key)
+	return nil
+}
+
+// List returns the table names in sorted order.
+func (s *Store) List() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.tables))
+	for _, t := range s.tables {
+		out = append(out, t.name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,295 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"fedwf/internal/types"
+)
+
+func compSchema() types.Schema {
+	return types.Schema{
+		{Name: "CompNo", Type: types.Integer},
+		{Name: "Name", Type: types.VarCharN(30)},
+		{Name: "Qty", Type: types.Integer},
+	}
+}
+
+func newCompTable(t *testing.T) *Table {
+	t.Helper()
+	tab, err := NewTable("components", compSchema())
+	if err != nil {
+		t.Fatalf("NewTable: %v", err)
+	}
+	rows := []types.Row{
+		{types.NewInt(1), types.NewString("bolt"), types.NewInt(100)},
+		{types.NewInt(2), types.NewString("nut"), types.NewInt(250)},
+		{types.NewInt(3), types.NewString("washer"), types.NewInt(70)},
+	}
+	if err := tab.InsertAll(rows); err != nil {
+		t.Fatalf("InsertAll: %v", err)
+	}
+	return tab
+}
+
+func TestNewTableValidation(t *testing.T) {
+	if _, err := NewTable("", compSchema()); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewTable("t", nil); err == nil {
+		t.Error("empty schema accepted")
+	}
+	dup := types.Schema{{Name: "A", Type: types.Integer}, {Name: "a", Type: types.Integer}}
+	if _, err := NewTable("t", dup); err == nil {
+		t.Error("duplicate columns accepted")
+	}
+}
+
+func TestInsertCoercionAndValidation(t *testing.T) {
+	tab := newCompTable(t)
+	// String "4" should coerce to INT 4.
+	if err := tab.Insert(types.Row{types.NewString("4"), types.NewString("pin"), types.NewInt(5)}); err != nil {
+		t.Fatalf("Insert coercible: %v", err)
+	}
+	rows, err := tab.Lookup("CompNo", types.NewInt(4))
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("Lookup(4) = %v, %v", rows, err)
+	}
+	if err := tab.Insert(types.Row{types.NewString("x"), types.NewString("pin"), types.NewInt(5)}); err == nil {
+		t.Error("uncoercible insert accepted")
+	}
+	if err := tab.Insert(types.Row{types.NewInt(9)}); err == nil {
+		t.Error("short row accepted")
+	}
+}
+
+func TestScanSnapshot(t *testing.T) {
+	tab := newCompTable(t)
+	snap := tab.Scan()
+	if len(snap) != 3 {
+		t.Fatalf("Scan len = %d", len(snap))
+	}
+	// Mutating the table after Scan must not change the snapshot length.
+	if err := tab.Insert(types.Row{types.NewInt(4), types.NewString("pin"), types.NewInt(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 3 {
+		t.Error("snapshot changed after insert")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	tab := newCompTable(t)
+	rows := tab.Select(func(r types.Row) bool { return r[2].Int() > 90 })
+	if len(rows) != 2 {
+		t.Errorf("Select = %d rows", len(rows))
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	tab := newCompTable(t)
+	n, err := tab.Update(
+		func(r types.Row) bool { return r[1].Str() == "nut" },
+		func(r types.Row) types.Row { r[2] = types.NewInt(999); return r },
+	)
+	if err != nil || n != 1 {
+		t.Fatalf("Update = %d, %v", n, err)
+	}
+	rows, _ := tab.Lookup("Name", types.NewString("nut"))
+	if len(rows) != 1 || rows[0][2].Int() != 999 {
+		t.Errorf("after update: %v", rows)
+	}
+	// Updates producing invalid rows fail.
+	_, err = tab.Update(
+		func(r types.Row) bool { return true },
+		func(r types.Row) types.Row { r[0] = types.NewString("x"); return r },
+	)
+	if err == nil {
+		t.Error("invalid update accepted")
+	}
+}
+
+func TestDeleteAndTruncate(t *testing.T) {
+	tab := newCompTable(t)
+	if err := tab.CreateIndex("CompNo"); err != nil {
+		t.Fatal(err)
+	}
+	n := tab.Delete(func(r types.Row) bool { return r[0].Int() == 2 })
+	if n != 1 || tab.Len() != 2 {
+		t.Errorf("Delete = %d, len = %d", n, tab.Len())
+	}
+	// The index must have been rebuilt consistently.
+	rows, _ := tab.Lookup("CompNo", types.NewInt(3))
+	if len(rows) != 1 || rows[0][1].Str() != "washer" {
+		t.Errorf("index after delete: %v", rows)
+	}
+	if n := tab.Delete(func(r types.Row) bool { return false }); n != 0 {
+		t.Errorf("no-op delete removed %d", n)
+	}
+	tab.Truncate()
+	if tab.Len() != 0 {
+		t.Error("Truncate left rows")
+	}
+	rows, _ = tab.Lookup("CompNo", types.NewInt(1))
+	if len(rows) != 0 {
+		t.Error("index not cleared by Truncate")
+	}
+}
+
+func TestIndexLookupEqualsScan(t *testing.T) {
+	tab := newCompTable(t)
+	unindexed, err := tab.Lookup("Name", types.NewString("bolt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.CreateIndex("Name"); err != nil {
+		t.Fatal(err)
+	}
+	if !tab.HasIndex("name") {
+		t.Error("HasIndex(name) = false")
+	}
+	indexed, err := tab.Lookup("Name", types.NewString("bolt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(indexed) != len(unindexed) || len(indexed) != 1 {
+		t.Errorf("indexed=%v unindexed=%v", indexed, unindexed)
+	}
+	// Index on an unknown column fails; duplicate creation is a no-op.
+	if err := tab.CreateIndex("nope"); err == nil {
+		t.Error("index on unknown column accepted")
+	}
+	if err := tab.CreateIndex("Name"); err != nil {
+		t.Errorf("re-creating index: %v", err)
+	}
+	if _, err := tab.Lookup("nope", types.NewInt(1)); err == nil {
+		t.Error("lookup on unknown column accepted")
+	}
+}
+
+func TestIndexMaintainedOnUpdateInsert(t *testing.T) {
+	tab := newCompTable(t)
+	if err := tab.CreateIndex("Qty"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Update(
+		func(r types.Row) bool { return r[0].Int() == 1 },
+		func(r types.Row) types.Row { r[2] = types.NewInt(42); return r },
+	); err != nil {
+		t.Fatal(err)
+	}
+	if rows, _ := tab.Lookup("Qty", types.NewInt(100)); len(rows) != 0 {
+		t.Errorf("stale index entry: %v", rows)
+	}
+	if rows, _ := tab.Lookup("Qty", types.NewInt(42)); len(rows) != 1 {
+		t.Errorf("missing index entry: %v", rows)
+	}
+}
+
+func TestStore(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Create("a", compSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create("A", compSchema()); err == nil {
+		t.Error("case-insensitive duplicate accepted")
+	}
+	if _, err := s.Create("b", compSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.List(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("List = %v", got)
+	}
+	if _, err := s.Get("A"); err != nil {
+		t.Errorf("Get case-insensitive: %v", err)
+	}
+	if err := s.Drop("a"); err != nil {
+		t.Errorf("Drop: %v", err)
+	}
+	if err := s.Drop("a"); err == nil {
+		t.Error("double drop accepted")
+	}
+	if _, err := s.Get("a"); err == nil {
+		t.Error("Get after drop succeeded")
+	}
+}
+
+func TestConcurrentInsertScan(t *testing.T) {
+	tab, err := NewTable("c", types.Schema{{Name: "N", Type: types.Integer}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.CreateIndex("N"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := tab.Insert(types.Row{types.NewInt(int64(g*100 + i))}); err != nil {
+					t.Error(err)
+					return
+				}
+				tab.Scan()
+				if _, err := tab.Lookup("N", types.NewInt(int64(g*100+i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tab.Len() != 800 {
+		t.Errorf("Len = %d, want 800", tab.Len())
+	}
+}
+
+// Property: after a random sequence of inserts and deletes, an index
+// lookup agrees with a full scan for every key.
+func TestIndexScanAgreementProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tab, err := NewTable("p", types.Schema{
+			{Name: "K", Type: types.Integer},
+			{Name: "V", Type: types.VarChar},
+		})
+		if err != nil {
+			return false
+		}
+		if err := tab.CreateIndex("K"); err != nil {
+			return false
+		}
+		for i := 0; i < 200; i++ {
+			switch r.Intn(3) {
+			case 0, 1:
+				k := int64(r.Intn(20))
+				if err := tab.Insert(types.Row{types.NewInt(k), types.NewString(fmt.Sprint(i))}); err != nil {
+					return false
+				}
+			case 2:
+				k := int64(r.Intn(20))
+				tab.Delete(func(row types.Row) bool { return row[0].Int() == k })
+			}
+		}
+		for k := int64(0); k < 20; k++ {
+			viaIndex, err := tab.Lookup("K", types.NewInt(k))
+			if err != nil {
+				return false
+			}
+			viaScan := tab.Select(func(row types.Row) bool { return row[0].Int() == k })
+			if len(viaIndex) != len(viaScan) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

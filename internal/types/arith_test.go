@@ -1,0 +1,171 @@
+package types
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntArith(t *testing.T) {
+	cases := []struct {
+		op   func(a, b Value) (Value, error)
+		a, b int64
+		want int64
+	}{
+		{Add, 2, 3, 5},
+		{Sub, 2, 3, -1},
+		{Mul, -4, 3, -12},
+		{Div, 7, 2, 3},
+		{Mod, 7, 2, 1},
+		{Div, -7, 2, -3},
+	}
+	for i, c := range cases {
+		got, err := c.op(NewInt(c.a), NewInt(c.b))
+		if err != nil || got.Int() != c.want {
+			t.Errorf("case %d: got %v, %v; want %d", i, got, err, c.want)
+		}
+	}
+}
+
+func TestFloatPromotion(t *testing.T) {
+	v, err := Add(NewInt(1), NewFloat(0.5))
+	if err != nil || v.Kind() != KindFloat || v.Float() != 1.5 {
+		t.Errorf("Add(1, 0.5) = %v, %v", v, err)
+	}
+	v, err = Div(NewFloat(1), NewFloat(4))
+	if err != nil || v.Float() != 0.25 {
+		t.Errorf("Div(1.0, 4.0) = %v, %v", v, err)
+	}
+	v, err = Mod(NewFloat(5.5), NewFloat(2))
+	if err != nil || v.Float() != 1.5 {
+		t.Errorf("Mod(5.5, 2.0) = %v, %v", v, err)
+	}
+}
+
+func TestArithNullPropagation(t *testing.T) {
+	for _, op := range []func(a, b Value) (Value, error){Add, Sub, Mul, Div, Mod, Concat} {
+		v, err := op(Null, NewInt(1))
+		if err != nil || !v.IsNull() {
+			t.Errorf("op(NULL, 1) = %v, %v", v, err)
+		}
+		v, err = op(NewInt(1), Null)
+		if err != nil || !v.IsNull() {
+			t.Errorf("op(1, NULL) = %v, %v", v, err)
+		}
+	}
+	if v, err := Neg(Null); err != nil || !v.IsNull() {
+		t.Errorf("Neg(NULL) = %v, %v", v, err)
+	}
+}
+
+func TestArithErrors(t *testing.T) {
+	if _, err := Div(NewInt(1), NewInt(0)); err == nil {
+		t.Error("integer division by zero should fail")
+	}
+	if _, err := Div(NewFloat(1), NewFloat(0)); err == nil {
+		t.Error("float division by zero should fail")
+	}
+	if _, err := Mod(NewInt(1), NewInt(0)); err == nil {
+		t.Error("mod by zero should fail")
+	}
+	if _, err := Mod(NewFloat(1), NewFloat(0)); err == nil {
+		t.Error("float mod by zero should fail")
+	}
+	if _, err := Add(NewString("a"), NewInt(1)); err == nil {
+		t.Error("string + int should fail")
+	}
+	if _, err := Neg(NewString("a")); err == nil {
+		t.Error("negating a string should fail")
+	}
+	if _, err := Add(NewInt(math.MaxInt64), NewInt(1)); err == nil {
+		t.Error("overflow in Add undetected")
+	}
+	if _, err := Sub(NewInt(math.MinInt64), NewInt(1)); err == nil {
+		t.Error("overflow in Sub undetected")
+	}
+	if _, err := Mul(NewInt(math.MaxInt64), NewInt(2)); err == nil {
+		t.Error("overflow in Mul undetected")
+	}
+	if _, err := Mul(NewInt(math.MinInt64), NewInt(-1)); err == nil {
+		t.Error("overflow in Mul(-min, -1) undetected")
+	}
+	if _, err := Div(NewInt(math.MinInt64), NewInt(-1)); err == nil {
+		t.Error("overflow in Div undetected")
+	}
+	if _, err := Neg(NewInt(math.MinInt64)); err == nil {
+		t.Error("overflow in Neg undetected")
+	}
+	if v, err := Mod(NewInt(math.MinInt64), NewInt(-1)); err != nil || v.Int() != 0 {
+		t.Errorf("Mod(min, -1) = %v, %v; want 0", v, err)
+	}
+}
+
+func TestNeg(t *testing.T) {
+	if v, err := Neg(NewInt(5)); err != nil || v.Int() != -5 {
+		t.Errorf("Neg(5) = %v, %v", v, err)
+	}
+	if v, err := Neg(NewFloat(2.5)); err != nil || v.Float() != -2.5 {
+		t.Errorf("Neg(2.5) = %v, %v", v, err)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	v, err := Concat(NewString("a"), NewString("b"))
+	if err != nil || v.Str() != "ab" {
+		t.Errorf("Concat = %v, %v", v, err)
+	}
+	v, err = Concat(NewString("n="), NewInt(3))
+	if err != nil || v.Str() != "n=3" {
+		t.Errorf("Concat mixed = %v, %v", v, err)
+	}
+}
+
+// Property: integer Add/Sub are inverse operations when no overflow occurs.
+func TestAddSubInverseProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		x, y := NewInt(int64(a)), NewInt(int64(b))
+		s, err := Add(x, y)
+		if err != nil {
+			return false
+		}
+		d, err := Sub(s, y)
+		if err != nil {
+			return false
+		}
+		return d.Int() == int64(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: (a / b) * b + (a % b) == a for non-zero b (Euclidean identity
+// for Go-style truncated division).
+func TestDivModIdentityProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		if b == 0 {
+			return true
+		}
+		x, y := NewInt(int64(a)), NewInt(int64(b))
+		q, err := Div(x, y)
+		if err != nil {
+			return false
+		}
+		r, err := Mod(x, y)
+		if err != nil {
+			return false
+		}
+		p, err := Mul(q, y)
+		if err != nil {
+			return false
+		}
+		s, err := Add(p, r)
+		if err != nil {
+			return false
+		}
+		return s.Int() == int64(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,192 @@
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one column of a relation, UDTF result table, or
+// workflow container.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// String renders the column as "name TYPE".
+func (c Column) String() string { return c.Name + " " + c.Type.String() }
+
+// Schema is an ordered list of columns.
+type Schema []Column
+
+// ColumnIndex returns the position of the named column (case-insensitive),
+// or -1 when absent.
+func (s Schema) ColumnIndex(name string) int {
+	for i, c := range s {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, c := range s {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// String renders the schema as a parenthesised column list.
+func (s Schema) String() string {
+	parts := make([]string, len(s))
+	for i, c := range s {
+		parts[i] = c.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Clone returns a deep copy of the schema.
+func (s Schema) Clone() Schema {
+	out := make(Schema, len(s))
+	copy(out, s)
+	return out
+}
+
+// Row is one tuple of values, positionally aligned with a Schema.
+type Row []Value
+
+// Clone returns a copy of the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Equal reports value-wise equality of two rows.
+func (r Row) Equal(o Row) bool {
+	if len(r) != len(o) {
+		return false
+	}
+	for i := range r {
+		if !r[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the row as a bracketed value list.
+func (r Row) String() string {
+	parts := make([]string, len(r))
+	for i, v := range r {
+		parts[i] = v.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// Validate checks that the row conforms positionally to the schema.
+func (r Row) Validate(s Schema) error {
+	if len(r) != len(s) {
+		return fmt.Errorf("types: row has %d values, schema has %d columns", len(r), len(s))
+	}
+	for i, v := range r {
+		if !Conforms(v, s[i].Type) {
+			return fmt.Errorf("types: value %s does not conform to column %s", v, s[i])
+		}
+	}
+	return nil
+}
+
+// CoerceRow casts every value of r to the corresponding column type of s.
+func CoerceRow(r Row, s Schema) (Row, error) {
+	if len(r) != len(s) {
+		return nil, fmt.Errorf("types: row has %d values, schema has %d columns", len(r), len(s))
+	}
+	out := make(Row, len(r))
+	for i, v := range r {
+		cv, err := Cast(v, s[i].Type)
+		if err != nil {
+			return nil, fmt.Errorf("types: column %s: %w", s[i].Name, err)
+		}
+		out[i] = cv
+	}
+	return out, nil
+}
+
+// Table is a fully materialised result: a schema plus rows. It is the unit
+// returned by UDTFs, by the wrapper interface, and by the embedded query
+// API.
+type Table struct {
+	Schema Schema
+	Rows   []Row
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(s Schema) *Table { return &Table{Schema: s} }
+
+// Append adds a row after validating it against the table schema.
+func (t *Table) Append(r Row) error {
+	if err := r.Validate(t.Schema); err != nil {
+		return err
+	}
+	t.Rows = append(t.Rows, r)
+	return nil
+}
+
+// MustAppend adds a row and panics on schema violation; for tests and
+// built-in data sets whose shape is statically known.
+func (t *Table) MustAppend(r Row) {
+	if err := t.Append(r); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.Rows) }
+
+// String renders the table in a fixed-width text grid, the format used by
+// the interactive client and the experiment reports.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Schema))
+	for i, c := range t.Schema {
+		widths[i] = len(c.Name)
+	}
+	cells := make([][]string, len(t.Rows))
+	for ri, r := range t.Rows {
+		cells[ri] = make([]string, len(r))
+		for ci, v := range r {
+			s := v.Format()
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	for i, c := range t.Schema {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		fmt.Fprintf(&b, "%-*s", widths[i], c.Name)
+	}
+	b.WriteByte('\n')
+	for i := range t.Schema {
+		if i > 0 {
+			b.WriteString("-+-")
+		}
+		b.WriteString(strings.Repeat("-", widths[i]))
+	}
+	b.WriteByte('\n')
+	for _, r := range cells {
+		for i, s := range r {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], s)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
