@@ -450,3 +450,56 @@ func BenchmarkWorkflowNavigator(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkParallelLateral contrasts sequential Apply with ParallelApply
+// over a 16-row lateral batch against GetSuppQualRelia: the wall-mode
+// loop shows the real speedup, the paper-ms/op metric the deterministic
+// virtual-clock (max-branch) elapsed time per degree of parallelism.
+func BenchmarkParallelLateral(b *testing.B) {
+	apps, err := appsys.BuildScenario()
+	if err != nil {
+		b.Fatal(err)
+	}
+	stack, err := fedfunc.NewStack(fedfunc.ArchUDTF, fedfunc.Options{Apps: apps})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := stack.Engine()
+	eng.SetFunctionCache(true)
+	session := eng.NewSession()
+	session.MustExec("CREATE TABLE bench_driver (SupplierNo INT)")
+	for i := 0; i < 16; i++ {
+		session.MustExec(fmt.Sprintf("INSERT INTO bench_driver VALUES (%d)", 1+i%8))
+	}
+	query := "SELECT COUNT(*) FROM bench_driver d, TABLE (GetSuppQualRelia(d.SupplierNo)) AS F"
+	for _, dop := range []int{1, 2, 4, 8} {
+		dop := dop
+		b.Run(fmt.Sprintf("dop=%d", dop), func(b *testing.B) {
+			if dop > 1 {
+				eng.SetParallelism(dop)
+			} else {
+				eng.SetParallelism(0)
+			}
+			defer eng.SetParallelism(0)
+			session.SetTask(simlat.Free())
+			if _, err := session.Query(query); err != nil { // warm
+				b.Fatal(err)
+			}
+			vt := simlat.NewVirtualTask()
+			session.SetTask(vt)
+			if _, err := session.Query(query); err != nil {
+				b.Fatal(err)
+			}
+			paperMS := float64(vt.Elapsed()) / float64(simlat.PaperMS)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				task := simlat.NewWallTask(benchScale)
+				session.SetTask(task)
+				if _, err := session.Query(query); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(paperMS, "paper-ms/op")
+		})
+	}
+}

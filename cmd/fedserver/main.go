@@ -24,6 +24,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:4711", "listen address")
 	archName := flag.String("arch", "wfms", "integration architecture: wfms or udtf")
 	direct := flag.Bool("direct", false, "bypass the controller (ablation configuration)")
+	dop := flag.Int("dop", 0, "intra-query degree of parallelism (0 = sequential, -1 = GOMAXPROCS)")
 	flag.Parse()
 
 	var arch fedfunc.Arch
@@ -41,6 +42,10 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fedserver:", err)
 		os.Exit(1)
+	}
+	if *dop != 0 {
+		srv.Engine().SetParallelism(*dop)
+		fmt.Printf("fedserver: intra-query parallelism %d\n", srv.Engine().Parallelism())
 	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {

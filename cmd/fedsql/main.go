@@ -19,6 +19,7 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:4711", "fedserver address")
 	command := flag.String("c", "", "execute one statement and exit")
+	dop := flag.Int("dop", 0, "send SET PARALLELISM <n> before any statement (0 = leave server default)")
 	flag.Parse()
 
 	client, err := fdbs.DialClient(*addr)
@@ -27,6 +28,13 @@ func main() {
 		os.Exit(1)
 	}
 	defer client.Close()
+
+	if *dop != 0 {
+		if _, err := client.Exec(fmt.Sprintf("SET PARALLELISM %d", *dop)); err != nil {
+			fmt.Fprintln(os.Stderr, "fedsql:", err)
+			os.Exit(1)
+		}
+	}
 
 	if *command != "" {
 		if !execute(client, *command) {

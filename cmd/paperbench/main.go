@@ -10,6 +10,7 @@
 //	paperbench -exp loop         # do-until loop scaling (E6)
 //	paperbench -exp controller   # controller ablation (E7)
 //	paperbench -exp batch        # batch throughput scaling (E8, extension)
+//	paperbench -exp dop          # intra-query parallelism sweep (E9, extension)
 //
 // Measurements run on the deterministic virtual clock, so the output is
 // identical on every machine.
@@ -19,14 +20,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"fedwf/internal/benchharn"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: all, complexity, fig5, fig6, bootstate, parallel, loop, controller, batch")
+	exp := flag.String("exp", "all", "experiment id: all, complexity, fig5, fig6, bootstate, parallel, loop, controller, batch, dop")
 	bootFn := flag.String("bootfn", "GetSuppQual", "federated function for the boot-state experiment")
+	dops := flag.String("dops", "1,2,4,8", "comma-separated degrees of parallelism for the E9 sweep")
 	flag.Parse()
 
 	h, err := benchharn.New()
@@ -110,9 +113,34 @@ func main() {
 		}
 		fmt.Print(benchharn.RenderBatch(rows))
 	}
+	if run("dop") {
+		any = true
+		section("E9 - Intra-query parallelism: ParallelApply DOP sweep (extension)")
+		list, err := parseDOPs(*dops)
+		if err != nil {
+			fail(err)
+		}
+		rows, err := h.ParallelLateral(list)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(benchharn.RenderDOP(rows))
+	}
 	if !any {
 		fail(fmt.Errorf("unknown experiment %q", *exp))
 	}
+}
+
+func parseDOPs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad -dops value %q: %w", part, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func section(title string) {

@@ -9,6 +9,8 @@
 //	E5 — parallel vs sequential function under both architectures
 //	E6 — do-until loop scaling (AllCompNames)
 //	E7 — controller ablation
+//	E8 — batch scaling (extension: lateral driver-table joins)
+//	E9 — intra-query parallelism sweep (extension: ParallelApply DOP)
 //
 // All measurements run on the deterministic virtual clock, so the harness
 // produces identical numbers on every machine; the testing.B benchmarks in
@@ -21,6 +23,7 @@ import (
 	"time"
 
 	"fedwf/internal/appsys"
+	"fedwf/internal/exec"
 	"fedwf/internal/fedfunc"
 	"fedwf/internal/simlat"
 	"fedwf/internal/udtf"
@@ -560,6 +563,108 @@ func RenderBatch(rows []BatchRow) string {
 	for _, r := range rows {
 		ratio := float64(r.WfMS) / float64(r.UDTF)
 		fmt.Fprintf(&b, "%8d %14s %14s %8.2f\n", r.Calls, fmtPaperMS(r.WfMS), fmtPaperMS(r.UDTF), ratio)
+	}
+	return b.String()
+}
+
+// ------------------------------------------------------------------- E9
+
+// dopDriverRows is the batch size of the E9 sweep; suppliers cycle over
+// dopDistinctKeys distinct numbers, so half the lateral invocations are
+// duplicates and exercise the function cache under parallelism. Every DOP
+// of the sweep divides dopDistinctKeys, which keeps each cache key pinned
+// to one round-robin worker and the reported counters deterministic.
+const (
+	dopDriverRows   = 16
+	dopDistinctKeys = 8
+)
+
+// DOPRow is one point of the intra-query parallelism sweep (extension
+// experiment: parallel lateral execution via ParallelApply).
+type DOPRow struct {
+	Arch     fedfunc.Arch
+	Function string
+	DOP      int // 1 = sequential Apply plan
+	Elapsed  time.Duration
+	Speedup  float64 // sequential elapsed / this elapsed
+	Stats    exec.CacheStats
+}
+
+// ParallelLateral sweeps the degree of parallelism over a lateral batch
+// query — a 16-row driver table joined against a federated function — for
+// both architectures and two mapping shapes: the independent composition
+// GetSuppQualRelia and the 1:n mapping GetSuppGrade. DOP 1 runs today's
+// sequential Apply; higher DOPs run ParallelApply, whose simlat Fork/Join
+// accounting makes the virtual clock report the max-branch elapsed time.
+// The function cache is enabled throughout, so the rows also show the
+// per-statement hit/miss/coalesced counters.
+func (h *Harness) ParallelLateral(dops []int) ([]DOPRow, error) {
+	var rows []DOPRow
+	for _, fn := range []string{"GetSuppQualRelia", "GetSuppGrade"} {
+		for _, arch := range []fedfunc.Arch{fedfunc.ArchWfMS, fedfunc.ArchUDTF} {
+			stack, err := fedfunc.NewStack(arch, fedfunc.Options{Profile: h.profile, Apps: h.apps})
+			if err != nil {
+				return nil, err
+			}
+			eng := stack.Engine()
+			eng.SetFunctionCache(true)
+			session := eng.NewSession()
+			session.MustExec("CREATE TABLE dop_driver (SupplierNo INT)")
+			for i := 0; i < dopDriverRows; i++ {
+				session.MustExec(fmt.Sprintf("INSERT INTO dop_driver VALUES (%d)", 1+i%dopDistinctKeys))
+			}
+			query := fmt.Sprintf(`SELECT COUNT(*) FROM dop_driver d, TABLE (%s(d.SupplierNo)) AS F`, fn)
+			var seq time.Duration
+			for _, dop := range dops {
+				if dop < 1 {
+					return nil, fmt.Errorf("benchharn: dop %d out of range", dop)
+				}
+				if dop > 1 {
+					eng.SetParallelism(dop)
+				} else {
+					eng.SetParallelism(0)
+				}
+				session.SetTask(simlat.Free())
+				if _, err := session.Query(query); err != nil { // warm boot state
+					return nil, err
+				}
+				task := simlat.NewVirtualTask()
+				session.SetTask(task)
+				if _, err := session.Query(query); err != nil {
+					return nil, err
+				}
+				row := DOPRow{
+					Arch: arch, Function: fn, DOP: dop,
+					Elapsed: task.Elapsed(), Stats: session.LastCacheStats(),
+				}
+				if dop == 1 {
+					seq = row.Elapsed
+				}
+				if seq > 0 {
+					row.Speedup = float64(seq) / float64(row.Elapsed)
+				}
+				rows = append(rows, row)
+			}
+			eng.SetParallelism(0)
+		}
+	}
+	return rows, nil
+}
+
+// RenderDOP prints the E9 sweep.
+func RenderDOP(rows []DOPRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %-6s %4s %14s %8s %6s %6s %10s\n",
+		"Function", "Arch", "DOP", "Elapsed", "Speedup", "Hits", "Miss", "Coalesced")
+	b.WriteString(strings.Repeat("-", 80) + "\n")
+	for _, r := range rows {
+		arch := "WfMS"
+		if r.Arch == fedfunc.ArchUDTF {
+			arch = "UDTF"
+		}
+		fmt.Fprintf(&b, "%-18s %-6s %4d %14s %7.2fx %6d %6d %10d\n",
+			r.Function, arch, r.DOP, fmtPaperMS(r.Elapsed), r.Speedup,
+			r.Stats.Hits, r.Stats.Misses, r.Stats.Coalesced)
 	}
 	return b.String()
 }

@@ -289,3 +289,48 @@ func TestHarnessAccessors(t *testing.T) {
 		t.Error("stack accessors nil")
 	}
 }
+
+func TestParallelLateralSweep(t *testing.T) {
+	h := newHarness(t)
+	rows, err := h.ParallelLateral([]int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two functions x two architectures x three DOPs.
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(rows))
+	}
+	for i := 0; i < len(rows); i += 3 {
+		group := rows[i : i+3]
+		if group[0].DOP != 1 || group[0].Speedup != 1.0 {
+			t.Fatalf("group %d lacks sequential baseline: %+v", i/3, group[0])
+		}
+		for j := 1; j < len(group); j++ {
+			if group[j].Elapsed >= group[j-1].Elapsed {
+				t.Errorf("%s/%v: DOP %d (%v) not faster than DOP %d (%v)",
+					group[j].Function, group[j].Arch, group[j].DOP, group[j].Elapsed,
+					group[j-1].DOP, group[j-1].Elapsed)
+			}
+		}
+		// Acceptance: wall/virtual speedup at DOP=4 clears 2x; the balanced
+		// 16-row workload actually parallelises almost perfectly.
+		if last := group[len(group)-1]; last.Speedup <= 2 {
+			t.Errorf("%s/%v: speedup at DOP=%d = %.2f, want > 2",
+				last.Function, last.Arch, last.DOP, last.Speedup)
+		}
+		// The static round-robin partitioning keeps the cache counters
+		// deterministic: 8 distinct keys over 16 rows, no coalescing.
+		for _, r := range group {
+			if r.Stats.Misses != 8 || r.Stats.Hits != 8 || r.Stats.Coalesced != 0 {
+				t.Errorf("%s/%v DOP %d: stats = %+v", r.Function, r.Arch, r.DOP, r.Stats)
+			}
+		}
+	}
+	if _, err := h.ParallelLateral([]int{0}); err == nil {
+		t.Error("invalid dop accepted")
+	}
+	out := RenderDOP(rows)
+	if !strings.Contains(out, "Coalesced") || !strings.Contains(out, "GetSuppGrade") {
+		t.Errorf("render:\n%s", out)
+	}
+}

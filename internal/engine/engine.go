@@ -8,6 +8,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -99,9 +100,36 @@ func (e *Engine) SetFunctionCache(enabled bool) {
 	e.mu.Unlock()
 }
 
+// SetParallelism configures intra-query parallelism: n > 1 lets the
+// planner emit ParallelApply with that degree of parallelism for
+// side-effect-free lateral right sides, n <= 1 keeps sequential plans
+// (the default), and n < 0 selects runtime.GOMAXPROCS(0).
+func (e *Engine) SetParallelism(n int) {
+	if n < 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	e.mu.Lock()
+	e.planOpts.Parallelism = n
+	e.mu.Unlock()
+}
+
+// Parallelism returns the configured degree of parallelism.
+func (e *Engine) Parallelism() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.planOpts.Parallelism
+}
+
 // RunSelect implements catalog.QueryRunner: nested execution of UDTF
 // bodies and remote pushdown targets.
 func (e *Engine) RunSelect(sel *sqlparser.Select, params map[string]types.Value, task *simlat.Task) (*types.Table, error) {
+	tab, _, err := e.runSelect(sel, params, task)
+	return tab, err
+}
+
+// runSelect is RunSelect plus the statement's function-cache statistics
+// (zero when the cache is disabled).
+func (e *Engine) runSelect(sel *sqlparser.Select, params map[string]types.Value, task *simlat.Task) (*types.Table, exec.CacheStats, error) {
 	e.mu.RLock()
 	cc := e.compositionCost
 	opts := e.planOpts
@@ -109,13 +137,16 @@ func (e *Engine) RunSelect(sel *sqlparser.Select, params map[string]types.Value,
 	e.mu.RUnlock()
 	op, err := plan.CompileSelectOpts(e.cat, sel, params, opts)
 	if err != nil {
-		return nil, err
+		return nil, exec.CacheStats{}, err
 	}
 	ctx := &exec.Ctx{Task: task, Runner: e, CompositionCost: cc}
+	var fc *exec.FuncCache
 	if cache {
-		ctx.FuncCache = exec.NewFuncCache()
+		fc = exec.NewFuncCache()
+		ctx.FuncCache = fc
 	}
-	return exec.Run(op, ctx)
+	tab, err := exec.Run(op, ctx)
+	return tab, fc.Snapshot(), err
 }
 
 // Session is one client connection to the engine. Sessions are cheap; the
@@ -124,6 +155,9 @@ func (e *Engine) RunSelect(sel *sqlparser.Select, params map[string]types.Value,
 type Session struct {
 	eng  *Engine
 	task *simlat.Task
+	// lastCacheStats records the function-cache counters of the most
+	// recent top-level query (zero when the cache is disabled).
+	lastCacheStats exec.CacheStats
 }
 
 // NewSession opens a session.
@@ -140,6 +174,12 @@ func (s *Session) Task() *simlat.Task { return s.task }
 // Engine returns the engine this session talks to.
 func (s *Session) Engine() *Engine { return s.eng }
 
+// LastCacheStats returns the function-cache/singleflight counters of the
+// most recently executed top-level query on this session (all zero when
+// the cache is disabled). Nested UDTF-body statements keep their own
+// caches and are not included.
+func (s *Session) LastCacheStats() exec.CacheStats { return s.lastCacheStats }
+
 // Result is the outcome of one statement.
 type Result struct {
 	Table        *types.Table // non-nil for queries, EXPLAIN and SHOW
@@ -153,7 +193,9 @@ func (s *Session) Query(sql string) (*types.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.eng.RunSelect(sel, nil, s.task)
+	tab, st, err := s.eng.runSelect(sel, nil, s.task)
+	s.lastCacheStats = st
+	return tab, err
 }
 
 // Exec parses and executes any single statement.
@@ -197,11 +239,21 @@ func (s *Session) MustExec(sql string) *Result {
 func (s *Session) ExecStmt(stmt sqlparser.Statement) (*Result, error) {
 	switch st := stmt.(type) {
 	case *sqlparser.Select:
-		tab, err := s.eng.RunSelect(st, nil, s.task)
+		tab, stats, err := s.eng.runSelect(st, nil, s.task)
+		s.lastCacheStats = stats
 		if err != nil {
 			return nil, err
 		}
 		return &Result{Table: tab, RowsAffected: tab.Len()}, nil
+
+	case *sqlparser.Set:
+		switch st.Option {
+		case "PARALLELISM":
+			s.eng.SetParallelism(int(st.Value))
+			return &Result{Message: fmt.Sprintf("parallelism set to %d", s.eng.Parallelism())}, nil
+		default:
+			return nil, fmt.Errorf("engine: unknown option SET %s", st.Option)
+		}
 
 	case *sqlparser.CreateTable:
 		schema := make(types.Schema, len(st.Columns))

@@ -302,3 +302,8 @@ func (g *Agg) Describe() string {
 
 // Children implements Operator.
 func (g *Agg) Children() []Operator { return []Operator{g.Child} }
+
+// Clone implements Operator.
+func (g *Agg) Clone() Operator {
+	return &Agg{Child: g.Child.Clone(), Groups: g.Groups, Aggs: g.Aggs, Sch: g.Sch}
+}

@@ -41,28 +41,52 @@ func TestConcatOperator(t *testing.T) {
 
 func TestFuncCache(t *testing.T) {
 	fc := NewFuncCache()
-	args1 := []types.Value{types.NewInt(1), types.NewString("x")}
-	if _, ok := fc.get("Fn", args1); ok {
-		t.Fatal("empty cache hit")
-	}
 	tab := types.NewTable(intSchema("y"))
-	fc.put("Fn", args1, tab)
-	got, ok := fc.get("fn", args1) // case-insensitive name
-	if !ok || got != tab {
-		t.Error("cache miss after put")
+	calls := 0
+	invoke := func(name string, args []types.Value) *types.Table {
+		t.Helper()
+		got, err := fc.Invoke(name, args, func() (*types.Table, error) {
+			calls++
+			return tab, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	args1 := []types.Value{types.NewInt(1), types.NewString("x")}
+	invoke("Fn", args1)
+	if calls != 1 {
+		t.Fatal("empty cache did not call through")
+	}
+	if got := invoke("fn", args1); got != tab || calls != 1 { // case-insensitive name
+		t.Error("cache miss after first call")
 	}
 	// Different args, different entry.
-	if _, ok := fc.get("Fn", []types.Value{types.NewInt(2), types.NewString("x")}); ok {
+	invoke("Fn", []types.Value{types.NewInt(2), types.NewString("x")})
+	if calls != 2 {
 		t.Error("cross-args collision")
 	}
 	// Values that render distinctly must not collide via the separator.
-	fc.put("G", []types.Value{types.NewString("a"), types.NewString("b")}, tab)
-	if _, ok := fc.get("G", []types.Value{types.NewString("a\x00b")}); ok {
+	invoke("G", []types.Value{types.NewString("a"), types.NewString("b")})
+	invoke("G", []types.Value{types.NewString("a\x00b")})
+	if calls != 4 {
 		t.Error("separator collision")
 	}
-	hits, misses := fc.Stats()
-	if hits != 1 || misses != 3 {
-		t.Errorf("stats = %d hits, %d misses", hits, misses)
+	// Values of different types with identical renderings must not
+	// collide: integer 1 vs string '1' vs double 1.0.
+	invoke("H", []types.Value{types.NewInt(1)})
+	invoke("H", []types.Value{types.NewString("1")})
+	invoke("H", []types.Value{types.NewFloat(1)})
+	if calls != 7 {
+		t.Errorf("cross-type collision: %d calls", calls)
+	}
+	st := fc.Snapshot()
+	if st.Hits != 1 || st.Misses != 7 || st.Coalesced != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if hits, misses := fc.Stats(); hits != 1 || misses != 7 {
+		t.Errorf("Stats() = %d hits, %d misses", hits, misses)
 	}
 }
 

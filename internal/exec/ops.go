@@ -35,51 +35,103 @@ type Ctx struct {
 }
 
 // FuncCache memoises (function, arguments) -> result within one statement.
+// It is a singleflight cache: concurrent invocations with identical keys —
+// as issued by ParallelApply workers — coalesce into one underlying call,
+// with the latecomers blocking until the in-flight call completes instead
+// of stampeding the controller with duplicate federated-function calls.
 type FuncCache struct {
-	mu      sync.Mutex
-	entries map[string]*types.Table
-	hits    int
-	misses  int
+	mu        sync.Mutex
+	entries   map[string]*funcCall
+	hits      int
+	misses    int
+	coalesced int
 }
+
+// funcCall is one materialised or in-flight invocation; done is closed
+// once res/err are set.
+type funcCall struct {
+	done chan struct{}
+	res  *types.Table
+	err  error
+}
+
+// CacheStats is a point-in-time snapshot of a FuncCache's counters.
+type CacheStats struct {
+	// Hits counts lookups that found a completed result.
+	Hits int
+	// Misses counts lookups that had to invoke the function.
+	Misses int
+	// Coalesced counts lookups that joined an in-flight invocation.
+	Coalesced int
+}
+
+// Total returns the total number of lookups.
+func (s CacheStats) Total() int { return s.Hits + s.Misses + s.Coalesced }
 
 // NewFuncCache returns an empty cache.
 func NewFuncCache() *FuncCache {
-	return &FuncCache{entries: make(map[string]*types.Table)}
+	return &FuncCache{entries: make(map[string]*funcCall)}
 }
 
-// Stats reports cache hits and misses.
+// Stats reports cache hits and misses. Safe on a nil cache.
 func (fc *FuncCache) Stats() (hits, misses int) {
+	if fc == nil {
+		return 0, 0
+	}
 	fc.mu.Lock()
 	defer fc.mu.Unlock()
 	return fc.hits, fc.misses
 }
 
+// Snapshot returns all counters. Safe on a nil cache (all zero).
+func (fc *FuncCache) Snapshot() CacheStats {
+	if fc == nil {
+		return CacheStats{}
+	}
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return CacheStats{Hits: fc.hits, Misses: fc.misses, Coalesced: fc.coalesced}
+}
+
+// key builds the lookup key. Each argument carries its physical kind as a
+// tag so values of different types with identical renderings (integer 1
+// vs double 1, say) occupy distinct entries.
 func (fc *FuncCache) key(name string, args []types.Value) string {
 	var b strings.Builder
 	b.WriteString(strings.ToLower(name))
 	for _, a := range args {
 		b.WriteByte('\x00')
+		b.WriteByte('0' + byte(a.Kind()))
 		b.WriteString(a.String())
 	}
 	return b.String()
 }
 
-func (fc *FuncCache) get(name string, args []types.Value) (*types.Table, bool) {
+// Invoke returns the cached result for (name, args), joining an in-flight
+// call when one exists, and otherwise runs call and publishes its result.
+// Errors are cached too: within one statement a failed invocation fails
+// the statement, so retrying duplicates would only repeat the failure.
+func (fc *FuncCache) Invoke(name string, args []types.Value, call func() (*types.Table, error)) (*types.Table, error) {
+	key := fc.key(name, args)
 	fc.mu.Lock()
-	defer fc.mu.Unlock()
-	t, ok := fc.entries[fc.key(name, args)]
-	if ok {
-		fc.hits++
-	} else {
-		fc.misses++
+	if c, ok := fc.entries[key]; ok {
+		select {
+		case <-c.done:
+			fc.hits++
+		default:
+			fc.coalesced++
+		}
+		fc.mu.Unlock()
+		<-c.done
+		return c.res, c.err
 	}
-	return t, ok
-}
-
-func (fc *FuncCache) put(name string, args []types.Value, t *types.Table) {
-	fc.mu.Lock()
-	defer fc.mu.Unlock()
-	fc.entries[fc.key(name, args)] = t
+	c := &funcCall{done: make(chan struct{})}
+	fc.entries[key] = c
+	fc.misses++
+	fc.mu.Unlock()
+	c.res, c.err = call()
+	close(c.done)
+	return c.res, c.err
 }
 
 // Operator is a Volcano-style iterator. Open receives the current outer
@@ -92,11 +144,20 @@ type Operator interface {
 	Close() error
 	Describe() string
 	Children() []Operator
+	// Clone returns a fresh, closed instance of the same subplan sharing
+	// the immutable plan-time fields (schemas, expressions, catalog
+	// references) but none of the iteration state, so the copy can run
+	// concurrently with the original. ParallelApply clones its right side
+	// once per worker.
+	Clone() Operator
 }
 
-// Run drains an operator into a materialised table.
+// Run drains an operator into a materialised table. The root is closed on
+// every path, including an Open that fails after acquiring resources
+// (e.g. an Apply whose left side opened before the failure).
 func Run(op Operator, ctx *Ctx) (*types.Table, error) {
 	if err := op.Open(ctx, nil); err != nil {
+		op.Close()
 		return nil, err
 	}
 	defer op.Close()
@@ -164,6 +225,9 @@ func (v *Values) Describe() string { return fmt.Sprintf("Values (%d rows)", len(
 // Children implements Operator.
 func (v *Values) Children() []Operator { return nil }
 
+// Clone implements Operator.
+func (v *Values) Clone() Operator { return &Values{Sch: v.Sch, Rows: v.Rows} }
+
 // ------------------------------------------------------------ TableScan
 
 // TableScan reads a snapshot of a base table.
@@ -202,6 +266,9 @@ func (t *TableScan) Describe() string { return "TableScan " + t.Table.Name() }
 
 // Children implements Operator.
 func (t *TableScan) Children() []Operator { return nil }
+
+// Clone implements Operator.
+func (t *TableScan) Clone() Operator { return &TableScan{Table: t.Table, Sch: t.Sch} }
 
 // ----------------------------------------------------------- RemoteScan
 
@@ -255,6 +322,11 @@ func (r *RemoteScan) Describe() string {
 // Children implements Operator.
 func (r *RemoteScan) Children() []Operator { return nil }
 
+// Clone implements Operator.
+func (r *RemoteScan) Clone() Operator {
+	return &RemoteScan{Server: r.Server, Query: r.Query, Sch: r.Sch}
+}
+
 // ------------------------------------------------------------- FuncScan
 
 // FuncScan invokes a table function. Its argument expressions are
@@ -283,19 +355,16 @@ func (f *FuncScan) Open(ctx *Ctx, bind types.Row) error {
 		}
 		args[i] = v
 	}
+	invoke := func() (*types.Table, error) { return f.Fn.Invoke(ctx.Runner, ctx.Task, args) }
+	var res *types.Table
+	var err error
 	if ctx.FuncCache != nil {
-		if cached, ok := ctx.FuncCache.get(f.Fn.Name(), args); ok {
-			f.res = cached
-			f.pos = 0
-			return nil
-		}
+		res, err = ctx.FuncCache.Invoke(f.Fn.Name(), args, invoke)
+	} else {
+		res, err = invoke()
 	}
-	res, err := f.Fn.Invoke(ctx.Runner, ctx.Task, args)
 	if err != nil {
 		return err
-	}
-	if ctx.FuncCache != nil {
-		ctx.FuncCache.put(f.Fn.Name(), args, res)
 	}
 	f.res = res
 	f.pos = 0
@@ -326,6 +395,9 @@ func (f *FuncScan) Describe() string {
 
 // Children implements Operator.
 func (f *FuncScan) Children() []Operator { return nil }
+
+// Clone implements Operator.
+func (f *FuncScan) Clone() Operator { return &FuncScan{Fn: f.Fn, Args: f.Args, Sch: f.Sch} }
 
 // ---------------------------------------------------------------- Apply
 
@@ -411,6 +483,11 @@ func (a *Apply) Describe() string { return "Apply (lateral)" }
 
 // Children implements Operator.
 func (a *Apply) Children() []Operator { return []Operator{a.Left, a.Right} }
+
+// Clone implements Operator.
+func (a *Apply) Clone() Operator {
+	return &Apply{Left: a.Left.Clone(), Right: a.Right.Clone(), Sch: a.Sch, Independent: a.Independent}
+}
 
 // ------------------------------------------------------------ LeftApply
 
@@ -518,6 +595,11 @@ func (a *LeftApply) Describe() string {
 
 // Children implements Operator.
 func (a *LeftApply) Children() []Operator { return []Operator{a.Left, a.Right} }
+
+// Clone implements Operator.
+func (a *LeftApply) Clone() Operator {
+	return &LeftApply{Left: a.Left.Clone(), Right: a.Right.Clone(), On: a.On, Sch: a.Sch}
+}
 
 // -------------------------------------------------------------- HashJoin
 
@@ -684,6 +766,14 @@ func (h *HashJoin) Describe() string {
 // Children implements Operator.
 func (h *HashJoin) Children() []Operator { return []Operator{h.Left, h.Right} }
 
+// Clone implements Operator.
+func (h *HashJoin) Clone() Operator {
+	return &HashJoin{
+		Left: h.Left.Clone(), Right: h.Right.Clone(),
+		LeftKeys: h.LeftKeys, RightKeys: h.RightKeys, Residual: h.Residual, Sch: h.Sch,
+	}
+}
+
 // --------------------------------------------------------------- Filter
 
 // Filter keeps rows whose predicate is true (NULL filters out, per SQL).
@@ -727,6 +817,9 @@ func (f *Filter) Describe() string { return "Filter " + f.Pred.String() }
 
 // Children implements Operator.
 func (f *Filter) Children() []Operator { return []Operator{f.Child} }
+
+// Clone implements Operator.
+func (f *Filter) Clone() Operator { return &Filter{Child: f.Child.Clone(), Pred: f.Pred} }
 
 // -------------------------------------------------------------- Project
 
@@ -774,6 +867,11 @@ func (p *Project) Describe() string {
 
 // Children implements Operator.
 func (p *Project) Children() []Operator { return []Operator{p.Child} }
+
+// Clone implements Operator.
+func (p *Project) Clone() Operator {
+	return &Project{Child: p.Child.Clone(), Exprs: p.Exprs, Sch: p.Sch}
+}
 
 // ----------------------------------------------------------------- Sort
 
@@ -893,6 +991,9 @@ func (s *Sort) Describe() string {
 // Children implements Operator.
 func (s *Sort) Children() []Operator { return []Operator{s.Child} }
 
+// Clone implements Operator.
+func (s *Sort) Clone() Operator { return &Sort{Child: s.Child.Clone(), Keys: s.Keys} }
+
 // ------------------------------------------------------------- Distinct
 
 // Distinct removes duplicate rows (hash-based with equality re-check).
@@ -944,6 +1045,9 @@ func (d *Distinct) Describe() string { return "Distinct" }
 
 // Children implements Operator.
 func (d *Distinct) Children() []Operator { return []Operator{d.Child} }
+
+// Clone implements Operator.
+func (d *Distinct) Clone() Operator { return &Distinct{Child: d.Child.Clone()} }
 
 // --------------------------------------------------------------- Concat
 
@@ -1010,6 +1114,15 @@ func (c *Concat) Describe() string { return fmt.Sprintf("Concat (%d inputs)", le
 // Children implements Operator.
 func (c *Concat) Children() []Operator { return c.Inputs }
 
+// Clone implements Operator.
+func (c *Concat) Clone() Operator {
+	inputs := make([]Operator, len(c.Inputs))
+	for i, in := range c.Inputs {
+		inputs[i] = in.Clone()
+	}
+	return &Concat{Inputs: inputs}
+}
+
 // ---------------------------------------------------------------- Limit
 
 // Limit implements LIMIT/OFFSET. A negative limit means unlimited.
@@ -1057,3 +1170,8 @@ func (l *Limit) Describe() string { return fmt.Sprintf("Limit %d offset %d", l.C
 
 // Children implements Operator.
 func (l *Limit) Children() []Operator { return []Operator{l.Child} }
+
+// Clone implements Operator.
+func (l *Limit) Clone() Operator {
+	return &Limit{Child: l.Child.Clone(), Count: l.Count, Skip: l.Skip}
+}

@@ -1,0 +1,242 @@
+package exec
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fedwf/internal/simlat"
+	"fedwf/internal/types"
+)
+
+// ParallelApply is the parallel form of Apply/LeftApply: it drains the
+// left side, fans the outer rows out to a bounded worker pool, opens an
+// independent clone of the right side per worker, and merges the results
+// preserving left-row order. The planner only emits it when the right
+// side is side-effect-free, so per-worker clones may run concurrently.
+//
+// Rows are partitioned statically: worker w handles left rows w, w+dop,
+// w+2*dop, ... This keeps the work distribution — and therefore the
+// virtual-clock elapsed time and the function-cache statistics —
+// deterministic for a given (input, dop) pair, unlike a shared work
+// queue. Each worker runs on a simlat Fork branch and the operator Joins
+// them, so virtual-clock mode reports the max-branch (parallel) elapsed
+// time while wall mode gets real speedup.
+type ParallelApply struct {
+	Left, Right Operator
+	Sch         types.Schema
+	// DOP bounds the worker pool; <= 0 means runtime.GOMAXPROCS(0).
+	DOP int
+	// Independent marks a right side without lateral references; the
+	// operator then charges the composition cost, mirroring Apply.
+	Independent bool
+	// Outer selects LEFT OUTER semantics: left rows with no matching
+	// right row are emitted once, NULL-padded.
+	Outer bool
+	// On filters matches in Outer mode; evaluated over leftRow ++
+	// rightRow, nil matches all. Mirrors LeftApply.On.
+	On Expr
+
+	rows []types.Row
+	pos  int
+}
+
+// Schema implements Operator.
+func (a *ParallelApply) Schema() types.Schema { return a.Sch }
+
+func (a *ParallelApply) effectiveDOP() int {
+	if a.DOP > 0 {
+		return a.DOP
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Open implements Operator. All work happens here: the left side is
+// drained, the per-row right-side scans run on the worker pool, and the
+// merged result is buffered for Next.
+func (a *ParallelApply) Open(ctx *Ctx, bind types.Row) error {
+	a.rows = nil
+	a.pos = 0
+	if a.Independent {
+		ctx.Task.Step(simlat.StepJoinComposition, ctx.CompositionCost)
+	}
+	if err := a.Left.Open(ctx, bind); err != nil {
+		a.Left.Close()
+		return err
+	}
+	var leftRows []types.Row
+	for {
+		lr, err := a.Left.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			a.Left.Close()
+			return err
+		}
+		leftRows = append(leftRows, lr)
+	}
+	a.Left.Close()
+	if len(leftRows) == 0 {
+		return nil
+	}
+
+	workers := a.effectiveDOP()
+	if workers > len(leftRows) {
+		workers = len(leftRows)
+	}
+	rights := make([]Operator, workers)
+	rights[0] = a.Right
+	for w := 1; w < workers; w++ {
+		rights[w] = a.Right.Clone()
+	}
+	branches := ctx.Task.ForkN(workers)
+
+	results := make([][]types.Row, len(leftRows))
+	var (
+		stop   atomic.Bool
+		mu     sync.Mutex
+		errIdx = len(leftRows)
+		first  error
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wctx := &Ctx{
+				Task:            branches[w],
+				Runner:          ctx.Runner,
+				CompositionCost: ctx.CompositionCost,
+				FuncCache:       ctx.FuncCache,
+			}
+			for idx := w; idx < len(leftRows); idx += workers {
+				if stop.Load() {
+					return
+				}
+				out, err := a.applyOne(rights[w], wctx, bind, leftRows[idx])
+				if err != nil {
+					mu.Lock()
+					// Report the error the sequential plan would have
+					// hit first: the one at the lowest left-row index.
+					if idx < errIdx {
+						errIdx = idx
+						first = err
+					}
+					mu.Unlock()
+					stop.Store(true)
+					return
+				}
+				results[idx] = out
+			}
+		}(w)
+	}
+	wg.Wait()
+	ctx.Task.Join(branches...)
+	if first != nil {
+		return first
+	}
+	n := 0
+	for _, rs := range results {
+		n += len(rs)
+	}
+	a.rows = make([]types.Row, 0, n)
+	for _, rs := range results {
+		a.rows = append(a.rows, rs...)
+	}
+	return nil
+}
+
+// applyOne runs the right side for one outer row and returns the joined
+// output rows, applying On filtering and Outer NULL padding.
+func (a *ParallelApply) applyOne(right Operator, wctx *Ctx, bind, lr types.Row) ([]types.Row, error) {
+	childBind := make(types.Row, 0, len(bind)+len(lr))
+	childBind = append(childBind, bind...)
+	childBind = append(childBind, lr...)
+	if err := right.Open(wctx, childBind); err != nil {
+		right.Close()
+		return nil, err
+	}
+	defer right.Close()
+	var out []types.Row
+	matched := false
+	for {
+		rr, err := right.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		row := make(types.Row, 0, len(lr)+len(rr))
+		row = append(row, lr...)
+		row = append(row, rr...)
+		if a.On != nil {
+			v, err := a.On.Eval(row)
+			if err != nil {
+				return nil, err
+			}
+			ok, err := Truthy(v)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		matched = true
+		out = append(out, row)
+	}
+	if a.Outer && !matched {
+		row := make(types.Row, 0, len(lr)+len(right.Schema()))
+		row = append(row, lr...)
+		for range right.Schema() {
+			row = append(row, types.Null)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Next implements Operator.
+func (a *ParallelApply) Next() (types.Row, error) {
+	if a.pos >= len(a.rows) {
+		return nil, io.EOF
+	}
+	r := a.rows[a.pos]
+	a.pos++
+	return r, nil
+}
+
+// Close implements Operator.
+func (a *ParallelApply) Close() error {
+	a.rows = nil
+	a.pos = 0
+	return nil
+}
+
+// Describe implements Operator.
+func (a *ParallelApply) Describe() string {
+	name := "ParallelApply"
+	if a.Outer {
+		name = "ParallelLeftApply"
+	}
+	s := fmt.Sprintf("%s (dop=%d)", name, a.effectiveDOP())
+	if a.On != nil {
+		s += " on " + a.On.String()
+	}
+	return s
+}
+
+// Children implements Operator.
+func (a *ParallelApply) Children() []Operator { return []Operator{a.Left, a.Right} }
+
+// Clone implements Operator.
+func (a *ParallelApply) Clone() Operator {
+	return &ParallelApply{
+		Left: a.Left.Clone(), Right: a.Right.Clone(), Sch: a.Sch,
+		DOP: a.DOP, Independent: a.Independent, Outer: a.Outer, On: a.On,
+	}
+}

@@ -1,0 +1,89 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"fedwf/internal/exec"
+	"fedwf/internal/simlat"
+	"fedwf/internal/sqlparser"
+	"fedwf/internal/types"
+)
+
+func compileOpts(t *testing.T, sql string, opts Options) exec.Operator {
+	t.Helper()
+	cat := testCatalog(t)
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := CompileSelectOpts(cat, sel, nil, opts)
+	if err != nil {
+		t.Fatalf("CompileSelectOpts(%q): %v", sql, err)
+	}
+	return op
+}
+
+func TestParallelApplyChosenForLateralFunction(t *testing.T) {
+	sql := "SELECT s.Name, f.y FROM suppliers s, TABLE (Twice(s.No)) AS f"
+	seq := exec.ExplainString(compileOpts(t, sql, Options{}))
+	if strings.Contains(seq, "ParallelApply") || !strings.Contains(seq, "Apply (lateral)") {
+		t.Errorf("default plan:\n%s", seq)
+	}
+	par := exec.ExplainString(compileOpts(t, sql, Options{Parallelism: 4}))
+	if !strings.Contains(par, "ParallelApply (dop=4)") {
+		t.Errorf("parallel plan lacks ParallelApply (dop=4):\n%s", par)
+	}
+}
+
+func TestParallelApplyChosenForOuterJoin(t *testing.T) {
+	sql := "SELECT s.Name, p.PartNo FROM suppliers s LEFT JOIN parts p ON s.No = p.SuppNo"
+	seq := exec.ExplainString(compileOpts(t, sql, Options{}))
+	if !strings.Contains(seq, "LeftApply") || strings.Contains(seq, "ParallelLeftApply") {
+		t.Errorf("default plan:\n%s", seq)
+	}
+	par := exec.ExplainString(compileOpts(t, sql, Options{Parallelism: 2}))
+	if !strings.Contains(par, "ParallelLeftApply (dop=2)") {
+		t.Errorf("parallel plan lacks ParallelLeftApply:\n%s", par)
+	}
+}
+
+func TestParallelApplySkippedForUnsafeRightSide(t *testing.T) {
+	// The derived table aggregates, which sideEffectFree does not admit:
+	// the join above it must stay sequential even with parallelism on.
+	sql := "SELECT s.Name, d.c FROM suppliers s, (SELECT COUNT(*) AS c FROM parts) AS d"
+	p := exec.ExplainString(compileOpts(t, sql, Options{Parallelism: 4, DisableHashJoin: true}))
+	if strings.Contains(p, "ParallelApply") {
+		t.Errorf("aggregating right side parallelised:\n%s", p)
+	}
+}
+
+func TestParallelPlanResultsMatchSequential(t *testing.T) {
+	for _, sql := range []string{
+		"SELECT s.Name, f.y FROM suppliers s, TABLE (Twice(s.No)) AS f ORDER BY s.Name, f.y",
+		"SELECT s.Name, p.PartNo FROM suppliers s LEFT JOIN parts p ON s.No = p.SuppNo ORDER BY s.Name, p.PartNo",
+		"SELECT s.Name, n.n FROM suppliers s, TABLE (Nums()) AS n WHERE n.n < 3 ORDER BY s.Name, n.n",
+	} {
+		seqOp := compileOpts(t, sql, Options{DisableHashJoin: true})
+		parOp := compileOpts(t, sql, Options{DisableHashJoin: true, Parallelism: 4})
+		want, err := exec.Run(seqOp, &exec.Ctx{Task: simlat.Free()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := exec.Run(parOp, &exec.Ctx{Task: simlat.Free()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != want.String() {
+			t.Errorf("%s:\nparallel:\n%s\nsequential:\n%s", sql, got, want)
+		}
+	}
+}
+
+func TestBindResetClone(t *testing.T) {
+	b := &BindReset{Child: &exec.Values{Sch: types.Schema{{Name: "n", Type: types.Integer}}}}
+	c := b.Clone().(*BindReset)
+	if c == b || c.Child == b.Child {
+		t.Error("Clone shares iteration state")
+	}
+}

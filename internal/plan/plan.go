@@ -21,6 +21,10 @@ type Options struct {
 	// DisableHashJoin forces nested-loop Apply plans even for independent
 	// equi-joins (the join-strategy ablation).
 	DisableHashJoin bool
+	// Parallelism > 1 makes the planner emit ParallelApply with that
+	// degree of parallelism wherever the right side of a lateral join is
+	// side-effect-free; <= 1 keeps today's sequential Apply plans.
+	Parallelism int
 }
 
 // CompileSelect compiles a SELECT against the catalog. params binds the
@@ -212,9 +216,18 @@ func (c *compiler) addFromItem(chain exec.Operator, item sqlparser.FromItem, pen
 					return nil, err
 				}
 			}
-			joined := &exec.LeftApply{
-				Left: orEmptyValues(left), Right: rightOp, On: on,
-				Sch: c.schemaOf(0, len(c.cols)),
+			var joined exec.Operator
+			if c.opts.Parallelism > 1 && sideEffectFree(rightOp) {
+				joined = &exec.ParallelApply{
+					Left: orEmptyValues(left), Right: rightOp, On: on,
+					Sch: c.schemaOf(0, len(c.cols)),
+					DOP: c.opts.Parallelism, Outer: true,
+				}
+			} else {
+				joined = &exec.LeftApply{
+					Left: orEmptyValues(left), Right: rightOp, On: on,
+					Sch: c.schemaOf(0, len(c.cols)),
+				}
 			}
 			return c.attachReady(joined, pending)
 		default:
@@ -309,7 +322,15 @@ func (c *compiler) joinWith(left, right exec.Operator, leftWidth int, lateral bo
 			return op, nil
 		}
 	}
-	op := exec.Operator(&exec.Apply{Left: orEmptyValues(left), Right: right, Sch: full, Independent: !lateral && leftWidth > 0})
+	var op exec.Operator
+	if c.opts.Parallelism > 1 && sideEffectFree(right) {
+		op = &exec.ParallelApply{
+			Left: orEmptyValues(left), Right: right, Sch: full,
+			DOP: c.opts.Parallelism, Independent: !lateral && leftWidth > 0,
+		}
+	} else {
+		op = &exec.Apply{Left: orEmptyValues(left), Right: right, Sch: full, Independent: !lateral && leftWidth > 0}
+	}
 	for _, oc := range onConjuncts {
 		pred, err := c.compileExpr(oc)
 		if err != nil {
@@ -572,6 +593,27 @@ func (c *compiler) schemaOf(from, to int) types.Schema {
 	return out
 }
 
+// sideEffectFree reports whether an operator subtree may safely run
+// concurrently on cloned instances: scans that only read (function calls,
+// remote queries, local tables, literals) glued together by stateless
+// relational operators. Anything unknown is conservatively sequential.
+func sideEffectFree(op exec.Operator) bool {
+	switch o := op.(type) {
+	case *exec.FuncScan, *exec.RemoteScan, *exec.TableScan, *exec.Values:
+		return true
+	case *exec.Filter:
+		return sideEffectFree(o.Child)
+	case *exec.Project:
+		return sideEffectFree(o.Child)
+	case *exec.Limit:
+		return sideEffectFree(o.Child)
+	case *BindReset:
+		return sideEffectFree(o.Child)
+	default:
+		return false
+	}
+}
+
 func orEmptyValues(op exec.Operator) exec.Operator {
 	if op == nil {
 		return &exec.Values{Sch: types.Schema{}, Rows: []types.Row{{}}}
@@ -600,3 +642,6 @@ func (b *BindReset) Describe() string { return "BindReset" }
 
 // Children implements exec.Operator.
 func (b *BindReset) Children() []exec.Operator { return []exec.Operator{b.Child} }
+
+// Clone implements exec.Operator.
+func (b *BindReset) Clone() exec.Operator { return &BindReset{Child: b.Child.Clone()} }

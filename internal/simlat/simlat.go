@@ -205,6 +205,17 @@ func (t *Task) Fork() *Task {
 	return &Task{mode: t.mode, scale: t.scale, now: t.now, start: t.start, label: t.label, rec: t.rec}
 }
 
+// ForkN starts n parallel branches at once; the caller must later pass all
+// of them to Join on the parent. On a nil task it returns n nil branches,
+// which every Task method tolerates.
+func (t *Task) ForkN(n int) []*Task {
+	branches := make([]*Task, n)
+	for i := range branches {
+		branches[i] = t.Fork()
+	}
+	return branches
+}
+
 // Join merges completed parallel branches back into the parent: the parent
 // clock advances to the latest branch reading (virtual mode) and the
 // branches' spent work is added to the parent's total.

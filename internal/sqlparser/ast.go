@@ -503,6 +503,17 @@ func (*Show) stmt() {}
 
 func (s *Show) String() string { return "SHOW " + s.What }
 
+// Set assigns an integer engine option: SET <option> <n>
+// (e.g. SET PARALLELISM 4).
+type Set struct {
+	Option string // upper-cased
+	Value  int64
+}
+
+func (*Set) stmt() {}
+
+func (s *Set) String() string { return fmt.Sprintf("SET %s %d", s.Option, s.Value) }
+
 // ------------------------------------------------------------ expressions
 
 // Literal is a constant value.

@@ -176,6 +176,22 @@ func (p *parser) parseStatement() (Statement, error) {
 		}
 		p.next()
 		return &Show{What: w.Text}, nil
+	case "SET":
+		p.next()
+		o := p.peek()
+		if o.Kind != TokIdent && o.Kind != TokKeyword {
+			return nil, p.errf("expected an option name after SET, got %s", o)
+		}
+		p.next()
+		neg := p.acceptOp("-")
+		n, err := p.parseIntLiteral("SET " + o.Text)
+		if err != nil {
+			return nil, err
+		}
+		if neg {
+			n = -n
+		}
+		return &Set{Option: strings.ToUpper(o.Text), Value: n}, nil
 	default:
 		return nil, p.errf("unsupported statement %s", t.Text)
 	}

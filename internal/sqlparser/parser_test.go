@@ -463,3 +463,20 @@ func TestParseViewStatements(t *testing.T) {
 		}
 	}
 }
+
+func TestParseSet(t *testing.T) {
+	st := roundTrip(t, "SET PARALLELISM 4").(*Set)
+	if st.Option != "PARALLELISM" || st.Value != 4 {
+		t.Errorf("got %+v", st)
+	}
+	st = roundTrip(t, "set parallelism -1").(*Set)
+	if st.Option != "PARALLELISM" || st.Value != -1 {
+		t.Errorf("negative: got %+v", st)
+	}
+	if _, err := Parse("SET PARALLELISM"); err == nil {
+		t.Error("missing value accepted")
+	}
+	if _, err := Parse("SET 4"); err == nil {
+		t.Error("missing option name accepted")
+	}
+}
