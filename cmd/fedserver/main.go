@@ -4,20 +4,32 @@
 //
 //	fedserver -addr 127.0.0.1:4711 -arch wfms
 //	fedserver -addr 127.0.0.1:4711 -arch udtf -direct
+//	fedserver -metrics-addr 127.0.0.1:9090 -slow-query-ms 100
+//
+// With -metrics-addr, a second HTTP listener serves /metrics (Prometheus
+// text exposition) and /healthz. With -slow-query-ms, every statement
+// whose simulated latency reaches the threshold is logged to stderr with
+// its span-tree summary. SIGINT/SIGTERM trigger a graceful shutdown that
+// drains in-flight statements before severing connections.
 //
 // Connect with the fedsql command.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"fedwf/internal/fdbs"
 	"fedwf/internal/fedfunc"
+	"fedwf/internal/obs"
+	"fedwf/internal/simlat"
 )
 
 func main() {
@@ -25,6 +37,9 @@ func main() {
 	archName := flag.String("arch", "wfms", "integration architecture: wfms or udtf")
 	direct := flag.Bool("direct", false, "bypass the controller (ablation configuration)")
 	dop := flag.Int("dop", 0, "intra-query degree of parallelism (0 = sequential, -1 = GOMAXPROCS)")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address for /metrics and /healthz (empty = disabled)")
+	slowMS := flag.Float64("slow-query-ms", 0, "log statements at or above this simulated latency in paper ms (0 = disabled)")
+	grace := flag.Duration("grace", 5*time.Second, "shutdown grace period for draining in-flight statements")
 	flag.Parse()
 
 	var arch fedfunc.Arch
@@ -47,11 +62,28 @@ func main() {
 		srv.Engine().SetParallelism(*dop)
 		fmt.Printf("fedserver: intra-query parallelism %d\n", srv.Engine().Parallelism())
 	}
+	if *slowMS > 0 {
+		threshold := time.Duration(*slowMS * float64(simlat.PaperMS))
+		srv.SetSlowQueryLog(obs.NewSlowQueryLog(os.Stderr, threshold))
+		fmt.Printf("fedserver: slow-query log at %.1f paper ms\n", *slowMS)
+	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fedserver:", err)
 		os.Exit(1)
 	}
+
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		metricsSrv = &http.Server{Addr: *metricsAddr, Handler: obs.MetricsMux(srv.MetricsRegistry())}
+		go func() {
+			if err := metricsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "fedserver: metrics:", err)
+			}
+		}()
+		fmt.Printf("fedserver: metrics on http://%s/metrics\n", *metricsAddr)
+	}
+
 	fmt.Printf("fedserver: %s listening on %s (controller: %v)\n", arch, bound, !*direct)
 	fmt.Println("fedserver: application systems:", strings.Join(srv.Apps().Systems(), ", "))
 	fmt.Println("fedserver: federated functions registered; connect with fedsql -addr", bound)
@@ -59,9 +91,21 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("\nfedserver: shutting down")
-	if err := srv.Close(); err != nil {
+	fmt.Println("\nfedserver: shutting down (draining in-flight statements)")
+	failed := false
+	if err := srv.Shutdown(*grace); err != nil {
 		fmt.Fprintln(os.Stderr, "fedserver:", err)
+		failed = true
+	}
+	if metricsSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		if err := metricsSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "fedserver: metrics:", err)
+			failed = true
+		}
+		cancel()
+	}
+	if failed {
 		os.Exit(1)
 	}
 }

@@ -2,8 +2,11 @@
 //
 //	fedsql -addr 127.0.0.1:4711
 //	fedsql -addr 127.0.0.1:4711 -c "SELECT * FROM TABLE (BuySuppComp(4, 'washer')) AS R"
+//	fedsql -addr 127.0.0.1:4711 -timing -c "EXPLAIN ANALYZE SELECT ..."
 //
-// In interactive mode, statements end with a semicolon; \q quits.
+// In interactive mode, statements end with a semicolon; \q quits and
+// \timing toggles per-statement timing (the server's simulated paper
+// latency, the wall round-trip, and function-cache counters).
 package main
 
 import (
@@ -12,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"fedwf/internal/fdbs"
 )
@@ -20,6 +24,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:4711", "fedserver address")
 	command := flag.String("c", "", "execute one statement and exit")
 	dop := flag.Int("dop", 0, "send SET PARALLELISM <n> before any statement (0 = leave server default)")
+	timing := flag.Bool("timing", false, "start with per-statement timing on (\\timing toggles it)")
 	flag.Parse()
 
 	client, err := fdbs.DialClient(*addr)
@@ -36,14 +41,16 @@ func main() {
 		}
 	}
 
+	showTiming := *timing
+
 	if *command != "" {
-		if !execute(client, *command) {
+		if !execute(client, *command, showTiming) {
 			os.Exit(1)
 		}
 		return
 	}
 
-	fmt.Println("fedsql: connected to", *addr, "- terminate statements with ';', \\q quits")
+	fmt.Println("fedsql: connected to", *addr, `- terminate statements with ';', \q quits, \timing toggles timing`)
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -59,6 +66,15 @@ func main() {
 		if buf.Len() == 0 && (trimmed == `\q` || trimmed == "quit" || trimmed == "exit") {
 			return
 		}
+		if buf.Len() == 0 && trimmed == `\timing` {
+			showTiming = !showTiming
+			if showTiming {
+				fmt.Println("Timing is on.")
+			} else {
+				fmt.Println("Timing is off.")
+			}
+			continue
+		}
 		buf.WriteString(line)
 		buf.WriteByte('\n')
 		if strings.HasSuffix(strings.TrimSpace(buf.String()), ";") {
@@ -66,7 +82,7 @@ func main() {
 			buf.Reset()
 			prompt = "fedsql> "
 			if strings.TrimSpace(stmt) != "" {
-				execute(client, stmt)
+				execute(client, stmt, showTiming)
 			}
 		} else {
 			prompt = "   ...> "
@@ -74,13 +90,42 @@ func main() {
 	}
 }
 
-func execute(client *fdbs.Client, sql string) bool {
-	tab, err := client.Exec(sql)
+func execute(client *fdbs.Client, sql string, timing bool) bool {
+	start := time.Now()
+	tab, meta, err := client.ExecTimed(sql)
+	roundTrip := time.Since(start)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		return false
 	}
 	fmt.Print(tab.String())
 	fmt.Printf("(%d rows)\n", tab.Len())
+	if timing {
+		fmt.Print(timingLine(meta, roundTrip))
+	}
 	return true
+}
+
+// timingLine renders the \timing footer from the server's per-statement
+// metadata; absent metadata (an old server) falls back to the client-side
+// round trip alone.
+func timingLine(meta map[string]string, roundTrip time.Duration) string {
+	rt := float64(roundTrip) / float64(time.Millisecond)
+	if meta == nil {
+		return fmt.Sprintf("Time: round-trip %.3f ms\n", rt)
+	}
+	line := fmt.Sprintf("Time: paper %s ms, server wall %s ms, round-trip %.3f ms",
+		orDash(meta["paper_ms"]), orDash(meta["wall_ms"]), rt)
+	if meta["cache_hits"] != "" || meta["cache_misses"] != "" || meta["cache_coalesced"] != "" {
+		line += fmt.Sprintf(" (cache hits=%s misses=%s coalesced=%s)",
+			orDash(meta["cache_hits"]), orDash(meta["cache_misses"]), orDash(meta["cache_coalesced"]))
+	}
+	return line + "\n"
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
 }

@@ -11,25 +11,47 @@
 //	paperbench -exp controller   # controller ablation (E7)
 //	paperbench -exp batch        # batch throughput scaling (E8, extension)
 //	paperbench -exp dop          # intra-query parallelism sweep (E9, extension)
+//	paperbench -exp spans        # Fig. 6 from live spans (E10, extension)
+//
+// With -json <path>, the numeric results of the experiments that ran are
+// additionally written as a JSON record list (experiment, arch, function,
+// step, dop, paper_ms), for machine consumption.
 //
 // Measurements run on the deterministic virtual clock, so the output is
 // identical on every machine.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"fedwf/internal/benchharn"
+	"fedwf/internal/simlat"
 )
 
+// record is one numeric result in the -json output.
+type record struct {
+	Experiment string  `json:"experiment"`
+	Arch       string  `json:"arch,omitempty"`
+	Function   string  `json:"function,omitempty"`
+	Step       string  `json:"step,omitempty"`
+	DOP        int     `json:"dop,omitempty"`
+	Calls      int     `json:"calls,omitempty"`
+	PaperMS    float64 `json:"paper_ms"`
+}
+
+func paperMS(d time.Duration) float64 { return float64(d) / float64(simlat.PaperMS) }
+
 func main() {
-	exp := flag.String("exp", "all", "experiment id: all, complexity, fig5, fig6, bootstate, parallel, loop, controller, batch, dop")
+	exp := flag.String("exp", "all", "experiment id: all, complexity, fig5, fig6, bootstate, parallel, loop, controller, batch, dop, spans")
 	bootFn := flag.String("bootfn", "GetSuppQual", "federated function for the boot-state experiment")
 	dops := flag.String("dops", "1,2,4,8", "comma-separated degrees of parallelism for the E9 sweep")
+	jsonPath := flag.String("json", "", "also write the numeric results as JSON to this path")
 	flag.Parse()
 
 	h, err := benchharn.New()
@@ -39,6 +61,7 @@ func main() {
 	selected := strings.ToLower(*exp)
 	run := func(id string) bool { return selected == "all" || selected == id }
 	any := false
+	var records []record
 
 	if run("complexity") {
 		any = true
@@ -57,6 +80,14 @@ func main() {
 			fail(err)
 		}
 		fmt.Print(benchharn.RenderFig5(rows))
+		for _, r := range rows {
+			if r.WfMS > 0 {
+				records = append(records, record{Experiment: "E2", Arch: "wfms", Function: r.Function, PaperMS: paperMS(r.WfMS)})
+			}
+			if r.UDTF > 0 {
+				records = append(records, record{Experiment: "E2", Arch: "udtf", Function: r.Function, PaperMS: paperMS(r.UDTF)})
+			}
+		}
 	}
 	if run("fig6") {
 		any = true
@@ -67,6 +98,11 @@ func main() {
 		}
 		fmt.Println(benchharn.RenderBreakdown(wf))
 		fmt.Println(benchharn.RenderBreakdown(ud))
+		for _, b := range []*benchharn.Breakdown{wf, ud} {
+			for _, s := range b.Steps {
+				records = append(records, record{Experiment: "E3", Arch: b.Arch, Function: "GetNoSuppComp", Step: s.Name, PaperMS: paperMS(s.Total)})
+			}
+		}
 	}
 	if run("bootstate") {
 		any = true
@@ -76,6 +112,12 @@ func main() {
 			fail(err)
 		}
 		fmt.Print(benchharn.RenderBootStates(rows))
+		for _, r := range rows {
+			records = append(records,
+				record{Experiment: "E4", Arch: r.Arch, Function: r.Function, Step: "cold", PaperMS: paperMS(r.Cold)},
+				record{Experiment: "E4", Arch: r.Arch, Function: r.Function, Step: "warm", PaperMS: paperMS(r.Warm)},
+				record{Experiment: "E4", Arch: r.Arch, Function: r.Function, Step: "hot", PaperMS: paperMS(r.Hot)})
+		}
 	}
 	if run("parallel") {
 		any = true
@@ -85,6 +127,11 @@ func main() {
 			fail(err)
 		}
 		fmt.Print(benchharn.RenderParallel(rows))
+		for _, r := range rows {
+			records = append(records,
+				record{Experiment: "E5", Arch: r.Arch, Function: "GetSuppQualRelia", PaperMS: paperMS(r.Parallel)},
+				record{Experiment: "E5", Arch: r.Arch, Function: "GetSuppQual", PaperMS: paperMS(r.Sequential)})
+		}
 	}
 	if run("loop") {
 		any = true
@@ -94,6 +141,9 @@ func main() {
 			fail(err)
 		}
 		fmt.Print(benchharn.RenderLoop(rows))
+		for _, r := range rows {
+			records = append(records, record{Experiment: "E6", Function: "AllCompNames", Calls: r.Calls, PaperMS: paperMS(r.Elapsed)})
+		}
 	}
 	if run("controller") {
 		any = true
@@ -103,6 +153,11 @@ func main() {
 			fail(err)
 		}
 		fmt.Print(benchharn.RenderAblation(rows, with, without))
+		for _, r := range rows {
+			records = append(records,
+				record{Experiment: "E7", Arch: r.Arch, Function: "GetNoSuppComp", Step: "with-controller", PaperMS: paperMS(r.With)},
+				record{Experiment: "E7", Arch: r.Arch, Function: "GetNoSuppComp", Step: "without-controller", PaperMS: paperMS(r.Without)})
+		}
 	}
 	if run("batch") {
 		any = true
@@ -112,6 +167,11 @@ func main() {
 			fail(err)
 		}
 		fmt.Print(benchharn.RenderBatch(rows))
+		for _, r := range rows {
+			records = append(records,
+				record{Experiment: "E8", Arch: "wfms", Calls: r.Calls, PaperMS: paperMS(r.WfMS)},
+				record{Experiment: "E8", Arch: "udtf", Calls: r.Calls, PaperMS: paperMS(r.UDTF)})
+		}
 	}
 	if run("dop") {
 		any = true
@@ -125,9 +185,41 @@ func main() {
 			fail(err)
 		}
 		fmt.Print(benchharn.RenderDOP(rows))
+		for _, r := range rows {
+			records = append(records, record{Experiment: "E9", Arch: r.Arch.Label(), Function: r.Function, DOP: r.DOP, PaperMS: paperMS(r.Elapsed)})
+		}
+	}
+	if run("spans") {
+		any = true
+		section("E10 - Fig. 6 from live spans (extension)")
+		results, err := h.Fig6FromSpans()
+		if err != nil {
+			fail(err)
+		}
+		for _, r := range results {
+			fmt.Println(benchharn.RenderSpanFig6(r))
+			if !r.Match {
+				fail(fmt.Errorf("E10: trace-derived breakdown for %s disagrees with the Recorder", r.Arch))
+			}
+			for _, s := range r.Trace.Steps {
+				records = append(records, record{Experiment: "E10", Arch: r.Arch, Function: "GetNoSuppComp", Step: s.Name, PaperMS: paperMS(s.Total)})
+			}
+		}
 	}
 	if !any {
 		fail(fmt.Errorf("unknown experiment %q", *exp))
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("\npaperbench: wrote %d records to %s\n", len(records), *jsonPath)
 	}
 }
 

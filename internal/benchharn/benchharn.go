@@ -11,6 +11,7 @@
 //	E7 — controller ablation
 //	E8 — batch scaling (extension: lateral driver-table joins)
 //	E9 — intra-query parallelism sweep (extension: ParallelApply DOP)
+//	E10 — Fig. 6 from live spans (extension: trace-derived breakdowns)
 //
 // All measurements run on the deterministic virtual clock, so the harness
 // produces identical numbers on every machine; the testing.B benchmarks in

@@ -1,0 +1,135 @@
+package benchharn
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"fedwf/internal/fedfunc"
+	"fedwf/internal/obs"
+	"fedwf/internal/simlat"
+)
+
+// ------------------------------------------------------------------- E10
+
+// SpanFig6 is one architecture's Fig. 6 breakdown recovered from a live
+// span trace (E10): the same hot GetNoSuppComp call carries both a
+// simlat.Recorder and an obs tracer, and in virtual mode the step totals
+// summed over the span tree must equal the Recorder's exactly — every
+// labelled charge feeds both by construction.
+type SpanFig6 struct {
+	Arch     string
+	Tree     string     // rendered span tree of the traced call
+	Trace    *Breakdown // step totals summed over the span tree
+	Recorder *Breakdown // step totals from the simlat.Recorder
+	Match    bool       // per-step totals identical between the two
+}
+
+// Fig6FromSpans reproduces the Fig. 6 breakdown of one hot GetNoSuppComp
+// call per architecture from live spans and cross-checks it against the
+// Recorder-derived reference.
+func (h *Harness) Fig6FromSpans() ([]SpanFig6, error) {
+	spec, err := fedfunc.SpecByName("GetNoSuppComp")
+	if err != nil {
+		return nil, err
+	}
+	var out []SpanFig6
+	for _, s := range []*fedfunc.Stack{h.wf, h.ud} {
+		if _, err := s.CallSpec(simlat.Free(), spec, 0); err != nil {
+			return nil, err
+		}
+		task := simlat.NewVirtualTask()
+		rec := simlat.NewRecorder()
+		task.SetRecorder(rec)
+		tr := obs.Trace(task, "stack.call",
+			obs.Attr{Key: "arch", Value: s.Arch().Label()},
+			obs.Attr{Key: "fn", Value: spec.Name})
+		_, callErr := s.CallSpec(task, spec, 0)
+		root := tr.Finish()
+		if callErr != nil {
+			return nil, callErr
+		}
+		recBd := recorderBreakdown(s.Arch().String(), rec)
+		traceBd := traceBreakdown(s.Arch().String(), root)
+		out = append(out, SpanFig6{
+			Arch:     s.Arch().String(),
+			Tree:     obs.Render(root),
+			Trace:    traceBd,
+			Recorder: recBd,
+			Match:    breakdownsEqual(traceBd, recBd),
+		})
+	}
+	return out, nil
+}
+
+// recorderBreakdown converts a Recorder into a Breakdown (the E3 shape).
+func recorderBreakdown(arch string, rec *simlat.Recorder) *Breakdown {
+	out := &Breakdown{Arch: arch, Total: rec.Total()}
+	for _, st := range rec.Steps() {
+		out.Steps = append(out.Steps, BreakdownStep{
+			Name: st.Name, Total: st.Total, Percent: percentOf(st.Total, rec.Total()),
+		})
+	}
+	return out
+}
+
+// traceBreakdown aggregates a span tree's step attributions into a
+// Breakdown.
+func traceBreakdown(arch string, root *obs.Span) *Breakdown {
+	totals := root.StepTotals()
+	var sum time.Duration
+	for _, st := range totals {
+		sum += st.Total
+	}
+	out := &Breakdown{Arch: arch, Total: sum}
+	for _, st := range totals {
+		out.Steps = append(out.Steps, BreakdownStep{
+			Name: st.Name, Total: st.Total, Percent: percentOf(st.Total, sum),
+		})
+	}
+	return out
+}
+
+func percentOf(part, whole time.Duration) int {
+	if whole <= 0 {
+		return 0
+	}
+	return int(float64(part)/float64(whole)*100 + 0.5)
+}
+
+// breakdownsEqual compares per-step totals (order-insensitive) and the
+// grand totals.
+func breakdownsEqual(a, b *Breakdown) bool {
+	if a.Total != b.Total || len(a.Steps) != len(b.Steps) {
+		return false
+	}
+	bt := make(map[string]time.Duration, len(b.Steps))
+	for _, st := range b.Steps {
+		bt[st.Name] = st.Total
+	}
+	for _, st := range a.Steps {
+		if got, ok := bt[st.Name]; !ok || got != st.Total {
+			return false
+		}
+	}
+	return true
+}
+
+// RenderSpanFig6 prints one E10 result: the span tree, the trace-derived
+// breakdown, and the cross-check verdict.
+func RenderSpanFig6(r SpanFig6) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — span tree of one hot GetNoSuppComp call:\n", r.Arch)
+	for _, line := range strings.Split(strings.TrimRight(r.Tree, "\n"), "\n") {
+		b.WriteString("  " + line + "\n")
+	}
+	b.WriteString("\n")
+	b.WriteString(RenderBreakdown(r.Trace))
+	verdict := "MATCH"
+	if !r.Match {
+		verdict = "MISMATCH"
+	}
+	fmt.Fprintf(&b, "  trace-derived vs Recorder-derived step totals: %s (total %s vs %s)\n",
+		verdict, fmtPaperMS(r.Trace.Total), fmtPaperMS(r.Recorder.Total))
+	return b.String()
+}

@@ -1,0 +1,36 @@
+package benchharn
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFig6FromSpans is the E10 acceptance check: the Fig. 6 breakdown
+// reconstructed from live span trees must agree exactly with the one the
+// simlat.Recorder produces, on both architectures.
+func TestFig6FromSpans(t *testing.T) {
+	h := newHarness(t)
+	results, err := h.Fig6FromSpans()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want one per architecture", len(results))
+	}
+	for _, r := range results {
+		if !r.Match {
+			t.Errorf("%s: trace-derived breakdown diverges from Recorder\ntrace: %+v\nrecorder: %+v",
+				r.Arch, r.Trace, r.Recorder)
+		}
+		if !strings.Contains(r.Tree, "stack.call") {
+			t.Errorf("%s: span tree lacks root:\n%s", r.Arch, r.Tree)
+		}
+		if r.Trace.Total != r.Recorder.Total || r.Trace.Total == 0 {
+			t.Errorf("%s: totals: trace %v, recorder %v", r.Arch, r.Trace.Total, r.Recorder.Total)
+		}
+		out := RenderSpanFig6(r)
+		if !strings.Contains(out, "MATCH") {
+			t.Errorf("%s render:\n%s", r.Arch, out)
+		}
+	}
+}

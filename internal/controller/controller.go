@@ -16,6 +16,7 @@ package controller
 import (
 	"sync"
 
+	"fedwf/internal/obs"
 	"fedwf/internal/rpc"
 	"fedwf/internal/simlat"
 	"fedwf/internal/types"
@@ -50,7 +51,9 @@ func (c *Controller) ensureConnected(task *simlat.Task) {
 	c.connected = true
 	c.mu.Unlock()
 	if !wasConnected {
+		sp := obs.StartSpan(task, "controller.connect")
 		task.Step(simlat.StepController, c.profile.ControllerConnect)
+		sp.End(task)
 	}
 }
 
@@ -65,6 +68,8 @@ func (c *Controller) Reset() {
 // RunWorkflow starts a workflow process instance on behalf of a UDTF,
 // charging the controller's own work.
 func (c *Controller) RunWorkflow(task *simlat.Task, p *wfms.Process, input map[string]types.Value) (*types.Table, error) {
+	sp := obs.StartSpan(task, "controller.run-workflow", obs.Attr{Key: "process", Value: p.Name})
+	defer sp.End(task)
 	c.ensureConnected(task)
 	task.Step(simlat.StepController, c.profile.ControllerInvokeWf)
 	return c.wf.Run(task, p, input)
@@ -75,6 +80,8 @@ func (c *Controller) RunWorkflow(task *simlat.Task, p *wfms.Process, input map[s
 // cheap — the paper measures the three controller runs of GetNoSuppComp
 // at ~0% of elapsed time.
 func (c *Controller) CallFunction(task *simlat.Task, system, function string, args []types.Value) (*types.Table, error) {
+	sp := obs.StartSpan(task, "controller.call", obs.Attr{Key: "system", Value: system}, obs.Attr{Key: "function", Value: function})
+	defer sp.End(task)
 	c.ensureConnected(task)
 	task.Step(simlat.StepControllerRuns, c.profile.ControllerDispatch)
 	return c.apps.Call(task, rpc.Request{System: system, Function: function, Args: args})

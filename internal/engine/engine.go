@@ -15,6 +15,7 @@ import (
 
 	"fedwf/internal/catalog"
 	"fedwf/internal/exec"
+	"fedwf/internal/obs"
 	"fedwf/internal/plan"
 	"fedwf/internal/simlat"
 	"fedwf/internal/sqlparser"
@@ -193,7 +194,9 @@ func (s *Session) Query(sql string) (*types.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp := obs.StartSpan(s.task, "engine.statement", obs.Attr{Key: "sql", Value: sel.String()})
 	tab, st, err := s.eng.runSelect(sel, nil, s.task)
+	sp.End(s.task)
 	s.lastCacheStats = st
 	return tab, err
 }
@@ -239,7 +242,9 @@ func (s *Session) MustExec(sql string) *Result {
 func (s *Session) ExecStmt(stmt sqlparser.Statement) (*Result, error) {
 	switch st := stmt.(type) {
 	case *sqlparser.Select:
+		sp := obs.StartSpan(s.task, "engine.statement", obs.Attr{Key: "sql", Value: st.String()})
 		tab, stats, err := s.eng.runSelect(st, nil, s.task)
+		sp.End(s.task)
 		s.lastCacheStats = stats
 		if err != nil {
 			return nil, err
@@ -570,14 +575,51 @@ func (s *Session) execExplain(st *sqlparser.Explain) (*Result, error) {
 		return nil, fmt.Errorf("engine: EXPLAIN supports SELECT statements only")
 	}
 	s.eng.mu.RLock()
+	cc := s.eng.compositionCost
 	opts := s.eng.planOpts
+	cache := s.eng.funcCache
 	s.eng.mu.RUnlock()
 	op, err := plan.CompileSelectOpts(s.eng.cat, sel, nil, opts)
 	if err != nil {
 		return nil, err
 	}
+	var text string
+	var footer []string
+	if st.Analyze {
+		// A free session meter would report every operator at 0ms; analysis
+		// runs on a fresh virtual meter instead, which also keeps the output
+		// deterministic.
+		task := s.task
+		if task.Mode() == simlat.ModeFree {
+			task = simlat.NewVirtualTask()
+		}
+		sp := obs.StartSpan(task, "engine.statement", obs.Attr{Key: "sql", Value: st.String()})
+		ctx := &exec.Ctx{Task: task, Runner: s.eng, CompositionCost: cc}
+		var fc *exec.FuncCache
+		if cache {
+			fc = exec.NewFuncCache()
+			ctx.FuncCache = fc
+		}
+		res, root, err := exec.RunAnalyze(op, ctx)
+		sp.End(task)
+		s.lastCacheStats = fc.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		text = exec.ExplainAnalyzeString(root)
+		footer = append(footer, fmt.Sprintf("rows returned: %d", res.Len()))
+		if cache {
+			cs := s.lastCacheStats
+			footer = append(footer, fmt.Sprintf("func cache: hits=%d misses=%d coalesced=%d", cs.Hits, cs.Misses, cs.Coalesced))
+		}
+	} else {
+		text = exec.ExplainString(op)
+	}
 	tab := types.NewTable(types.Schema{{Name: "PLAN", Type: types.VarChar}})
-	for _, line := range strings.Split(strings.TrimRight(exec.ExplainString(op), "\n"), "\n") {
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		tab.Rows = append(tab.Rows, types.Row{types.NewString(line)})
+	}
+	for _, line := range footer {
 		tab.Rows = append(tab.Rows, types.Row{types.NewString(line)})
 	}
 	return &Result{Table: tab}, nil

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"fedwf/internal/catalog"
+	"fedwf/internal/obs"
 	"fedwf/internal/simlat"
 	"fedwf/internal/sqlparser"
 	"fedwf/internal/storage"
@@ -107,23 +108,47 @@ func (fc *FuncCache) key(name string, args []types.Value) string {
 	return b.String()
 }
 
+// CacheOutcome classifies one FuncCache lookup.
+type CacheOutcome int
+
+// Lookup outcomes.
+const (
+	// CacheBypass means no cache was consulted.
+	CacheBypass CacheOutcome = iota
+	// CacheHit found a completed result.
+	CacheHit
+	// CacheMiss had to invoke the function.
+	CacheMiss
+	// CacheCoalesced joined an invocation already in flight.
+	CacheCoalesced
+)
+
 // Invoke returns the cached result for (name, args), joining an in-flight
 // call when one exists, and otherwise runs call and publishes its result.
 // Errors are cached too: within one statement a failed invocation fails
 // the statement, so retrying duplicates would only repeat the failure.
 func (fc *FuncCache) Invoke(name string, args []types.Value, call func() (*types.Table, error)) (*types.Table, error) {
+	res, _, err := fc.InvokeOutcome(name, args, call)
+	return res, err
+}
+
+// InvokeOutcome is Invoke plus the classification of this lookup, letting
+// an instrumented FuncScan keep per-operator cache counters.
+func (fc *FuncCache) InvokeOutcome(name string, args []types.Value, call func() (*types.Table, error)) (*types.Table, CacheOutcome, error) {
 	key := fc.key(name, args)
 	fc.mu.Lock()
 	if c, ok := fc.entries[key]; ok {
+		outcome := CacheHit
 		select {
 		case <-c.done:
 			fc.hits++
 		default:
 			fc.coalesced++
+			outcome = CacheCoalesced
 		}
 		fc.mu.Unlock()
 		<-c.done
-		return c.res, c.err
+		return c.res, outcome, c.err
 	}
 	c := &funcCall{done: make(chan struct{})}
 	fc.entries[key] = c
@@ -131,7 +156,7 @@ func (fc *FuncCache) Invoke(name string, args []types.Value, call func() (*types
 	fc.mu.Unlock()
 	c.res, c.err = call()
 	close(c.done)
-	return c.res, c.err
+	return c.res, CacheMiss, c.err
 }
 
 // Operator is a Volcano-style iterator. Open receives the current outer
@@ -338,8 +363,11 @@ type FuncScan struct {
 	Fn   catalog.TableFunc
 	Args []Expr
 	Sch  types.Schema
-	res  *types.Table
-	pos  int
+	// Stats, when set by Instrument, receives per-operator cache
+	// outcomes; clones share it.
+	Stats *OpStats
+	res   *types.Table
+	pos   int
 }
 
 // Schema implements Operator.
@@ -355,11 +383,24 @@ func (f *FuncScan) Open(ctx *Ctx, bind types.Row) error {
 		}
 		args[i] = v
 	}
+	sp := obs.StartSpan(ctx.Task, "exec.func", obs.Attr{Key: "fn", Value: f.Fn.Name()})
+	defer sp.End(ctx.Task)
 	invoke := func() (*types.Table, error) { return f.Fn.Invoke(ctx.Runner, ctx.Task, args) }
 	var res *types.Table
 	var err error
 	if ctx.FuncCache != nil {
-		res, err = ctx.FuncCache.Invoke(f.Fn.Name(), args, invoke)
+		var outcome CacheOutcome
+		res, outcome, err = ctx.FuncCache.InvokeOutcome(f.Fn.Name(), args, invoke)
+		if f.Stats != nil {
+			switch outcome {
+			case CacheHit:
+				f.Stats.CacheHits.Add(1)
+			case CacheMiss:
+				f.Stats.CacheMisses.Add(1)
+			case CacheCoalesced:
+				f.Stats.CacheCoalesced.Add(1)
+			}
+		}
 	} else {
 		res, err = invoke()
 	}
@@ -397,7 +438,9 @@ func (f *FuncScan) Describe() string {
 func (f *FuncScan) Children() []Operator { return nil }
 
 // Clone implements Operator.
-func (f *FuncScan) Clone() Operator { return &FuncScan{Fn: f.Fn, Args: f.Args, Sch: f.Sch} }
+func (f *FuncScan) Clone() Operator {
+	return &FuncScan{Fn: f.Fn, Args: f.Args, Sch: f.Sch, Stats: f.Stats}
+}
 
 // ---------------------------------------------------------------- Apply
 

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
+	"fedwf/internal/obs"
 	"fedwf/internal/simlat"
 	"fedwf/internal/types"
 )
@@ -38,6 +40,9 @@ type ParallelApply struct {
 	// On filters matches in Outer mode; evaluated over leftRow ++
 	// rightRow, nil matches all. Mirrors LeftApply.On.
 	On Expr
+	// Stats, when set by Instrument, receives per-worker utilization
+	// (work charged to each branch); clones share it.
+	Stats *OpStats
 
 	rows []types.Row
 	pos  int
@@ -106,6 +111,8 @@ func (a *ParallelApply) Open(ctx *Ctx, bind types.Row) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			sp := obs.StartSpan(branches[w], "exec.worker", obs.Attr{Key: "worker", Value: strconv.Itoa(w)})
+			defer sp.End(branches[w])
 			wctx := &Ctx{
 				Task:            branches[w],
 				Runner:          ctx.Runner,
@@ -134,6 +141,11 @@ func (a *ParallelApply) Open(ctx *Ctx, bind types.Row) error {
 		}(w)
 	}
 	wg.Wait()
+	if a.Stats != nil {
+		for w, b := range branches {
+			a.Stats.addWorker(w, b.Spent())
+		}
+	}
 	ctx.Task.Join(branches...)
 	if first != nil {
 		return first
@@ -238,5 +250,6 @@ func (a *ParallelApply) Clone() Operator {
 	return &ParallelApply{
 		Left: a.Left.Clone(), Right: a.Right.Clone(), Sch: a.Sch,
 		DOP: a.DOP, Independent: a.Independent, Outer: a.Outer, On: a.On,
+		Stats: a.Stats,
 	}
 }

@@ -9,11 +9,15 @@ package fdbs
 import (
 	"fmt"
 	"net"
+	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"fedwf/internal/appsys"
 	"fedwf/internal/engine"
 	"fedwf/internal/fedfunc"
+	"fedwf/internal/obs"
 	"fedwf/internal/rpc"
 	"fedwf/internal/simlat"
 	"fedwf/internal/types"
@@ -40,6 +44,11 @@ type Server struct {
 	apps    *appsys.Registry
 	wrapReg *wrapper.Registry
 	rpcSrv  *rpc.Server
+
+	metrics *obs.ServerMetrics
+
+	mu   sync.Mutex
+	slow *obs.SlowQueryLog
 }
 
 // NewServer builds and wires an integration server.
@@ -68,7 +77,9 @@ func NewServer(cfg Config) (*Server, error) {
 	if err := wrapReg.Link(stack.Engine()); err != nil {
 		return nil, err
 	}
-	return &Server{stack: stack, apps: apps, wrapReg: wrapReg}, nil
+	metrics := obs.NewServerMetrics(obs.NewRegistry())
+	stack.WorkflowEngine().SetActivityObserver(func() { metrics.WfMSActivities.Inc() })
+	return &Server{stack: stack, apps: apps, wrapReg: wrapReg, metrics: metrics}, nil
 }
 
 // Session opens a SQL session against the integration server.
@@ -90,41 +101,113 @@ func (s *Server) AttachInProcSource(target string, eng *engine.Engine) {
 	s.wrapReg.AddInProc(target, eng)
 }
 
+// Metrics exposes the server's metric bundle.
+func (s *Server) Metrics() *obs.ServerMetrics { return s.metrics }
+
+// MetricsRegistry exposes the registry behind the server's metrics, for
+// the /metrics endpoint.
+func (s *Server) MetricsRegistry() *obs.Registry { return s.metrics.Registry }
+
+// SetSlowQueryLog installs (or, with nil, removes) the slow-query log
+// consulted after every served statement.
+func (s *Server) SetSlowQueryLog(l *obs.SlowQueryLog) {
+	s.mu.Lock()
+	s.slow = l
+	s.mu.Unlock()
+}
+
+func (s *Server) slowLog() *obs.SlowQueryLog {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.slow
+}
+
 // Protocol functions served by Listen.
 const (
 	fnExec = "exec"
 )
 
-// handler serves the client protocol: "exec" runs any statement; queries
-// return their table, other statements return a one-row message table.
-func (s *Server) handler() rpc.Handler {
-	return func(task *simlat.Task, req rpc.Request) (*types.Table, error) {
-		if !strings.EqualFold(req.Function, fnExec) {
-			return nil, fmt.Errorf("fdbs: unknown protocol function %s", req.Function)
-		}
-		if len(req.Args) != 1 {
-			return nil, fmt.Errorf("fdbs: exec expects one statement argument")
-		}
-		text, err := req.Args[0].AsString()
-		if err != nil {
-			return nil, err
-		}
-		session := s.Session()
-		session.SetTask(task)
-		res, err := session.Exec(text)
-		if err != nil {
-			return nil, err
-		}
-		if res.Table != nil {
-			return res.Table, nil
-		}
-		out := types.NewTable(types.Schema{{Name: "Result", Type: types.VarChar}})
+// ExecObserved runs one statement on a fresh session with a per-request
+// virtual cost meter, records serving-path metrics, consults the
+// slow-query log, and returns the result table alongside timing metadata
+// (paper_ms, wall_ms, rows, cache counters, arch).
+//
+// The engine session still drives the integration stack, so the simulated
+// latency is the paper's per-statement elapsed time; wall time is the real
+// serving duration of this process.
+func (s *Server) ExecObserved(text string) (*types.Table, map[string]string, error) {
+	archLabel := s.stack.Arch().Label()
+	task := simlat.NewVirtualTask()
+	session := s.Session()
+	session.SetTask(task)
+	tr := obs.Trace(task, "fdbs.exec", obs.Attr{Key: "arch", Value: archLabel})
+	s.metrics.InFlight.Add(1)
+	wallStart := time.Now()
+	res, err := session.Exec(text)
+	wall := time.Since(wallStart)
+	root := tr.Finish()
+	s.metrics.InFlight.Add(-1)
+	paper := task.Elapsed()
+
+	status := "ok"
+	if err != nil {
+		status = "error"
+	}
+	s.metrics.Queries.With(archLabel, status).Inc()
+	s.metrics.LatencyPaperMS.With(archLabel).Observe(float64(paper) / float64(simlat.PaperMS))
+	cs := session.LastCacheStats()
+	s.metrics.CacheHits.Add(float64(cs.Hits))
+	s.metrics.CacheMisses.Add(float64(cs.Misses))
+	s.metrics.CacheCoalesced.Add(float64(cs.Coalesced))
+	s.metrics.Parallelism.Set(float64(s.Engine().Parallelism()))
+	if err != nil {
+		return nil, nil, err
+	}
+
+	out := res.Table
+	if out == nil {
+		out = types.NewTable(types.Schema{{Name: "Result", Type: types.VarChar}})
 		msg := res.Message
 		if msg == "" {
 			msg = fmt.Sprintf("%d rows affected", res.RowsAffected)
 		}
 		out.MustAppend(types.Row{types.NewString(msg)})
-		return out, nil
+	}
+	rows := out.Len()
+	s.metrics.RowsReturned.With(archLabel).Add(float64(rows))
+	if s.slowLog().Observe(text, paper, wall, rows, root) {
+		s.metrics.SlowQueries.Inc()
+	}
+
+	meta := map[string]string{
+		"arch":            archLabel,
+		"paper_ms":        fmt.Sprintf("%.3f", float64(paper)/float64(simlat.PaperMS)),
+		"wall_ms":         fmt.Sprintf("%.3f", float64(wall)/float64(time.Millisecond)),
+		"rows":            strconv.Itoa(rows),
+		"cache_hits":      strconv.Itoa(cs.Hits),
+		"cache_misses":    strconv.Itoa(cs.Misses),
+		"cache_coalesced": strconv.Itoa(cs.Coalesced),
+	}
+	return out, meta, nil
+}
+
+// handler serves the client protocol: "exec" runs any statement; queries
+// return their table, other statements return a one-row message table. The
+// transport's task is ignored — each statement gets its own virtual meter
+// so the latency metrics stay deterministic and per-request.
+func (s *Server) handler() rpc.MetaHandler {
+	return func(_ *simlat.Task, req rpc.Request) (*types.Table, map[string]string, error) {
+		if !strings.EqualFold(req.Function, fnExec) {
+			return nil, nil, fmt.Errorf("fdbs: unknown protocol function %s", req.Function)
+		}
+		if len(req.Args) != 1 {
+			return nil, nil, fmt.Errorf("fdbs: exec expects one statement argument")
+		}
+		text, err := req.Args[0].AsString()
+		if err != nil {
+			return nil, nil, err
+		}
+		return s.ExecObserved(text)
 	}
 }
 
@@ -133,16 +216,20 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	if s.rpcSrv != nil {
 		return nil, fmt.Errorf("fdbs: server already listening")
 	}
-	s.rpcSrv = rpc.NewServer(s.handler())
+	s.rpcSrv = rpc.NewServerMeta(s.handler())
 	return s.rpcSrv.Listen(addr)
 }
 
 // Close stops the TCP listener, if any.
-func (s *Server) Close() error {
+func (s *Server) Close() error { return s.Shutdown(0) }
+
+// Shutdown stops the TCP listener, draining in-flight statements for up to
+// grace before severing connections.
+func (s *Server) Shutdown(grace time.Duration) error {
 	if s.rpcSrv == nil {
 		return nil
 	}
-	err := s.rpcSrv.Close()
+	err := s.rpcSrv.Shutdown(grace)
 	s.rpcSrv = nil
 	return err
 }
@@ -164,6 +251,18 @@ func DialClient(addr string) (*Client, error) {
 // Exec runs one statement remotely and returns its result table.
 func (c *Client) Exec(sql string) (*types.Table, error) {
 	return c.c.Call(nil, rpc.Request{Function: fnExec, Args: []types.Value{types.NewString(sql)}})
+}
+
+// ExecTimed runs one statement remotely and additionally returns the
+// server's per-statement metadata (paper_ms, wall_ms, rows, cache
+// counters, arch). The map is nil against servers that predate metadata.
+func (c *Client) ExecTimed(sql string) (*types.Table, map[string]string, error) {
+	mc, ok := c.c.(rpc.MetaCaller)
+	if !ok {
+		res, err := c.Exec(sql)
+		return res, nil, err
+	}
+	return mc.CallMeta(nil, rpc.Request{Function: fnExec, Args: []types.Value{types.NewString(sql)}})
 }
 
 // Close releases the connection.

@@ -1,12 +1,17 @@
 package fdbs
 
 import (
+	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"fedwf/internal/engine"
 	"fedwf/internal/fedfunc"
+	"fedwf/internal/obs"
 	"fedwf/internal/rpc"
+	"fedwf/internal/simlat"
 	"fedwf/internal/types"
 )
 
@@ -158,10 +163,115 @@ func TestProtocolValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	h := srv.handler()
-	if _, err := h(nil, rpc.Request{Function: "nope", Args: []types.Value{types.NewString("SELECT 1")}}); err == nil {
+	if _, _, err := h(nil, rpc.Request{Function: "nope", Args: []types.Value{types.NewString("SELECT 1")}}); err == nil {
 		t.Error("unknown protocol function accepted")
 	}
-	if _, err := h(nil, rpc.Request{Function: "exec"}); err == nil {
+	if _, _, err := h(nil, rpc.Request{Function: "exec"}); err == nil {
 		t.Error("missing statement accepted")
+	}
+}
+
+func TestExecObservedMetricsAndSlowLog(t *testing.T) {
+	srv, err := NewServer(Config{Arch: fedfunc.ArchWfMS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slow strings.Builder
+	srv.SetSlowQueryLog(obs.NewSlowQueryLog(&slow, simlat.PaperMS))
+
+	tab, meta, err := srv.ExecObserved("SELECT * FROM TABLE (GetNoSuppComp('Supplier1', 'nut')) AS R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() == 0 {
+		t.Fatal("no rows")
+	}
+	if meta["arch"] != "wfms" || meta["rows"] == "" {
+		t.Errorf("meta = %v", meta)
+	}
+	paper, err := strconv.ParseFloat(meta["paper_ms"], 64)
+	if err != nil || paper <= 0 {
+		t.Errorf("paper_ms = %q (%v)", meta["paper_ms"], err)
+	}
+
+	m := srv.Metrics()
+	if got := m.Queries.With("wfms", "ok").Value(); got != 1 {
+		t.Errorf("queries ok = %v", got)
+	}
+	if m.WfMSActivities.Value() == 0 {
+		t.Error("workflow activity counter not wired")
+	}
+	if m.SlowQueries.Value() != 1 || !strings.Contains(slow.String(), "slow-query") {
+		t.Errorf("slow log: counter=%v line=%q", m.SlowQueries.Value(), slow.String())
+	}
+	if !strings.Contains(slow.String(), "fdbs.exec=") {
+		t.Errorf("slow log lacks span summary: %q", slow.String())
+	}
+
+	// Errors count separately and return no metadata.
+	if _, _, err := srv.ExecObserved("SELECT nonsense FROM nowhere"); err == nil {
+		t.Fatal("bad statement accepted")
+	}
+	if got := m.Queries.With("wfms", "error").Value(); got != 1 {
+		t.Errorf("queries error = %v", got)
+	}
+
+	// The Prometheus endpoint exposes the counters.
+	rr := httptest.NewRecorder()
+	obs.MetricsMux(srv.MetricsRegistry()).ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	body := rr.Body.String()
+	for _, want := range []string{
+		`fedwf_queries_total{arch="wfms",status="ok"} 1`,
+		`fedwf_queries_total{arch="wfms",status="error"} 1`,
+		`fedwf_query_latency_paper_ms_count{arch="wfms"} 2`,
+		"fedwf_wfms_activities_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	rr = httptest.NewRecorder()
+	obs.MetricsMux(srv.MetricsRegistry()).ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+	if rr.Code != 200 {
+		t.Errorf("/healthz = %d", rr.Code)
+	}
+}
+
+func TestClientExecTimedOverTCP(t *testing.T) {
+	srv, err := NewServer(Config{Arch: fedfunc.ArchUDTF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client, err := DialClient(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	tab, meta, err := client.ExecTimed("SELECT * FROM TABLE (GetNoSuppComp('Supplier1', 'nut')) AS R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() == 0 {
+		t.Fatal("no rows over TCP")
+	}
+	if meta == nil || meta["arch"] != "udtf" || meta["paper_ms"] == "" || meta["wall_ms"] == "" {
+		t.Errorf("timed meta = %v", meta)
+	}
+	if meta["rows"] != strconv.Itoa(tab.Len()) {
+		t.Errorf("meta rows = %q, table has %d", meta["rows"], tab.Len())
+	}
+	// Plain Exec still works and graceful shutdown drains cleanly.
+	if _, err := client.Exec("SHOW FUNCTIONS"); err != nil {
+		t.Errorf("plain exec: %v", err)
+	}
+	if err := srv.Shutdown(time.Second); err != nil {
+		t.Errorf("shutdown: %v", err)
 	}
 }

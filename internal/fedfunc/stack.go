@@ -35,6 +35,14 @@ func (a Arch) String() string {
 	return "enhanced SQL UDTF approach"
 }
 
+// Label is the compact form used as a metric label value.
+func (a Arch) Label() string {
+	if a == ArchWfMS {
+		return "wfms"
+	}
+	return "udtf"
+}
+
 // Stack is one fully wired integration architecture: an FDBS engine with
 // the federated functions of the mapping catalog registered the
 // architecture's way, in front of the shared application systems.
@@ -184,6 +192,10 @@ func (s *Stack) RegisterProcess(p *wfms.Process) error {
 
 // Engine exposes the stack's FDBS engine (for examples and ad-hoc SQL).
 func (s *Stack) Engine() *engine.Engine { return s.engine }
+
+// WorkflowEngine exposes the workflow engine behind the stack's
+// controller, so callers can attach observers to it.
+func (s *Stack) WorkflowEngine() *wfms.Engine { return s.bridge.Controller().WorkflowEngine() }
 
 // Profile returns the cost profile the stack was built with.
 func (s *Stack) Profile() simlat.Profile { return s.profile }

@@ -1,0 +1,47 @@
+package obs
+
+// ServerMetrics bundles the metric families the federated server records
+// on its serving path, so fdbs and fedserver share one wiring point.
+type ServerMetrics struct {
+	Registry *Registry
+
+	// Queries counts executed statements by integration architecture and
+	// outcome ("ok" / "error").
+	Queries *CounterVec
+	// RowsReturned counts result rows by architecture.
+	RowsReturned *CounterVec
+	// LatencyPaperMS is the per-statement simulated latency histogram by
+	// architecture, in paper milliseconds.
+	LatencyPaperMS *HistogramVec
+	// CacheHits/CacheMisses/CacheCoalesced mirror the per-statement
+	// FuncCache stats, accumulated server-wide.
+	CacheHits      *Counter
+	CacheMisses    *Counter
+	CacheCoalesced *Counter
+	// Parallelism is the session DOP last applied.
+	Parallelism *Gauge
+	// WfMSActivities counts workflow activities executed by the WfMS
+	// engine.
+	WfMSActivities *Counter
+	// InFlight is the number of statements currently executing.
+	InFlight *Gauge
+	// SlowQueries counts statements logged by the slow-query log.
+	SlowQueries *Counter
+}
+
+// NewServerMetrics registers the server's metric families on reg.
+func NewServerMetrics(reg *Registry) *ServerMetrics {
+	return &ServerMetrics{
+		Registry:       reg,
+		Queries:        reg.CounterVec("fedwf_queries_total", "Statements executed, by architecture and status.", "arch", "status"),
+		RowsReturned:   reg.CounterVec("fedwf_rows_returned_total", "Result rows returned, by architecture.", "arch"),
+		LatencyPaperMS: reg.HistogramVec("fedwf_query_latency_paper_ms", "Per-statement simulated latency in paper milliseconds, by architecture.", LatencyBuckets, "arch"),
+		CacheHits:      reg.Counter("fedwf_func_cache_hits_total", "Function-cache hits across all statements."),
+		CacheMisses:    reg.Counter("fedwf_func_cache_misses_total", "Function-cache misses across all statements."),
+		CacheCoalesced: reg.Counter("fedwf_func_cache_coalesced_total", "Function-cache calls coalesced into an in-flight invocation."),
+		Parallelism:    reg.Gauge("fedwf_parallelism", "Degree of parallelism last applied to a session."),
+		WfMSActivities: reg.Counter("fedwf_wfms_activities_total", "Workflow activities executed by the WfMS engine."),
+		InFlight:       reg.Gauge("fedwf_inflight_statements", "Statements currently executing."),
+		SlowQueries:    reg.Counter("fedwf_slow_queries_total", "Statements logged by the slow-query log."),
+	}
+}

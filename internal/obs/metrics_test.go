@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"fedwf/internal/simlat"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 3 {
+		t.Errorf("counter = %v", c.Value())
+	}
+	again := reg.Counter("c_total", "a counter")
+	again.Inc()
+	if c.Value() != 4 {
+		t.Error("re-registration did not share the series")
+	}
+
+	g := reg.Gauge("g", "a gauge")
+	g.Set(5)
+	g.Add(-2)
+	if g.Value() != 3 {
+		t.Errorf("gauge = %v", g.Value())
+	}
+
+	h := reg.Histogram("h", "a histogram", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+	if h.Count() != 3 || h.Sum() != 55.5 {
+		t.Errorf("histogram count=%d sum=%v", h.Count(), h.Sum())
+	}
+
+	v := reg.CounterVec("v_total", "a vec", "arch")
+	v.With("wfms").Inc()
+	v.With("wfms").Inc()
+	v.With("udtf").Inc()
+	if v.With("wfms").Value() != 2 || v.With("udtf").Value() != 1 {
+		t.Error("labelled series not independent")
+	}
+}
+
+func TestRegistryPanicsOnMismatch(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on type mismatch")
+		}
+	}()
+	reg.Gauge("x_total", "x")
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b_total", "second").Add(2)
+	reg.CounterVec("a_total", "first", "arch").With("wf\"ms\n").Inc()
+	h := reg.Histogram("lat_ms", "latency", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	// Families sorted by name; label values escaped.
+	if strings.Index(out, "# TYPE a_total counter") > strings.Index(out, "# TYPE b_total counter") {
+		t.Errorf("families not sorted:\n%s", out)
+	}
+	for _, want := range []string{
+		"# HELP a_total first",
+		`a_total{arch="wf\"ms\n"} 1`,
+		"b_total 2",
+		`lat_ms_bucket{le="1"} 1`,
+		`lat_ms_bucket{le="10"} 2`,
+		`lat_ms_bucket{le="+Inf"} 3`,
+		"lat_ms_sum 55.5",
+		"lat_ms_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricsMux(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits_total", "hits").Inc()
+	mux := MetricsMux(reg)
+
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 200 {
+		t.Fatalf("/metrics status = %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rr.Body.String(), "hits_total 1") {
+		t.Errorf("/metrics body:\n%s", rr.Body.String())
+	}
+
+	rr = httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+	if rr.Code != 200 || !strings.Contains(rr.Body.String(), "ok") {
+		t.Errorf("/healthz = %d %q", rr.Code, rr.Body.String())
+	}
+}
+
+func TestSlowQueryLog(t *testing.T) {
+	if NewSlowQueryLog(nil, time.Second) != nil {
+		t.Error("nil writer did not disable the log")
+	}
+	if NewSlowQueryLog(&strings.Builder{}, 0) != nil {
+		t.Error("zero threshold did not disable the log")
+	}
+	var nilLog *SlowQueryLog
+	if nilLog.Observe("SELECT 1", time.Hour, time.Hour, 1, nil) {
+		t.Error("nil log claimed to observe")
+	}
+
+	var sb strings.Builder
+	l := NewSlowQueryLog(&sb, 100*simlat.PaperMS)
+	if l.Observe("SELECT fast", 99*simlat.PaperMS, time.Millisecond, 1, nil) {
+		t.Error("below-threshold statement logged")
+	}
+	task := simlat.NewVirtualTask()
+	tr := Trace(task, "fdbs.exec")
+	task.Step("work", 150*simlat.PaperMS)
+	root := tr.Finish()
+	if !l.Observe("SELECT\n  slow", 150*simlat.PaperMS, 2*time.Millisecond, 3, root) {
+		t.Error("threshold statement not logged")
+	}
+	line := sb.String()
+	for _, want := range []string{"slow-query", "paper_ms=150.0", "rows=3", `stmt="SELECT slow"`, "fdbs.exec=150.0ms"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("missing %q in %q", want, line)
+		}
+	}
+}

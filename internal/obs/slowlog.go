@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"fedwf/internal/simlat"
+)
+
+// SlowQueryLog writes one structured line per statement whose simulated
+// latency reaches the threshold. A nil log, a nil writer, or a
+// non-positive threshold disables it.
+type SlowQueryLog struct {
+	mu        sync.Mutex
+	w         io.Writer
+	threshold time.Duration // PaperMS
+}
+
+// NewSlowQueryLog returns a log writing to w for statements at or above
+// threshold (in paper time). Returns nil when disabled.
+func NewSlowQueryLog(w io.Writer, threshold time.Duration) *SlowQueryLog {
+	if w == nil || threshold <= 0 {
+		return nil
+	}
+	return &SlowQueryLog{w: w, threshold: threshold}
+}
+
+// Observe logs the statement if paper latency reached the threshold and
+// reports whether it did. The span tree, when present, is flattened into a
+// one-line summary.
+func (l *SlowQueryLog) Observe(stmt string, paper, wall time.Duration, rows int, root *Span) bool {
+	if l == nil || paper < l.threshold {
+		return false
+	}
+	line := fmt.Sprintf("slow-query paper_ms=%.1f wall_ms=%.3f rows=%d stmt=%q",
+		float64(paper)/float64(simlat.PaperMS),
+		float64(wall)/float64(time.Millisecond),
+		rows, compactStmt(stmt))
+	if s := Summary(root); s != "" {
+		line += fmt.Sprintf(" spans=%q", s)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintln(l.w, line)
+	return true
+}
+
+// compactStmt collapses runs of whitespace so the statement fits one line.
+func compactStmt(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}

@@ -1,0 +1,341 @@
+// Package obs is the repo's dependency-free observability layer: span
+// tracing, a metrics registry with Prometheus text exposition, and a
+// structured slow-query log.
+//
+// Spans read time from simlat.Task, so a trace taken in virtual mode is
+// fully deterministic — the same query yields byte-identical span trees on
+// every machine — while wall-mode traces carry real time. Every layer of
+// both integration architectures opens a span at its boundary (engine
+// statement, executor operator, UDTF, controller, WfMS process/activity,
+// application-system RPC), and each labelled simlat charge is attributed
+// to the span active on that branch. Summing the step attributions over a
+// span tree therefore reproduces the simlat.Recorder Fig. 6 breakdown
+// exactly.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"fedwf/internal/simlat"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// String renders an Attr for the tree output.
+func (a Attr) String() string { return a.Key + "=" + a.Value }
+
+// StepTotal is the time attributed to one simlat step label within a span
+// (or, aggregated, within a whole tree).
+type StepTotal struct {
+	Name  string
+	Total time.Duration
+}
+
+// Span is one timed segment of a request. Spans form a tree; children may
+// be appended concurrently by forked simlat branches. All methods are safe
+// on a nil span, so instrumentation sites cost almost nothing when tracing
+// is off.
+type Span struct {
+	name   string
+	parent *Span
+
+	mu       sync.Mutex
+	attrs    []Attr
+	start    time.Duration
+	end      time.Duration
+	ended    bool
+	steps    map[string]time.Duration
+	order    []string
+	children []*Span
+}
+
+// newSpan builds a started span.
+func newSpan(name string, parent *Span, start time.Duration) *Span {
+	return &Span{name: name, parent: parent, start: start, steps: make(map[string]time.Duration)}
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Start returns the span's start instant on its branch clock.
+func (s *Span) Start() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.start
+}
+
+// Elapsed returns end - start, or 0 while the span is still open.
+func (s *Span) Elapsed() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		return 0
+	}
+	return s.end - s.start
+}
+
+// SetAttr annotates the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// Attrs returns a copy of the span's annotations.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Attr(nil), s.attrs...)
+}
+
+// AddStep implements simlat.SpanSink: it attributes d of charged work to
+// the named step within this span.
+func (s *Span) AddStep(label string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if _, ok := s.steps[label]; !ok {
+		s.order = append(s.order, label)
+	}
+	s.steps[label] += d
+	s.mu.Unlock()
+}
+
+// Steps returns this span's own step attributions (children excluded) in
+// first-seen order.
+func (s *Span) Steps() []StepTotal {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]StepTotal, 0, len(s.order))
+	for _, n := range s.order {
+		out = append(out, StepTotal{Name: n, Total: s.steps[n]})
+	}
+	return out
+}
+
+// Children returns the child spans ordered by (start, name), which makes
+// traversal deterministic even when parallel branches appended them in
+// racing order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	out := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		si, sj := out[i].Start(), out[j].Start()
+		if si != sj {
+			return si < sj
+		}
+		return out[i].Name() < out[j].Name()
+	})
+	return out
+}
+
+func (s *Span) addChild(c *Span) {
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+}
+
+// End closes the span at the task's current branch time and restores the
+// span's parent as the task's current sink (when this span still is).
+func (s *Span) End(task *simlat.Task) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.end = task.Elapsed()
+	}
+	s.mu.Unlock()
+	if task.SpanSink() == simlat.SpanSink(s) {
+		task.SetSpanSink(spanOrNil(s.parent))
+	}
+}
+
+// spanOrNil converts a possibly-nil *Span into a clean nil interface.
+func spanOrNil(s *Span) simlat.SpanSink {
+	if s == nil {
+		return nil
+	}
+	return s
+}
+
+// StepTotals aggregates the step attributions over the whole subtree in
+// deterministic first-seen (DFS) order. In virtual mode, with a Recorder
+// attached to the same task, the totals equal the Recorder's exactly.
+func (s *Span) StepTotals() []StepTotal {
+	totals := make(map[string]time.Duration)
+	var order []string
+	var walk func(sp *Span)
+	walk = func(sp *Span) {
+		if sp == nil {
+			return
+		}
+		for _, st := range sp.Steps() {
+			if _, ok := totals[st.Name]; !ok {
+				order = append(order, st.Name)
+			}
+			totals[st.Name] += st.Total
+		}
+		for _, c := range sp.Children() {
+			walk(c)
+		}
+	}
+	walk(s)
+	out := make([]StepTotal, 0, len(order))
+	for _, n := range order {
+		out = append(out, StepTotal{Name: n, Total: totals[n]})
+	}
+	return out
+}
+
+// StartSpan opens a child of the task's current span, makes it the task's
+// current sink, and returns it. It returns nil — and every later method on
+// the result is a no-op — when no tracer is attached to the task.
+func StartSpan(task *simlat.Task, name string, attrs ...Attr) *Span {
+	cur := task.SpanSink()
+	if cur == nil {
+		return nil
+	}
+	parent, ok := cur.(*Span)
+	if !ok {
+		return nil
+	}
+	child := newSpan(name, parent, task.Elapsed())
+	child.attrs = append(child.attrs, attrs...)
+	parent.addChild(child)
+	task.SetSpanSink(child)
+	return child
+}
+
+// CurrentSpan returns the task's current span, or nil.
+func CurrentSpan(task *simlat.Task) *Span {
+	if sp, ok := task.SpanSink().(*Span); ok {
+		return sp
+	}
+	return nil
+}
+
+// Tracer owns the root span of one traced request.
+type Tracer struct {
+	task *simlat.Task
+	root *Span
+	prev simlat.SpanSink
+}
+
+// Trace starts tracing the task: a root span named name opens at the
+// task's current branch time and becomes the current sink (forks inherit
+// it). Call Finish to close the root and detach.
+func Trace(task *simlat.Task, name string, attrs ...Attr) *Tracer {
+	root := newSpan(name, nil, task.Elapsed())
+	root.attrs = append(root.attrs, attrs...)
+	prev := task.SetSpanSink(root)
+	return &Tracer{task: task, root: root, prev: prev}
+}
+
+// Root returns the root span.
+func (t *Tracer) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Finish ends the root span, restores the task's previous sink, and
+// returns the completed tree.
+func (t *Tracer) Finish() *Span {
+	if t == nil {
+		return nil
+	}
+	t.root.mu.Lock()
+	if !t.root.ended {
+		t.root.ended = true
+		t.root.end = t.task.Elapsed()
+	}
+	t.root.mu.Unlock()
+	t.task.SetSpanSink(t.prev)
+	return t.root
+}
+
+// Render returns the span tree as an indented, deterministic listing:
+// one line per span with start/elapsed in paper milliseconds, attributes,
+// and the span's own step attributions.
+func Render(root *Span) string {
+	var b strings.Builder
+	var walk func(sp *Span, depth int)
+	walk = func(sp *Span, depth int) {
+		if sp == nil {
+			return
+		}
+		b.WriteString(strings.Repeat("  ", depth))
+		fmt.Fprintf(&b, "%s start=%s elapsed=%s", sp.Name(), fmtMS(sp.Start()), fmtMS(sp.Elapsed()))
+		for _, a := range sp.Attrs() {
+			b.WriteString(" " + a.String())
+		}
+		if steps := sp.Steps(); len(steps) > 0 {
+			parts := make([]string, len(steps))
+			for i, st := range steps {
+				parts[i] = fmt.Sprintf("%s:%s", st.Name, fmtMS(st.Total))
+			}
+			b.WriteString(" steps=[" + strings.Join(parts, "; ") + "]")
+		}
+		b.WriteByte('\n')
+		for _, c := range sp.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
+	return b.String()
+}
+
+// Summary flattens the first two levels of a span tree into one line, for
+// the slow-query log.
+func Summary(root *Span) string {
+	if root == nil {
+		return ""
+	}
+	var parts []string
+	parts = append(parts, fmt.Sprintf("%s=%s", root.Name(), fmtMS(root.Elapsed())))
+	for _, c := range root.Children() {
+		parts = append(parts, fmt.Sprintf("%s=%s", c.Name(), fmtMS(c.Elapsed())))
+	}
+	return strings.Join(parts, ">")
+}
+
+// fmtMS renders a duration in paper milliseconds with one decimal.
+func fmtMS(d time.Duration) string {
+	return fmt.Sprintf("%.1fms", float64(d)/float64(simlat.PaperMS))
+}

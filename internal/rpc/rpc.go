@@ -19,7 +19,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"fedwf/internal/obs"
 	"fedwf/internal/simlat"
 	"fedwf/internal/types"
 )
@@ -35,21 +38,52 @@ type Request struct {
 // in-process transports and a free meter for TCP servers.
 type Handler func(task *simlat.Task, req Request) (*types.Table, error)
 
+// MetaHandler is a Handler that additionally returns response metadata
+// (string key/value pairs shipped alongside the result table); the fdbs
+// protocol uses it for per-statement timing and cache statistics.
+type MetaHandler func(task *simlat.Task, req Request) (*types.Table, map[string]string, error)
+
+// metaOf lifts a plain Handler into a MetaHandler with no metadata.
+func metaOf(h Handler) MetaHandler {
+	return func(task *simlat.Task, req Request) (*types.Table, map[string]string, error) {
+		res, err := h(task, req)
+		return res, nil, err
+	}
+}
+
 // Client issues requests.
 type Client interface {
 	Call(task *simlat.Task, req Request) (*types.Table, error)
 	Close() error
 }
 
+// MetaCaller is implemented by clients that surface response metadata;
+// both built-in transports do.
+type MetaCaller interface {
+	CallMeta(task *simlat.Task, req Request) (*types.Table, map[string]string, error)
+}
+
 // ----------------------------------------------------------- in-process
 
-type inProcClient struct{ h Handler }
+type inProcClient struct{ h MetaHandler }
 
 // NewInProc returns a client that dispatches directly to the handler.
-func NewInProc(h Handler) Client { return &inProcClient{h: h} }
+func NewInProc(h Handler) Client { return &inProcClient{h: metaOf(h)} }
+
+// NewInProcMeta returns an in-process client over a metadata-returning
+// handler.
+func NewInProcMeta(h MetaHandler) Client { return &inProcClient{h: h} }
 
 // Call implements Client.
 func (c *inProcClient) Call(task *simlat.Task, req Request) (*types.Table, error) {
+	res, _, err := c.CallMeta(task, req)
+	return res, err
+}
+
+// CallMeta implements MetaCaller.
+func (c *inProcClient) CallMeta(task *simlat.Task, req Request) (*types.Table, map[string]string, error) {
+	sp := obs.StartSpan(task, "rpc.call", obs.Attr{Key: "system", Value: req.System}, obs.Attr{Key: "function", Value: req.Function})
+	defer sp.End(task)
 	return c.h(task, req)
 }
 
@@ -113,6 +147,7 @@ type wireResponse struct {
 	Err     string
 	Columns []wireColumn
 	Rows    [][]wireValue
+	Meta    map[string]string
 }
 
 func toWireTable(t *types.Table) ([]wireColumn, [][]wireValue) {
@@ -151,17 +186,23 @@ func fromWireTable(cols []wireColumn, rows [][]wireValue) *types.Table {
 
 // Server serves RPC requests over TCP.
 type Server struct {
-	h  Handler
+	h  MetaHandler
 	ln net.Listener
 
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+	inflight atomic.Int64 // requests currently being handled or encoded
 }
 
 // NewServer creates a server around a handler.
 func NewServer(h Handler) *Server {
+	return NewServerMeta(metaOf(h))
+}
+
+// NewServerMeta creates a server around a metadata-returning handler.
+func NewServerMeta(h MetaHandler) *Server {
 	return &Server{h: h, conns: make(map[net.Conn]struct{})}
 }
 
@@ -217,14 +258,18 @@ func (s *Server) serveConn(conn net.Conn) {
 		for i, w := range wreq.Args {
 			args[i] = fromWireValue(w)
 		}
-		res, err := s.h(simlat.Free(), Request{System: wreq.System, Function: wreq.Function, Args: args})
+		s.inflight.Add(1)
+		res, meta, err := s.h(simlat.Free(), Request{System: wreq.System, Function: wreq.Function, Args: args})
 		var wres wireResponse
 		if err != nil {
 			wres.Err = err.Error()
 		} else {
 			wres.Columns, wres.Rows = toWireTable(res)
 		}
-		if err := enc.Encode(&wres); err != nil {
+		wres.Meta = meta
+		encErr := enc.Encode(&wres)
+		s.inflight.Add(-1)
+		if encErr != nil {
 			return
 		}
 	}
@@ -240,22 +285,36 @@ func (s *Server) Addr() net.Addr {
 
 // Close stops the listener and all connections and waits for the serving
 // goroutines to finish.
-func (s *Server) Close() error {
+func (s *Server) Close() error { return s.Shutdown(0) }
+
+// Shutdown closes the listener, then waits up to grace for in-flight
+// requests to finish (connections stay open, so clients receive their
+// pending responses) before severing all connections. A zero grace cuts
+// immediately, as Close does.
+func (s *Server) Shutdown(grace time.Duration) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
-	conns := make([]net.Conn, 0, len(s.conns))
-	for c := range s.conns {
-		conns = append(conns, c)
-	}
 	s.mu.Unlock()
 	var err error
 	if s.ln != nil {
 		err = s.ln.Close()
 	}
+	if grace > 0 {
+		deadline := time.Now().Add(grace)
+		for s.inflight.Load() > 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	s.mu.Lock()
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
 	for _, c := range conns {
 		c.Close()
 	}
@@ -284,7 +343,15 @@ func Dial(addr string) (Client, error) {
 
 // Call implements Client. The task is not transmitted; TCP callees charge
 // their own clocks (wall-mode semantics).
-func (c *tcpClient) Call(_ *simlat.Task, req Request) (*types.Table, error) {
+func (c *tcpClient) Call(task *simlat.Task, req Request) (*types.Table, error) {
+	res, _, err := c.CallMeta(task, req)
+	return res, err
+}
+
+// CallMeta implements MetaCaller over the wire.
+func (c *tcpClient) CallMeta(task *simlat.Task, req Request) (*types.Table, map[string]string, error) {
+	sp := obs.StartSpan(task, "rpc.call", obs.Attr{Key: "system", Value: req.System}, obs.Attr{Key: "function", Value: req.Function})
+	defer sp.End(task)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	wreq := wireRequest{System: req.System, Function: req.Function, Args: make([]wireValue, len(req.Args))}
@@ -292,16 +359,16 @@ func (c *tcpClient) Call(_ *simlat.Task, req Request) (*types.Table, error) {
 		wreq.Args[i] = toWireValue(v)
 	}
 	if err := c.enc.Encode(&wreq); err != nil {
-		return nil, fmt.Errorf("rpc: send: %w", err)
+		return nil, nil, fmt.Errorf("rpc: send: %w", err)
 	}
 	var wres wireResponse
 	if err := c.dec.Decode(&wres); err != nil {
-		return nil, fmt.Errorf("rpc: receive: %w", err)
+		return nil, nil, fmt.Errorf("rpc: receive: %w", err)
 	}
 	if wres.Err != "" {
-		return nil, errors.New(wres.Err)
+		return nil, wres.Meta, errors.New(wres.Err)
 	}
-	return fromWireTable(wres.Columns, wres.Rows), nil
+	return fromWireTable(wres.Columns, wres.Rows), wres.Meta, nil
 }
 
 // Close implements Client.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"fedwf/internal/simlat"
 	"fedwf/internal/types"
@@ -200,5 +201,112 @@ func TestWireValueRoundTrip(t *testing.T) {
 		if !back.Equal(v) {
 			t.Errorf("round trip of %v gave %v", v, back)
 		}
+	}
+}
+
+func metaEchoHandler(task *simlat.Task, req Request) (*types.Table, map[string]string, error) {
+	tab, err := echoHandler(task, req)
+	if err != nil {
+		return nil, map[string]string{"failed": "yes"}, err
+	}
+	return tab, map[string]string{"fn": req.Function}, nil
+}
+
+func TestCallMetaInProc(t *testing.T) {
+	c := NewInProcMeta(metaEchoHandler)
+	defer c.Close()
+	mc, ok := c.(MetaCaller)
+	if !ok {
+		t.Fatal("in-proc client does not implement MetaCaller")
+	}
+	tab, meta, err := mc.CallMeta(simlat.Free(), Request{System: "s", Function: "f"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows[0][1].Str() != "f" || meta["fn"] != "f" {
+		t.Errorf("meta echo = %v / %v", tab.Rows[0], meta)
+	}
+}
+
+func TestCallMetaOverTCP(t *testing.T) {
+	srv := NewServerMeta(metaEchoHandler)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	mc, ok := c.(MetaCaller)
+	if !ok {
+		t.Fatal("tcp client does not implement MetaCaller")
+	}
+	tab, meta, err := mc.CallMeta(nil, Request{System: "s", Function: "f"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows[0][1].Str() != "f" || meta["fn"] != "f" {
+		t.Errorf("meta over TCP = %v / %v", tab.Rows[0], meta)
+	}
+	// Metadata rides along error responses too.
+	if _, meta, err := mc.CallMeta(nil, Request{Function: "fail"}); err == nil || meta["failed"] != "yes" {
+		t.Errorf("error meta = %v, err = %v", meta, err)
+	}
+	// Plain Call still works against a meta server and drops the map.
+	if _, err := c.Call(nil, Request{Function: "f"}); err != nil {
+		t.Errorf("plain call on meta server: %v", err)
+	}
+}
+
+func TestShutdownDrainsInflight(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	srv := NewServer(func(task *simlat.Task, req Request) (*types.Table, error) {
+		close(started)
+		<-release
+		return echoHandler(task, req)
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	type result struct {
+		tab *types.Table
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		tab, err := c.Call(nil, Request{Function: "slow"})
+		done <- result{tab, err}
+	}()
+	<-started
+	// Release the handler once shutdown is underway; the grace period must
+	// let the response reach the client before the connection is severed.
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(release)
+	}()
+	if err := srv.Shutdown(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("in-flight call lost during graceful shutdown: %v", r.err)
+	}
+	if r.tab.Rows[0][1].Str() != "slow" {
+		t.Errorf("drained response = %v", r.tab.Rows[0])
+	}
+	// New connections are refused after shutdown.
+	if _, err := Dial(addr.String()); err == nil {
+		t.Error("dial succeeded after shutdown")
 	}
 }

@@ -44,6 +44,14 @@ const (
 	ModeFree
 )
 
+// SpanSink observes the work charged to a task. The obs package's spans
+// implement it: the task carries the current span, forks inherit it, and
+// every labelled Spend is attributed to it — so a span tree accounts for
+// exactly the same charges as an attached Recorder.
+type SpanSink interface {
+	AddStep(label string, d time.Duration)
+}
+
 // Task is the cost meter for one in-flight request (one federated function
 // call, one query). It is safe for concurrent use by forked branches.
 type Task struct {
@@ -56,7 +64,8 @@ type Task struct {
 	start time.Time     // wall mode origin
 	label string        // current step label; Spend attributes to it
 
-	rec *Recorder // optional shared step recorder
+	rec  *Recorder // optional shared step recorder
+	sink SpanSink  // optional current span (per branch, inherited by forks)
 }
 
 // NewVirtualTask returns a task on a fresh virtual clock.
@@ -100,6 +109,32 @@ func (t *Task) Recorder() *Recorder {
 	return t.rec
 }
 
+// SetSpanSink installs the branch's current span sink and returns the
+// previous one so callers can restore it when a span ends. Unlike the
+// recorder, the sink is branch-local: a fork starts with the sink current
+// at fork time, and replacing it later on the branch does not affect the
+// parent.
+func (t *Task) SetSpanSink(s SpanSink) (prev SpanSink) {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	prev = t.sink
+	t.sink = s
+	t.mu.Unlock()
+	return prev
+}
+
+// SpanSink returns the branch's current span sink, or nil.
+func (t *Task) SpanSink() SpanSink {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sink
+}
+
 // SetLabel sets the current step label: subsequent Spend calls — including
 // those made by callees further down the stack — are attributed to it in
 // the recorder. It returns the previous label so callers can restore it.
@@ -123,10 +158,15 @@ func (t *Task) Spend(d time.Duration) {
 	t.mu.Lock()
 	t.now += d
 	t.spent += d
-	rec, label := t.rec, t.label
+	rec, sink, label := t.rec, t.sink, t.label
 	t.mu.Unlock()
-	if rec != nil && label != "" {
-		rec.Add(label, d)
+	if label != "" {
+		if rec != nil {
+			rec.Add(label, d)
+		}
+		if sink != nil {
+			sink.AddStep(label, d)
+		}
 	}
 	if t.mode == ModeWall {
 		wallWait(time.Duration(float64(d) * t.scale))
@@ -202,7 +242,7 @@ func (t *Task) Fork() *Task {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return &Task{mode: t.mode, scale: t.scale, now: t.now, start: t.start, label: t.label, rec: t.rec}
+	return &Task{mode: t.mode, scale: t.scale, now: t.now, start: t.start, label: t.label, rec: t.rec, sink: t.sink}
 }
 
 // ForkN starts n parallel branches at once; the caller must later pass all

@@ -253,3 +253,70 @@ func TestForkJoinProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Recorder and span sink must be safe under concurrently running forked
+// branches (ParallelApply workers all feed the same Recorder). Run under
+// -race.
+func TestRecorderConcurrentForkedBranches(t *testing.T) {
+	task := NewVirtualTask()
+	rec := NewRecorder()
+	task.SetRecorder(rec)
+	sink := &countingSink{}
+	task.SetSpanSink(sink)
+
+	const workers, steps = 8, 50
+	branches := task.ForkN(workers)
+	var wg sync.WaitGroup
+	for w, b := range branches {
+		wg.Add(1)
+		go func(w int, b *Task) {
+			defer wg.Done()
+			for i := 0; i < steps; i++ {
+				b.Step("work", PaperMS)
+				if i%10 == 0 {
+					b.SetLabel("relabel")
+					b.Spend(PaperMS)
+					b.SetLabel("")
+				}
+			}
+		}(w, b)
+	}
+	wg.Wait()
+	task.Join(branches...)
+
+	want := time.Duration(workers*steps) * PaperMS
+	var got time.Duration
+	for _, st := range rec.Steps() {
+		got += st.Total
+	}
+	// The relabelled spends add workers*5 extra paper ms.
+	want += time.Duration(workers*5) * PaperMS
+	if got != want {
+		t.Errorf("recorder total = %v, want %v", got, want)
+	}
+	if sink.total() != want {
+		t.Errorf("sink total = %v, want %v", sink.total(), want)
+	}
+	// Branches inherited the sink snapshot; the parent still has it.
+	if task.SpanSink() != SpanSink(sink) {
+		t.Error("parent sink lost after join")
+	}
+}
+
+// countingSink is a minimal SpanSink for concurrency tests.
+type countingSink struct {
+	mu  sync.Mutex
+	sum time.Duration
+}
+
+func (c *countingSink) AddStep(label string, d time.Duration) {
+	c.mu.Lock()
+	c.sum += d
+	c.mu.Unlock()
+}
+
+func (c *countingSink) total() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sum
+}

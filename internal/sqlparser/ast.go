@@ -489,12 +489,21 @@ func (d *Delete) String() string {
 
 // ---------------------------------------------------------------- other
 
-// Explain wraps a statement for plan display.
-type Explain struct{ Stmt Statement }
+// Explain wraps a statement for plan display; with Analyze set the plan
+// is executed and annotated with actual row counts and times.
+type Explain struct {
+	Stmt    Statement
+	Analyze bool
+}
 
 func (*Explain) stmt() {}
 
-func (e *Explain) String() string { return "EXPLAIN " + e.Stmt.String() }
+func (e *Explain) String() string {
+	if e.Analyze {
+		return "EXPLAIN ANALYZE " + e.Stmt.String()
+	}
+	return "EXPLAIN " + e.Stmt.String()
+}
 
 // Show lists catalog objects: SHOW TABLES | FUNCTIONS | SERVERS.
 type Show struct{ What string }

@@ -57,7 +57,7 @@ var keywords = map[string]bool{
 	"DELETE": true, "INDEX": true, "FUNCTION": true, "RETURNS": true,
 	"RETURN": true, "LANGUAGE": true, "SQL": true, "EXTERNAL": true,
 	"WRAPPER": true, "SERVER": true, "NICKNAME": true, "FOR": true,
-	"OPTIONS": true, "EXPLAIN": true, "CALL": true, "UNION": true,
+	"OPTIONS": true, "EXPLAIN": true, "ANALYZE": true, "CALL": true, "UNION": true,
 	"EXISTS": true, "PRIMARY": true, "KEY": true, "SHOW": true,
 	"TABLES": true, "FUNCTIONS": true, "SERVERS": true, "VIEWS": true,
 }

@@ -163,11 +163,16 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseDelete()
 	case "EXPLAIN":
 		p.next()
+		analyze := false
+		if a := p.peek(); a.Kind == TokKeyword && a.Text == "ANALYZE" {
+			p.next()
+			analyze = true
+		}
 		inner, err := p.parseStatement()
 		if err != nil {
 			return nil, err
 		}
-		return &Explain{Stmt: inner}, nil
+		return &Explain{Stmt: inner, Analyze: analyze}, nil
 	case "SHOW":
 		p.next()
 		w := p.peek()

@@ -24,6 +24,7 @@ import (
 	"fedwf/internal/catalog"
 	"fedwf/internal/controller"
 	"fedwf/internal/engine"
+	"fedwf/internal/obs"
 	"fedwf/internal/simlat"
 	"fedwf/internal/sqlparser"
 	"fedwf/internal/types"
@@ -97,6 +98,8 @@ func RegisterAccessUDTF(eng *engine.Engine, bridge *controller.Bridge, ins *Inst
 	name, system, function string, params []types.Column, returns types.Schema) error {
 	profile := ins.profile
 	impl := func(rt catalog.QueryRunner, task *simlat.Task, args []types.Value) (*types.Table, error) {
+		sp := obs.StartSpan(task, "udtf.access", obs.Attr{Key: "fn", Value: name})
+		defer sp.End(task)
 		ins.chargeEntry(task, name)
 		task.Step(simlat.StepPrepareAUDTF, profile.AUDTFPrepare)
 		prev := task.SetLabel(simlat.StepLocalFunctions)
@@ -138,11 +141,18 @@ func RegisterSQLIntegrationUDTF(eng *engine.Engine, ins *Instrument, createFunct
 	}
 	profile := ins.profile
 	sqlFn.BeforeInvoke = func(task *simlat.Task) {
+		obs.StartSpan(task, "udtf.sql", obs.Attr{Key: "fn", Value: name})
 		ins.chargeEntry(task, name)
 		task.Step(simlat.StepStartIUDTF, profile.IUDTFStart)
 	}
 	sqlFn.AfterInvoke = func(task *simlat.Task) {
 		task.Step(simlat.StepFinishIUDTF, profile.IUDTFFinish)
+		// Close the span opened by BeforeInvoke; AfterInvoke is not called
+		// on error, in which case the statement's tracer still detaches the
+		// leaked span on Finish.
+		if sp := obs.CurrentSpan(task); sp.Name() == "udtf.sql" {
+			sp.End(task)
+		}
 	}
 	return nil
 }
@@ -158,6 +168,8 @@ func RegisterGoIntegrationUDTF(eng *engine.Engine, ins *Instrument,
 	name string, params []types.Column, returns types.Schema, body GoBody) error {
 	profile := ins.profile
 	impl := func(rt catalog.QueryRunner, task *simlat.Task, args []types.Value) (*types.Table, error) {
+		sp := obs.StartSpan(task, "udtf.go", obs.Attr{Key: "fn", Value: name})
+		defer sp.End(task)
 		ins.chargeEntry(task, name)
 		task.Step(simlat.StepStartIUDTF, profile.IUDTFStart)
 		out, err := body(rt, task, args)
@@ -185,6 +197,8 @@ func RegisterWorkflowUDTF(eng *engine.Engine, bridge *controller.Bridge, ins *In
 	params := make([]types.Column, len(process.Input))
 	copy(params, process.Input)
 	impl := func(rt catalog.QueryRunner, task *simlat.Task, args []types.Value) (*types.Table, error) {
+		sp := obs.StartSpan(task, "udtf.workflow", obs.Attr{Key: "fn", Value: process.Name})
+		defer sp.End(task)
 		ins.chargeEntry(task, process.Name)
 		task.Step(simlat.StepStartUDTF, profile.UDTFStart)
 		task.Step(simlat.StepProcessUDTF, profile.UDTFProcess)

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"fedwf/internal/obs"
 	"fedwf/internal/simlat"
 	"fedwf/internal/types"
 )
@@ -16,6 +17,9 @@ type Engine struct {
 	invoker Invoker
 	costs   Costs
 	serial  bool
+	// onActivity, when set, is called once per executed activity (from
+	// activity goroutines; the observer must be safe for concurrent use).
+	onActivity func()
 }
 
 // New creates a workflow engine around an invoker for local functions.
@@ -28,6 +32,17 @@ func New(invoker Invoker, costs Costs) *Engine {
 // advantage is worth — with a serial navigator the WfMS loses to the
 // sequential variant on the independent case too.
 func (e *Engine) SetSerial(serial bool) { e.serial = serial }
+
+// SetActivityObserver installs a callback invoked once per executed
+// activity. Set it at wiring time, before any process runs; it is called
+// from concurrent activity goroutines.
+func (e *Engine) SetActivityObserver(f func()) { e.onActivity = f }
+
+func (e *Engine) notifyActivity() {
+	if e.onActivity != nil {
+		e.onActivity()
+	}
+}
 
 // AuditEvent is one entry of a process instance's audit trail.
 type AuditEvent struct {
@@ -58,6 +73,8 @@ func (e *Engine) RunDetailed(task *simlat.Task, p *Process, input map[string]typ
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	sp := obs.StartSpan(task, "wfms.process", obs.Attr{Key: "process", Value: p.Name})
+	defer sp.End(task)
 	// Starting the process instance boots the workflow engine's Java
 	// environment: a constant cost per call, per the paper's Fig. 6.
 	task.Step(simlat.StepStartWorkflow, e.costs.StartProcess)
@@ -298,6 +315,8 @@ func (e *Engine) runProcess(task *simlat.Task, p *Process, input map[string]type
 
 // runNode executes one node on its own branch task.
 func (e *Engine) runNode(branch *simlat.Task, p *Process, name string, input map[string]types.Value, outputs map[string]*types.Table, st *runState) (*types.Table, error) {
+	sp := obs.StartSpan(branch, "wfms.activity", obs.Attr{Key: "node", Value: name})
+	defer sp.End(branch)
 	st.record(branch.Elapsed(), name, "started", 0)
 	node := p.node(name)
 	// Navigator bookkeeping per activity.
@@ -323,6 +342,7 @@ func (e *Engine) runFunctionActivity(branch *simlat.Task, a *FunctionActivity, i
 	defer branch.SetLabel(prev)
 	branch.Spend(e.costs.ActivityBoot + e.costs.ContainerHandling)
 	st.countExec()
+	e.notifyActivity()
 
 	bindings, empty, err := bindingRows(a.Args, input, outputs)
 	if err != nil {
@@ -351,6 +371,7 @@ func (e *Engine) runHelperActivity(branch *simlat.Task, a *HelperActivity, input
 	defer branch.SetLabel(prev)
 	branch.Spend(e.costs.ActivityBoot + e.costs.ContainerHandling)
 	st.countExec()
+	e.notifyActivity()
 
 	in := make(map[string]*types.Table, len(outputs)+1)
 	for k, v := range outputs {

@@ -21,6 +21,7 @@ import (
 
 	"fedwf/internal/catalog"
 	"fedwf/internal/engine"
+	"fedwf/internal/obs"
 	"fedwf/internal/rpc"
 	"fedwf/internal/simlat"
 	"fedwf/internal/sqlparser"
@@ -128,6 +129,8 @@ func (r *RemoteServer) Query(sel *sqlparser.Select, task *simlat.Task) (*types.T
 }
 
 func (r *RemoteServer) call(task *simlat.Task, fn string, arg types.Value) (*types.Table, error) {
+	sp := obs.StartSpan(task, "wrapper.remote", obs.Attr{Key: "server", Value: r.name}, obs.Attr{Key: "op", Value: fn})
+	defer sp.End(task)
 	if r.charge {
 		task.Step(simlat.StepRMICall, r.perCall.RMICall)
 		defer task.Step(simlat.StepRMIReturn, r.perCall.RMIReturn)
