@@ -7,7 +7,12 @@
 //	fedserver -metrics-addr 127.0.0.1:9090 -slow-query-ms 100
 //
 // With -metrics-addr, a second HTTP listener serves /metrics (Prometheus
-// text exposition) and /healthz. With -slow-query-ms, every statement
+// text exposition), /healthz, and the trace API: /traces lists the traces
+// retained by tail sampling (filter with ?stmt=, ?errors=1, ?min_ms=,
+// ?limit=), /traces/<id> serves one trace as JSON or, with ?format=text,
+// as a span tree plus waterfall. -pprof additionally mounts the standard
+// net/http/pprof handlers under /debug/pprof/ on the same listener. The
+// -trace-* flags tune tail sampling. With -slow-query-ms, every statement
 // whose simulated latency reaches the threshold is logged to stderr with
 // its span-tree summary. SIGINT/SIGTERM trigger a graceful shutdown that
 // drains in-flight statements before severing connections.
@@ -20,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -29,6 +35,7 @@ import (
 	"fedwf/internal/fdbs"
 	"fedwf/internal/fedfunc"
 	"fedwf/internal/obs"
+	"fedwf/internal/obs/collector"
 	"fedwf/internal/simlat"
 )
 
@@ -37,9 +44,13 @@ func main() {
 	archName := flag.String("arch", "wfms", "integration architecture: wfms or udtf")
 	direct := flag.Bool("direct", false, "bypass the controller (ablation configuration)")
 	dop := flag.Int("dop", 0, "intra-query degree of parallelism (0 = sequential, -1 = GOMAXPROCS)")
-	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address for /metrics and /healthz (empty = disabled)")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address for /metrics, /healthz and /traces (empty = disabled)")
 	slowMS := flag.Float64("slow-query-ms", 0, "log statements at or above this simulated latency in paper ms (0 = disabled)")
 	grace := flag.Duration("grace", 5*time.Second, "shutdown grace period for draining in-flight statements")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the metrics listener")
+	traceCapacity := flag.Int("trace-capacity", 0, "trace collector ring-buffer slots (0 = default 512)")
+	traceSample := flag.Float64("trace-sample", 0, "tail-sampling rate for fast healthy traces (0 = default 0.05, negative = off)")
+	traceSlowMS := flag.Float64("trace-slow-ms", 0, "always retain traces at or above this paper latency in ms (0 = default 250)")
 	flag.Parse()
 
 	var arch fedfunc.Arch
@@ -53,7 +64,11 @@ func main() {
 		os.Exit(1)
 	}
 
-	srv, err := fdbs.NewServer(fdbs.Config{Arch: arch, Direct: *direct})
+	srv, err := fdbs.NewServer(fdbs.Config{Arch: arch, Direct: *direct, Trace: collector.Policy{
+		Capacity:         *traceCapacity,
+		SampleRate:       *traceSample,
+		LatencyThreshold: time.Duration(*traceSlowMS * float64(simlat.PaperMS)),
+	}})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fedserver:", err)
 		os.Exit(1)
@@ -75,13 +90,23 @@ func main() {
 
 	var metricsSrv *http.Server
 	if *metricsAddr != "" {
-		metricsSrv = &http.Server{Addr: *metricsAddr, Handler: obs.MetricsMux(srv.MetricsRegistry())}
+		mux := obs.MetricsMux(srv.MetricsRegistry())
+		srv.Collector().Register(mux)
+		if *enablePprof {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			fmt.Printf("fedserver: pprof on http://%s/debug/pprof/\n", *metricsAddr)
+		}
+		metricsSrv = &http.Server{Addr: *metricsAddr, Handler: mux}
 		go func() {
 			if err := metricsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "fedserver: metrics:", err)
 			}
 		}()
-		fmt.Printf("fedserver: metrics on http://%s/metrics\n", *metricsAddr)
+		fmt.Printf("fedserver: metrics on http://%s/metrics, traces on http://%s/traces\n", *metricsAddr, *metricsAddr)
 	}
 
 	fmt.Printf("fedserver: %s listening on %s (controller: %v)\n", arch, bound, !*direct)

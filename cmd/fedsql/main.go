@@ -4,9 +4,13 @@
 //	fedsql -addr 127.0.0.1:4711 -c "SELECT * FROM TABLE (BuySuppComp(4, 'washer')) AS R"
 //	fedsql -addr 127.0.0.1:4711 -timing -c "EXPLAIN ANALYZE SELECT ..."
 //
-// In interactive mode, statements end with a semicolon; \q quits and
+// In interactive mode, statements end with a semicolon; \q quits,
 // \timing toggles per-statement timing (the server's simulated paper
-// latency, the wall round-trip, and function-cache counters).
+// latency, the wall round-trip, and function-cache counters), \trace
+// on|off requests distributed tracing for the following statements, and
+// \lasttrace pretty-prints the last traced statement's cross-process
+// waterfall (client, rpc, fdbs, engine, UDTF, controller, WfMS and
+// application-system spans stitched into one tree).
 package main
 
 import (
@@ -18,6 +22,8 @@ import (
 	"time"
 
 	"fedwf/internal/fdbs"
+	"fedwf/internal/obs"
+	"fedwf/internal/types"
 )
 
 func main() {
@@ -25,6 +31,7 @@ func main() {
 	command := flag.String("c", "", "execute one statement and exit")
 	dop := flag.Int("dop", 0, "send SET PARALLELISM <n> before any statement (0 = leave server default)")
 	timing := flag.Bool("timing", false, "start with per-statement timing on (\\timing toggles it)")
+	trace := flag.Bool("trace", false, "start with distributed tracing on (\\trace toggles it)")
 	flag.Parse()
 
 	client, err := fdbs.DialClient(*addr)
@@ -41,16 +48,20 @@ func main() {
 		}
 	}
 
-	showTiming := *timing
+	st := &state{timing: *timing, trace: *trace}
 
 	if *command != "" {
-		if !execute(client, *command, showTiming) {
+		ok := execute(client, *command, st)
+		if st.trace && st.lastTrace != "" {
+			fmt.Print(st.lastTrace)
+		}
+		if !ok {
 			os.Exit(1)
 		}
 		return
 	}
 
-	fmt.Println("fedsql: connected to", *addr, `- terminate statements with ';', \q quits, \timing toggles timing`)
+	fmt.Println("fedsql: connected to", *addr, `- terminate statements with ';', \q quits, \timing toggles timing, \trace traces, \lasttrace shows the last trace`)
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -67,11 +78,35 @@ func main() {
 			return
 		}
 		if buf.Len() == 0 && trimmed == `\timing` {
-			showTiming = !showTiming
-			if showTiming {
+			st.timing = !st.timing
+			if st.timing {
 				fmt.Println("Timing is on.")
 			} else {
 				fmt.Println("Timing is off.")
+			}
+			continue
+		}
+		if buf.Len() == 0 && (trimmed == `\trace` || trimmed == `\trace on` || trimmed == `\trace off`) {
+			switch trimmed {
+			case `\trace on`:
+				st.trace = true
+			case `\trace off`:
+				st.trace = false
+			default:
+				st.trace = !st.trace
+			}
+			if st.trace {
+				fmt.Println("Tracing is on: the next statements request sampling and return their waterfall.")
+			} else {
+				fmt.Println("Tracing is off.")
+			}
+			continue
+		}
+		if buf.Len() == 0 && trimmed == `\lasttrace` {
+			if st.lastTrace == "" {
+				fmt.Println("No trace captured yet; turn tracing on with \trace and run a statement.")
+			} else {
+				fmt.Print(st.lastTrace)
 			}
 			continue
 		}
@@ -82,7 +117,7 @@ func main() {
 			buf.Reset()
 			prompt = "fedsql> "
 			if strings.TrimSpace(stmt) != "" {
-				execute(client, stmt, showTiming)
+				execute(client, stmt, st)
 			}
 		} else {
 			prompt = "   ...> "
@@ -90,20 +125,62 @@ func main() {
 	}
 }
 
-func execute(client *fdbs.Client, sql string, timing bool) bool {
+// state holds the REPL toggles and the last captured trace rendering.
+type state struct {
+	timing    bool
+	trace     bool
+	lastTrace string
+}
+
+func execute(client *fdbs.Client, sql string, st *state) bool {
 	start := time.Now()
-	tab, meta, err := client.ExecTimed(sql)
+	var (
+		tab  *types.Table
+		meta map[string]string
+		err  error
+	)
+	if st.trace {
+		var root *obs.Span
+		tab, meta, root, err = client.ExecTraced(sql)
+		st.lastTrace = renderTrace(root, meta)
+	} else {
+		tab, meta, err = client.ExecTimed(sql)
+	}
 	roundTrip := time.Since(start)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
+		if st.trace && st.lastTrace != "" {
+			fmt.Print(st.lastTrace)
+		}
 		return false
 	}
 	fmt.Print(tab.String())
 	fmt.Printf("(%d rows)\n", tab.Len())
-	if timing {
+	if st.timing {
 		fmt.Print(timingLine(meta, roundTrip))
 	}
+	if st.trace {
+		if id := meta[obs.MetaTraceID]; id != "" {
+			fmt.Printf("Trace %s captured (\\lasttrace shows the waterfall; /traces/%s on the server's metrics listener).\n", id, id)
+		}
+	}
 	return true
+}
+
+// renderTrace builds the \lasttrace output: a waterfall plus the indented
+// span tree of the statement's cross-process trace.
+func renderTrace(root *obs.Span, meta map[string]string) string {
+	if root == nil {
+		return ""
+	}
+	d := obs.SnapshotSpan(root)
+	var b strings.Builder
+	if id := meta[obs.MetaTraceID]; id != "" {
+		fmt.Fprintf(&b, "trace %s\n", id)
+	}
+	b.WriteString(obs.Waterfall(d))
+	b.WriteString(obs.RenderData(d))
+	return b.String()
 }
 
 // timingLine renders the \timing footer from the server's per-statement

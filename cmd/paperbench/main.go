@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -52,6 +53,7 @@ func main() {
 	bootFn := flag.String("bootfn", "GetSuppQual", "federated function for the boot-state experiment")
 	dops := flag.String("dops", "1,2,4,8", "comma-separated degrees of parallelism for the E9 sweep")
 	jsonPath := flag.String("json", "", "also write the numeric results as JSON to this path")
+	traceOut := flag.String("trace-out", "", "with -exp spans: write each architecture's span tree as JSON into this directory (virtual-clock trees are deterministic, so the files diff cleanly across commits)")
 	flag.Parse()
 
 	h, err := benchharn.New()
@@ -203,6 +205,20 @@ func main() {
 			}
 			for _, s := range r.Trace.Steps {
 				records = append(records, record{Experiment: "E10", Arch: r.Arch, Function: "GetNoSuppComp", Step: s.Name, PaperMS: paperMS(s.Total)})
+			}
+			if *traceOut != "" {
+				if err := os.MkdirAll(*traceOut, 0o755); err != nil {
+					fail(err)
+				}
+				data, err := json.MarshalIndent(r.Data, "", "  ")
+				if err != nil {
+					fail(err)
+				}
+				path := filepath.Join(*traceOut, fmt.Sprintf("E10_spans_%s.json", r.ArchLabel))
+				if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+					fail(err)
+				}
+				fmt.Printf("wrote %s\n", path)
 			}
 		}
 	}

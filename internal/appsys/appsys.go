@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"fedwf/internal/obs"
 	"fedwf/internal/rpc"
 	"fedwf/internal/simlat"
 	"fedwf/internal/storage"
@@ -86,7 +87,15 @@ func (s *System) Functions() []string {
 // Call invokes a local function: arguments are cast to the declared
 // parameter types, the service time is charged to the task, and the
 // result is coerced to the declared return schema.
-func (s *System) Call(task *simlat.Task, name string, args []types.Value) (*types.Table, error) {
+func (s *System) Call(task *simlat.Task, name string, args []types.Value) (out *types.Table, err error) {
+	sp := obs.StartSpan(task, "appsys.call",
+		obs.Attr{Key: "system", Value: s.name}, obs.Attr{Key: "fn", Value: name})
+	defer func() {
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End(task)
+	}()
 	f, err := s.Function(name)
 	if err != nil {
 		return nil, err
@@ -107,7 +116,7 @@ func (s *System) Call(task *simlat.Task, name string, args []types.Value) (*type
 	if err != nil {
 		return nil, fmt.Errorf("appsys: %s.%s: %w", s.name, f.Name, err)
 	}
-	out := types.NewTable(f.Returns.Clone())
+	out = types.NewTable(f.Returns.Clone())
 	for _, r := range res.Rows {
 		cr, err := types.CoerceRow(r, f.Returns)
 		if err != nil {

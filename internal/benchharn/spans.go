@@ -18,11 +18,13 @@ import (
 // summed over the span tree must equal the Recorder's exactly — every
 // labelled charge feeds both by construction.
 type SpanFig6 struct {
-	Arch     string
-	Tree     string     // rendered span tree of the traced call
-	Trace    *Breakdown // step totals summed over the span tree
-	Recorder *Breakdown // step totals from the simlat.Recorder
-	Match    bool       // per-step totals identical between the two
+	Arch      string
+	ArchLabel string        // compact label (wfms/udtf), used in file names
+	Tree      string        // rendered span tree of the traced call
+	Data      *obs.SpanData // serializable span tree (paperbench -trace-out)
+	Trace     *Breakdown    // step totals summed over the span tree
+	Recorder  *Breakdown    // step totals from the simlat.Recorder
+	Match     bool          // per-step totals identical between the two
 }
 
 // Fig6FromSpans reproduces the Fig. 6 breakdown of one hot GetNoSuppComp
@@ -52,11 +54,13 @@ func (h *Harness) Fig6FromSpans() ([]SpanFig6, error) {
 		recBd := recorderBreakdown(s.Arch().String(), rec)
 		traceBd := traceBreakdown(s.Arch().String(), root)
 		out = append(out, SpanFig6{
-			Arch:     s.Arch().String(),
-			Tree:     obs.Render(root),
-			Trace:    traceBd,
-			Recorder: recBd,
-			Match:    breakdownsEqual(traceBd, recBd),
+			Arch:      s.Arch().String(),
+			ArchLabel: s.Arch().Label(),
+			Tree:      obs.Render(root),
+			Data:      obs.SnapshotSpan(root),
+			Trace:     traceBd,
+			Recorder:  recBd,
+			Match:     breakdownsEqual(traceBd, recBd),
 		})
 	}
 	return out, nil

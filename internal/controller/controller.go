@@ -67,9 +67,14 @@ func (c *Controller) Reset() {
 
 // RunWorkflow starts a workflow process instance on behalf of a UDTF,
 // charging the controller's own work.
-func (c *Controller) RunWorkflow(task *simlat.Task, p *wfms.Process, input map[string]types.Value) (*types.Table, error) {
+func (c *Controller) RunWorkflow(task *simlat.Task, p *wfms.Process, input map[string]types.Value) (out *types.Table, err error) {
 	sp := obs.StartSpan(task, "controller.run-workflow", obs.Attr{Key: "process", Value: p.Name})
-	defer sp.End(task)
+	defer func() {
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End(task)
+	}()
 	c.ensureConnected(task)
 	task.Step(simlat.StepController, c.profile.ControllerInvokeWf)
 	return c.wf.Run(task, p, input)
@@ -79,9 +84,14 @@ func (c *Controller) RunWorkflow(task *simlat.Task, p *wfms.Process, input map[s
 // the UDTF architecture the controller is already running, so dispatch is
 // cheap — the paper measures the three controller runs of GetNoSuppComp
 // at ~0% of elapsed time.
-func (c *Controller) CallFunction(task *simlat.Task, system, function string, args []types.Value) (*types.Table, error) {
+func (c *Controller) CallFunction(task *simlat.Task, system, function string, args []types.Value) (out *types.Table, err error) {
 	sp := obs.StartSpan(task, "controller.call", obs.Attr{Key: "system", Value: system}, obs.Attr{Key: "function", Value: function})
-	defer sp.End(task)
+	defer func() {
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End(task)
+	}()
 	c.ensureConnected(task)
 	task.Step(simlat.StepControllerRuns, c.profile.ControllerDispatch)
 	return c.apps.Call(task, rpc.Request{System: system, Function: function, Args: args})

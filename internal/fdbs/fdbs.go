@@ -18,6 +18,7 @@ import (
 	"fedwf/internal/engine"
 	"fedwf/internal/fedfunc"
 	"fedwf/internal/obs"
+	"fedwf/internal/obs/collector"
 	"fedwf/internal/rpc"
 	"fedwf/internal/simlat"
 	"fedwf/internal/types"
@@ -36,6 +37,13 @@ type Config struct {
 	// Apps shares an existing application-system registry; a fresh
 	// scenario is built when nil.
 	Apps *appsys.Registry
+	// AppsClient places the application systems behind an explicit RPC
+	// client (e.g. rpc.Dial to another process). When nil, an in-process
+	// client over Apps is used.
+	AppsClient rpc.Client
+	// Trace configures the trace collector's tail sampling; zero fields
+	// take the collector defaults.
+	Trace collector.Policy
 }
 
 // Server is one running integration server.
@@ -46,6 +54,7 @@ type Server struct {
 	rpcSrv  *rpc.Server
 
 	metrics *obs.ServerMetrics
+	col     *collector.Collector
 
 	mu   sync.Mutex
 	slow *obs.SlowQueryLog
@@ -66,9 +75,10 @@ func NewServer(cfg Config) (*Server, error) {
 		}
 	}
 	stack, err := fedfunc.NewStack(cfg.Arch, fedfunc.Options{
-		Profile: profile,
-		Direct:  cfg.Direct,
-		Apps:    apps,
+		Profile:    profile,
+		Direct:     cfg.Direct,
+		Apps:       apps,
+		AppsClient: cfg.AppsClient,
 	})
 	if err != nil {
 		return nil, err
@@ -79,7 +89,8 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	metrics := obs.NewServerMetrics(obs.NewRegistry())
 	stack.WorkflowEngine().SetActivityObserver(func() { metrics.WfMSActivities.Inc() })
-	return &Server{stack: stack, apps: apps, wrapReg: wrapReg, metrics: metrics}, nil
+	col := collector.New(cfg.Trace, metrics.Registry)
+	return &Server{stack: stack, apps: apps, wrapReg: wrapReg, metrics: metrics, col: col}, nil
 }
 
 // Session opens a SQL session against the integration server.
@@ -103,6 +114,9 @@ func (s *Server) AttachInProcSource(target string, eng *engine.Engine) {
 
 // Metrics exposes the server's metric bundle.
 func (s *Server) Metrics() *obs.ServerMetrics { return s.metrics }
+
+// Collector exposes the trace collector behind /traces.
+func (s *Server) Collector() *collector.Collector { return s.col }
 
 // MetricsRegistry exposes the registry behind the server's metrics, for
 // the /metrics endpoint.
@@ -136,11 +150,25 @@ const (
 // latency is the paper's per-statement elapsed time; wall time is the real
 // serving duration of this process.
 func (s *Server) ExecObserved(text string) (*types.Table, map[string]string, error) {
+	return s.ExecTraced(text, obs.TraceContext{})
+}
+
+// ExecTraced is ExecObserved under an incoming trace context: the
+// statement's span tree adopts the caller's trace ID, every completed
+// statement is offered to the trace collector (tail sampling decides
+// retention), and — when the caller sampled the request — the span tree is
+// shipped back as a fragment in the metadata so the caller can graft it.
+func (s *Server) ExecTraced(text string, tc obs.TraceContext) (*types.Table, map[string]string, error) {
 	archLabel := s.stack.Arch().Label()
 	task := simlat.NewVirtualTask()
 	session := s.Session()
 	session.SetTask(task)
 	tr := obs.Trace(task, "fdbs.exec", obs.Attr{Key: "arch", Value: archLabel})
+	traceID := tc.TraceID
+	if traceID == "" {
+		traceID = obs.NewTraceID()
+	}
+	tr.Root().SetTraceID(traceID)
 	s.metrics.InFlight.Add(1)
 	wallStart := time.Now()
 	res, err := session.Exec(text)
@@ -152,6 +180,7 @@ func (s *Server) ExecObserved(text string) (*types.Table, map[string]string, err
 	status := "ok"
 	if err != nil {
 		status = "error"
+		root.SetAttr("error", err.Error())
 	}
 	s.metrics.Queries.With(archLabel, status).Inc()
 	s.metrics.LatencyPaperMS.With(archLabel).Observe(float64(paper) / float64(simlat.PaperMS))
@@ -160,8 +189,39 @@ func (s *Server) ExecObserved(text string) (*types.Table, map[string]string, err
 	s.metrics.CacheMisses.Add(float64(cs.Misses))
 	s.metrics.CacheCoalesced.Add(float64(cs.Coalesced))
 	s.metrics.Parallelism.Set(float64(s.Engine().Parallelism()))
+
+	meta := map[string]string{
+		"arch":            archLabel,
+		"paper_ms":        fmt.Sprintf("%.3f", float64(paper)/float64(simlat.PaperMS)),
+		"wall_ms":         fmt.Sprintf("%.3f", float64(wall)/float64(time.Millisecond)),
+		"cache_hits":      strconv.Itoa(cs.Hits),
+		"cache_misses":    strconv.Itoa(cs.Misses),
+		"cache_coalesced": strconv.Itoa(cs.Coalesced),
+		obs.MetaTraceID:   traceID,
+	}
+	snap := obs.SnapshotSpan(root)
+	errStr := ""
 	if err != nil {
-		return nil, nil, err
+		errStr = err.Error()
+	}
+	if s.col.Offer(&collector.Trace{
+		ID: traceID, Statement: text, Arch: archLabel, Error: errStr,
+		Forced: tc.Sampled, Paper: paper, Wall: wall, Root: snap,
+	}) {
+		meta["trace_retained"] = "1"
+	}
+	if tc.Sampled {
+		// Ship the span tree back to the caller; the transport (or the
+		// caller) grafts it under the span that issued this statement.
+		frag := &obs.Fragment{TraceID: traceID, ParentSpanID: tc.SpanID, Root: snap}
+		if enc, encErr := frag.Encode(); encErr == nil && len(enc) <= obs.MaxInlineFragmentBytes {
+			meta[obs.MetaTraceFragment] = enc
+		} else {
+			meta[obs.MetaTracePushed] = traceID
+		}
+	}
+	if err != nil {
+		return nil, meta, err
 	}
 
 	out := res.Table
@@ -174,19 +234,10 @@ func (s *Server) ExecObserved(text string) (*types.Table, map[string]string, err
 		out.MustAppend(types.Row{types.NewString(msg)})
 	}
 	rows := out.Len()
+	meta["rows"] = strconv.Itoa(rows)
 	s.metrics.RowsReturned.With(archLabel).Add(float64(rows))
 	if s.slowLog().Observe(text, paper, wall, rows, root) {
 		s.metrics.SlowQueries.Inc()
-	}
-
-	meta := map[string]string{
-		"arch":            archLabel,
-		"paper_ms":        fmt.Sprintf("%.3f", float64(paper)/float64(simlat.PaperMS)),
-		"wall_ms":         fmt.Sprintf("%.3f", float64(wall)/float64(time.Millisecond)),
-		"rows":            strconv.Itoa(rows),
-		"cache_hits":      strconv.Itoa(cs.Hits),
-		"cache_misses":    strconv.Itoa(cs.Misses),
-		"cache_coalesced": strconv.Itoa(cs.Coalesced),
 	}
 	return out, meta, nil
 }
@@ -207,7 +258,7 @@ func (s *Server) handler() rpc.MetaHandler {
 		if err != nil {
 			return nil, nil, err
 		}
-		return s.ExecObserved(text)
+		return s.ExecTraced(text, req.Trace)
 	}
 }
 
@@ -217,6 +268,9 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 		return nil, fmt.Errorf("fdbs: server already listening")
 	}
 	s.rpcSrv = rpc.NewServerMeta(s.handler())
+	s.rpcSrv.SetTraceSink(func(f *obs.Fragment) {
+		s.col.Offer(&collector.Trace{ID: f.TraceID, Statement: "(oversized fragment)", Root: f.Root, Forced: true})
+	})
 	return s.rpcSrv.Listen(addr)
 }
 
@@ -263,6 +317,30 @@ func (c *Client) ExecTimed(sql string) (*types.Table, map[string]string, error) 
 		return res, nil, err
 	}
 	return mc.CallMeta(nil, rpc.Request{Function: fnExec, Args: []types.Value{types.NewString(sql)}})
+}
+
+// ExecTraced runs one statement remotely with tracing requested: the
+// request carries a sampled trace context, and the server's span fragment
+// is grafted under a client-side root, so the returned span tree is the
+// full cross-process waterfall (client.exec → rpc.call → rpc.serve →
+// fdbs.exec → … → appsys.call). The root is nil against transports or
+// servers without trace support; metadata still carries the usual timing.
+func (c *Client) ExecTraced(sql string) (*types.Table, map[string]string, *obs.Span, error) {
+	mc, ok := c.c.(rpc.MetaCaller)
+	if !ok {
+		res, err := c.Exec(sql)
+		return res, nil, nil, err
+	}
+	// A wall task with scale 0 reads real time without sleeping, so the
+	// client-side spans measure the true round trip.
+	task := simlat.NewWallTask(0)
+	tr := obs.Trace(task, "client.exec")
+	tab, meta, err := mc.CallMeta(task, rpc.Request{Function: fnExec, Args: []types.Value{types.NewString(sql)}})
+	root := tr.Finish()
+	if id := meta[obs.MetaTraceID]; id != "" {
+		root.SetTraceID(id)
+	}
+	return tab, meta, root, err
 }
 
 // Close releases the connection.

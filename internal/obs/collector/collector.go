@@ -1,0 +1,258 @@
+// Package collector is the server-side trace store behind the /traces
+// endpoints: a bounded in-memory ring buffer of completed traces with
+// tail-based sampling. The decision to keep a trace is made after it
+// finishes ("tail" sampling), so the retention rules can look at what
+// actually happened: error traces and slow traces are always kept, traces
+// the client explicitly asked for (fedsql \trace) are always kept, and the
+// healthy fast majority is sampled probabilistically.
+package collector
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"fedwf/internal/obs"
+	"fedwf/internal/simlat"
+)
+
+// Policy is the collector's retention configuration. The zero value means
+// "use the default": Default() fills unset fields. To disable
+// probabilistic retention entirely (tests), set SampleRate negative.
+type Policy struct {
+	// Capacity is the number of ring-buffer slots (default 512).
+	Capacity int
+	// MaxTraceBytes caps each stored span tree's JSON encoding; deeper
+	// levels are pruned until the tree fits (default 128 KiB).
+	MaxTraceBytes int
+	// LatencyThreshold retains every trace whose paper latency reaches it
+	// (default 250 paper-ms).
+	LatencyThreshold time.Duration
+	// SampleRate is the probability of retaining a fast, healthy,
+	// unforced trace (default 0.05; negative disables).
+	SampleRate float64
+	// Seed makes the probabilistic decisions deterministic when nonzero
+	// (tests); zero seeds from the first Offer's wall clock.
+	Seed int64
+}
+
+// Default returns pol with unset fields filled in.
+func Default(pol Policy) Policy {
+	if pol.Capacity <= 0 {
+		pol.Capacity = 512
+	}
+	if pol.MaxTraceBytes <= 0 {
+		pol.MaxTraceBytes = 128 << 10
+	}
+	if pol.LatencyThreshold <= 0 {
+		pol.LatencyThreshold = 250 * simlat.PaperMS
+	}
+	if pol.SampleRate == 0 {
+		pol.SampleRate = 0.05
+	}
+	return pol
+}
+
+// Trace is one completed, stored trace.
+type Trace struct {
+	ID        string        `json:"id"`
+	Statement string        `json:"statement"`
+	Arch      string        `json:"arch,omitempty"`
+	Error     string        `json:"error,omitempty"`
+	Forced    bool          `json:"forced,omitempty"`
+	Paper     time.Duration `json:"paper_ns"`
+	Wall      time.Duration `json:"wall_ns"`
+	Root      *obs.SpanData `json:"root,omitempty"`
+}
+
+// Summary is the listing form of a trace (no span tree).
+type Summary struct {
+	ID        string  `json:"id"`
+	Statement string  `json:"statement"`
+	Arch      string  `json:"arch,omitempty"`
+	Error     string  `json:"error,omitempty"`
+	PaperMS   float64 `json:"paper_ms"`
+	WallMS    float64 `json:"wall_ms"`
+	Spans     int     `json:"spans"`
+}
+
+// Collector is a concurrency-safe bounded trace store.
+type Collector struct {
+	pol Policy
+
+	mu   sync.Mutex
+	ring []*Trace // newest at (next-1+len)%len, nil while filling
+	next int
+	rnd  *rand.Rand
+
+	offered  *obs.Counter
+	retained *obs.Counter
+	dropped  *obs.Counter
+	evicted  *obs.Counter
+	fnLat    *obs.HistogramVec
+}
+
+// New builds a collector. reg may be nil (no metrics); the retention
+// counters and the per-federated-function latency histogram register
+// there otherwise.
+func New(pol Policy, reg *obs.Registry) *Collector {
+	c := &Collector{pol: Default(pol)}
+	c.ring = make([]*Trace, c.pol.Capacity)
+	if c.pol.Seed != 0 {
+		c.rnd = rand.New(rand.NewSource(c.pol.Seed))
+	}
+	if reg != nil {
+		c.offered = reg.Counter("fedwf_traces_offered_total", "Traces offered to the collector.")
+		c.retained = reg.Counter("fedwf_traces_retained_total", "Traces retained by tail sampling.")
+		c.dropped = reg.Counter("fedwf_traces_sampled_out_total", "Traces dropped by tail sampling.")
+		c.evicted = reg.Counter("fedwf_traces_evicted_total", "Retained traces later evicted by ring-buffer wraparound.")
+		c.fnLat = reg.HistogramVec("fedwf_fedfunc_latency_paper_ms",
+			"Per-federated-function latency in paper milliseconds, from trace spans.", obs.LatencyBuckets, "fn")
+	}
+	return c
+}
+
+// Policy returns the effective (default-filled) policy.
+func (c *Collector) Policy() Policy { return c.pol }
+
+// Offer hands the collector a completed trace and reports whether tail
+// sampling retained it. The per-federated-function histograms observe
+// every offered trace, retained or not, so sampling does not bias them.
+func (c *Collector) Offer(t *Trace) bool {
+	if c == nil || t == nil {
+		return false
+	}
+	c.offered.Inc()
+	c.observeFedFuncs(t.Root)
+	keep := t.Error != "" || t.Forced || t.Paper >= c.pol.LatencyThreshold
+	if !keep && c.pol.SampleRate > 0 {
+		keep = c.randFloat() < c.pol.SampleRate
+	}
+	if !keep {
+		c.dropped.Inc()
+		return false
+	}
+	t.Root = t.Root.PruneToSize(c.pol.MaxTraceBytes)
+	c.mu.Lock()
+	if c.ring[c.next] != nil {
+		c.evicted.Inc()
+	}
+	c.ring[c.next] = t
+	c.next = (c.next + 1) % len(c.ring)
+	c.mu.Unlock()
+	c.retained.Inc()
+	return true
+}
+
+// randFloat draws from the seeded source when configured, else the shared
+// global source.
+func (c *Collector) randFloat() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rnd != nil {
+		return c.rnd.Float64()
+	}
+	return rand.Float64()
+}
+
+// observeFedFuncs walks the tree and feeds each federated-function span
+// (udtf.*) into the latency histogram, labelled by function name.
+func (c *Collector) observeFedFuncs(d *obs.SpanData) {
+	if c.fnLat == nil || d == nil {
+		return
+	}
+	if strings.HasPrefix(d.Name, "udtf.") {
+		fn := ""
+		for _, a := range d.Attrs {
+			if a.Key == "fn" {
+				fn = a.Value
+				break
+			}
+		}
+		if fn != "" {
+			c.fnLat.With(fn).Observe(float64(d.ElapsedNS) / float64(simlat.PaperMS))
+		}
+	}
+	for _, ch := range d.Children {
+		c.observeFedFuncs(ch)
+	}
+}
+
+// Get returns a stored trace by ID, or nil.
+func (c *Collector) Get(id string) *Trace {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, t := range c.ring {
+		if t != nil && t.ID == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// Filter restricts List output.
+type Filter struct {
+	// Statement keeps traces whose statement contains this substring
+	// (case-insensitive).
+	Statement string
+	// ErrorsOnly keeps only failed traces.
+	ErrorsOnly bool
+	// MinPaper keeps traces at or above this paper latency.
+	MinPaper time.Duration
+	// Limit caps the result count (0 = no cap).
+	Limit int
+}
+
+// List returns retained traces newest-first, filtered.
+func (c *Collector) List(f Filter) []*Trace {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	ordered := make([]*Trace, 0, len(c.ring))
+	for i := 1; i <= len(c.ring); i++ { // newest first: walk backwards from next-1
+		t := c.ring[(c.next-i+len(c.ring))%len(c.ring)]
+		if t != nil {
+			ordered = append(ordered, t)
+		}
+	}
+	c.mu.Unlock()
+	stmt := strings.ToLower(f.Statement)
+	out := make([]*Trace, 0, len(ordered))
+	for _, t := range ordered {
+		if f.ErrorsOnly && t.Error == "" {
+			continue
+		}
+		if stmt != "" && !strings.Contains(strings.ToLower(t.Statement), stmt) {
+			continue
+		}
+		if t.Paper < f.MinPaper {
+			continue
+		}
+		out = append(out, t)
+		if f.Limit > 0 && len(out) >= f.Limit {
+			break
+		}
+	}
+	return out
+}
+
+// Len returns the number of retained traces currently stored.
+func (c *Collector) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, t := range c.ring {
+		if t != nil {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,255 @@
+package collector
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fedwf/internal/obs"
+	"fedwf/internal/simlat"
+)
+
+func mkTrace(id, stmt string, paper time.Duration, errStr string, forced bool) *Trace {
+	return &Trace{
+		ID: id, Statement: stmt, Arch: "wfms", Error: errStr, Forced: forced,
+		Paper: paper, Wall: time.Millisecond,
+		Root: &obs.SpanData{Name: "fdbs.exec", ElapsedNS: int64(paper)},
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	pol := Default(Policy{})
+	if pol.Capacity != 512 || pol.MaxTraceBytes != 128<<10 || pol.LatencyThreshold != 250*simlat.PaperMS || pol.SampleRate != 0.05 {
+		t.Errorf("defaults = %+v", pol)
+	}
+	if got := Default(Policy{SampleRate: -1}).SampleRate; got != -1 {
+		t.Errorf("negative sample rate must survive: %v", got)
+	}
+}
+
+func TestTailSamplingRules(t *testing.T) {
+	// Probabilistic retention off: only error/slow/forced traces stay.
+	c := New(Policy{SampleRate: -1, LatencyThreshold: 100 * simlat.PaperMS}, nil)
+	if c.Offer(mkTrace("fast", "SELECT 1", simlat.PaperMS, "", false)) {
+		t.Error("fast healthy trace retained with sampling off")
+	}
+	if !c.Offer(mkTrace("err", "SELECT nope", simlat.PaperMS, "boom", false)) {
+		t.Error("error trace dropped")
+	}
+	if !c.Offer(mkTrace("slow", "SELECT big", 200*simlat.PaperMS, "", false)) {
+		t.Error("slow trace dropped")
+	}
+	if !c.Offer(mkTrace("forced", "SELECT t", simlat.PaperMS, "", true)) {
+		t.Error("client-sampled trace dropped")
+	}
+	if c.Len() != 3 {
+		t.Errorf("retained = %d", c.Len())
+	}
+	// Rate 1: everything stays.
+	all := New(Policy{SampleRate: 1}, nil)
+	if !all.Offer(mkTrace("any", "SELECT 1", simlat.PaperMS, "", false)) {
+		t.Error("rate-1 collector dropped a trace")
+	}
+	// Deterministic seeded sampling: same seed, same decisions.
+	decide := func(seed int64) []bool {
+		c := New(Policy{SampleRate: 0.5, Seed: seed}, nil)
+		out := make([]bool, 20)
+		for i := range out {
+			out[i] = c.Offer(mkTrace(fmt.Sprint(i), "s", simlat.PaperMS, "", false))
+		}
+		return out
+	}
+	a, b := decide(7), decide(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded sampling not deterministic at %d", i)
+		}
+	}
+}
+
+func TestRingWraparoundNewestFirst(t *testing.T) {
+	c := New(Policy{Capacity: 4, SampleRate: 1}, nil)
+	for i := 0; i < 10; i++ {
+		c.Offer(mkTrace(fmt.Sprintf("t%d", i), "SELECT 1", simlat.PaperMS, "", false))
+	}
+	if c.Len() != 4 {
+		t.Fatalf("ring length = %d", c.Len())
+	}
+	got := c.List(Filter{})
+	if len(got) != 4 || got[0].ID != "t9" || got[3].ID != "t6" {
+		ids := make([]string, len(got))
+		for i, tr := range got {
+			ids[i] = tr.ID
+		}
+		t.Errorf("newest-first listing = %v", ids)
+	}
+	if c.Get("t0") != nil {
+		t.Error("evicted trace still retrievable")
+	}
+	if c.Get("t9") == nil {
+		t.Error("newest trace lost")
+	}
+}
+
+func TestPerTraceByteCap(t *testing.T) {
+	c := New(Policy{SampleRate: 1, MaxTraceBytes: 400}, nil)
+	deep := &obs.SpanData{Name: "root"}
+	cur := deep
+	for i := 0; i < 30; i++ {
+		child := &obs.SpanData{Name: strings.Repeat("n", 30)}
+		cur.Children = []*obs.SpanData{child}
+		cur = child
+	}
+	tr := &Trace{ID: "big", Statement: "S", Root: deep}
+	if !c.Offer(tr) {
+		t.Fatal("trace dropped")
+	}
+	stored := c.Get("big")
+	if stored.Root.Size() > 400 {
+		t.Errorf("stored tree %d bytes > cap", stored.Root.Size())
+	}
+}
+
+func TestListFilters(t *testing.T) {
+	c := New(Policy{SampleRate: 1}, nil)
+	c.Offer(mkTrace("a", "SELECT * FROM TABLE (GetSuppQual('Supplier3')) AS Q", 10*simlat.PaperMS, "", false))
+	c.Offer(mkTrace("b", "SELECT nonsense", 2*simlat.PaperMS, "no such table", false))
+	c.Offer(mkTrace("c", "INSERT INTO t VALUES (1)", 500*simlat.PaperMS, "", false))
+	if got := c.List(Filter{Statement: "getsuppqual"}); len(got) != 1 || got[0].ID != "a" {
+		t.Errorf("statement filter: %v", got)
+	}
+	if got := c.List(Filter{ErrorsOnly: true}); len(got) != 1 || got[0].ID != "b" {
+		t.Errorf("errors filter: %v", got)
+	}
+	if got := c.List(Filter{MinPaper: 100 * simlat.PaperMS}); len(got) != 1 || got[0].ID != "c" {
+		t.Errorf("latency filter: %v", got)
+	}
+	if got := c.List(Filter{Limit: 2}); len(got) != 2 {
+		t.Errorf("limit: %v", got)
+	}
+}
+
+func TestFedFuncHistograms(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(Policy{SampleRate: -1}, reg)
+	tr := mkTrace("x", "SELECT 1", simlat.PaperMS, "", false)
+	tr.Root.Children = []*obs.SpanData{{
+		Name:      "udtf.workflow",
+		ElapsedNS: int64(80 * simlat.PaperMS),
+		Attrs:     []obs.Attr{{Key: "fn", Value: "GetNoSuppComp"}},
+	}}
+	c.Offer(tr) // dropped by sampling, but histograms observe every offer
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	body := b.String()
+	for _, want := range []string{
+		`fedwf_fedfunc_latency_paper_ms_count{fn="GetNoSuppComp"} 1`,
+		"fedwf_traces_offered_total 1",
+		"fedwf_traces_sampled_out_total 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestConcurrentOfferListGet exercises the ring buffer under the race
+// detector (CI runs go test -race).
+func TestConcurrentOfferListGet(t *testing.T) {
+	c := New(Policy{Capacity: 8, SampleRate: 1}, obs.NewRegistry())
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c.Offer(mkTrace(fmt.Sprintf("g%d-%d", g, i), "SELECT 1", simlat.PaperMS, "", false))
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			c.List(Filter{Limit: 4})
+			c.Get("g0-5")
+			c.Len()
+		}
+	}()
+	wg.Wait()
+	if c.Len() != 8 {
+		t.Errorf("ring length after concurrency = %d", c.Len())
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(Policy{SampleRate: 1}, reg)
+	c.Offer(mkTrace("abc", "SELECT * FROM TABLE (GetSuppQual('Supplier3')) AS Q", 10*simlat.PaperMS, "", false))
+	c.Offer(mkTrace("bad", "SELECT nope", simlat.PaperMS, "no such table", false))
+	mux := obs.MetricsMux(reg)
+	c.Register(mux)
+
+	// Listing.
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/traces", nil))
+	if rr.Code != 200 {
+		t.Fatalf("/traces = %d", rr.Code)
+	}
+	var sums []Summary
+	if err := json.Unmarshal(rr.Body.Bytes(), &sums); err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 2 || sums[0].ID != "bad" || sums[0].Error == "" || sums[1].Spans != 1 {
+		t.Errorf("summaries = %+v", sums)
+	}
+	// Filtered listing.
+	rr = httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/traces?errors=1", nil))
+	sums = nil
+	json.Unmarshal(rr.Body.Bytes(), &sums)
+	if len(sums) != 1 || sums[0].ID != "bad" {
+		t.Errorf("error filter over HTTP = %+v", sums)
+	}
+	// Bad query parameters.
+	rr = httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/traces?min_ms=zzz", nil))
+	if rr.Code != 400 {
+		t.Errorf("bad min_ms = %d", rr.Code)
+	}
+
+	// One trace as JSON.
+	rr = httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/traces/abc", nil))
+	if rr.Code != 200 || !strings.Contains(rr.Header().Get("Content-Type"), "json") {
+		t.Fatalf("/traces/abc = %d %s", rr.Code, rr.Header().Get("Content-Type"))
+	}
+	var tr Trace
+	if err := json.Unmarshal(rr.Body.Bytes(), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.ID != "abc" || tr.Root == nil || tr.Root.Name != "fdbs.exec" {
+		t.Errorf("trace JSON = %+v", tr)
+	}
+	// Text waterfall.
+	rr = httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/traces/abc?format=text", nil))
+	body := rr.Body.String()
+	for _, want := range []string{"trace abc", "waterfall total=", "fdbs.exec", "#"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("text rendering missing %q:\n%s", want, body)
+		}
+	}
+	// Unknown trace.
+	rr = httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/traces/nope", nil))
+	if rr.Code != 404 {
+		t.Errorf("missing trace = %d", rr.Code)
+	}
+}

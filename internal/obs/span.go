@@ -25,8 +25,8 @@ import (
 
 // Attr is one key/value annotation on a span.
 type Attr struct {
-	Key   string
-	Value string
+	Key   string `json:"key"`
+	Value string `json:"value"`
 }
 
 // String renders an Attr for the tree output.
@@ -48,6 +48,8 @@ type Span struct {
 	parent *Span
 
 	mu       sync.Mutex
+	id       string // wire identity, assigned lazily by ID()
+	traceID  string // set on roots only; children resolve through the parent chain
 	attrs    []Attr
 	start    time.Duration
 	end      time.Duration
@@ -68,6 +70,67 @@ func (s *Span) Name() string {
 		return ""
 	}
 	return s.name
+}
+
+// ID returns the span's wire identity, assigning one on first use. Only
+// spans that cross a process boundary ever need one, so in-process traces
+// stay entirely deterministic.
+func (s *Span) ID() string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.id == "" {
+		s.id = newHexID(8)
+	}
+	return s.id
+}
+
+// root walks to the top of the tree. Parent pointers are immutable after
+// creation, so the walk needs no locks.
+func (s *Span) root() *Span {
+	for s.parent != nil {
+		s = s.parent
+	}
+	return s
+}
+
+// TraceID returns the trace this span belongs to, assigning a fresh ID on
+// the root when none was adopted from a remote caller.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	r := s.root()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.traceID == "" {
+		r.traceID = newHexID(16)
+	}
+	return r.traceID
+}
+
+// SetTraceID adopts an externally assigned trace ID (e.g. the one carried
+// in an incoming RPC's trace context) on the span's root.
+func (s *Span) SetTraceID(id string) {
+	if s == nil || id == "" {
+		return
+	}
+	r := s.root()
+	r.mu.Lock()
+	r.traceID = id
+	r.mu.Unlock()
+}
+
+// Graft attaches an already-completed span tree — typically reconstructed
+// from a remote fragment — as a child of parent, so cross-process hops
+// appear inline in the caller's waterfall.
+func Graft(parent, child *Span) {
+	if parent == nil || child == nil {
+		return
+	}
+	parent.addChild(child)
 }
 
 // Start returns the span's start instant on its branch clock.

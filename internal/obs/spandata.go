@@ -1,0 +1,309 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"fedwf/internal/simlat"
+)
+
+// newHexID returns n random bytes as lowercase hex.
+func newHexID(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		// crypto/rand failing is unrecoverable; fall back to a fixed
+		// marker rather than panicking inside instrumentation.
+		return strings.Repeat("0", 2*n)
+	}
+	return hex.EncodeToString(b)
+}
+
+// NewTraceID mints a 16-byte trace identifier (W3C traceparent sized).
+func NewTraceID() string { return newHexID(16) }
+
+// TraceContext is the W3C-traceparent-style context propagated with every
+// RPC: which trace the call belongs to, which span is the remote parent,
+// and whether the callee should record at all. The zero value means
+// "untraced", which is exactly what an old client's request decodes to.
+type TraceContext struct {
+	TraceID string
+	SpanID  string
+	Sampled bool
+}
+
+// ContextFrom captures the task's current span as an outgoing trace
+// context. It returns the zero (untraced) context when no tracer is
+// attached.
+func ContextFrom(task *simlat.Task) TraceContext {
+	sp := CurrentSpan(task)
+	if sp == nil {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: sp.TraceID(), SpanID: sp.ID(), Sampled: true}
+}
+
+// Response-metadata keys reserved for the tracing machinery. Fragments
+// ride the existing meta channel as JSON strings, so no new wire types are
+// needed and old peers simply ignore the keys.
+const (
+	// MetaTraceFragment carries an encoded Fragment back to the caller.
+	MetaTraceFragment = "trace.fragment"
+	// MetaTracePushed names the trace ID of a fragment too large for the
+	// meta channel; the server pushed it to its collector instead, where
+	// /traces/<id> serves it.
+	MetaTracePushed = "trace.pushed"
+	// MetaTraceID reports the trace ID assigned to a traced statement.
+	MetaTraceID = "trace_id"
+)
+
+// MaxInlineFragmentBytes caps the encoded fragment size shipped inline in
+// response metadata; larger fragments go to the collector instead.
+const MaxInlineFragmentBytes = 256 << 10
+
+// StepData is the serializable form of one step attribution.
+type StepData struct {
+	Name string `json:"name"`
+	NS   int64  `json:"ns"`
+}
+
+// SpanData is the serializable form of a span tree. It deliberately
+// carries no span or trace IDs: identity is a transport concern, and
+// keeping IDs out makes virtual-clock trees byte-identical across runs
+// (paperbench -trace-out diffs rely on that).
+type SpanData struct {
+	Name      string      `json:"name"`
+	StartNS   int64       `json:"start_ns"`
+	ElapsedNS int64       `json:"elapsed_ns"`
+	Attrs     []Attr      `json:"attrs,omitempty"`
+	Steps     []StepData  `json:"steps,omitempty"`
+	Children  []*SpanData `json:"children,omitempty"`
+}
+
+// SnapshotSpan copies a (finished) span tree into its serializable form.
+func SnapshotSpan(s *Span) *SpanData {
+	if s == nil {
+		return nil
+	}
+	d := &SpanData{
+		Name:      s.Name(),
+		StartNS:   int64(s.Start()),
+		ElapsedNS: int64(s.Elapsed()),
+		Attrs:     s.Attrs(),
+	}
+	for _, st := range s.Steps() {
+		d.Steps = append(d.Steps, StepData{Name: st.Name, NS: int64(st.Total)})
+	}
+	for _, c := range s.Children() {
+		d.Children = append(d.Children, SnapshotSpan(c))
+	}
+	return d
+}
+
+// SpanFromData rebuilds a live span tree from its serializable form,
+// shifting every start instant by shift so a remote tree (whose clock
+// began at zero) lines up under the local span it is grafted onto.
+func SpanFromData(d *SpanData, shift time.Duration) *Span {
+	if d == nil {
+		return nil
+	}
+	sp := newSpan(d.Name, nil, time.Duration(d.StartNS)+shift)
+	sp.attrs = append(sp.attrs, d.Attrs...)
+	sp.ended = true
+	sp.end = sp.start + time.Duration(d.ElapsedNS)
+	for _, st := range d.Steps {
+		sp.order = append(sp.order, st.Name)
+		sp.steps[st.Name] = time.Duration(st.NS)
+	}
+	for _, c := range d.Children {
+		sp.children = append(sp.children, SpanFromData(c, shift))
+	}
+	return sp
+}
+
+// Size returns the encoded size of the tree in bytes.
+func (d *SpanData) Size() int {
+	b, err := json.Marshal(d)
+	if err != nil {
+		return 0
+	}
+	return len(b)
+}
+
+// depth returns the height of the tree (a leaf has depth 1).
+func (d *SpanData) depth() int {
+	if d == nil {
+		return 0
+	}
+	max := 0
+	for _, c := range d.Children {
+		if dd := c.depth(); dd > max {
+			max = dd
+		}
+	}
+	return max + 1
+}
+
+// truncated returns a copy of the tree cut to maxDepth levels; spans whose
+// children were dropped are annotated with pruned=children.
+func (d *SpanData) truncated(maxDepth int) *SpanData {
+	if d == nil || maxDepth < 1 {
+		return nil
+	}
+	out := &SpanData{Name: d.Name, StartNS: d.StartNS, ElapsedNS: d.ElapsedNS,
+		Attrs: append([]Attr(nil), d.Attrs...), Steps: append([]StepData(nil), d.Steps...)}
+	if maxDepth == 1 {
+		if len(d.Children) > 0 {
+			out.Attrs = append(out.Attrs, Attr{Key: "pruned", Value: "children"})
+		}
+		return out
+	}
+	for _, c := range d.Children {
+		out.Children = append(out.Children, c.truncated(maxDepth-1))
+	}
+	return out
+}
+
+// PruneToSize drops the deepest levels of the tree until its JSON encoding
+// fits maxBytes (the per-trace byte cap of the collector's ring buffer).
+// The root always survives, even if it alone exceeds the cap.
+func (d *SpanData) PruneToSize(maxBytes int) *SpanData {
+	if d == nil || maxBytes <= 0 || d.Size() <= maxBytes {
+		return d
+	}
+	for depth := d.depth() - 1; depth >= 1; depth-- {
+		cut := d.truncated(depth)
+		if cut.Size() <= maxBytes {
+			return cut
+		}
+	}
+	return d.truncated(1)
+}
+
+// SpanCount returns the number of spans in the tree.
+func (d *SpanData) SpanCount() int {
+	if d == nil {
+		return 0
+	}
+	n := 1
+	for _, c := range d.Children {
+		n += c.SpanCount()
+	}
+	return n
+}
+
+// Fragment is the unit a traced server ships back to its caller: the
+// server-side subtree plus enough context to graft it — which trace it
+// belongs to and which caller span is its parent.
+type Fragment struct {
+	TraceID      string    `json:"trace_id"`
+	ParentSpanID string    `json:"parent_span_id,omitempty"`
+	Root         *SpanData `json:"root"`
+}
+
+// Encode serializes the fragment for the response-metadata channel.
+func (f *Fragment) Encode() (string, error) {
+	b, err := json.Marshal(f)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// DecodeFragment parses an encoded fragment.
+func DecodeFragment(s string) (*Fragment, error) {
+	var f Fragment
+	if err := json.Unmarshal([]byte(s), &f); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// RenderData renders a SpanData tree in the same indented format Render
+// uses for live spans, so /traces output matches what EXPLAIN ANALYZE and
+// the slow-query log show.
+func RenderData(d *SpanData) string {
+	var b strings.Builder
+	var walk func(d *SpanData, depth int)
+	walk = func(d *SpanData, depth int) {
+		if d == nil {
+			return
+		}
+		b.WriteString(strings.Repeat("  ", depth))
+		fmt.Fprintf(&b, "%s start=%s elapsed=%s", d.Name, fmtMS(time.Duration(d.StartNS)), fmtMS(time.Duration(d.ElapsedNS)))
+		for _, a := range d.Attrs {
+			b.WriteString(" " + a.String())
+		}
+		if len(d.Steps) > 0 {
+			parts := make([]string, len(d.Steps))
+			for i, st := range d.Steps {
+				parts[i] = fmt.Sprintf("%s:%s", st.Name, fmtMS(time.Duration(st.NS)))
+			}
+			b.WriteString(" steps=[" + strings.Join(parts, "; ") + "]")
+		}
+		b.WriteByte('\n')
+		for _, c := range d.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(d, 0)
+	return b.String()
+}
+
+// waterfallWidth is the bar width of the waterfall rendering.
+const waterfallWidth = 40
+
+// Waterfall renders the tree as a plain-text waterfall: one line per span
+// with a bar showing where in the root's elapsed window the span ran.
+// Grafted remote spans appear inline, so a daemon-mode trace reads as one
+// cross-process timeline.
+func Waterfall(d *SpanData) string {
+	if d == nil {
+		return ""
+	}
+	total := d.ElapsedNS
+	if total <= 0 {
+		total = 1
+	}
+	rootStart := d.StartNS
+	var b strings.Builder
+	fmt.Fprintf(&b, "waterfall total=%s\n", fmtMS(time.Duration(d.ElapsedNS)))
+	var walk func(d *SpanData, depth int)
+	walk = func(d *SpanData, depth int) {
+		if d == nil {
+			return
+		}
+		from := int(float64(d.StartNS-rootStart) / float64(total) * waterfallWidth)
+		width := int(float64(d.ElapsedNS) / float64(total) * waterfallWidth)
+		if width < 1 {
+			width = 1
+		}
+		if from < 0 {
+			from = 0
+		}
+		if from > waterfallWidth-1 {
+			from = waterfallWidth - 1
+		}
+		if from+width > waterfallWidth {
+			width = waterfallWidth - from
+		}
+		bar := strings.Repeat(" ", from) + strings.Repeat("#", width)
+		bar += strings.Repeat(" ", waterfallWidth-len(bar))
+		fmt.Fprintf(&b, "[%s] %s%s %s+%s", bar, strings.Repeat("  ", depth), d.Name,
+			fmtMS(time.Duration(d.StartNS)), fmtMS(time.Duration(d.ElapsedNS)))
+		for _, a := range d.Attrs {
+			if a.Key == "error" || a.Key == "pruned" {
+				fmt.Fprintf(&b, " %s", a.String())
+			}
+		}
+		b.WriteByte('\n')
+		for _, c := range d.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(d, 0)
+	return b.String()
+}

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"fedwf/internal/simlat"
+)
+
+// buildTree makes a small finished trace: root with two children, steps,
+// and attrs.
+func buildTree(t *testing.T) *Span {
+	t.Helper()
+	task := simlat.NewVirtualTask()
+	tr := Trace(task, "root", Attr{Key: "arch", Value: "wfms"})
+	task.Spend(simlat.PaperMS)
+	c1 := StartSpan(task, "child-a", Attr{Key: "fn", Value: "F"})
+	task.Step("work", 2*simlat.PaperMS)
+	c1.End(task)
+	c2 := StartSpan(task, "child-b")
+	task.Spend(simlat.PaperMS)
+	c2.End(task)
+	return tr.Finish()
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	root := buildTree(t)
+	d := SnapshotSpan(root)
+	if d.Name != "root" || len(d.Children) != 2 || d.SpanCount() != 3 {
+		t.Fatalf("snapshot shape: %+v", d)
+	}
+	if d.ElapsedNS != int64(4*simlat.PaperMS) {
+		t.Errorf("root elapsed = %d", d.ElapsedNS)
+	}
+	// Rendering the snapshot matches rendering the live tree.
+	if got, want := RenderData(d), Render(root); got != want {
+		t.Errorf("RenderData diverges from Render:\n%q\n%q", got, want)
+	}
+	// Restoring with a shift moves every start.
+	back := SpanFromData(d, 10*simlat.PaperMS)
+	if back.Start() != 10*simlat.PaperMS {
+		t.Errorf("shifted root start = %v", back.Start())
+	}
+	kids := back.Children()
+	if len(kids) != 2 || kids[0].Name() != "child-a" || kids[0].Start() != 11*simlat.PaperMS {
+		t.Errorf("shifted children: %v start=%v", kids, kids[0].Start())
+	}
+	// Step attributions survive the round trip.
+	tot := back.StepTotals()
+	found := false
+	for _, st := range tot {
+		if st.Name == "work" && st.Total == 2*simlat.PaperMS {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("step totals after round trip: %v", tot)
+	}
+}
+
+func TestTraceAndSpanIDs(t *testing.T) {
+	root := buildTree(t)
+	kids := root.Children()
+	if root.TraceID() == "" || root.TraceID() != kids[0].TraceID() {
+		t.Errorf("children must resolve the root's trace ID: %q vs %q", root.TraceID(), kids[0].TraceID())
+	}
+	root.SetTraceID("cafe")
+	if kids[1].TraceID() != "cafe" {
+		t.Errorf("SetTraceID not visible from child: %q", kids[1].TraceID())
+	}
+	if kids[0].ID() == "" || kids[0].ID() != kids[0].ID() {
+		t.Error("span ID must be stable once assigned")
+	}
+	if kids[0].ID() == kids[1].ID() {
+		t.Error("distinct spans share an ID")
+	}
+	var nilSpan *Span
+	if nilSpan.ID() != "" || nilSpan.TraceID() != "" {
+		t.Error("nil span IDs must be empty")
+	}
+}
+
+func TestContextFrom(t *testing.T) {
+	task := simlat.NewVirtualTask()
+	if tc := ContextFrom(task); tc.Sampled || tc.TraceID != "" {
+		t.Errorf("untraced task context = %+v", tc)
+	}
+	tr := Trace(task, "root")
+	tc := ContextFrom(task)
+	if !tc.Sampled || tc.TraceID != tr.Root().TraceID() || tc.SpanID != tr.Root().ID() {
+		t.Errorf("traced context = %+v", tc)
+	}
+	tr.Finish()
+}
+
+func TestFragmentEncodeDecodeAndGraft(t *testing.T) {
+	remote := buildTree(t)
+	frag := &Fragment{TraceID: "t1", ParentSpanID: "s1", Root: SnapshotSpan(remote)}
+	enc, err := frag.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeFragment(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TraceID != "t1" || back.ParentSpanID != "s1" || back.Root.SpanCount() != 3 {
+		t.Errorf("decoded fragment: %+v", back)
+	}
+	if _, err := DecodeFragment("{nope"); err == nil {
+		t.Error("bad fragment accepted")
+	}
+
+	// Graft the remote tree under a local parent; it shows up in the
+	// local tree's rendering and totals.
+	task := simlat.NewVirtualTask()
+	tr := Trace(task, "local")
+	call := StartSpan(task, "rpc.call")
+	Graft(call, SpanFromData(back.Root, call.Start()))
+	call.End(task)
+	local := tr.Finish()
+	rendered := Render(local)
+	for _, want := range []string{"local", "rpc.call", "root", "child-a", "child-b"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("grafted render lacks %q:\n%s", want, rendered)
+		}
+	}
+	tot := local.StepTotals()
+	ok := false
+	for _, st := range tot {
+		if st.Name == "work" && st.Total == 2*simlat.PaperMS {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Errorf("grafted steps missing: %v", tot)
+	}
+}
+
+func TestPruneToSize(t *testing.T) {
+	// A deep chain: root -> c -> c -> ... (depth 20).
+	task := simlat.NewVirtualTask()
+	tr := Trace(task, "deep")
+	spans := make([]*Span, 0, 20)
+	for i := 0; i < 20; i++ {
+		spans = append(spans, StartSpan(task, strings.Repeat("x", 50)))
+		task.Spend(simlat.PaperMS)
+	}
+	for i := len(spans) - 1; i >= 0; i-- {
+		spans[i].End(task)
+	}
+	d := SnapshotSpan(tr.Finish())
+	full := d.Size()
+	cap := full / 3
+	cut := d.PruneToSize(cap)
+	if cut.Size() > cap {
+		t.Errorf("pruned size %d > cap %d", cut.Size(), cap)
+	}
+	if cut.depth() >= d.depth() {
+		t.Errorf("pruning did not reduce depth: %d vs %d", cut.depth(), d.depth())
+	}
+	// Pruned nodes are marked.
+	if !strings.Contains(RenderData(cut), "pruned=children") {
+		t.Error("pruned tree lacks the pruned marker")
+	}
+	// Under the cap nothing changes.
+	if same := d.PruneToSize(full + 1); same != d {
+		t.Error("tree under the cap must be returned unchanged")
+	}
+	// Root survives even an impossible cap.
+	tiny := d.PruneToSize(1)
+	if tiny == nil || tiny.Name != "deep" {
+		t.Errorf("root must survive: %+v", tiny)
+	}
+}
+
+func TestWaterfall(t *testing.T) {
+	root := buildTree(t)
+	w := Waterfall(SnapshotSpan(root))
+	lines := strings.Split(strings.TrimRight(w, "\n"), "\n")
+	if len(lines) != 4 { // header + 3 spans
+		t.Fatalf("waterfall lines: %q", w)
+	}
+	if !strings.HasPrefix(lines[0], "waterfall total=4.0ms") {
+		t.Errorf("header = %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if !strings.HasPrefix(l, "[") || !strings.Contains(l, "#") {
+			t.Errorf("bar line = %q", l)
+		}
+	}
+	if !strings.Contains(w, "child-a") || !strings.Contains(w, "+2.0ms") {
+		t.Errorf("waterfall content:\n%s", w)
+	}
+	if Waterfall(nil) != "" {
+		t.Error("nil waterfall must be empty")
+	}
+}
+
+func TestSnapshotDeterministicNoIDs(t *testing.T) {
+	// Two identical virtual-clock runs must snapshot byte-identically —
+	// the reason SpanData carries no random IDs.
+	a := SnapshotSpan(buildTree(t))
+	b := SnapshotSpan(buildTree(t))
+	if RenderData(a) != RenderData(b) {
+		t.Error("virtual-clock snapshots differ across runs")
+	}
+	ea, _ := (&Fragment{Root: a}).Encode()
+	eb, _ := (&Fragment{Root: b}).Encode()
+	if ea != eb {
+		t.Errorf("fragment encodings differ:\n%s\n%s", ea, eb)
+	}
+}
+
+func TestWallTaskSpanTiming(t *testing.T) {
+	// NewWallTask(0) reads real time without sleeping: spans opened on it
+	// measure true elapsed durations.
+	task := simlat.NewWallTask(0)
+	tr := Trace(task, "wall")
+	time.Sleep(2 * time.Millisecond)
+	root := tr.Finish()
+	if root.Elapsed() < time.Millisecond {
+		t.Errorf("wall span elapsed = %v", root.Elapsed())
+	}
+}

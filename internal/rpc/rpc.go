@@ -32,6 +32,12 @@ type Request struct {
 	System   string
 	Function string
 	Args     []types.Value
+	// Trace is the caller's trace context. In-process transports ignore
+	// it (the live span rides the task); the TCP transport serializes it
+	// over gob so servers can open child spans under the remote parent.
+	// The zero value means untraced — which is also what requests from
+	// old clients without the field decode to.
+	Trace obs.TraceContext
 }
 
 // Handler serves requests. The task is the caller's cost meter for
@@ -141,6 +147,12 @@ type wireRequest struct {
 	System   string
 	Function string
 	Args     []wireValue
+	// W3C-traceparent-style trace context. gob matches struct fields by
+	// name, so requests from clients that predate these fields decode
+	// with all three zero — an untraced call.
+	TraceID string
+	SpanID  string
+	Sampled bool
 }
 
 type wireResponse struct {
@@ -148,6 +160,24 @@ type wireResponse struct {
 	Columns []wireColumn
 	Rows    [][]wireValue
 	Meta    map[string]string
+}
+
+// registerWireTypes guards one-time gob registration.
+var registerWireTypes sync.Once
+
+// RegisterWireTypes registers every type the TCP transport puts on a gob
+// stream, in one place. Both Dial and NewServerMeta call it, so ad-hoc
+// registration at call sites is never needed. Span fragments deliberately
+// do not add wire types: they travel as JSON strings inside the response
+// Meta map (see obs.MetaTraceFragment), which is how old peers can ignore
+// them entirely. Calling this more than once is a no-op.
+func RegisterWireTypes() {
+	registerWireTypes.Do(func() {
+		gob.Register(wireValue{})
+		gob.Register(wireColumn{})
+		gob.Register(wireRequest{})
+		gob.Register(wireResponse{})
+	})
 }
 
 func toWireTable(t *types.Table) ([]wireColumn, [][]wireValue) {
@@ -189,11 +219,12 @@ type Server struct {
 	h  MetaHandler
 	ln net.Listener
 
-	mu       sync.Mutex
-	conns    map[net.Conn]struct{}
-	closed   bool
-	wg       sync.WaitGroup
-	inflight atomic.Int64 // requests currently being handled or encoded
+	mu        sync.Mutex
+	conns     map[net.Conn]struct{}
+	closed    bool
+	wg        sync.WaitGroup
+	inflight  atomic.Int64 // requests currently being handled or encoded
+	traceSink atomic.Value // func(*obs.Fragment), for fragments too big to inline
 }
 
 // NewServer creates a server around a handler.
@@ -203,7 +234,20 @@ func NewServer(h Handler) *Server {
 
 // NewServerMeta creates a server around a metadata-returning handler.
 func NewServerMeta(h MetaHandler) *Server {
+	RegisterWireTypes()
 	return &Server{h: h, conns: make(map[net.Conn]struct{})}
+}
+
+// SetTraceSink installs the destination for server-side span fragments
+// that exceed the inline metadata cap: typically a collector's Offer. When
+// no sink is set, oversized fragments are pruned until they fit inline.
+func (s *Server) SetTraceSink(sink func(*obs.Fragment)) {
+	s.traceSink.Store(sink)
+}
+
+func (s *Server) fragmentSink() func(*obs.Fragment) {
+	sink, _ := s.traceSink.Load().(func(*obs.Fragment))
+	return sink
 }
 
 // Listen binds the address (use "127.0.0.1:0" for an ephemeral port) and
@@ -259,12 +303,30 @@ func (s *Server) serveConn(conn net.Conn) {
 			args[i] = fromWireValue(w)
 		}
 		s.inflight.Add(1)
-		res, meta, err := s.h(simlat.Free(), Request{System: wreq.System, Function: wreq.Function, Args: args})
+		req := Request{System: wreq.System, Function: wreq.Function, Args: args,
+			Trace: obs.TraceContext{TraceID: wreq.TraceID, SpanID: wreq.SpanID, Sampled: wreq.Sampled}}
+		task := simlat.Free()
+		var tr *obs.Tracer
+		if req.Trace.Sampled {
+			// A sampled request gets a real-time meter (scale 0: Elapsed
+			// reads the wall clock, simulated charges never sleep) so the
+			// server-side spans carry true serving durations, and a local
+			// root under the remote parent's trace.
+			task = simlat.NewWallTask(0)
+			tr = obs.Trace(task, "rpc.serve",
+				obs.Attr{Key: "system", Value: req.System},
+				obs.Attr{Key: "function", Value: req.Function})
+			tr.Root().SetTraceID(req.Trace.TraceID)
+		}
+		res, meta, err := s.h(task, req)
 		var wres wireResponse
 		if err != nil {
 			wres.Err = err.Error()
 		} else {
 			wres.Columns, wres.Rows = toWireTable(res)
+		}
+		if tr != nil {
+			meta = s.finishServeTrace(tr, req.Trace, meta, err)
 		}
 		wres.Meta = meta
 		encErr := enc.Encode(&wres)
@@ -273,6 +335,47 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// finishServeTrace closes the serve-side trace and decides how its
+// fragment travels back. If the handler itself produced a fragment (the
+// fdbs exec path does), it is grafted under this server's root first, so
+// exactly one combined fragment leaves the process. Small fragments ship
+// inline in the response metadata; oversized ones go to the trace sink
+// (when set) and only their trace ID is announced, else they are pruned
+// until they fit.
+func (s *Server) finishServeTrace(tr *obs.Tracer, tc obs.TraceContext, meta map[string]string, err error) map[string]string {
+	root := tr.Finish()
+	if err != nil {
+		root.SetAttr("error", err.Error())
+	}
+	if enc, ok := meta[obs.MetaTraceFragment]; ok {
+		if frag, derr := obs.DecodeFragment(enc); derr == nil && frag.Root != nil {
+			obs.Graft(root, obs.SpanFromData(frag.Root, root.Start()))
+		}
+		delete(meta, obs.MetaTraceFragment)
+	}
+	frag := &obs.Fragment{TraceID: tc.TraceID, ParentSpanID: tc.SpanID, Root: obs.SnapshotSpan(root)}
+	enc, encErr := frag.Encode()
+	if encErr != nil {
+		return meta
+	}
+	if meta == nil {
+		meta = make(map[string]string, 1)
+	}
+	if len(enc) > obs.MaxInlineFragmentBytes {
+		if sink := s.fragmentSink(); sink != nil {
+			go sink(frag)
+			meta[obs.MetaTracePushed] = tc.TraceID
+			return meta
+		}
+		frag.Root = frag.Root.PruneToSize(obs.MaxInlineFragmentBytes)
+		if enc, encErr = frag.Encode(); encErr != nil {
+			return meta
+		}
+	}
+	meta[obs.MetaTraceFragment] = enc
+	return meta
 }
 
 // Addr returns the bound address, or nil before Listen.
@@ -334,6 +437,7 @@ type tcpClient struct {
 // Dial connects to a Server. The client serialises concurrent calls; open
 // several clients for parallelism.
 func Dial(addr string) (Client, error) {
+	RegisterWireTypes()
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -348,7 +452,10 @@ func (c *tcpClient) Call(task *simlat.Task, req Request) (*types.Table, error) {
 	return res, err
 }
 
-// CallMeta implements MetaCaller over the wire.
+// CallMeta implements MetaCaller over the wire. When the task carries a
+// live trace, the span's context is serialized with the request and the
+// server's span fragment — returned in the response metadata — is grafted
+// under the local rpc.call span, stitching the cross-process waterfall.
 func (c *tcpClient) CallMeta(task *simlat.Task, req Request) (*types.Table, map[string]string, error) {
 	sp := obs.StartSpan(task, "rpc.call", obs.Attr{Key: "system", Value: req.System}, obs.Attr{Key: "function", Value: req.Function})
 	defer sp.End(task)
@@ -358,6 +465,11 @@ func (c *tcpClient) CallMeta(task *simlat.Task, req Request) (*types.Table, map[
 	for i, v := range req.Args {
 		wreq.Args[i] = toWireValue(v)
 	}
+	tc := req.Trace
+	if !tc.Sampled {
+		tc = obs.ContextFrom(task)
+	}
+	wreq.TraceID, wreq.SpanID, wreq.Sampled = tc.TraceID, tc.SpanID, tc.Sampled
 	if err := c.enc.Encode(&wreq); err != nil {
 		return nil, nil, fmt.Errorf("rpc: send: %w", err)
 	}
@@ -365,7 +477,16 @@ func (c *tcpClient) CallMeta(task *simlat.Task, req Request) (*types.Table, map[
 	if err := c.dec.Decode(&wres); err != nil {
 		return nil, nil, fmt.Errorf("rpc: receive: %w", err)
 	}
+	if enc, ok := wres.Meta[obs.MetaTraceFragment]; ok {
+		if sp != nil {
+			if frag, err := obs.DecodeFragment(enc); err == nil && frag.Root != nil {
+				obs.Graft(sp, obs.SpanFromData(frag.Root, sp.Start()))
+			}
+		}
+		delete(wres.Meta, obs.MetaTraceFragment)
+	}
 	if wres.Err != "" {
+		sp.SetAttr("error", wres.Err)
 		return nil, wres.Meta, errors.New(wres.Err)
 	}
 	return fromWireTable(wres.Columns, wres.Rows), wres.Meta, nil

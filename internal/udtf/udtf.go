@@ -106,6 +106,7 @@ func RegisterAccessUDTF(eng *engine.Engine, bridge *controller.Bridge, ins *Inst
 		out, err := bridge.CallFunction(task, system, function, args)
 		task.SetLabel(prev)
 		if err != nil {
+			sp.SetAttr("error", err.Error())
 			return nil, err
 		}
 		task.Step(simlat.StepFinishAUDTF, profile.AUDTFFinish)
@@ -174,6 +175,7 @@ func RegisterGoIntegrationUDTF(eng *engine.Engine, ins *Instrument,
 		task.Step(simlat.StepStartIUDTF, profile.IUDTFStart)
 		out, err := body(rt, task, args)
 		if err != nil {
+			sp.SetAttr("error", err.Error())
 			return nil, err
 		}
 		task.Step(simlat.StepFinishIUDTF, profile.IUDTFFinish)
@@ -208,6 +210,7 @@ func RegisterWorkflowUDTF(eng *engine.Engine, bridge *controller.Bridge, ins *In
 		}
 		out, err := bridge.RunWorkflow(task, process, input)
 		if err != nil {
+			sp.SetAttr("error", err.Error())
 			return nil, err
 		}
 		task.Step(simlat.StepFinishUDTF, profile.UDTFFinish)

@@ -314,9 +314,14 @@ func (e *Engine) runProcess(task *simlat.Task, p *Process, input map[string]type
 }
 
 // runNode executes one node on its own branch task.
-func (e *Engine) runNode(branch *simlat.Task, p *Process, name string, input map[string]types.Value, outputs map[string]*types.Table, st *runState) (*types.Table, error) {
+func (e *Engine) runNode(branch *simlat.Task, p *Process, name string, input map[string]types.Value, outputs map[string]*types.Table, st *runState) (out *types.Table, err error) {
 	sp := obs.StartSpan(branch, "wfms.activity", obs.Attr{Key: "node", Value: name})
-	defer sp.End(branch)
+	defer func() {
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End(branch)
+	}()
 	st.record(branch.Elapsed(), name, "started", 0)
 	node := p.node(name)
 	// Navigator bookkeeping per activity.

@@ -128,9 +128,14 @@ func (r *RemoteServer) Query(sel *sqlparser.Select, task *simlat.Task) (*types.T
 	return r.call(task, fnQuery, types.NewString(sel.String()))
 }
 
-func (r *RemoteServer) call(task *simlat.Task, fn string, arg types.Value) (*types.Table, error) {
+func (r *RemoteServer) call(task *simlat.Task, fn string, arg types.Value) (out *types.Table, err error) {
 	sp := obs.StartSpan(task, "wrapper.remote", obs.Attr{Key: "server", Value: r.name}, obs.Attr{Key: "op", Value: fn})
-	defer sp.End(task)
+	defer func() {
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End(task)
+	}()
 	if r.charge {
 		task.Step(simlat.StepRMICall, r.perCall.RMICall)
 		defer task.Step(simlat.StepRMIReturn, r.perCall.RMIReturn)
