@@ -12,6 +12,7 @@
 package fedwf_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -353,7 +354,7 @@ func BenchmarkNavigatorAblation(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	invoker := wfms.InvokerFunc(func(task *simlat.Task, system, function string, args []types.Value) (*types.Table, error) {
+	invoker := wfms.InvokerFunc(func(ctx context.Context, task *simlat.Task, system, function string, args []types.Value) (*types.Table, error) {
 		sys, err := apps.System(system)
 		if err != nil {
 			return nil, err
@@ -425,7 +426,7 @@ func BenchmarkWorkflowNavigator(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	invoker := wfms.InvokerFunc(func(task *simlat.Task, system, function string, args []types.Value) (*types.Table, error) {
+	invoker := wfms.InvokerFunc(func(ctx context.Context, task *simlat.Task, system, function string, args []types.Value) (*types.Table, error) {
 		sys, err := apps.System(system)
 		if err != nil {
 			return nil, err

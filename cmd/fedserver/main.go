@@ -5,6 +5,17 @@
 //	fedserver -addr 127.0.0.1:4711 -arch wfms
 //	fedserver -addr 127.0.0.1:4711 -arch udtf -direct
 //	fedserver -metrics-addr 127.0.0.1:9090 -slow-query-ms 100
+//	fedserver -stmt-timeout-ms 2000 -retry-attempts 3 -breaker-failures 5
+//
+// The -stmt-timeout-ms, -retry-*, and -breaker-* flags configure the
+// fault-tolerance layer: a per-statement deadline on the virtual clock
+// (overridable per session with SET STATEMENT_TIMEOUT), retries with
+// exponential backoff against the application systems, and a
+// per-application-system circuit breaker. -partial-results lets optional
+// lateral branches degrade to NULL padding (flagged in the statement
+// metadata) while a system's circuit is open. Retries, breaker trips,
+// sheds, and timeouts surface on /metrics and as span attributes on
+// /traces.
 //
 // With -metrics-addr, a second HTTP listener serves /metrics (Prometheus
 // text exposition), /healthz, and the trace API: /traces lists the traces
@@ -32,10 +43,12 @@ import (
 	"syscall"
 	"time"
 
+	"fedwf/internal/appsys"
 	"fedwf/internal/fdbs"
 	"fedwf/internal/fedfunc"
 	"fedwf/internal/obs"
 	"fedwf/internal/obs/collector"
+	"fedwf/internal/resil"
 	"fedwf/internal/simlat"
 )
 
@@ -51,6 +64,15 @@ func main() {
 	traceCapacity := flag.Int("trace-capacity", 0, "trace collector ring-buffer slots (0 = default 512)")
 	traceSample := flag.Float64("trace-sample", 0, "tail-sampling rate for fast healthy traces (0 = default 0.05, negative = off)")
 	traceSlowMS := flag.Float64("trace-slow-ms", 0, "always retain traces at or above this paper latency in ms (0 = default 250)")
+	stmtTimeoutMS := flag.Float64("stmt-timeout-ms", 0, "per-statement deadline in paper ms (0 = disabled; SET STATEMENT_TIMEOUT overrides per session)")
+	retryAttempts := flag.Int("retry-attempts", 0, "max attempts per application-system call (0 or 1 = no retries)")
+	retryBackoffMS := flag.Float64("retry-backoff-ms", 5, "initial retry backoff in paper ms (doubles per retry)")
+	retryBudget := flag.Int("retry-budget", 16, "per-statement retry budget across all calls (0 = unlimited)")
+	breakerFailures := flag.Int("breaker-failures", 0, "consecutive failures tripping a system's circuit breaker (0 = breaker disabled)")
+	breakerOpen := flag.Duration("breaker-open", 30*time.Second, "how long an open breaker rejects calls before probing (wall clock)")
+	partialResults := flag.Bool("partial-results", false, "degrade optional lateral branches to NULL padding while a breaker is open")
+	faultSeed := flag.Uint64("fault-seed", 0, "enable deterministic fault injection with this seed (chaos testing)")
+	faultRate := flag.Float64("fault-rate", 0, "with -fault-seed: transient error probability per application-system call")
 	flag.Parse()
 
 	var arch fedfunc.Arch
@@ -64,11 +86,33 @@ func main() {
 		os.Exit(1)
 	}
 
-	srv, err := fdbs.NewServer(fdbs.Config{Arch: arch, Direct: *direct, Trace: collector.Policy{
+	cfg := fdbs.Config{Arch: arch, Direct: *direct, Trace: collector.Policy{
 		Capacity:         *traceCapacity,
 		SampleRate:       *traceSample,
 		LatencyThreshold: time.Duration(*traceSlowMS * float64(simlat.PaperMS)),
-	}})
+	}}
+	cfg.StmtTimeout = time.Duration(*stmtTimeoutMS * float64(simlat.PaperMS))
+	cfg.PartialResults = *partialResults
+	if *retryAttempts > 1 {
+		cfg.Retry = resil.DefaultRetryPolicy()
+		cfg.Retry.MaxAttempts = *retryAttempts
+		cfg.Retry.BaseBackoff = time.Duration(*retryBackoffMS * float64(simlat.PaperMS))
+		cfg.Retry.Budget = *retryBudget
+	}
+	if *breakerFailures > 0 {
+		cfg.Breaker = resil.DefaultBreakerPolicy()
+		cfg.Breaker.ConsecutiveFailures = *breakerFailures
+		cfg.Breaker.OpenFor = *breakerOpen
+	}
+	if *faultSeed != 0 && *faultRate > 0 {
+		inj := resil.NewInjector(*faultSeed)
+		for _, sys := range []string{appsys.StockKeeping, appsys.ProductData, appsys.Purchasing} {
+			inj.Plan(sys, resil.FaultPlan{ErrorRate: *faultRate})
+		}
+		cfg.Faults = inj
+		fmt.Printf("fedserver: fault injection on (seed %d, error rate %.0f%%)\n", *faultSeed, *faultRate*100)
+	}
+	srv, err := fdbs.NewServer(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fedserver:", err)
 		os.Exit(1)
@@ -109,6 +153,10 @@ func main() {
 		fmt.Printf("fedserver: metrics on http://%s/metrics, traces on http://%s/traces\n", *metricsAddr, *metricsAddr)
 	}
 
+	if cfg.Retry.Enabled() || cfg.Breaker.Enabled() || cfg.StmtTimeout > 0 {
+		fmt.Printf("fedserver: fault tolerance: retries=%d, breaker-failures=%d, stmt-timeout=%.0fms, partial-results=%v\n",
+			cfg.Retry.MaxAttempts, cfg.Breaker.ConsecutiveFailures, *stmtTimeoutMS, *partialResults)
+	}
 	fmt.Printf("fedserver: %s listening on %s (controller: %v)\n", arch, bound, !*direct)
 	fmt.Println("fedserver: application systems:", strings.Join(srv.Apps().Systems(), ", "))
 	fmt.Println("fedserver: federated functions registered; connect with fedsql -addr", bound)

@@ -15,6 +15,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -42,7 +43,7 @@ func main() {
 	defer client.Close()
 
 	if *dop != 0 {
-		if _, err := client.Exec(fmt.Sprintf("SET PARALLELISM %d", *dop)); err != nil {
+		if _, err := client.ExecContext(context.Background(), fmt.Sprintf("SET PARALLELISM %d", *dop)); err != nil {
 			fmt.Fprintln(os.Stderr, "fedsql:", err)
 			os.Exit(1)
 		}
@@ -141,10 +142,10 @@ func execute(client *fdbs.Client, sql string, st *state) bool {
 	)
 	if st.trace {
 		var root *obs.Span
-		tab, meta, root, err = client.ExecTraced(sql)
+		tab, meta, root, err = client.ExecTracedContext(context.Background(), sql)
 		st.lastTrace = renderTrace(root, meta)
 	} else {
-		tab, meta, err = client.ExecTimed(sql)
+		tab, meta, err = client.ExecTimedContext(context.Background(), sql)
 	}
 	roundTrip := time.Since(start)
 	if err != nil {

@@ -12,6 +12,7 @@
 //	paperbench -exp batch        # batch throughput scaling (E8, extension)
 //	paperbench -exp dop          # intra-query parallelism sweep (E9, extension)
 //	paperbench -exp spans        # Fig. 6 from live spans (E10, extension)
+//	paperbench -exp faults       # fault-tolerance sweep + demos (E12, extension)
 //
 // With -json <path>, the numeric results of the experiments that ran are
 // additionally written as a JSON record list (experiment, arch, function,
@@ -49,7 +50,8 @@ type record struct {
 func paperMS(d time.Duration) float64 { return float64(d) / float64(simlat.PaperMS) }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: all, complexity, fig5, fig6, bootstate, parallel, loop, controller, batch, dop, spans")
+	exp := flag.String("exp", "all", "experiment id: all, complexity, fig5, fig6, bootstate, parallel, loop, controller, batch, dop, spans, faults")
+	seed := flag.Uint64("seed", 42, "fault-injection seed for -exp faults (same seed, same faults)")
 	bootFn := flag.String("bootfn", "GetSuppQual", "federated function for the boot-state experiment")
 	dops := flag.String("dops", "1,2,4,8", "comma-separated degrees of parallelism for the E9 sweep")
 	jsonPath := flag.String("json", "", "also write the numeric results as JSON to this path")
@@ -220,6 +222,37 @@ func main() {
 				}
 				fmt.Printf("wrote %s\n", path)
 			}
+		}
+	}
+	if run("faults") {
+		any = true
+		section("E12 - Fault tolerance: retries, deadlines, circuit breaking (extension)")
+		report, err := h.Faults(*seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(benchharn.RenderFaults(report))
+		for _, r := range report.Rows {
+			step := fmt.Sprintf("rate=%.0f%%", r.ErrorRate*100)
+			records = append(records,
+				record{Experiment: "E12", Function: r.Function, Step: step + "/unprotected", Calls: r.UnprotectedOK, PaperMS: r.UnprotectedRate() * 100},
+				record{Experiment: "E12", Function: r.Function, Step: step + "/protected", Calls: r.ProtectedOK, PaperMS: r.ProtectedRate() * 100})
+			// The acceptance bar of the experiment: at a 20% transient error
+			// rate the protected stack keeps >= 99% statement success.
+			if r.ErrorRate >= 0.20 && r.ProtectedRate() < 0.99 {
+				fail(fmt.Errorf("E12: protected success %.1f%% < 99%% for %s at %.0f%% error rate",
+					r.ProtectedRate()*100, r.Function, r.ErrorRate*100))
+			}
+		}
+		if !report.HangIsTimeout {
+			fail(fmt.Errorf("E12: hung system did not resolve to ErrTimeout"))
+		}
+		if !report.BreakerTripped || !report.ShedIsOpenErr || !report.ShedWithoutCall {
+			fail(fmt.Errorf("E12: breaker demonstration failed (tripped=%v openErr=%v uncalled=%v)",
+				report.BreakerTripped, report.ShedIsOpenErr, report.ShedWithoutCall))
+		}
+		if !report.PartialFlagged {
+			fail(fmt.Errorf("E12: optional branch did not degrade to a partial result"))
 		}
 	}
 	if !any {

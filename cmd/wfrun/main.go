@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -69,14 +70,14 @@ func main() {
 		fail(err)
 	}
 	client := rpc.NewInProc(apps.Handler())
-	invoker := wfms.InvokerFunc(func(task *simlat.Task, system, function string, args []types.Value) (*types.Table, error) {
-		return client.Call(task, rpc.Request{System: system, Function: function, Args: args})
+	invoker := wfms.InvokerFunc(func(ctx context.Context, task *simlat.Task, system, function string, args []types.Value) (*types.Table, error) {
+		return client.Call(ctx, task, rpc.Request{System: system, Function: function, Args: args})
 	})
 	profile := simlat.DefaultProfile()
 	engine := wfms.New(invoker, wfms.CostsFromProfile(profile))
 
 	task := simlat.NewVirtualTask()
-	res, err := engine.RunDetailed(task, process, input)
+	res, err := engine.RunDetailedContext(context.Background(), task, process, input)
 	if err != nil {
 		fail(err)
 	}

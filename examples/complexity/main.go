@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -39,14 +40,14 @@ func main() {
 		args := spec.SampleArgs[0]
 		fmt.Printf("   sample call:     %s(%s)\n", spec.Name, formatArgs(args))
 
-		wfRes, err := wf.Call(simlat.Free(), spec.Name, args)
+		wfRes, err := wf.CallContext(context.Background(), simlat.Free(), spec.Name, args)
 		if err != nil {
 			log.Fatalf("WfMS stack: %v", err)
 		}
 		fmt.Printf("   WfMS result:     %s\n", rowsOf(wfRes))
 
 		if spec.SupportsUDTF() {
-			udRes, err := ud.Call(simlat.Free(), spec.Name, args)
+			udRes, err := ud.CallContext(context.Background(), simlat.Free(), spec.Name, args)
 			if err != nil {
 				log.Fatalf("UDTF stack: %v", err)
 			}
@@ -58,7 +59,7 @@ func main() {
 			fmt.Printf("   UDTF result:     not supported (%s)\n", spec.UDTFMechanism)
 		}
 		if spec.GoBody != nil {
-			goRes, err := ud.Call(simlat.Free(), spec.Name+"_Go", args)
+			goRes, err := ud.CallContext(context.Background(), simlat.Free(), spec.Name+"_Go", args)
 			if err != nil {
 				log.Fatalf("Go I-UDTF: %v", err)
 			}

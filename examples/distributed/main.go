@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -59,7 +60,7 @@ func main() {
 
 	fmt.Println("\nDecisions computed through workflows whose activities call over TCP:")
 	start := time.Now()
-	tab, err := session.Query(`
+	tab, err := session.QueryContext(context.Background(), `
 		SELECT c.SupplierNo, c.CompName, D.Decision
 		FROM candidates c, TABLE (BuySuppComp(c.SupplierNo, c.CompName)) AS D
 		ORDER BY c.SupplierNo`)
@@ -70,7 +71,7 @@ func main() {
 	fmt.Printf("(3 federated functions, 15 remote local-function calls, %v wall time)\n", time.Since(start).Round(time.Millisecond))
 
 	// A single direct remote call for comparison.
-	res, err := client.Call(simlat.Free(), rpc.Request{
+	res, err := client.Call(context.Background(), simlat.Free(), rpc.Request{
 		System: appsys.Purchasing, Function: "GetReliability",
 		Args: []types.Value{types.NewInt(4)},
 	})

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,7 +28,7 @@ func main() {
 
 	fmt.Println("== The manual process (what the employee does today) ==")
 	call := func(system, fn string, args ...types.Value) types.Value {
-		tab, err := apps.Call(simlat.Free(), system, fn, args)
+		tab, err := apps.CallContext(context.Background(), simlat.Free(), system, fn, args)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -51,11 +52,11 @@ func main() {
 			log.Fatal(err)
 		}
 		// Warm call, then a measured repeat.
-		if _, err := stack.Call(simlat.Free(), "BuySuppComp", []types.Value{supplierNo, compName}); err != nil {
+		if _, err := stack.CallContext(context.Background(), simlat.Free(), "BuySuppComp", []types.Value{supplierNo, compName}); err != nil {
 			log.Fatal(err)
 		}
 		task := simlat.NewVirtualTask()
-		tab, err := stack.Call(task, "BuySuppComp", []types.Value{supplierNo, compName})
+		tab, err := stack.CallContext(context.Background(), task, "BuySuppComp", []types.Value{supplierNo, compName})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -75,7 +76,7 @@ func main() {
 	session.MustExec("CREATE TABLE pending_orders (SupplierNo INT, CompName VARCHAR(30), Qty INT)")
 	session.MustExec(`INSERT INTO pending_orders VALUES
 		(4, 'washer', 500), (2, 'bolt', 120), (6, 'nut', 60)`)
-	tab, err := session.Query(`
+	tab, err := session.QueryContext(context.Background(), `
 		SELECT o.SupplierNo, o.CompName, o.Qty, D.Decision
 		FROM pending_orders o, TABLE (BuySuppComp(o.SupplierNo, o.CompName)) AS D
 		ORDER BY o.SupplierNo`)

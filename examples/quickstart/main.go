@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,7 +30,7 @@ func main() {
 	// the FROM clause. GetSuppQualRelia is realised by a workflow process
 	// that calls GetQuality and GetReliability in parallel activities.
 	fmt.Println("Quality and reliability of the watched suppliers:")
-	tab, err := session.Query(`
+	tab, err := session.QueryContext(context.Background(), `
 		SELECT w.SupplierNo, w.Note, QR.Qual, QR.Relia
 		FROM watchlist w, TABLE (GetSuppQualRelia(w.SupplierNo)) AS QR
 		ORDER BY w.SupplierNo`)
@@ -41,7 +42,7 @@ func main() {
 
 	// The planner shows how the statement decomposes.
 	fmt.Println("\nQuery plan:")
-	res, err := session.Exec(`EXPLAIN SELECT w.Note, QR.Qual
+	res, err := session.ExecContext(context.Background(), `EXPLAIN SELECT w.Note, QR.Qual
 		FROM watchlist w, TABLE (GetSuppQualRelia(w.SupplierNo)) AS QR`)
 	if err != nil {
 		log.Fatal(err)
@@ -53,7 +54,7 @@ func main() {
 	// The general case of the paper's Fig. 1: one federated function
 	// replacing five manual application-system interactions.
 	fmt.Println("\nBuySuppComp(4, 'washer'):")
-	tab, err = session.Query("SELECT R.Decision FROM TABLE (BuySuppComp(4, 'washer')) AS R")
+	tab, err = session.QueryContext(context.Background(), "SELECT R.Decision FROM TABLE (BuySuppComp(4, 'washer')) AS R")
 	if err != nil {
 		log.Fatal(err)
 	}

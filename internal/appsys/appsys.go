@@ -14,12 +14,14 @@
 package appsys
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"time"
 
 	"fedwf/internal/obs"
+	"fedwf/internal/resil"
 	"fedwf/internal/rpc"
 	"fedwf/internal/simlat"
 	"fedwf/internal/storage"
@@ -84,10 +86,22 @@ func (s *System) Functions() []string {
 	return out
 }
 
-// Call invokes a local function: arguments are cast to the declared
-// parameter types, the service time is charged to the task, and the
-// result is coerced to the declared return schema.
-func (s *System) Call(task *simlat.Task, name string, args []types.Value) (out *types.Table, err error) {
+// Call invokes a local function without deadline awareness.
+//
+// Deprecated: use CallContext; this shim delegates with a background
+// context.
+func (s *System) Call(task *simlat.Task, name string, args []types.Value) (*types.Table, error) {
+	return s.CallContext(context.Background(), task, name, args)
+}
+
+// CallContext invokes a local function: the statement deadline is checked
+// first, arguments are cast to the declared parameter types, the service
+// time is charged to the task, and the result is coerced to the declared
+// return schema.
+func (s *System) CallContext(ctx context.Context, task *simlat.Task, name string, args []types.Value) (out *types.Table, err error) {
+	if err := resil.Check(ctx, task); err != nil {
+		return nil, err
+	}
 	sp := obs.StartSpan(task, "appsys.call",
 		obs.Attr{Key: "system", Value: s.name}, obs.Attr{Key: "fn", Value: name})
 	defer func() {
@@ -165,12 +179,22 @@ func (r *Registry) Systems() []string {
 }
 
 // Call routes an invocation to the named system.
+//
+// Deprecated: use CallContext; this shim delegates with a background
+// context.
 func (r *Registry) Call(task *simlat.Task, system, function string, args []types.Value) (*types.Table, error) {
+	return r.CallContext(context.Background(), task, system, function, args)
+}
+
+// CallContext routes an invocation to the named system. An unknown system
+// is a permanent resil.AppSysError (never retried); function-level errors
+// pass through untouched.
+func (r *Registry) CallContext(ctx context.Context, task *simlat.Task, system, function string, args []types.Value) (*types.Table, error) {
 	s, err := r.System(system)
 	if err != nil {
-		return nil, err
+		return nil, &resil.AppSysError{System: system, Transient: false, Err: err}
 	}
-	return s.Call(task, function, args)
+	return s.CallContext(ctx, task, function, args)
 }
 
 // Resolve finds the unique system providing the named function; the
@@ -195,14 +219,14 @@ func (r *Registry) Resolve(function string) (*System, *Function, error) {
 
 // Handler adapts the registry to the RPC substrate.
 func (r *Registry) Handler() rpc.Handler {
-	return func(task *simlat.Task, req rpc.Request) (*types.Table, error) {
+	return func(ctx context.Context, task *simlat.Task, req rpc.Request) (*types.Table, error) {
 		if req.System == "" {
 			sys, _, err := r.Resolve(req.Function)
 			if err != nil {
-				return nil, err
+				return nil, &resil.AppSysError{System: "fn:" + req.Function, Transient: false, Err: err}
 			}
-			return sys.Call(task, req.Function, req.Args)
+			return sys.CallContext(ctx, task, req.Function, req.Args)
 		}
-		return r.Call(task, req.System, req.Function, req.Args)
+		return r.CallContext(ctx, task, req.System, req.Function, req.Args)
 	}
 }

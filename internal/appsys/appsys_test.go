@@ -1,6 +1,7 @@
 package appsys
 
 import (
+	"context"
 	"testing"
 
 	"fedwf/internal/rpc"
@@ -216,16 +217,16 @@ func TestServiceTimeCharged(t *testing.T) {
 func TestHandlerDispatch(t *testing.T) {
 	reg := MustBuildScenario()
 	h := reg.Handler()
-	tab, err := h(simlat.Free(), rpc.Request{System: Purchasing, Function: "GetReliability", Args: []types.Value{types.NewInt(1)}})
+	tab, err := h(context.Background(), simlat.Free(), rpc.Request{System: Purchasing, Function: "GetReliability", Args: []types.Value{types.NewInt(1)}})
 	if err != nil || tab.Len() != 1 {
 		t.Errorf("handler dispatch: %v", err)
 	}
 	// Empty system routes through Resolve.
-	tab, err = h(simlat.Free(), rpc.Request{Function: "GetCompNo", Args: []types.Value{types.NewString("nut")}})
+	tab, err = h(context.Background(), simlat.Free(), rpc.Request{Function: "GetCompNo", Args: []types.Value{types.NewString("nut")}})
 	if err != nil || tab.Rows[0][0].Int() != 2 {
 		t.Errorf("resolve dispatch: %v %v", tab, err)
 	}
-	if _, err := h(simlat.Free(), rpc.Request{Function: "NoFn"}); err == nil {
+	if _, err := h(context.Background(), simlat.Free(), rpc.Request{Function: "NoFn"}); err == nil {
 		t.Error("handler accepted unknown function")
 	}
 }

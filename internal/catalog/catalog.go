@@ -14,6 +14,7 @@
 package catalog
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -42,6 +43,41 @@ type TableFunc interface {
 	Invoke(rt QueryRunner, task *simlat.Task, args []types.Value) (*types.Table, error)
 }
 
+// CtxTableFunc is the context-aware extension of TableFunc (the
+// database/sql pattern: optional interfaces evolve APIs without breaking
+// existing implementations). The executor prefers InvokeContext whenever a
+// function implements it, so deadlines and cancellation reach the
+// integration layers; plain TableFunc implementations keep working with a
+// background context.
+type CtxTableFunc interface {
+	TableFunc
+	InvokeContext(ctx context.Context, rt QueryRunner, task *simlat.Task, args []types.Value) (*types.Table, error)
+}
+
+// InvokeFunc dispatches to f.InvokeContext when implemented, else to the
+// legacy Invoke. All call sites that hold a context use it.
+func InvokeFunc(ctx context.Context, f TableFunc, rt QueryRunner, task *simlat.Task, args []types.Value) (*types.Table, error) {
+	if cf, ok := f.(CtxTableFunc); ok {
+		return cf.InvokeContext(ctx, rt, task, args)
+	}
+	return f.Invoke(rt, task, args)
+}
+
+// ContextRunner is the context-aware extension of QueryRunner, implemented
+// by the engine session.
+type ContextRunner interface {
+	QueryRunner
+	RunSelectContext(ctx context.Context, sel *sqlparser.Select, params map[string]types.Value, task *simlat.Task) (*types.Table, error)
+}
+
+// RunSelectOn dispatches to rt.RunSelectContext when implemented.
+func RunSelectOn(ctx context.Context, rt QueryRunner, sel *sqlparser.Select, params map[string]types.Value, task *simlat.Task) (*types.Table, error) {
+	if cr, ok := rt.(ContextRunner); ok {
+		return cr.RunSelectContext(ctx, sel, params, task)
+	}
+	return rt.RunSelect(sel, params, task)
+}
+
 // ForeignServer is a data source attached via a wrapper. The planner
 // pushes single-server subqueries down through Query.
 type ForeignServer interface {
@@ -50,6 +86,20 @@ type ForeignServer interface {
 	TableSchema(remote string) (types.Schema, error)
 	// Query executes a pushed-down SELECT remotely.
 	Query(sel *sqlparser.Select, task *simlat.Task) (*types.Table, error)
+}
+
+// ContextForeignServer is the context-aware extension of ForeignServer.
+type ContextForeignServer interface {
+	ForeignServer
+	QueryContext(ctx context.Context, sel *sqlparser.Select, task *simlat.Task) (*types.Table, error)
+}
+
+// QueryServer dispatches to srv.QueryContext when implemented.
+func QueryServer(ctx context.Context, srv ForeignServer, sel *sqlparser.Select, task *simlat.Task) (*types.Table, error) {
+	if cs, ok := srv.(ContextForeignServer); ok {
+		return cs.QueryContext(ctx, sel, task)
+	}
+	return srv.Query(sel, task)
 }
 
 // Nickname maps a local name onto a remote table of a foreign server.
@@ -341,6 +391,12 @@ func (f *SQLFunc) Schema() types.Schema { return f.FReturns }
 // Invoke binds the arguments, runs the body, and coerces the result to the
 // declared RETURNS TABLE schema.
 func (f *SQLFunc) Invoke(rt QueryRunner, task *simlat.Task, args []types.Value) (*types.Table, error) {
+	return f.InvokeContext(context.Background(), rt, task, args)
+}
+
+// InvokeContext implements CtxTableFunc: the body's nested SELECT runs
+// under the statement context.
+func (f *SQLFunc) InvokeContext(ctx context.Context, rt QueryRunner, task *simlat.Task, args []types.Value) (*types.Table, error) {
 	if len(args) != len(f.FParams) {
 		return nil, fmt.Errorf("catalog: %s expects %d arguments, got %d", f.FName, len(f.FParams), len(args))
 	}
@@ -362,7 +418,7 @@ func (f *SQLFunc) Invoke(rt QueryRunner, task *simlat.Task, args []types.Value) 
 	if f.BeforeInvoke != nil {
 		f.BeforeInvoke(task)
 	}
-	res, err := rt.RunSelect(f.Body, params, task)
+	res, err := RunSelectOn(ctx, rt, f.Body, params, task)
 	if err != nil {
 		return nil, fmt.Errorf("catalog: executing %s: %w", f.FName, err)
 	}
@@ -384,6 +440,9 @@ type GoFunc struct {
 	FParams  []types.Column
 	FReturns types.Schema
 	Fn       func(rt QueryRunner, task *simlat.Task, args []types.Value) (*types.Table, error)
+	// FnCtx, when set, takes precedence over Fn and receives the statement
+	// context, so deadlines and cancellation flow into the host body.
+	FnCtx func(ctx context.Context, rt QueryRunner, task *simlat.Task, args []types.Value) (*types.Table, error)
 }
 
 // Name implements TableFunc.
@@ -398,6 +457,11 @@ func (f *GoFunc) Schema() types.Schema { return f.FReturns }
 // Invoke casts the arguments to the declared parameter types, runs the
 // host implementation, and coerces its result to the declared schema.
 func (f *GoFunc) Invoke(rt QueryRunner, task *simlat.Task, args []types.Value) (*types.Table, error) {
+	return f.InvokeContext(context.Background(), rt, task, args)
+}
+
+// InvokeContext implements CtxTableFunc.
+func (f *GoFunc) InvokeContext(ctx context.Context, rt QueryRunner, task *simlat.Task, args []types.Value) (*types.Table, error) {
 	if len(args) != len(f.FParams) {
 		return nil, fmt.Errorf("catalog: %s expects %d arguments, got %d", f.FName, len(f.FParams), len(args))
 	}
@@ -409,7 +473,13 @@ func (f *GoFunc) Invoke(rt QueryRunner, task *simlat.Task, args []types.Value) (
 		}
 		cast[i] = v
 	}
-	res, err := f.Fn(rt, task, cast)
+	var res *types.Table
+	var err error
+	if f.FnCtx != nil {
+		res, err = f.FnCtx(ctx, rt, task, cast)
+	} else {
+		res, err = f.Fn(rt, task, cast)
+	}
 	if err != nil {
 		return nil, err
 	}

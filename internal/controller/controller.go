@@ -14,9 +14,11 @@
 package controller
 
 import (
+	"context"
 	"sync"
 
 	"fedwf/internal/obs"
+	"fedwf/internal/resil"
 	"fedwf/internal/rpc"
 	"fedwf/internal/simlat"
 	"fedwf/internal/types"
@@ -33,10 +35,30 @@ type Controller struct {
 	connected bool
 }
 
+// Option configures a Controller at construction time.
+type Option func(*Controller)
+
+// WithGuard wraps the controller's application-system client with a
+// resil.Executor: retry with backoff plus the per-system circuit breaker.
+func WithGuard(ex *resil.Executor) Option {
+	return func(c *Controller) { c.apps = rpc.Guard(c.apps, ex) }
+}
+
+// WithFaultInjection wraps the application-system client with a fault
+// injector. Compose before WithGuard in the option list so retries re-roll
+// each attempt: New(p, wf, apps, WithFaultInjection(inj), WithGuard(ex)).
+func WithFaultInjection(in *resil.Injector) Option {
+	return func(c *Controller) { c.apps = rpc.WithFaults(c.apps, in) }
+}
+
 // New creates a controller in front of a workflow engine and an
-// application-system endpoint.
-func New(profile simlat.Profile, wf *wfms.Engine, apps rpc.Client) *Controller {
-	return &Controller{profile: profile, wf: wf, apps: apps}
+// application-system endpoint. Options apply in order.
+func New(profile simlat.Profile, wf *wfms.Engine, apps rpc.Client, opts ...Option) *Controller {
+	c := &Controller{profile: profile, wf: wf, apps: apps}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
 }
 
 // WorkflowEngine returns the workflow engine behind the controller.
@@ -67,7 +89,7 @@ func (c *Controller) Reset() {
 
 // RunWorkflow starts a workflow process instance on behalf of a UDTF,
 // charging the controller's own work.
-func (c *Controller) RunWorkflow(task *simlat.Task, p *wfms.Process, input map[string]types.Value) (out *types.Table, err error) {
+func (c *Controller) RunWorkflow(ctx context.Context, task *simlat.Task, p *wfms.Process, input map[string]types.Value) (out *types.Table, err error) {
 	sp := obs.StartSpan(task, "controller.run-workflow", obs.Attr{Key: "process", Value: p.Name})
 	defer func() {
 		if err != nil {
@@ -75,16 +97,19 @@ func (c *Controller) RunWorkflow(task *simlat.Task, p *wfms.Process, input map[s
 		}
 		sp.End(task)
 	}()
+	if err := resil.Check(ctx, task); err != nil {
+		return nil, err
+	}
 	c.ensureConnected(task)
 	task.Step(simlat.StepController, c.profile.ControllerInvokeWf)
-	return c.wf.Run(task, p, input)
+	return c.wf.RunContext(ctx, task, p, input)
 }
 
 // CallFunction dispatches one local-function call of an access UDTF. In
 // the UDTF architecture the controller is already running, so dispatch is
 // cheap — the paper measures the three controller runs of GetNoSuppComp
 // at ~0% of elapsed time.
-func (c *Controller) CallFunction(task *simlat.Task, system, function string, args []types.Value) (out *types.Table, err error) {
+func (c *Controller) CallFunction(ctx context.Context, task *simlat.Task, system, function string, args []types.Value) (out *types.Table, err error) {
 	sp := obs.StartSpan(task, "controller.call", obs.Attr{Key: "system", Value: system}, obs.Attr{Key: "function", Value: function})
 	defer func() {
 		if err != nil {
@@ -92,9 +117,12 @@ func (c *Controller) CallFunction(task *simlat.Task, system, function string, ar
 		}
 		sp.End(task)
 	}()
+	if err := resil.Check(ctx, task); err != nil {
+		return nil, err
+	}
 	c.ensureConnected(task)
 	task.Step(simlat.StepControllerRuns, c.profile.ControllerDispatch)
-	return c.apps.Call(task, rpc.Request{System: system, Function: function, Args: args})
+	return c.apps.Call(ctx, task, rpc.Request{System: system, Function: function, Args: args})
 }
 
 // Bridge is the UDTF-side view of the controller. With the controller
@@ -125,24 +153,24 @@ func (b *Bridge) Controller() *Controller { return b.ctl }
 
 // RunWorkflow executes a workflow process through the controller (or
 // directly against the workflow engine in the ablation).
-func (b *Bridge) RunWorkflow(task *simlat.Task, p *wfms.Process, input map[string]types.Value) (*types.Table, error) {
+func (b *Bridge) RunWorkflow(ctx context.Context, task *simlat.Task, p *wfms.Process, input map[string]types.Value) (*types.Table, error) {
 	if b.direct {
-		return b.ctl.wf.Run(task, p, input)
+		return b.ctl.wf.RunContext(ctx, task, p, input)
 	}
 	task.Step(simlat.StepRMICall, b.profile.RMICall)
-	out, err := b.ctl.RunWorkflow(task, p, input)
+	out, err := b.ctl.RunWorkflow(ctx, task, p, input)
 	task.Step(simlat.StepRMIReturn, b.profile.RMIReturn)
 	return out, err
 }
 
 // CallFunction invokes one local function through the controller (or
 // directly in the ablation).
-func (b *Bridge) CallFunction(task *simlat.Task, system, function string, args []types.Value) (*types.Table, error) {
+func (b *Bridge) CallFunction(ctx context.Context, task *simlat.Task, system, function string, args []types.Value) (*types.Table, error) {
 	if b.direct {
-		return b.ctl.apps.Call(task, rpc.Request{System: system, Function: function, Args: args})
+		return b.ctl.apps.Call(ctx, task, rpc.Request{System: system, Function: function, Args: args})
 	}
 	task.Step(simlat.StepRMICall, b.profile.RMICall)
-	out, err := b.ctl.CallFunction(task, system, function, args)
+	out, err := b.ctl.CallFunction(ctx, task, system, function, args)
 	task.Step(simlat.StepRMIReturn, b.profile.RMIReturn)
 	return out, err
 }

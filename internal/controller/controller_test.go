@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"context"
 	"testing"
 
 	"fedwf/internal/appsys"
@@ -15,8 +16,8 @@ func testSetup(t *testing.T) (*Controller, simlat.Profile) {
 	profile := simlat.DefaultProfile()
 	apps := appsys.MustBuildScenario()
 	client := rpc.NewInProc(apps.Handler())
-	invoker := wfms.InvokerFunc(func(task *simlat.Task, system, function string, args []types.Value) (*types.Table, error) {
-		return client.Call(task, rpc.Request{System: system, Function: function, Args: args})
+	invoker := wfms.InvokerFunc(func(ctx context.Context, task *simlat.Task, system, function string, args []types.Value) (*types.Table, error) {
+		return client.Call(ctx, task, rpc.Request{System: system, Function: function, Args: args})
 	})
 	wfEngine := wfms.New(invoker, wfms.CostsFromProfile(profile))
 	return New(profile, wfEngine, client), profile
@@ -40,11 +41,11 @@ func TestControllerConnectChargedOnce(t *testing.T) {
 	input := map[string]types.Value{"supplierno": types.NewInt(3)}
 
 	first := simlat.NewVirtualTask()
-	if _, err := ctl.RunWorkflow(first, qualProcess(), input); err != nil {
+	if _, err := ctl.RunWorkflow(context.Background(), first, qualProcess(), input); err != nil {
 		t.Fatal(err)
 	}
 	second := simlat.NewVirtualTask()
-	if _, err := ctl.RunWorkflow(second, qualProcess(), input); err != nil {
+	if _, err := ctl.RunWorkflow(context.Background(), second, qualProcess(), input); err != nil {
 		t.Fatal(err)
 	}
 	if first.Elapsed()-second.Elapsed() != profile.ControllerConnect {
@@ -54,7 +55,7 @@ func TestControllerConnectChargedOnce(t *testing.T) {
 	// Reset forces a reconnect.
 	ctl.Reset()
 	third := simlat.NewVirtualTask()
-	if _, err := ctl.RunWorkflow(third, qualProcess(), input); err != nil {
+	if _, err := ctl.RunWorkflow(context.Background(), third, qualProcess(), input); err != nil {
 		t.Fatal(err)
 	}
 	if third.Elapsed() != first.Elapsed() {
@@ -68,7 +69,7 @@ func TestCallFunctionDispatch(t *testing.T) {
 	ctl.ensureConnected(warm) // absorb connect cost
 
 	task := simlat.NewVirtualTask()
-	tab, err := ctl.CallFunction(task, appsys.StockKeeping, "GetQuality", []types.Value{types.NewInt(3)})
+	tab, err := ctl.CallFunction(context.Background(), task, appsys.StockKeeping, "GetQuality", []types.Value{types.NewInt(3)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestCallFunctionDispatch(t *testing.T) {
 	if task.Elapsed() != want {
 		t.Errorf("dispatch cost = %v, want %v", task.Elapsed(), want)
 	}
-	if _, err := ctl.CallFunction(task, "nope", "GetQuality", nil); err == nil {
+	if _, err := ctl.CallFunction(context.Background(), task, "nope", "GetQuality", nil); err == nil {
 		t.Error("unknown system accepted")
 	}
 }
@@ -99,11 +100,11 @@ func TestBridgeRMICharging(t *testing.T) {
 
 	args := []types.Value{types.NewInt(3)}
 	t1 := simlat.NewVirtualTask()
-	if _, err := viaRMI.CallFunction(t1, appsys.StockKeeping, "GetQuality", args); err != nil {
+	if _, err := viaRMI.CallFunction(context.Background(), t1, appsys.StockKeeping, "GetQuality", args); err != nil {
 		t.Fatal(err)
 	}
 	t2 := simlat.NewVirtualTask()
-	if _, err := direct.CallFunction(t2, appsys.StockKeeping, "GetQuality", args); err != nil {
+	if _, err := direct.CallFunction(context.Background(), t2, appsys.StockKeeping, "GetQuality", args); err != nil {
 		t.Fatal(err)
 	}
 	saving := t1.Elapsed() - t2.Elapsed()
@@ -114,11 +115,11 @@ func TestBridgeRMICharging(t *testing.T) {
 
 	input := map[string]types.Value{"supplierno": types.NewInt(3)}
 	w1 := simlat.NewVirtualTask()
-	if _, err := viaRMI.RunWorkflow(w1, qualProcess(), input); err != nil {
+	if _, err := viaRMI.RunWorkflow(context.Background(), w1, qualProcess(), input); err != nil {
 		t.Fatal(err)
 	}
 	w2 := simlat.NewVirtualTask()
-	if _, err := direct.RunWorkflow(w2, qualProcess(), input); err != nil {
+	if _, err := direct.RunWorkflow(context.Background(), w2, qualProcess(), input); err != nil {
 		t.Fatal(err)
 	}
 	wfSaving := w1.Elapsed() - w2.Elapsed()
@@ -132,12 +133,12 @@ func TestBridgeReset(t *testing.T) {
 	ctl, profile := testSetup(t)
 	b := NewBridge(profile, ctl)
 	input := map[string]types.Value{"supplierno": types.NewInt(1)}
-	if _, err := b.RunWorkflow(simlat.Free(), qualProcess(), input); err != nil {
+	if _, err := b.RunWorkflow(context.Background(), simlat.Free(), qualProcess(), input); err != nil {
 		t.Fatal(err)
 	}
 	b.Reset()
 	task := simlat.NewVirtualTask()
-	if _, err := b.RunWorkflow(task, qualProcess(), input); err != nil {
+	if _, err := b.RunWorkflow(context.Background(), task, qualProcess(), input); err != nil {
 		t.Fatal(err)
 	}
 	if task.Elapsed() < profile.ControllerConnect {
@@ -156,7 +157,7 @@ func TestBreakdownAttribution(t *testing.T) {
 	task := simlat.NewVirtualTask()
 	rec := simlat.NewRecorder()
 	task.SetRecorder(rec)
-	if _, err := b.CallFunction(task, appsys.StockKeeping, "GetQuality", []types.Value{types.NewInt(3)}); err != nil {
+	if _, err := b.CallFunction(context.Background(), task, appsys.StockKeeping, "GetQuality", []types.Value{types.NewInt(3)}); err != nil {
 		t.Fatal(err)
 	}
 	byName := make(map[string]bool)

@@ -7,6 +7,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -17,6 +18,7 @@ import (
 	"fedwf/internal/exec"
 	"fedwf/internal/obs"
 	"fedwf/internal/plan"
+	"fedwf/internal/resil"
 	"fedwf/internal/simlat"
 	"fedwf/internal/sqlparser"
 	"fedwf/internal/types"
@@ -36,15 +38,55 @@ type Engine struct {
 	compositionCost time.Duration
 	planOpts        plan.Options
 	funcCache       bool
+	stmtTimeout     time.Duration
+	retry           resil.RetryPolicy
+	allowPartial    bool
 }
 
-// New returns an empty engine.
-func New() *Engine {
-	return &Engine{
+// Option configures an engine at construction time. Options are the
+// preferred way to set up an engine; the Set* methods remain for runtime
+// reconfiguration (SET statements).
+type Option func(*Engine)
+
+// WithDOP sets the degree of intra-query parallelism (see SetParallelism).
+func WithDOP(n int) Option { return func(e *Engine) { e.setParallelismLocked(n) } }
+
+// WithFunctionCache enables per-statement table-function memoisation.
+func WithFunctionCache(enabled bool) Option { return func(e *Engine) { e.funcCache = enabled } }
+
+// WithCompositionCost sets the simulated result-composition cost.
+func WithCompositionCost(d time.Duration) Option { return func(e *Engine) { e.compositionCost = d } }
+
+// WithPlanOptions sets the planner options wholesale.
+func WithPlanOptions(opts plan.Options) Option { return func(e *Engine) { e.planOpts = opts } }
+
+// WithRetryPolicy sets the default retry policy; its Budget seeds each
+// statement's retry budget (shared by every federated call the statement
+// makes).
+func WithRetryPolicy(p resil.RetryPolicy) Option { return func(e *Engine) { e.retry = p } }
+
+// WithStatementTimeout sets the default per-statement virtual-time
+// deadline for new sessions; zero disables it. Sessions can override it
+// with SET STATEMENT_TIMEOUT <ms>.
+func WithStatementTimeout(d time.Duration) Option { return func(e *Engine) { e.stmtTimeout = d } }
+
+// WithPartialResults lets new sessions degrade optional (LEFT lateral)
+// branches to NULL padding when their application system is shedding,
+// instead of failing the statement. Degraded results carry warnings and
+// the Partial flag.
+func WithPartialResults(enabled bool) Option { return func(e *Engine) { e.allowPartial = enabled } }
+
+// New returns an empty engine configured by opts.
+func New(opts ...Option) *Engine {
+	e := &Engine{
 		cat:       catalog.New(),
 		externals: make(map[string]ExternalImpl),
 		wrappers:  make(map[string]catalog.WrapperFactory),
 	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
 }
 
 // Catalog exposes the engine's catalog.
@@ -106,12 +148,16 @@ func (e *Engine) SetFunctionCache(enabled bool) {
 // side-effect-free lateral right sides, n <= 1 keeps sequential plans
 // (the default), and n < 0 selects runtime.GOMAXPROCS(0).
 func (e *Engine) SetParallelism(n int) {
+	e.mu.Lock()
+	e.setParallelismLocked(n)
+	e.mu.Unlock()
+}
+
+func (e *Engine) setParallelismLocked(n int) {
 	if n < 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	e.mu.Lock()
 	e.planOpts.Parallelism = n
-	e.mu.Unlock()
 }
 
 // Parallelism returns the configured degree of parallelism.
@@ -121,32 +167,102 @@ func (e *Engine) Parallelism() int {
 	return e.planOpts.Parallelism
 }
 
+// RetryPolicy returns the engine's default retry policy.
+func (e *Engine) RetryPolicy() resil.RetryPolicy {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.retry
+}
+
+// SetRetryPolicy updates the default retry policy (see WithRetryPolicy).
+func (e *Engine) SetRetryPolicy(p resil.RetryPolicy) {
+	e.mu.Lock()
+	e.retry = p
+	e.mu.Unlock()
+}
+
+// StatementTimeout returns the default per-statement deadline.
+func (e *Engine) StatementTimeout() time.Duration {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.stmtTimeout
+}
+
+// PartialResults reports whether graceful degradation is on by default.
+func (e *Engine) PartialResults() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.allowPartial
+}
+
+// stmtState is the per-statement resilience state shared by the top-level
+// query and every nested UDTF-body statement it spawns: one warning sink
+// (so a degraded nested branch flags the whole statement partial) and the
+// degradation switch. It rides the context so it crosses the
+// engine -> exec -> catalog -> engine recursion without widening
+// QueryRunner.
+type stmtState struct {
+	warnings     *exec.Warnings
+	allowPartial bool
+}
+
+type stmtStateKey struct{}
+
+func stmtStateFrom(ctx context.Context) *stmtState {
+	if ctx == nil {
+		return nil
+	}
+	st, _ := ctx.Value(stmtStateKey{}).(*stmtState)
+	return st
+}
+
 // RunSelect implements catalog.QueryRunner: nested execution of UDTF
 // bodies and remote pushdown targets.
+//
+// Deprecated: use RunSelectContext; RunSelect runs without deadline
+// propagation or cancellation.
 func (e *Engine) RunSelect(sel *sqlparser.Select, params map[string]types.Value, task *simlat.Task) (*types.Table, error) {
-	tab, _, err := e.runSelect(sel, params, task)
+	return e.RunSelectContext(context.Background(), sel, params, task)
+}
+
+// RunSelectContext implements catalog.ContextRunner: nested execution of
+// UDTF bodies and remote pushdown targets under the statement's deadline.
+func (e *Engine) RunSelectContext(ctx context.Context, sel *sqlparser.Select, params map[string]types.Value, task *simlat.Task) (*types.Table, error) {
+	tab, _, err := e.runSelect(ctx, sel, params, task)
 	return tab, err
 }
 
-// runSelect is RunSelect plus the statement's function-cache statistics
-// (zero when the cache is disabled).
-func (e *Engine) runSelect(sel *sqlparser.Select, params map[string]types.Value, task *simlat.Task) (*types.Table, exec.CacheStats, error) {
+// runSelect is RunSelectContext plus the statement's function-cache
+// statistics (zero when the cache is disabled).
+func (e *Engine) runSelect(ctx context.Context, sel *sqlparser.Select, params map[string]types.Value, task *simlat.Task) (*types.Table, exec.CacheStats, error) {
 	e.mu.RLock()
 	cc := e.compositionCost
 	opts := e.planOpts
 	cache := e.funcCache
+	partial := e.allowPartial
 	e.mu.RUnlock()
 	op, err := plan.CompileSelectOpts(e.cat, sel, params, opts)
 	if err != nil {
 		return nil, exec.CacheStats{}, err
 	}
-	ctx := &exec.Ctx{Task: task, Runner: e, CompositionCost: cc}
+	st := stmtStateFrom(ctx)
+	if st == nil {
+		st = &stmtState{warnings: &exec.Warnings{}, allowPartial: partial}
+	}
+	ectx := &exec.Ctx{
+		Task:            task,
+		Runner:          e,
+		CompositionCost: cc,
+		Context:         ctx,
+		Warnings:        st.warnings,
+		AllowDegraded:   st.allowPartial,
+	}
 	var fc *exec.FuncCache
 	if cache {
 		fc = exec.NewFuncCache()
-		ctx.FuncCache = fc
+		ectx.FuncCache = fc
 	}
-	tab, err := exec.Run(op, ctx)
+	tab, err := exec.Run(op, ectx)
 	return tab, fc.Snapshot(), err
 }
 
@@ -159,11 +275,19 @@ type Session struct {
 	// lastCacheStats records the function-cache counters of the most
 	// recent top-level query (zero when the cache is disabled).
 	lastCacheStats exec.CacheStats
+	// stmtTimeout and allowPartial start from the engine defaults and are
+	// overridable per session via SET STATEMENT_TIMEOUT / SET
+	// PARTIAL_RESULTS.
+	stmtTimeout  time.Duration
+	allowPartial bool
 }
 
 // NewSession opens a session.
 func (e *Engine) NewSession() *Session {
-	return &Session{eng: e, task: simlat.Free()}
+	e.mu.RLock()
+	st, ap := e.stmtTimeout, e.allowPartial
+	e.mu.RUnlock()
+	return &Session{eng: e, task: simlat.Free(), stmtTimeout: st, allowPartial: ap}
 }
 
 // SetTask attaches the cost meter used by subsequent statements.
@@ -181,45 +305,114 @@ func (s *Session) Engine() *Engine { return s.eng }
 // caches and are not included.
 func (s *Session) LastCacheStats() exec.CacheStats { return s.lastCacheStats }
 
+// SetStatementTimeout sets this session's per-statement virtual-time
+// deadline; zero disables it.
+func (s *Session) SetStatementTimeout(d time.Duration) { s.stmtTimeout = d }
+
+// StatementTimeout returns this session's per-statement deadline.
+func (s *Session) StatementTimeout() time.Duration { return s.stmtTimeout }
+
+// SetPartialResults toggles graceful degradation for this session.
+func (s *Session) SetPartialResults(enabled bool) { s.allowPartial = enabled }
+
+// beginStmt anchors the statement's resilience state on the context:
+// the virtual-time deadline (session timeout, tightened by any relative
+// transport timeout already on the context), the retry budget, and the
+// shared warning sink. Statements arriving with a deadline already
+// anchored (nested execution) keep it.
+func (s *Session) beginStmt(ctx context.Context) (context.Context, *stmtState) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if st := stmtStateFrom(ctx); st != nil {
+		return ctx, st // nested statement: share the outer statement's state
+	}
+	limit := s.stmtTimeout
+	if d, ok := resil.TimeoutFrom(ctx); ok && d > 0 && (limit <= 0 || d < limit) {
+		limit = d
+	}
+	if limit > 0 {
+		if _, ok := resil.DeadlineAtFrom(ctx); !ok {
+			ctx = resil.WithDeadlineAt(ctx, s.task.Elapsed()+limit)
+		}
+	}
+	if b := s.eng.RetryPolicy().Budget; b > 0 && resil.BudgetFrom(ctx) == nil {
+		ctx = resil.WithBudget(ctx, resil.NewBudget(b))
+	}
+	st := &stmtState{warnings: &exec.Warnings{}, allowPartial: s.allowPartial}
+	return context.WithValue(ctx, stmtStateKey{}, st), st
+}
+
 // Result is the outcome of one statement.
 type Result struct {
 	Table        *types.Table // non-nil for queries, EXPLAIN and SHOW
 	RowsAffected int
 	Message      string
+	// Warnings lists statement-level warnings (e.g. degraded branches);
+	// Partial marks a result in which an optional branch was NULL-padded
+	// because its application system was shedding.
+	Warnings []string
+	Partial  bool
 }
 
 // Query executes a SELECT and returns its result table.
+//
+// Deprecated: use QueryContext; Query runs without deadline propagation
+// or cancellation.
 func (s *Session) Query(sql string) (*types.Table, error) {
+	return s.QueryContext(context.Background(), sql)
+}
+
+// QueryContext executes a SELECT under the statement deadline and retry
+// budget carried (or anchored) on ctx, returning its result table.
+func (s *Session) QueryContext(ctx context.Context, sql string) (*types.Table, error) {
 	sel, err := sqlparser.ParseSelect(sql)
 	if err != nil {
 		return nil, err
 	}
+	ctx, _ = s.beginStmt(ctx)
 	sp := obs.StartSpan(s.task, "engine.statement", obs.Attr{Key: "sql", Value: sel.String()})
-	tab, st, err := s.eng.runSelect(sel, nil, s.task)
+	tab, st, err := s.eng.runSelect(ctx, sel, nil, s.task)
 	sp.End(s.task)
 	s.lastCacheStats = st
 	return tab, err
 }
 
 // Exec parses and executes any single statement.
+//
+// Deprecated: use ExecContext; Exec runs without deadline propagation or
+// cancellation.
 func (s *Session) Exec(sql string) (*Result, error) {
+	return s.ExecContext(context.Background(), sql)
+}
+
+// ExecContext parses and executes any single statement under ctx.
+func (s *Session) ExecContext(ctx context.Context, sql string) (*Result, error) {
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return s.ExecStmt(stmt)
+	return s.ExecStmtContext(ctx, stmt)
 }
 
 // ExecScript executes a semicolon-separated statement sequence, stopping
 // at the first error.
+//
+// Deprecated: use ExecScriptContext.
 func (s *Session) ExecScript(sql string) ([]*Result, error) {
+	return s.ExecScriptContext(context.Background(), sql)
+}
+
+// ExecScriptContext executes a semicolon-separated statement sequence
+// under ctx, stopping at the first error.
+func (s *Session) ExecScriptContext(ctx context.Context, sql string) ([]*Result, error) {
 	stmts, err := sqlparser.ParseScript(sql)
 	if err != nil {
 		return nil, err
 	}
 	results := make([]*Result, 0, len(stmts))
 	for _, stmt := range stmts {
-		r, err := s.ExecStmt(stmt)
+		r, err := s.ExecStmtContext(ctx, stmt)
 		if err != nil {
 			return results, fmt.Errorf("engine: executing %q: %w", stmt.String(), err)
 		}
@@ -239,23 +432,49 @@ func (s *Session) MustExec(sql string) *Result {
 }
 
 // ExecStmt executes one parsed statement.
+//
+// Deprecated: use ExecStmtContext.
 func (s *Session) ExecStmt(stmt sqlparser.Statement) (*Result, error) {
+	return s.ExecStmtContext(context.Background(), stmt)
+}
+
+// ExecStmtContext executes one parsed statement under ctx.
+func (s *Session) ExecStmtContext(ctx context.Context, stmt sqlparser.Statement) (*Result, error) {
 	switch st := stmt.(type) {
 	case *sqlparser.Select:
+		ctx, state := s.beginStmt(ctx)
 		sp := obs.StartSpan(s.task, "engine.statement", obs.Attr{Key: "sql", Value: st.String()})
-		tab, stats, err := s.eng.runSelect(st, nil, s.task)
+		tab, stats, err := s.eng.runSelect(ctx, st, nil, s.task)
 		sp.End(s.task)
 		s.lastCacheStats = stats
 		if err != nil {
 			return nil, err
 		}
-		return &Result{Table: tab, RowsAffected: tab.Len()}, nil
+		return &Result{
+			Table:        tab,
+			RowsAffected: tab.Len(),
+			Warnings:     state.warnings.List(),
+			Partial:      state.warnings.Partial(),
+		}, nil
 
 	case *sqlparser.Set:
 		switch st.Option {
 		case "PARALLELISM":
 			s.eng.SetParallelism(int(st.Value))
 			return &Result{Message: fmt.Sprintf("parallelism set to %d", s.eng.Parallelism())}, nil
+		case "STATEMENT_TIMEOUT":
+			s.stmtTimeout = time.Duration(st.Value) * simlat.PaperMS
+			if st.Value <= 0 {
+				s.stmtTimeout = 0
+				return &Result{Message: "statement timeout disabled"}, nil
+			}
+			return &Result{Message: fmt.Sprintf("statement timeout set to %d ms", st.Value)}, nil
+		case "PARTIAL_RESULTS":
+			s.allowPartial = st.Value != 0
+			if s.allowPartial {
+				return &Result{Message: "partial results enabled"}, nil
+			}
+			return &Result{Message: "partial results disabled"}, nil
 		default:
 			return nil, fmt.Errorf("engine: unknown option SET %s", st.Option)
 		}
@@ -319,7 +538,7 @@ func (s *Session) ExecStmt(stmt sqlparser.Statement) (*Result, error) {
 		return &Result{Message: "index " + st.Name + " created"}, nil
 
 	case *sqlparser.Insert:
-		return s.execInsert(st)
+		return s.execInsert(ctx, st)
 
 	case *sqlparser.Update:
 		return s.execUpdate(st)
@@ -361,7 +580,7 @@ func (s *Session) ExecStmt(stmt sqlparser.Statement) (*Result, error) {
 		return &Result{Message: "nickname " + st.Name + " created"}, nil
 
 	case *sqlparser.Explain:
-		return s.execExplain(st)
+		return s.execExplain(ctx, st)
 
 	case *sqlparser.Show:
 		return s.execShow(st)
@@ -371,7 +590,7 @@ func (s *Session) ExecStmt(stmt sqlparser.Statement) (*Result, error) {
 	}
 }
 
-func (s *Session) execInsert(st *sqlparser.Insert) (*Result, error) {
+func (s *Session) execInsert(ctx context.Context, st *sqlparser.Insert) (*Result, error) {
 	tab, err := s.eng.cat.Table(st.Table)
 	if err != nil {
 		return nil, err
@@ -394,7 +613,8 @@ func (s *Session) execInsert(st *sqlparser.Insert) (*Result, error) {
 
 	var rows []types.Row
 	if st.Query != nil {
-		res, err := s.eng.RunSelect(st.Query, nil, s.task)
+		ctx, _ := s.beginStmt(ctx)
+		res, err := s.eng.RunSelectContext(ctx, st.Query, nil, s.task)
 		if err != nil {
 			return nil, err
 		}
@@ -569,7 +789,7 @@ func (s *Session) execCreateFunction(st *sqlparser.CreateFunction) (*Result, err
 	return &Result{Message: "function " + st.Name + " created"}, nil
 }
 
-func (s *Session) execExplain(st *sqlparser.Explain) (*Result, error) {
+func (s *Session) execExplain(ctx context.Context, st *sqlparser.Explain) (*Result, error) {
 	sel, ok := st.Stmt.(*sqlparser.Select)
 	if !ok {
 		return nil, fmt.Errorf("engine: EXPLAIN supports SELECT statements only")
@@ -593,14 +813,22 @@ func (s *Session) execExplain(st *sqlparser.Explain) (*Result, error) {
 		if task.Mode() == simlat.ModeFree {
 			task = simlat.NewVirtualTask()
 		}
+		ctx, state := s.beginStmt(ctx)
 		sp := obs.StartSpan(task, "engine.statement", obs.Attr{Key: "sql", Value: st.String()})
-		ctx := &exec.Ctx{Task: task, Runner: s.eng, CompositionCost: cc}
+		ectx := &exec.Ctx{
+			Task:            task,
+			Runner:          s.eng,
+			CompositionCost: cc,
+			Context:         ctx,
+			Warnings:        state.warnings,
+			AllowDegraded:   state.allowPartial,
+		}
 		var fc *exec.FuncCache
 		if cache {
 			fc = exec.NewFuncCache()
-			ctx.FuncCache = fc
+			ectx.FuncCache = fc
 		}
-		res, root, err := exec.RunAnalyze(op, ctx)
+		res, root, err := exec.RunAnalyze(op, ectx)
 		sp.End(task)
 		s.lastCacheStats = fc.Snapshot()
 		if err != nil {

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -10,6 +11,7 @@ import (
 
 	"fedwf/internal/catalog"
 	"fedwf/internal/obs"
+	"fedwf/internal/resil"
 	"fedwf/internal/simlat"
 	"fedwf/internal/sqlparser"
 	"fedwf/internal/storage"
@@ -33,6 +35,26 @@ type Ctx struct {
 	// defers foreign-function query optimization to future work); enable
 	// it with engine.SetFunctionCache.
 	FuncCache *FuncCache
+
+	// Context carries the statement's deadline and cancellation; operators
+	// gate on it per outer row via resil.Check. May be nil (no deadline).
+	Context context.Context
+
+	// Warnings collects degradation notices; nil disables collection.
+	Warnings *Warnings
+
+	// AllowDegraded permits outer lateral operators to absorb degradable
+	// failures (open breaker, unreachable system) as NULL padding instead
+	// of failing the statement.
+	AllowDegraded bool
+}
+
+// check gates one unit of operator work on the statement deadline.
+func (c *Ctx) check() error {
+	if c == nil {
+		return nil
+	}
+	return resil.Check(c.Context, c.Task)
 }
 
 // FuncCache memoises (function, arguments) -> result within one statement.
@@ -313,7 +335,10 @@ func (r *RemoteScan) Schema() types.Schema { return r.Sch }
 
 // Open implements Operator.
 func (r *RemoteScan) Open(ctx *Ctx, _ types.Row) error {
-	res, err := r.Server.Query(r.Query, ctx.Task)
+	if err := ctx.check(); err != nil {
+		return err
+	}
+	res, err := catalog.QueryServer(ctx.Context, r.Server, r.Query, ctx.Task)
 	if err != nil {
 		return fmt.Errorf("exec: remote scan on %s: %w", r.Server.Name(), err)
 	}
@@ -383,9 +408,14 @@ func (f *FuncScan) Open(ctx *Ctx, bind types.Row) error {
 		}
 		args[i] = v
 	}
+	if err := ctx.check(); err != nil {
+		return err
+	}
 	sp := obs.StartSpan(ctx.Task, "exec.func", obs.Attr{Key: "fn", Value: f.Fn.Name()})
 	defer sp.End(ctx.Task)
-	invoke := func() (*types.Table, error) { return f.Fn.Invoke(ctx.Runner, ctx.Task, args) }
+	invoke := func() (*types.Table, error) {
+		return catalog.InvokeFunc(ctx.Context, f.Fn, ctx.Runner, ctx.Task, args)
+	}
 	var res *types.Table
 	var err error
 	if ctx.FuncCache != nil {
@@ -486,6 +516,9 @@ func (a *Apply) Next() (types.Row, error) {
 			if err != nil {
 				return nil, err
 			}
+			if err := a.ctx.check(); err != nil {
+				return nil, err
+			}
 			a.leftRow = lr
 			childBind := make(types.Row, 0, len(a.bind)+len(lr))
 			childBind = append(childBind, a.bind...)
@@ -569,12 +602,27 @@ func (a *LeftApply) Next() (types.Row, error) {
 			if err != nil {
 				return nil, err
 			}
+			if err := a.ctx.check(); err != nil {
+				return nil, err
+			}
 			a.leftRow = lr
 			a.matched = false
 			childBind := make(types.Row, 0, len(a.bind)+len(lr))
 			childBind = append(childBind, a.bind...)
 			childBind = append(childBind, lr...)
 			if err := a.Right.Open(a.ctx, childBind); err != nil {
+				a.Right.Close()
+				if degrade(a.ctx, true, err) {
+					// Absorb the shed branch: emit the NULL-padded outer
+					// row, as if the right side matched nothing.
+					a.leftRow = nil
+					out := make(types.Row, 0, len(lr)+len(a.Right.Schema()))
+					out = append(out, lr...)
+					for range a.Right.Schema() {
+						out = append(out, types.Null)
+					}
+					return out, nil
+				}
 				return nil, err
 			}
 			a.rightOpen = true

@@ -118,6 +118,9 @@ func (a *ParallelApply) Open(ctx *Ctx, bind types.Row) error {
 				Runner:          ctx.Runner,
 				CompositionCost: ctx.CompositionCost,
 				FuncCache:       ctx.FuncCache,
+				Context:         ctx.Context,
+				Warnings:        ctx.Warnings,
+				AllowDegraded:   ctx.AllowDegraded,
 			}
 			for idx := w; idx < len(leftRows); idx += workers {
 				if stop.Load() {
@@ -164,11 +167,22 @@ func (a *ParallelApply) Open(ctx *Ctx, bind types.Row) error {
 // applyOne runs the right side for one outer row and returns the joined
 // output rows, applying On filtering and Outer NULL padding.
 func (a *ParallelApply) applyOne(right Operator, wctx *Ctx, bind, lr types.Row) ([]types.Row, error) {
+	if err := wctx.check(); err != nil {
+		return nil, err
+	}
 	childBind := make(types.Row, 0, len(bind)+len(lr))
 	childBind = append(childBind, bind...)
 	childBind = append(childBind, lr...)
 	if err := right.Open(wctx, childBind); err != nil {
 		right.Close()
+		if degrade(wctx, a.Outer, err) {
+			row := make(types.Row, 0, len(lr)+len(right.Schema()))
+			row = append(row, lr...)
+			for range right.Schema() {
+				row = append(row, types.Null)
+			}
+			return []types.Row{row}, nil
+		}
 		return nil, err
 	}
 	defer right.Close()

@@ -7,6 +7,7 @@
 package fdbs
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"strconv"
@@ -19,6 +20,7 @@ import (
 	"fedwf/internal/fedfunc"
 	"fedwf/internal/obs"
 	"fedwf/internal/obs/collector"
+	"fedwf/internal/resil"
 	"fedwf/internal/rpc"
 	"fedwf/internal/simlat"
 	"fedwf/internal/types"
@@ -44,6 +46,22 @@ type Config struct {
 	// Trace configures the trace collector's tail sampling; zero fields
 	// take the collector defaults.
 	Trace collector.Policy
+	// StmtTimeout is the default per-statement virtual-time deadline; zero
+	// disables it. Sessions can override it with SET STATEMENT_TIMEOUT.
+	StmtTimeout time.Duration
+	// Retry guards application-system calls with backoff retries; the zero
+	// value disables retrying.
+	Retry resil.RetryPolicy
+	// Breaker adds a per-application-system circuit breaker; the zero
+	// value disables breaking.
+	Breaker resil.BreakerPolicy
+	// Faults, when non-nil, injects deterministic seedable faults on
+	// application-system calls (for chaos tests and experiment E12).
+	Faults *resil.Injector
+	// PartialResults lets optional lateral branches degrade to NULL
+	// padding with warnings instead of failing the statement when their
+	// application system is shedding.
+	PartialResults bool
 }
 
 // Server is one running integration server.
@@ -74,11 +92,29 @@ func NewServer(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	metrics := obs.NewServerMetrics(obs.NewRegistry())
 	stack, err := fedfunc.NewStack(cfg.Arch, fedfunc.Options{
-		Profile:    profile,
-		Direct:     cfg.Direct,
-		Apps:       apps,
-		AppsClient: cfg.AppsClient,
+		Profile:        profile,
+		Direct:         cfg.Direct,
+		Apps:           apps,
+		AppsClient:     cfg.AppsClient,
+		Retry:          cfg.Retry,
+		Breaker:        cfg.Breaker,
+		Faults:         cfg.Faults,
+		StmtTimeout:    cfg.StmtTimeout,
+		PartialResults: cfg.PartialResults,
+		Observer: resil.Observer{
+			OnRetry: func(system string, _ int, _ time.Duration) {
+				metrics.Retries.With(system).Inc()
+			},
+			OnBreakerTransition: func(system string, _, to resil.BreakerState) {
+				if to == resil.BreakerOpen {
+					metrics.BreakerTrips.With(system).Inc()
+				}
+			},
+			OnShed:    func(system string) { metrics.BreakerSheds.With(system).Inc() },
+			OnTimeout: func(system string) { metrics.Timeouts.With(system).Inc() },
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -87,7 +123,6 @@ func NewServer(cfg Config) (*Server, error) {
 	if err := wrapReg.Link(stack.Engine()); err != nil {
 		return nil, err
 	}
-	metrics := obs.NewServerMetrics(obs.NewRegistry())
 	stack.WorkflowEngine().SetActivityObserver(func() { metrics.WfMSActivities.Inc() })
 	col := collector.New(cfg.Trace, metrics.Registry)
 	return &Server{stack: stack, apps: apps, wrapReg: wrapReg, metrics: metrics, col: col}, nil
@@ -150,7 +185,7 @@ const (
 // latency is the paper's per-statement elapsed time; wall time is the real
 // serving duration of this process.
 func (s *Server) ExecObserved(text string) (*types.Table, map[string]string, error) {
-	return s.ExecTraced(text, obs.TraceContext{})
+	return s.ExecTracedContext(context.Background(), text, obs.TraceContext{})
 }
 
 // ExecTraced is ExecObserved under an incoming trace context: the
@@ -159,6 +194,14 @@ func (s *Server) ExecObserved(text string) (*types.Table, map[string]string, err
 // retention), and — when the caller sampled the request — the span tree is
 // shipped back as a fragment in the metadata so the caller can graft it.
 func (s *Server) ExecTraced(text string, tc obs.TraceContext) (*types.Table, map[string]string, error) {
+	return s.ExecTracedContext(context.Background(), text, tc)
+}
+
+// ExecTracedContext is ExecTraced under a caller context: any relative
+// statement timeout carried on ctx (e.g. re-armed by the RPC server from
+// the wire) is anchored to the statement's fresh virtual meter, and
+// cancellation aborts the statement between operators.
+func (s *Server) ExecTracedContext(ctx context.Context, text string, tc obs.TraceContext) (*types.Table, map[string]string, error) {
 	archLabel := s.stack.Arch().Label()
 	task := simlat.NewVirtualTask()
 	session := s.Session()
@@ -171,7 +214,7 @@ func (s *Server) ExecTraced(text string, tc obs.TraceContext) (*types.Table, map
 	tr.Root().SetTraceID(traceID)
 	s.metrics.InFlight.Add(1)
 	wallStart := time.Now()
-	res, err := session.Exec(text)
+	res, err := session.ExecContext(ctx, text)
 	wall := time.Since(wallStart)
 	root := tr.Finish()
 	s.metrics.InFlight.Add(-1)
@@ -223,6 +266,13 @@ func (s *Server) ExecTraced(text string, tc obs.TraceContext) (*types.Table, map
 	if err != nil {
 		return nil, meta, err
 	}
+	if res.Partial {
+		meta["partial"] = "1"
+		s.metrics.PartialResults.Inc()
+	}
+	if len(res.Warnings) > 0 {
+		meta["warnings"] = strings.Join(res.Warnings, "; ")
+	}
 
 	out := res.Table
 	if out == nil {
@@ -247,7 +297,7 @@ func (s *Server) ExecTraced(text string, tc obs.TraceContext) (*types.Table, map
 // transport's task is ignored — each statement gets its own virtual meter
 // so the latency metrics stay deterministic and per-request.
 func (s *Server) handler() rpc.MetaHandler {
-	return func(_ *simlat.Task, req rpc.Request) (*types.Table, map[string]string, error) {
+	return func(ctx context.Context, _ *simlat.Task, req rpc.Request) (*types.Table, map[string]string, error) {
 		if !strings.EqualFold(req.Function, fnExec) {
 			return nil, nil, fmt.Errorf("fdbs: unknown protocol function %s", req.Function)
 		}
@@ -258,7 +308,7 @@ func (s *Server) handler() rpc.MetaHandler {
 		if err != nil {
 			return nil, nil, err
 		}
-		return s.ExecTraced(text, req.Trace)
+		return s.ExecTracedContext(ctx, text, req.Trace)
 	}
 }
 
@@ -303,20 +353,38 @@ func DialClient(addr string) (*Client, error) {
 }
 
 // Exec runs one statement remotely and returns its result table.
+//
+// Deprecated: use ExecContext; Exec runs without deadline propagation or
+// cancellation.
 func (c *Client) Exec(sql string) (*types.Table, error) {
-	return c.c.Call(nil, rpc.Request{Function: fnExec, Args: []types.Value{types.NewString(sql)}})
+	return c.ExecContext(context.Background(), sql)
+}
+
+// ExecContext runs one statement remotely under ctx. A relative statement
+// timeout attached with resil.WithTimeout travels on the wire, and the
+// server enforces it on the statement's virtual clock; cancelling ctx
+// abandons the call.
+func (c *Client) ExecContext(ctx context.Context, sql string) (*types.Table, error) {
+	return c.c.Call(ctx, nil, rpc.Request{Function: fnExec, Args: []types.Value{types.NewString(sql)}})
 }
 
 // ExecTimed runs one statement remotely and additionally returns the
 // server's per-statement metadata (paper_ms, wall_ms, rows, cache
 // counters, arch). The map is nil against servers that predate metadata.
+//
+// Deprecated: use ExecTimedContext.
 func (c *Client) ExecTimed(sql string) (*types.Table, map[string]string, error) {
+	return c.ExecTimedContext(context.Background(), sql)
+}
+
+// ExecTimedContext is ExecTimed under a caller context.
+func (c *Client) ExecTimedContext(ctx context.Context, sql string) (*types.Table, map[string]string, error) {
 	mc, ok := c.c.(rpc.MetaCaller)
 	if !ok {
-		res, err := c.Exec(sql)
+		res, err := c.ExecContext(ctx, sql)
 		return res, nil, err
 	}
-	return mc.CallMeta(nil, rpc.Request{Function: fnExec, Args: []types.Value{types.NewString(sql)}})
+	return mc.CallMeta(ctx, nil, rpc.Request{Function: fnExec, Args: []types.Value{types.NewString(sql)}})
 }
 
 // ExecTraced runs one statement remotely with tracing requested: the
@@ -326,16 +394,21 @@ func (c *Client) ExecTimed(sql string) (*types.Table, map[string]string, error) 
 // fdbs.exec → … → appsys.call). The root is nil against transports or
 // servers without trace support; metadata still carries the usual timing.
 func (c *Client) ExecTraced(sql string) (*types.Table, map[string]string, *obs.Span, error) {
+	return c.ExecTracedContext(context.Background(), sql)
+}
+
+// ExecTracedContext is ExecTraced under a caller context.
+func (c *Client) ExecTracedContext(ctx context.Context, sql string) (*types.Table, map[string]string, *obs.Span, error) {
 	mc, ok := c.c.(rpc.MetaCaller)
 	if !ok {
-		res, err := c.Exec(sql)
+		res, err := c.ExecContext(ctx, sql)
 		return res, nil, nil, err
 	}
 	// A wall task with scale 0 reads real time without sleeping, so the
 	// client-side spans measure the true round trip.
 	task := simlat.NewWallTask(0)
 	tr := obs.Trace(task, "client.exec")
-	tab, meta, err := mc.CallMeta(task, rpc.Request{Function: fnExec, Args: []types.Value{types.NewString(sql)}})
+	tab, meta, err := mc.CallMeta(ctx, task, rpc.Request{Function: fnExec, Args: []types.Value{types.NewString(sql)}})
 	root := tr.Finish()
 	if id := meta[obs.MetaTraceID]; id != "" {
 		root.SetTraceID(id)

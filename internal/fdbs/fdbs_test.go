@@ -1,6 +1,7 @@
 package fdbs
 
 import (
+	"context"
 	"net/http/httptest"
 	"strconv"
 	"strings"
@@ -163,10 +164,10 @@ func TestProtocolValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	h := srv.handler()
-	if _, _, err := h(nil, rpc.Request{Function: "nope", Args: []types.Value{types.NewString("SELECT 1")}}); err == nil {
+	if _, _, err := h(context.Background(), nil, rpc.Request{Function: "nope", Args: []types.Value{types.NewString("SELECT 1")}}); err == nil {
 		t.Error("unknown protocol function accepted")
 	}
-	if _, _, err := h(nil, rpc.Request{Function: "exec"}); err == nil {
+	if _, _, err := h(context.Background(), nil, rpc.Request{Function: "exec"}); err == nil {
 		t.Error("missing statement accepted")
 	}
 }

@@ -13,6 +13,7 @@
 package fedfunc
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -81,7 +82,7 @@ type Spec struct {
 
 	// GoBody, when set, is an additional Go I-UDTF realisation (the
 	// enhanced Java UDTF architecture), registered as Name+"_Go".
-	GoBody func(rt catalog.QueryRunner, task *simlat.Task, args []types.Value) (*types.Table, error)
+	GoBody func(ctx context.Context, rt catalog.QueryRunner, task *simlat.Task, args []types.Value) (*types.Table, error)
 
 	// SampleArgs are representative invocations used by the equivalence
 	// tests and the experiment drivers.
@@ -755,26 +756,26 @@ func joinSubCompDiscounts(in map[string]*types.Table) (*types.Table, error) {
 
 // runSelect parses and runs one nested statement against the FDBS — the
 // Go analogue of the Java I-UDTF's JDBC calls.
-func runSelect(rt catalog.QueryRunner, task *simlat.Task, sql string) (*types.Table, error) {
+func runSelect(ctx context.Context, rt catalog.QueryRunner, task *simlat.Task, sql string) (*types.Table, error) {
 	sel, err := sqlparser.ParseSelect(sql)
 	if err != nil {
 		return nil, err
 	}
-	return rt.RunSelect(sel, nil, task)
+	return catalog.RunSelectOn(ctx, rt, sel, nil, task)
 }
 
 // goBodyGetSuppQual realises the linear case in a programming language:
 // two separate statements with explicit control flow instead of a lateral
 // reference.
-func goBodyGetSuppQual(rt catalog.QueryRunner, task *simlat.Task, args []types.Value) (*types.Table, error) {
-	nos, err := runSelect(rt, task, fmt.Sprintf(
+func goBodyGetSuppQual(ctx context.Context, rt catalog.QueryRunner, task *simlat.Task, args []types.Value) (*types.Table, error) {
+	nos, err := runSelect(ctx, rt, task, fmt.Sprintf(
 		"SELECT GSN.SupplierNo FROM TABLE (GetSupplierNo(%s)) AS GSN", args[0]))
 	if err != nil {
 		return nil, err
 	}
 	out := types.NewTable(types.Schema{{Name: "Qual", Type: types.Integer}})
 	for _, r := range nos.Rows {
-		quals, err := runSelect(rt, task, fmt.Sprintf(
+		quals, err := runSelect(ctx, rt, task, fmt.Sprintf(
 			"SELECT GQ.Qual FROM TABLE (GetQuality(%s)) AS GQ", r[0]))
 		if err != nil {
 			return nil, err
@@ -785,15 +786,15 @@ func goBodyGetSuppQual(rt catalog.QueryRunner, task *simlat.Task, args []types.V
 }
 
 // goBodyBuySuppComp realises the general case with multiple statements.
-func goBodyBuySuppComp(rt catalog.QueryRunner, task *simlat.Task, args []types.Value) (*types.Table, error) {
-	grades, err := runSelect(rt, task, fmt.Sprintf(
+func goBodyBuySuppComp(ctx context.Context, rt catalog.QueryRunner, task *simlat.Task, args []types.Value) (*types.Table, error) {
+	grades, err := runSelect(ctx, rt, task, fmt.Sprintf(
 		`SELECT GG.Grade FROM TABLE (GetQuality(%s)) AS GQ,
 		 TABLE (GetReliability(%s)) AS GR,
 		 TABLE (GetGrade(GQ.Qual, GR.Relia)) AS GG`, args[0], args[0]))
 	if err != nil {
 		return nil, err
 	}
-	compNos, err := runSelect(rt, task, fmt.Sprintf(
+	compNos, err := runSelect(ctx, rt, task, fmt.Sprintf(
 		"SELECT GCN.No FROM TABLE (GetCompNo(%s)) AS GCN", args[1]))
 	if err != nil {
 		return nil, err
@@ -801,7 +802,7 @@ func goBodyBuySuppComp(rt catalog.QueryRunner, task *simlat.Task, args []types.V
 	out := types.NewTable(types.Schema{{Name: "Decision", Type: types.VarCharN(10)}})
 	for _, g := range grades.Rows {
 		for _, c := range compNos.Rows {
-			dec, err := runSelect(rt, task, fmt.Sprintf(
+			dec, err := runSelect(ctx, rt, task, fmt.Sprintf(
 				"SELECT DP.Answer FROM TABLE (DecidePurchase(%s, %s)) AS DP", g[0], c[0]))
 			if err != nil {
 				return nil, err
@@ -814,11 +815,11 @@ func goBodyBuySuppComp(rt catalog.QueryRunner, task *simlat.Task, args []types.V
 
 // goBodyAllCompNames regains the cyclic case through a host-language
 // loop, which SQL I-UDTFs cannot express.
-func goBodyAllCompNames(rt catalog.QueryRunner, task *simlat.Task, args []types.Value) (*types.Table, error) {
+func goBodyAllCompNames(ctx context.Context, rt catalog.QueryRunner, task *simlat.Task, args []types.Value) (*types.Table, error) {
 	out := types.NewTable(types.Schema{{Name: "CompName", Type: types.VarCharN(30)}})
 	cursor := int64(0)
 	for i := 0; i < wfms.DefaultMaxIterations; i++ {
-		step, err := runSelect(rt, task, fmt.Sprintf(
+		step, err := runSelect(ctx, rt, task, fmt.Sprintf(
 			"SELECT GNC.CompName, GNC.NextCursor, GNC.HasMore FROM TABLE (GetNextCompName(%d)) AS GNC", cursor))
 		if err != nil {
 			return nil, err

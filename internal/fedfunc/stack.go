@@ -1,12 +1,15 @@
 package fedfunc
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"fedwf/internal/appsys"
 	"fedwf/internal/controller"
 	"fedwf/internal/engine"
+	"fedwf/internal/resil"
 	"fedwf/internal/rpc"
 	"fedwf/internal/simlat"
 	"fedwf/internal/types"
@@ -53,6 +56,7 @@ type Stack struct {
 	instrument *udtf.Instrument
 	profile    simlat.Profile
 	supported  map[string]bool
+	guard      *resil.Executor
 }
 
 // Options configures stack construction.
@@ -69,6 +73,22 @@ type Options struct {
 	// cannot charge this process's virtual meter). When nil, an in-process
 	// client over Apps is used.
 	AppsClient rpc.Client
+	// Retry and Breaker guard every application-system call the stack
+	// makes; zero values disable the respective mechanism.
+	Retry   resil.RetryPolicy
+	Breaker resil.BreakerPolicy
+	// Faults, when non-nil, injects deterministic faults on
+	// application-system calls (inside the retry loop, so each attempt
+	// re-rolls).
+	Faults *resil.Injector
+	// Observer receives retry/breaker/shed/timeout events for metrics.
+	Observer resil.Observer
+	// StmtTimeout is the default per-statement virtual deadline; zero
+	// disables it.
+	StmtTimeout time.Duration
+	// PartialResults lets optional lateral branches degrade to NULL
+	// padding (with warnings) when their application system is shedding.
+	PartialResults bool
 }
 
 // NewStack wires one architecture.
@@ -89,8 +109,20 @@ func NewStack(arch Arch, opts Options) (*Stack, error) {
 	if appsClient == nil {
 		appsClient = rpc.NewInProc(apps.Handler())
 	}
-	invoker := wfms.InvokerFunc(func(task *simlat.Task, system, function string, args []types.Value) (*types.Table, error) {
-		return appsClient.Call(task, rpc.Request{System: system, Function: function, Args: args})
+	// Guard order matters: fault injection sits inside the retry loop, so
+	// every retry attempt re-rolls the fault plan; the breaker observes
+	// post-injection outcomes like a real client would.
+	if opts.Faults != nil {
+		appsClient = rpc.WithFaults(appsClient, opts.Faults)
+	}
+	var guard *resil.Executor
+	if opts.Retry.Enabled() || opts.Breaker.Enabled() {
+		guard = resil.NewExecutor(opts.Retry, opts.Breaker)
+		guard.SetObserver(opts.Observer)
+		appsClient = rpc.Guard(appsClient, guard)
+	}
+	invoker := wfms.InvokerFunc(func(ctx context.Context, task *simlat.Task, system, function string, args []types.Value) (*types.Table, error) {
+		return appsClient.Call(ctx, task, rpc.Request{System: system, Function: function, Args: args})
 	})
 	wfEngine := wfms.New(invoker, wfms.CostsFromProfile(profile))
 	ctl := controller.New(profile, wfEngine, appsClient)
@@ -102,14 +134,19 @@ func NewStack(arch Arch, opts Options) (*Stack, error) {
 	}
 
 	s := &Stack{
-		arch:       arch,
-		engine:     engine.New(),
+		arch: arch,
+		engine: engine.New(
+			engine.WithCompositionCost(profile.JoinComposition),
+			engine.WithRetryPolicy(opts.Retry),
+			engine.WithStatementTimeout(opts.StmtTimeout),
+			engine.WithPartialResults(opts.PartialResults),
+		),
 		bridge:     bridge,
 		instrument: udtf.NewInstrument(profile),
 		profile:    profile,
 		supported:  make(map[string]bool),
+		guard:      guard,
 	}
-	s.engine.SetCompositionCost(profile.JoinComposition)
 	specs := Specs()
 	switch arch {
 	case ArchWfMS:
@@ -213,10 +250,23 @@ func (s *Stack) Flush(level udtf.BootLevel) {
 	}
 }
 
-// Call invokes a federated function through the full stack: the statement
-// "SELECT * FROM TABLE (Fn(args...)) AS R" enters the FDBS, whose
-// executor drives the architecture's UDTF.
+// Guard exposes the resilience executor guarding the stack's
+// application-system calls (nil when neither retries nor breaking are
+// configured).
+func (s *Stack) Guard() *resil.Executor { return s.guard }
+
+// Call invokes a federated function through the full stack.
+//
+// Deprecated: use CallContext; Call runs without deadline propagation.
 func (s *Stack) Call(task *simlat.Task, name string, args []types.Value) (*types.Table, error) {
+	return s.CallContext(context.Background(), task, name, args)
+}
+
+// CallContext invokes a federated function through the full stack: the
+// statement "SELECT * FROM TABLE (Fn(args...)) AS R" enters the FDBS,
+// whose executor drives the architecture's UDTF. The statement runs under
+// any deadline or retry budget carried on ctx.
+func (s *Stack) CallContext(ctx context.Context, task *simlat.Task, name string, args []types.Value) (*types.Table, error) {
 	if !s.Supports(name) {
 		return nil, fmt.Errorf("fedfunc: %s does not support %s", s.arch, name)
 	}
@@ -227,7 +277,7 @@ func (s *Stack) Call(task *simlat.Task, name string, args []types.Value) (*types
 	sql := fmt.Sprintf("SELECT * FROM TABLE (%s(%s)) AS R", name, strings.Join(lits, ", "))
 	session := s.engine.NewSession()
 	session.SetTask(task)
-	return session.Query(sql)
+	return session.QueryContext(ctx, sql)
 }
 
 // CallSpec invokes a spec's federated function with one of its sample

@@ -27,6 +27,20 @@ type ServerMetrics struct {
 	InFlight *Gauge
 	// SlowQueries counts statements logged by the slow-query log.
 	SlowQueries *Counter
+	// Retries counts retry attempts against application systems, by system.
+	Retries *CounterVec
+	// BreakerTrips counts circuit-breaker trips (closed/half-open -> open),
+	// by system.
+	BreakerTrips *CounterVec
+	// BreakerSheds counts calls rejected unexecuted by an open breaker, by
+	// system.
+	BreakerSheds *CounterVec
+	// Timeouts counts statements abandoned on their deadline mid-call, by
+	// system.
+	Timeouts *CounterVec
+	// PartialResults counts statements answered with degraded (NULL-padded)
+	// optional branches.
+	PartialResults *Counter
 }
 
 // NewServerMetrics registers the server's metric families on reg.
@@ -43,5 +57,10 @@ func NewServerMetrics(reg *Registry) *ServerMetrics {
 		WfMSActivities: reg.Counter("fedwf_wfms_activities_total", "Workflow activities executed by the WfMS engine."),
 		InFlight:       reg.Gauge("fedwf_inflight_statements", "Statements currently executing."),
 		SlowQueries:    reg.Counter("fedwf_slow_queries_total", "Statements logged by the slow-query log."),
+		Retries:        reg.CounterVec("fedwf_appsys_retries_total", "Retry attempts against application systems, by system.", "system"),
+		BreakerTrips:   reg.CounterVec("fedwf_breaker_trips_total", "Circuit-breaker trips, by system.", "system"),
+		BreakerSheds:   reg.CounterVec("fedwf_breaker_sheds_total", "Calls shed unexecuted by an open breaker, by system.", "system"),
+		Timeouts:       reg.CounterVec("fedwf_statement_timeouts_total", "Statements abandoned on their deadline mid-call, by system.", "system"),
+		PartialResults: reg.Counter("fedwf_partial_results_total", "Statements answered with degraded optional branches."),
 	}
 }

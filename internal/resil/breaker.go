@@ -1,0 +1,224 @@
+package resil
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the classic three-state circuit-breaker automaton.
+type BreakerState int
+
+// Breaker states.
+const (
+	// BreakerClosed passes calls through and tallies outcomes.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen sheds calls without reaching the downstream system.
+	BreakerOpen
+	// BreakerHalfOpen admits a limited number of probes; success closes
+	// the breaker, failure reopens it.
+	BreakerHalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerPolicy configures per-application-system circuit breakers. The
+// zero value disables breaking entirely.
+type BreakerPolicy struct {
+	// ConsecutiveFailures trips the breaker after this many transient
+	// failures in a row; 0 disables the consecutive rule.
+	ConsecutiveFailures int
+	// Window is the rolling outcome window for the error-rate rule.
+	Window int
+	// ErrorRate trips the breaker when the failure share of the window
+	// reaches this fraction (with at least MinSamples outcomes recorded);
+	// 0 disables the rate rule.
+	ErrorRate float64
+	// MinSamples guards the rate rule against deciding on tiny samples.
+	MinSamples int
+	// OpenFor is how long an open breaker sheds before admitting a
+	// half-open probe (real time; tests inject a fake clock).
+	OpenFor time.Duration
+	// HalfOpenProbes is the number of consecutive probe successes needed
+	// to close again (default 1).
+	HalfOpenProbes int
+}
+
+// DefaultBreakerPolicy returns the calibrated defaults: trip after 5
+// consecutive failures or a 50% error rate over a 20-call window (min 10
+// samples), stay open 30s, close after 1 successful probe.
+func DefaultBreakerPolicy() BreakerPolicy {
+	return BreakerPolicy{
+		ConsecutiveFailures: 5,
+		Window:              20,
+		ErrorRate:           0.5,
+		MinSamples:          10,
+		OpenFor:             30 * time.Second,
+		HalfOpenProbes:      1,
+	}
+}
+
+// Enabled reports whether any trip rule is active.
+func (p BreakerPolicy) Enabled() bool {
+	return p.ConsecutiveFailures > 0 || p.ErrorRate > 0
+}
+
+// Breaker is one per-application-system circuit breaker. It is safe for
+// concurrent use.
+type Breaker struct {
+	policy BreakerPolicy
+	system string
+	now    func() time.Time
+
+	mu          sync.Mutex
+	state       BreakerState
+	consecutive int
+	window      []bool // true = failure, ring of the last Window outcomes
+	windowPos   int
+	windowLen   int
+	openedAt    time.Time
+	probes      int // successful half-open probes so far
+	inFlight    int // admitted half-open probes awaiting an outcome
+	trips       int
+}
+
+// NewBreaker creates a breaker; now == nil uses time.Now.
+func NewBreaker(system string, policy BreakerPolicy, now func() time.Time) *Breaker {
+	if now == nil {
+		now = time.Now
+	}
+	if policy.HalfOpenProbes <= 0 {
+		policy.HalfOpenProbes = 1
+	}
+	if policy.Window <= 0 {
+		policy.Window = 20
+	}
+	if policy.OpenFor <= 0 {
+		policy.OpenFor = 30 * time.Second
+	}
+	return &Breaker{policy: policy, system: system, now: now, window: make([]bool, policy.Window)}
+}
+
+// State returns the current state (moving open→half-open when the
+// cooldown has elapsed).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpen()
+	return b.state
+}
+
+// Trips returns how often the breaker has opened.
+func (b *Breaker) Trips() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// maybeHalfOpen transitions open→half-open once the cooldown elapsed.
+// Callers hold b.mu.
+func (b *Breaker) maybeHalfOpen() {
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.policy.OpenFor {
+		b.state = BreakerHalfOpen
+		b.probes = 0
+		b.inFlight = 0
+	}
+}
+
+// Allow gates one call: nil admits it, a *CircuitOpenError sheds it. In
+// half-open state only HalfOpenProbes calls are admitted at a time.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpen()
+	switch b.state {
+	case BreakerOpen:
+		return &CircuitOpenError{System: b.system}
+	case BreakerHalfOpen:
+		if b.inFlight >= b.policy.HalfOpenProbes {
+			return &CircuitOpenError{System: b.system}
+		}
+		b.inFlight++
+	}
+	return nil
+}
+
+// Record tallies one admitted call's outcome and returns the state
+// transition it caused (from == to when nothing changed). Only failures
+// that look like system health problems should be recorded as failed —
+// the Executor filters with Transient / ErrTimeout.
+func (b *Breaker) Record(failed bool) (from, to BreakerState) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	from = b.state
+	switch b.state {
+	case BreakerHalfOpen:
+		if b.inFlight > 0 {
+			b.inFlight--
+		}
+		if failed {
+			b.open()
+		} else {
+			b.probes++
+			if b.probes >= b.policy.HalfOpenProbes {
+				b.state = BreakerClosed
+				b.consecutive = 0
+				b.windowLen, b.windowPos = 0, 0
+			}
+		}
+	case BreakerClosed:
+		if failed {
+			b.consecutive++
+		} else {
+			b.consecutive = 0
+		}
+		b.window[b.windowPos] = failed
+		b.windowPos = (b.windowPos + 1) % len(b.window)
+		if b.windowLen < len(b.window) {
+			b.windowLen++
+		}
+		if b.tripped() {
+			b.open()
+		}
+	case BreakerOpen:
+		// A call admitted before the trip finished after it; ignore.
+	}
+	return from, b.state
+}
+
+// tripped evaluates both trip rules. Callers hold b.mu.
+func (b *Breaker) tripped() bool {
+	if b.policy.ConsecutiveFailures > 0 && b.consecutive >= b.policy.ConsecutiveFailures {
+		return true
+	}
+	if b.policy.ErrorRate > 0 && b.windowLen >= b.policy.MinSamples {
+		failures := 0
+		for i := 0; i < b.windowLen; i++ {
+			if b.window[i] {
+				failures++
+			}
+		}
+		if float64(failures)/float64(b.windowLen) >= b.policy.ErrorRate {
+			return true
+		}
+	}
+	return false
+}
+
+// open trips the breaker. Callers hold b.mu.
+func (b *Breaker) open() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.trips++
+	b.consecutive = 0
+	b.windowLen, b.windowPos = 0, 0
+}

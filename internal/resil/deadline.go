@@ -1,0 +1,160 @@
+package resil
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"fedwf/internal/simlat"
+)
+
+// Statement deadlines ride the context but are measured on the simlat
+// virtual clock, because the experiments' latency is simulated: a
+// wall-clock context deadline would fire nondeterministically (or never,
+// since virtual statements execute in microseconds of real time). Two keys
+// exist:
+//
+//   - a relative timeout (WithTimeout), set by transports and servers
+//     before the statement's task exists;
+//   - an absolute virtual deadline (WithDeadlineAt), anchored by the
+//     engine at statement start against the session task's clock.
+//
+// Forked branches (ParallelApply workers, workflow activities) inherit the
+// parent's virtual origin, so one absolute deadline is comparable across
+// every branch of a statement.
+
+type timeoutKey struct{}
+type deadlineAtKey struct{}
+type budgetKey struct{}
+
+// WithTimeout attaches a relative statement timeout to the context. The
+// engine anchors it to the session task's clock at statement start.
+func WithTimeout(ctx context.Context, d time.Duration) context.Context {
+	if d <= 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, timeoutKey{}, d)
+}
+
+// TimeoutFrom returns the relative statement timeout, if any.
+func TimeoutFrom(ctx context.Context) (time.Duration, bool) {
+	if ctx == nil {
+		return 0, false
+	}
+	d, ok := ctx.Value(timeoutKey{}).(time.Duration)
+	return d, ok
+}
+
+// WithDeadlineAt attaches an absolute virtual-clock deadline: the
+// statement fails with ErrTimeout once its task's Elapsed reaches at.
+func WithDeadlineAt(ctx context.Context, at time.Duration) context.Context {
+	return context.WithValue(ctx, deadlineAtKey{}, at)
+}
+
+// DeadlineAtFrom returns the absolute virtual deadline, if any.
+func DeadlineAtFrom(ctx context.Context) (time.Duration, bool) {
+	if ctx == nil {
+		return 0, false
+	}
+	at, ok := ctx.Value(deadlineAtKey{}).(time.Duration)
+	return at, ok
+}
+
+// Check is the per-hop deadline gate: it returns nil while the statement
+// may proceed, a *TimeoutError once the virtual deadline has passed, and
+// the (wrapped) context error when the real context was cancelled or timed
+// out. Every layer calls it at its boundary — operators per outer row,
+// the executor per attempt, the injector while simulating a hang.
+func Check(ctx context.Context, task *simlat.Task) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		if ctx.Err() == context.DeadlineExceeded {
+			return &TimeoutError{}
+		}
+		return fmt.Errorf("resil: statement cancelled: %w", ctx.Err())
+	default:
+	}
+	if at, ok := DeadlineAtFrom(ctx); ok && task != nil {
+		if el := task.Elapsed(); el >= at {
+			return &TimeoutError{Limit: at, Elapsed: el}
+		}
+	}
+	return nil
+}
+
+// Remaining returns the virtual time left until the deadline; ok is false
+// when no deadline is set. Negative values mean the deadline has passed.
+func Remaining(ctx context.Context, task *simlat.Task) (time.Duration, bool) {
+	at, ok := DeadlineAtFrom(ctx)
+	if !ok || task == nil {
+		if d, tok := TimeoutFrom(ctx); tok {
+			return d, true
+		}
+		return 0, false
+	}
+	return at - task.Elapsed(), true
+}
+
+// Budget is the per-statement retry budget, shared by every federated
+// function call the statement makes. It bounds the total number of
+// retries a single statement may spend, so a query touching many flaky
+// calls cannot multiply its own latency unboundedly.
+type Budget struct {
+	mu        sync.Mutex
+	remaining int
+}
+
+// NewBudget returns a budget of n retries; n <= 0 yields an unlimited
+// budget (a nil *Budget is also unlimited).
+func NewBudget(n int) *Budget {
+	if n <= 0 {
+		return nil
+	}
+	return &Budget{remaining: n}
+}
+
+// Take consumes one retry; it reports false once the budget is exhausted.
+// A nil budget always allows.
+func (b *Budget) Take() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.remaining <= 0 {
+		return false
+	}
+	b.remaining--
+	return true
+}
+
+// Remaining returns the retries left (-1 for unlimited).
+func (b *Budget) Remaining() int {
+	if b == nil {
+		return -1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.remaining
+}
+
+// WithBudget attaches a per-statement retry budget to the context.
+func WithBudget(ctx context.Context, b *Budget) context.Context {
+	if b == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, budgetKey{}, b)
+}
+
+// BudgetFrom returns the statement's retry budget, or nil (unlimited).
+func BudgetFrom(ctx context.Context) *Budget {
+	if ctx == nil {
+		return nil
+	}
+	b, _ := ctx.Value(budgetKey{}).(*Budget)
+	return b
+}

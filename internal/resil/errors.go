@@ -1,0 +1,123 @@
+// Package resil is the fault-tolerance subsystem of the integration
+// server. The paper's controller exists precisely because the coupling is
+// fragile — it isolates the UDTF process from the database connection and
+// keeps the WfMS connection warm so one flaky hop does not take down the
+// server (Sect. 4). resil generalises that instinct into explicit
+// machinery:
+//
+//   - a typed error taxonomy (ErrTimeout, ErrCircuitOpen,
+//     ErrAppSysUnavailable) usable with errors.Is / errors.As across
+//     every layer boundary;
+//   - per-statement deadlines carried in a context.Context but measured
+//     on the simlat virtual clock, so timeout tests are deterministic;
+//   - retry with exponential backoff, deterministic jitter, and a
+//     per-statement retry budget;
+//   - a per-application-system circuit breaker (closed / open /
+//     half-open);
+//   - a deterministic, seedable fault injector for chaos testing.
+//
+// The Executor composes breaker + retry around one downstream call and is
+// installed on the controller's application-system client (rpc.Guard), so
+// both integration architectures — WfMS activities and A-UDTF dispatches —
+// pass through it.
+package resil
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Sentinel errors of the taxonomy. Match with errors.Is; the concrete
+// carriers below add structured detail for errors.As.
+var (
+	// ErrTimeout marks a statement that exceeded its deadline (virtual or
+	// real). errors.Is(err, context.DeadlineExceeded) also holds.
+	ErrTimeout = errors.New("resil: deadline exceeded")
+	// ErrCircuitOpen marks a call shed by an open circuit breaker without
+	// reaching the downstream system.
+	ErrCircuitOpen = errors.New("resil: circuit open")
+	// ErrAppSysUnavailable marks an application system that could not be
+	// reached or answered with a transport-level failure.
+	ErrAppSysUnavailable = errors.New("resil: application system unavailable")
+	// ErrRetryBudgetExhausted marks a statement whose retry budget ran out
+	// before the call succeeded.
+	ErrRetryBudgetExhausted = errors.New("resil: retry budget exhausted")
+)
+
+// TimeoutError is the concrete carrier behind ErrTimeout.
+type TimeoutError struct {
+	// Limit is the configured deadline (absolute virtual instant).
+	Limit time.Duration
+	// Elapsed is the virtual clock reading when the deadline check fired.
+	Elapsed time.Duration
+}
+
+// Error implements error.
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("resil: statement deadline exceeded (%.1fms elapsed, %.1fms limit)",
+		float64(e.Elapsed)/float64(time.Millisecond), float64(e.Limit)/float64(time.Millisecond))
+}
+
+// Is matches ErrTimeout and context.DeadlineExceeded.
+func (e *TimeoutError) Is(target error) bool {
+	return target == ErrTimeout || target == context.DeadlineExceeded
+}
+
+// CircuitOpenError is the concrete carrier behind ErrCircuitOpen.
+type CircuitOpenError struct {
+	// System is the application system whose breaker is open.
+	System string
+}
+
+// Error implements error.
+func (e *CircuitOpenError) Error() string {
+	return fmt.Sprintf("resil: circuit open for application system %s", e.System)
+}
+
+// Is matches ErrCircuitOpen.
+func (e *CircuitOpenError) Is(target error) bool { return target == ErrCircuitOpen }
+
+// AppSysError wraps a failure attributed to one application system, as
+// injected faults and transport errors are. Transient failures are retry
+// candidates; permanent ones (unknown system, bad configuration) are not.
+type AppSysError struct {
+	System    string
+	Transient bool
+	Err       error
+}
+
+// Error implements error.
+func (e *AppSysError) Error() string {
+	kind := "permanent"
+	if e.Transient {
+		kind = "transient"
+	}
+	return fmt.Sprintf("resil: application system %s unavailable (%s): %v", e.System, kind, e.Err)
+}
+
+// Unwrap exposes the underlying cause.
+func (e *AppSysError) Unwrap() error { return e.Err }
+
+// Is matches ErrAppSysUnavailable.
+func (e *AppSysError) Is(target error) bool { return target == ErrAppSysUnavailable }
+
+// Transient reports whether err is a retry candidate: a transient
+// application-system failure. Circuit-open rejections, deadline timeouts
+// (at the top level), and semantic errors are not retried.
+func Transient(err error) bool {
+	var ae *AppSysError
+	if errors.As(err, &ae) {
+		return ae.Transient
+	}
+	return false
+}
+
+// Degradable reports whether a failed optional branch may be replaced by
+// NULL-padded partial results: the branch's system is shedding (open
+// breaker) or unreachable, so the row-level answer is "unknown" rather
+// than wrong.
+func Degradable(err error) bool {
+	return errors.Is(err, ErrCircuitOpen) || errors.Is(err, ErrAppSysUnavailable)
+}

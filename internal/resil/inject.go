@@ -1,0 +1,185 @@
+package resil
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"fedwf/internal/simlat"
+)
+
+// FaultPlan describes the fault mix injected on calls to one application
+// system. Rates are independent probabilities rolled per call, in order:
+// Flap (deterministic sequence, when set) > error > hang > slow.
+type FaultPlan struct {
+	// ErrorRate is the probability of a transient typed error.
+	ErrorRate float64
+	// SlowRate is the probability of a latency spike of Slow.
+	SlowRate float64
+	// HangRate is the probability of a simulated hang: the call burns
+	// virtual time until the statement deadline fires (or Hang elapses).
+	HangRate float64
+	// Slow is the injected latency spike (default 50 paper-ms).
+	Slow time.Duration
+	// Hang bounds a simulated hang when no deadline stops it earlier
+	// (default 10 paper-seconds) — chaos tests can never truly wedge.
+	Hang time.Duration
+	// Flap, when non-empty, overrides the random rates with a repeating
+	// deterministic outcome sequence: true = transient error, false = ok.
+	Flap []bool
+}
+
+// Enabled reports whether the plan can inject anything.
+func (p FaultPlan) Enabled() bool {
+	return p.ErrorRate > 0 || p.SlowRate > 0 || p.HangRate > 0 || len(p.Flap) > 0
+}
+
+// Injector injects deterministic, seedable faults on application-system
+// calls. Each system gets its own seeded PRNG stream, so adding a system
+// to the plan does not perturb another system's fault sequence, and the
+// same seed replays the same faults. Safe for concurrent use; under
+// concurrency the per-system draw order follows the (deterministic under
+// ParallelApply's static partitioning) call order.
+type Injector struct {
+	seed uint64
+
+	mu      sync.Mutex
+	plans   map[string]FaultPlan
+	rngs    map[string]*rand.Rand
+	calls   map[string]int
+	injects map[string]int
+}
+
+// NewInjector creates an injector; all systems start fault-free.
+func NewInjector(seed uint64) *Injector {
+	return &Injector{
+		seed:    seed,
+		plans:   make(map[string]FaultPlan),
+		rngs:    make(map[string]*rand.Rand),
+		calls:   make(map[string]int),
+		injects: make(map[string]int),
+	}
+}
+
+// Plan installs (or, with a zero plan, clears) the fault plan for system.
+func (in *Injector) Plan(system string, plan FaultPlan) *Injector {
+	if in == nil {
+		return in
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if plan.Slow <= 0 {
+		plan.Slow = 50 * simlat.PaperMS
+	}
+	if plan.Hang <= 0 {
+		plan.Hang = 10000 * simlat.PaperMS
+	}
+	if !plan.Enabled() {
+		delete(in.plans, system)
+		return in
+	}
+	in.plans[system] = plan
+	in.rngs[system] = rand.New(rand.NewSource(int64(splitmix64(in.seed ^ hashString(system)))))
+	return in
+}
+
+// Injected returns how many faults have been injected on system.
+func (in *Injector) Injected(system string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.injects[system]
+}
+
+// decision is one pre-drawn fault outcome.
+type decision int
+
+const (
+	passThrough decision = iota
+	failTyped
+	spikeLatency
+	hang
+)
+
+// Inject rolls the system's fault plan for one call. It returns nil to
+// let the call through (after charging any injected latency spike to the
+// task) or a transient *AppSysError for an injected failure. A simulated
+// hang burns virtual time in chunks, checking the statement deadline
+// between chunks, so it resolves to ErrTimeout instead of wedging.
+func (in *Injector) Inject(ctx context.Context, task *simlat.Task, system string) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	plan, ok := in.plans[system]
+	if !ok {
+		in.mu.Unlock()
+		return nil
+	}
+	n := in.calls[system]
+	in.calls[system]++
+	var d decision
+	if len(plan.Flap) > 0 {
+		if plan.Flap[n%len(plan.Flap)] {
+			d = failTyped
+		}
+	} else {
+		u := in.rngs[system].Float64()
+		switch {
+		case u < plan.ErrorRate:
+			d = failTyped
+		case u < plan.ErrorRate+plan.HangRate:
+			d = hang
+		case u < plan.ErrorRate+plan.HangRate+plan.SlowRate:
+			d = spikeLatency
+		}
+	}
+	if d != passThrough {
+		in.injects[system]++
+	}
+	in.mu.Unlock()
+
+	switch d {
+	case failTyped:
+		return &AppSysError{System: system, Transient: true,
+			Err: errors.New("injected fault: transient error")}
+	case spikeLatency:
+		task.Step(StepFaultInjection, plan.Slow)
+		return nil
+	case hang:
+		return in.simulateHang(ctx, task, system, plan.Hang)
+	}
+	return nil
+}
+
+// simulateHang spends virtual time in chunks until the statement deadline
+// fires or the plan's hang bound elapses. The returned error is transient
+// (a hung system may answer next attempt) and matches ErrTimeout, so a
+// statement whose deadline fired mid-hang reports a timeout either way.
+func (in *Injector) simulateHang(ctx context.Context, task *simlat.Task, system string, bound time.Duration) error {
+	const chunk = 10 * simlat.PaperMS
+	var spent time.Duration
+	for spent < bound {
+		if err := Check(ctx, task); err != nil {
+			return &AppSysError{System: system, Transient: true, Err: err}
+		}
+		step := chunk
+		if rem, ok := Remaining(ctx, task); ok && rem > 0 && rem < step {
+			step = rem
+		}
+		if spent+step > bound {
+			step = bound - spent
+		}
+		task.Step(StepFaultInjection, step)
+		spent += step
+	}
+	if err := Check(ctx, task); err != nil {
+		return &AppSysError{System: system, Transient: true, Err: err}
+	}
+	return &AppSysError{System: system, Transient: true,
+		Err: &TimeoutError{Limit: bound, Elapsed: task.Elapsed()}}
+}

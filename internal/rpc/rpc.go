@@ -14,6 +14,7 @@
 package rpc
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"fedwf/internal/obs"
+	"fedwf/internal/resil"
 	"fedwf/internal/simlat"
 	"fedwf/internal/types"
 )
@@ -40,33 +42,34 @@ type Request struct {
 	Trace obs.TraceContext
 }
 
-// Handler serves requests. The task is the caller's cost meter for
-// in-process transports and a free meter for TCP servers.
-type Handler func(task *simlat.Task, req Request) (*types.Table, error)
+// Handler serves requests. The context carries the statement's deadline
+// and cancellation; the task is the caller's cost meter for in-process
+// transports and a free meter for TCP servers.
+type Handler func(ctx context.Context, task *simlat.Task, req Request) (*types.Table, error)
 
 // MetaHandler is a Handler that additionally returns response metadata
 // (string key/value pairs shipped alongside the result table); the fdbs
 // protocol uses it for per-statement timing and cache statistics.
-type MetaHandler func(task *simlat.Task, req Request) (*types.Table, map[string]string, error)
+type MetaHandler func(ctx context.Context, task *simlat.Task, req Request) (*types.Table, map[string]string, error)
 
 // metaOf lifts a plain Handler into a MetaHandler with no metadata.
 func metaOf(h Handler) MetaHandler {
-	return func(task *simlat.Task, req Request) (*types.Table, map[string]string, error) {
-		res, err := h(task, req)
+	return func(ctx context.Context, task *simlat.Task, req Request) (*types.Table, map[string]string, error) {
+		res, err := h(ctx, task, req)
 		return res, nil, err
 	}
 }
 
 // Client issues requests.
 type Client interface {
-	Call(task *simlat.Task, req Request) (*types.Table, error)
+	Call(ctx context.Context, task *simlat.Task, req Request) (*types.Table, error)
 	Close() error
 }
 
 // MetaCaller is implemented by clients that surface response metadata;
 // both built-in transports do.
 type MetaCaller interface {
-	CallMeta(task *simlat.Task, req Request) (*types.Table, map[string]string, error)
+	CallMeta(ctx context.Context, task *simlat.Task, req Request) (*types.Table, map[string]string, error)
 }
 
 // ----------------------------------------------------------- in-process
@@ -81,20 +84,116 @@ func NewInProc(h Handler) Client { return &inProcClient{h: metaOf(h)} }
 func NewInProcMeta(h MetaHandler) Client { return &inProcClient{h: h} }
 
 // Call implements Client.
-func (c *inProcClient) Call(task *simlat.Task, req Request) (*types.Table, error) {
-	res, _, err := c.CallMeta(task, req)
+func (c *inProcClient) Call(ctx context.Context, task *simlat.Task, req Request) (*types.Table, error) {
+	res, _, err := c.CallMeta(ctx, task, req)
 	return res, err
 }
 
 // CallMeta implements MetaCaller.
-func (c *inProcClient) CallMeta(task *simlat.Task, req Request) (*types.Table, map[string]string, error) {
+func (c *inProcClient) CallMeta(ctx context.Context, task *simlat.Task, req Request) (*types.Table, map[string]string, error) {
+	if err := resil.Check(ctx, task); err != nil {
+		return nil, nil, err
+	}
 	sp := obs.StartSpan(task, "rpc.call", obs.Attr{Key: "system", Value: req.System}, obs.Attr{Key: "function", Value: req.Function})
 	defer sp.End(task)
-	return c.h(task, req)
+	return c.h(ctx, task, req)
 }
 
 // Close implements Client.
 func (c *inProcClient) Close() error { return nil }
+
+// ------------------------------------------------------- guard middleware
+
+// guardKey names the breaker/injection stream a request belongs to: the
+// target system, or the function for system-resolved dispatches.
+func guardKey(req Request) string {
+	if req.System != "" {
+		return req.System
+	}
+	return "fn:" + req.Function
+}
+
+type guardClient struct {
+	c  Client
+	ex *resil.Executor
+}
+
+// Guard wraps a client with a resil.Executor: every call passes the
+// per-system circuit breaker and, on transient failure, the retry loop.
+// Installing it on the controller's shared application-system client
+// protects both integration architectures at one choke point.
+func Guard(c Client, ex *resil.Executor) Client {
+	if ex == nil {
+		return c
+	}
+	return &guardClient{c: c, ex: ex}
+}
+
+// Call implements Client.
+func (g *guardClient) Call(ctx context.Context, task *simlat.Task, req Request) (*types.Table, error) {
+	return g.ex.Call(ctx, task, guardKey(req), func(ctx context.Context) (*types.Table, error) {
+		return g.c.Call(ctx, task, req)
+	})
+}
+
+// CallMeta implements MetaCaller when the wrapped client does; metadata of
+// the successful (final) attempt is returned.
+func (g *guardClient) CallMeta(ctx context.Context, task *simlat.Task, req Request) (*types.Table, map[string]string, error) {
+	mc, ok := g.c.(MetaCaller)
+	if !ok {
+		res, err := g.Call(ctx, task, req)
+		return res, nil, err
+	}
+	var meta map[string]string
+	res, err := g.ex.Call(ctx, task, guardKey(req), func(ctx context.Context) (*types.Table, error) {
+		r, m, err := mc.CallMeta(ctx, task, req)
+		meta = m
+		return r, err
+	})
+	return res, meta, err
+}
+
+// Close implements Client.
+func (g *guardClient) Close() error { return g.c.Close() }
+
+type faultClient struct {
+	c  Client
+	in *resil.Injector
+}
+
+// WithFaults wraps a client with a fault injector consulted before each
+// call: injected failures return without reaching the wrapped transport,
+// injected latency is charged to the task. Compose inside Guard —
+// Guard(WithFaults(c, inj), ex) — so every retry attempt re-rolls.
+func WithFaults(c Client, in *resil.Injector) Client {
+	if in == nil {
+		return c
+	}
+	return &faultClient{c: c, in: in}
+}
+
+// Call implements Client.
+func (f *faultClient) Call(ctx context.Context, task *simlat.Task, req Request) (*types.Table, error) {
+	if err := f.in.Inject(ctx, task, guardKey(req)); err != nil {
+		return nil, err
+	}
+	return f.c.Call(ctx, task, req)
+}
+
+// CallMeta implements MetaCaller when the wrapped client does.
+func (f *faultClient) CallMeta(ctx context.Context, task *simlat.Task, req Request) (*types.Table, map[string]string, error) {
+	if err := f.in.Inject(ctx, task, guardKey(req)); err != nil {
+		return nil, nil, err
+	}
+	if mc, ok := f.c.(MetaCaller); ok {
+		return mc.CallMeta(ctx, task, req)
+	}
+	res, err := f.c.Call(ctx, task, req)
+	return res, nil, err
+}
+
+// Close implements Client.
+func (f *faultClient) Close() error { return f.c.Close() }
 
 // ------------------------------------------------------------- wire form
 
@@ -153,6 +252,11 @@ type wireRequest struct {
 	TraceID string
 	SpanID  string
 	Sampled bool
+	// DeadlineMS is the statement time remaining at send, in paper
+	// milliseconds; 0 means no deadline. The server re-arms it as a
+	// relative timeout on the handler context, so deadlines propagate
+	// across the process boundary. Old peers decode it as 0.
+	DeadlineMS int64
 }
 
 type wireResponse struct {
@@ -305,6 +409,12 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.inflight.Add(1)
 		req := Request{System: wreq.System, Function: wreq.Function, Args: args,
 			Trace: obs.TraceContext{TraceID: wreq.TraceID, SpanID: wreq.SpanID, Sampled: wreq.Sampled}}
+		ctx := context.Background()
+		if wreq.DeadlineMS > 0 {
+			// Re-arm the remaining statement time as a relative timeout;
+			// the handler anchors it to whatever task it runs under.
+			ctx = resil.WithTimeout(ctx, time.Duration(wreq.DeadlineMS)*simlat.PaperMS)
+		}
 		task := simlat.Free()
 		var tr *obs.Tracer
 		if req.Trace.Sampled {
@@ -318,7 +428,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				obs.Attr{Key: "function", Value: req.Function})
 			tr.Root().SetTraceID(req.Trace.TraceID)
 		}
-		res, meta, err := s.h(task, req)
+		res, meta, err := s.h(ctx, task, req)
 		var wres wireResponse
 		if err != nil {
 			wres.Err = err.Error()
@@ -447,8 +557,8 @@ func Dial(addr string) (Client, error) {
 
 // Call implements Client. The task is not transmitted; TCP callees charge
 // their own clocks (wall-mode semantics).
-func (c *tcpClient) Call(task *simlat.Task, req Request) (*types.Table, error) {
-	res, _, err := c.CallMeta(task, req)
+func (c *tcpClient) Call(ctx context.Context, task *simlat.Task, req Request) (*types.Table, error) {
+	res, _, err := c.CallMeta(ctx, task, req)
 	return res, err
 }
 
@@ -456,7 +566,13 @@ func (c *tcpClient) Call(task *simlat.Task, req Request) (*types.Table, error) {
 // live trace, the span's context is serialized with the request and the
 // server's span fragment — returned in the response metadata — is grafted
 // under the local rpc.call span, stitching the cross-process waterfall.
-func (c *tcpClient) CallMeta(task *simlat.Task, req Request) (*types.Table, map[string]string, error) {
+// The statement's remaining deadline ships with the request; cancelling
+// ctx while the call is in flight aborts the blocked read (the connection
+// is not reusable afterwards — cancellation is terminal for a statement).
+func (c *tcpClient) CallMeta(ctx context.Context, task *simlat.Task, req Request) (*types.Table, map[string]string, error) {
+	if err := resil.Check(ctx, task); err != nil {
+		return nil, nil, err
+	}
 	sp := obs.StartSpan(task, "rpc.call", obs.Attr{Key: "system", Value: req.System}, obs.Attr{Key: "function", Value: req.Function})
 	defer sp.End(task)
 	c.mu.Lock()
@@ -470,11 +586,34 @@ func (c *tcpClient) CallMeta(task *simlat.Task, req Request) (*types.Table, map[
 		tc = obs.ContextFrom(task)
 	}
 	wreq.TraceID, wreq.SpanID, wreq.Sampled = tc.TraceID, tc.SpanID, tc.Sampled
+	if rem, ok := resil.Remaining(ctx, task); ok && rem > 0 {
+		wreq.DeadlineMS = int64(rem / simlat.PaperMS)
+	}
 	if err := c.enc.Encode(&wreq); err != nil {
 		return nil, nil, fmt.Errorf("rpc: send: %w", err)
 	}
+	var watchDone chan struct{}
+	if ctx != nil && ctx.Done() != nil {
+		watchDone = make(chan struct{})
+		go func() {
+			select {
+			case <-ctx.Done():
+				// Unblock the pending Decode; the gob stream is dead after
+				// this, which is fine — the statement is over.
+				c.conn.SetReadDeadline(time.Unix(1, 0))
+			case <-watchDone:
+			}
+		}()
+	}
 	var wres wireResponse
-	if err := c.dec.Decode(&wres); err != nil {
+	err := c.dec.Decode(&wres)
+	if watchDone != nil {
+		close(watchDone)
+	}
+	if err != nil {
+		if ctx != nil && ctx.Err() != nil {
+			return nil, nil, fmt.Errorf("rpc: call cancelled: %w", ctx.Err())
+		}
 		return nil, nil, fmt.Errorf("rpc: receive: %w", err)
 	}
 	if enc, ok := wres.Meta[obs.MetaTraceFragment]; ok {

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -11,7 +12,7 @@ import (
 	"fedwf/internal/types"
 )
 
-func echoHandler(task *simlat.Task, req Request) (*types.Table, error) {
+func echoHandler(_ context.Context, task *simlat.Task, req Request) (*types.Table, error) {
 	if req.Function == "fail" {
 		return nil, errors.New("deliberate failure")
 	}
@@ -33,7 +34,7 @@ func TestInProcCall(t *testing.T) {
 	c := NewInProc(echoHandler)
 	defer c.Close()
 	task := simlat.NewVirtualTask()
-	tab, err := c.Call(task, Request{System: "stock", Function: "GetQuality", Args: []types.Value{types.NewInt(7)}})
+	tab, err := c.Call(context.Background(), task, Request{System: "stock", Function: "GetQuality", Args: []types.Value{types.NewInt(7)}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestInProcCall(t *testing.T) {
 	if task.Elapsed() != simlat.PaperMS {
 		t.Errorf("task elapsed = %v", task.Elapsed())
 	}
-	if _, err := c.Call(task, Request{Function: "fail"}); err == nil {
+	if _, err := c.Call(context.Background(), task, Request{Function: "fail"}); err == nil {
 		t.Error("handler error not propagated")
 	}
 }
@@ -67,25 +68,25 @@ func TestTCPRoundTrip(t *testing.T) {
 	defer c.Close()
 
 	args := []types.Value{types.NewInt(1), types.NewString("x"), types.NewFloat(2.5), types.NewBool(true), types.Null}
-	tab, err := c.Call(nil, Request{System: "purchasing", Function: "DecidePurchase", Args: args})
+	tab, err := c.Call(context.Background(), nil, Request{System: "purchasing", Function: "DecidePurchase", Args: args})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if tab.Rows[0][1].Str() != "DecidePurchase" || tab.Rows[0][2].Int() != 5 {
 		t.Errorf("echo over TCP = %v", tab.Rows[0])
 	}
-	if _, err := c.Call(nil, Request{Function: "fail"}); err == nil || err.Error() != "deliberate failure" {
+	if _, err := c.Call(context.Background(), nil, Request{Function: "fail"}); err == nil || err.Error() != "deliberate failure" {
 		t.Errorf("remote error = %v", err)
 	}
 	// The connection survives an application-level error.
-	if _, err := c.Call(nil, Request{Function: "ok"}); err != nil {
+	if _, err := c.Call(context.Background(), nil, Request{Function: "ok"}); err != nil {
 		t.Errorf("call after error: %v", err)
 	}
 }
 
 func TestTCPValueFidelity(t *testing.T) {
 	var got []types.Value
-	srv := NewServer(func(_ *simlat.Task, req Request) (*types.Table, error) {
+	srv := NewServer(func(_ context.Context, _ *simlat.Task, req Request) (*types.Table, error) {
 		got = req.Args
 		tab := types.NewTable(types.Schema{
 			{Name: "I", Type: types.BigInt},
@@ -111,7 +112,7 @@ func TestTCPValueFidelity(t *testing.T) {
 	defer c.Close()
 
 	sent := []types.Value{types.NewInt(9), types.Null, types.NewString("it's")}
-	tab, err := c.Call(nil, Request{Function: "f", Args: sent})
+	tab, err := c.Call(context.Background(), nil, Request{Function: "f", Args: sent})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestTCPConcurrentClients(t *testing.T) {
 			}
 			defer c.Close()
 			for i := 0; i < 25; i++ {
-				tab, err := c.Call(nil, Request{System: fmt.Sprintf("sys%d", g), Function: "f"})
+				tab, err := c.Call(context.Background(), nil, Request{System: fmt.Sprintf("sys%d", g), Function: "f"})
 				if err != nil {
 					errs <- err
 					return
@@ -204,8 +205,8 @@ func TestWireValueRoundTrip(t *testing.T) {
 	}
 }
 
-func metaEchoHandler(task *simlat.Task, req Request) (*types.Table, map[string]string, error) {
-	tab, err := echoHandler(task, req)
+func metaEchoHandler(_ context.Context, task *simlat.Task, req Request) (*types.Table, map[string]string, error) {
+	tab, err := echoHandler(context.Background(), task, req)
 	if err != nil {
 		return nil, map[string]string{"failed": "yes"}, err
 	}
@@ -219,7 +220,7 @@ func TestCallMetaInProc(t *testing.T) {
 	if !ok {
 		t.Fatal("in-proc client does not implement MetaCaller")
 	}
-	tab, meta, err := mc.CallMeta(simlat.Free(), Request{System: "s", Function: "f"})
+	tab, meta, err := mc.CallMeta(context.Background(), simlat.Free(), Request{System: "s", Function: "f"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +245,7 @@ func TestCallMetaOverTCP(t *testing.T) {
 	if !ok {
 		t.Fatal("tcp client does not implement MetaCaller")
 	}
-	tab, meta, err := mc.CallMeta(nil, Request{System: "s", Function: "f"})
+	tab, meta, err := mc.CallMeta(context.Background(), nil, Request{System: "s", Function: "f"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,11 +253,11 @@ func TestCallMetaOverTCP(t *testing.T) {
 		t.Errorf("meta over TCP = %v / %v", tab.Rows[0], meta)
 	}
 	// Metadata rides along error responses too.
-	if _, meta, err := mc.CallMeta(nil, Request{Function: "fail"}); err == nil || meta["failed"] != "yes" {
+	if _, meta, err := mc.CallMeta(context.Background(), nil, Request{Function: "fail"}); err == nil || meta["failed"] != "yes" {
 		t.Errorf("error meta = %v, err = %v", meta, err)
 	}
 	// Plain Call still works against a meta server and drops the map.
-	if _, err := c.Call(nil, Request{Function: "f"}); err != nil {
+	if _, err := c.Call(context.Background(), nil, Request{Function: "f"}); err != nil {
 		t.Errorf("plain call on meta server: %v", err)
 	}
 }
@@ -264,10 +265,10 @@ func TestCallMetaOverTCP(t *testing.T) {
 func TestShutdownDrainsInflight(t *testing.T) {
 	release := make(chan struct{})
 	started := make(chan struct{})
-	srv := NewServer(func(task *simlat.Task, req Request) (*types.Table, error) {
+	srv := NewServer(func(_ context.Context, task *simlat.Task, req Request) (*types.Table, error) {
 		close(started)
 		<-release
-		return echoHandler(task, req)
+		return echoHandler(context.Background(), task, req)
 	})
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
@@ -285,7 +286,7 @@ func TestShutdownDrainsInflight(t *testing.T) {
 	}
 	done := make(chan result, 1)
 	go func() {
-		tab, err := c.Call(nil, Request{Function: "slow"})
+		tab, err := c.Call(context.Background(), nil, Request{Function: "slow"})
 		done <- result{tab, err}
 	}()
 	<-started

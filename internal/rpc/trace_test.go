@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"encoding/gob"
 	"net"
 	"strings"
@@ -15,10 +16,10 @@ import (
 
 // tracedEchoHandler opens a span on the server-provided task, so a traced
 // request produces handler-level spans under the transport's rpc.serve.
-func tracedEchoHandler(task *simlat.Task, req Request) (*types.Table, error) {
+func tracedEchoHandler(ctx context.Context, task *simlat.Task, req Request) (*types.Table, error) {
 	sp := obs.StartSpan(task, "handler.work", obs.Attr{Key: "fn", Value: req.Function})
 	defer sp.End(task)
-	return echoHandler(task, req)
+	return echoHandler(ctx, task, req)
 }
 
 func TestRegisterWireTypesIdempotent(t *testing.T) {
@@ -32,9 +33,9 @@ func TestRegisterWireTypesIdempotent(t *testing.T) {
 // zero-value context means untraced.
 func TestLegacyClientCompat(t *testing.T) {
 	var gotTrace obs.TraceContext
-	srv := NewServer(func(task *simlat.Task, req Request) (*types.Table, error) {
+	srv := NewServer(func(ctx context.Context, task *simlat.Task, req Request) (*types.Table, error) {
 		gotTrace = req.Trace
-		return echoHandler(task, req)
+		return echoHandler(ctx, task, req)
 	})
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
@@ -93,7 +94,7 @@ func TestTracedTCPCallGraftsServerSpans(t *testing.T) {
 
 	task := simlat.NewWallTask(0)
 	tr := obs.Trace(task, "client")
-	_, meta, err := mc.CallMeta(task, Request{System: "s", Function: "f"})
+	_, meta, err := mc.CallMeta(context.Background(), task, Request{System: "s", Function: "f"})
 	root := tr.Finish()
 	if err != nil {
 		t.Fatal(err)
@@ -125,7 +126,7 @@ func TestTracedTCPCallGraftsServerSpans(t *testing.T) {
 	}
 
 	// Untraced call over the same client: no fragment, no trace keys.
-	_, meta, err = mc.CallMeta(nil, Request{Function: "f"})
+	_, meta, err = mc.CallMeta(context.Background(), nil, Request{Function: "f"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestTracedErrorCarriesErrorAttr(t *testing.T) {
 
 	task := simlat.NewWallTask(0)
 	tr := obs.Trace(task, "client")
-	_, _, callErr := c.(MetaCaller).CallMeta(task, Request{Function: "fail"})
+	_, _, callErr := c.(MetaCaller).CallMeta(context.Background(), task, Request{Function: "fail"})
 	root := tr.Finish()
 	if callErr == nil {
 		t.Fatal("error not propagated")
@@ -165,12 +166,12 @@ func TestTracedErrorCarriesErrorAttr(t *testing.T) {
 
 func TestOversizedFragmentGoesToSink(t *testing.T) {
 	// Handler builds a span tree whose encoding exceeds the inline cap.
-	srv := NewServer(func(task *simlat.Task, req Request) (*types.Table, error) {
+	srv := NewServer(func(ctx context.Context, task *simlat.Task, req Request) (*types.Table, error) {
 		for i := 0; i < 3000; i++ {
 			sp := obs.StartSpan(task, "bulk", obs.Attr{Key: "pad", Value: strings.Repeat("p", 100)})
 			sp.End(task)
 		}
-		return echoHandler(task, req)
+		return echoHandler(ctx, task, req)
 	})
 	var mu sync.Mutex
 	var pushed []*obs.Fragment
@@ -192,7 +193,7 @@ func TestOversizedFragmentGoesToSink(t *testing.T) {
 
 	task := simlat.NewWallTask(0)
 	tr := obs.Trace(task, "client")
-	_, meta, err := c.(MetaCaller).CallMeta(task, Request{Function: "f"})
+	_, meta, err := c.(MetaCaller).CallMeta(context.Background(), task, Request{Function: "f"})
 	tr.Finish()
 	if err != nil {
 		t.Fatal(err)

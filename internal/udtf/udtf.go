@@ -17,6 +17,7 @@
 package udtf
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -97,13 +98,13 @@ func (ins *Instrument) chargeEntry(task *simlat.Task, fnName string) {
 func RegisterAccessUDTF(eng *engine.Engine, bridge *controller.Bridge, ins *Instrument,
 	name, system, function string, params []types.Column, returns types.Schema) error {
 	profile := ins.profile
-	impl := func(rt catalog.QueryRunner, task *simlat.Task, args []types.Value) (*types.Table, error) {
+	impl := func(ctx context.Context, rt catalog.QueryRunner, task *simlat.Task, args []types.Value) (*types.Table, error) {
 		sp := obs.StartSpan(task, "udtf.access", obs.Attr{Key: "fn", Value: name})
 		defer sp.End(task)
 		ins.chargeEntry(task, name)
 		task.Step(simlat.StepPrepareAUDTF, profile.AUDTFPrepare)
 		prev := task.SetLabel(simlat.StepLocalFunctions)
-		out, err := bridge.CallFunction(task, system, function, args)
+		out, err := bridge.CallFunction(ctx, task, system, function, args)
 		task.SetLabel(prev)
 		if err != nil {
 			sp.SetAttr("error", err.Error())
@@ -112,7 +113,7 @@ func RegisterAccessUDTF(eng *engine.Engine, bridge *controller.Bridge, ins *Inst
 		task.Step(simlat.StepFinishAUDTF, profile.AUDTFFinish)
 		return out, nil
 	}
-	fn := &catalog.GoFunc{FName: name, FParams: params, FReturns: returns, Fn: impl}
+	fn := &catalog.GoFunc{FName: name, FParams: params, FReturns: returns, FnCtx: impl}
 	return eng.Catalog().RegisterFunc(fn)
 }
 
@@ -160,20 +161,21 @@ func RegisterSQLIntegrationUDTF(eng *engine.Engine, ins *Instrument, createFunct
 
 // GoBody is the body of a Go integration UDTF: it may issue any number of
 // nested queries through the runner, mirroring the enhanced Java UDTF
-// architecture's JDBC calls against A-UDTFs.
-type GoBody func(rt catalog.QueryRunner, task *simlat.Task, args []types.Value) (*types.Table, error)
+// architecture's JDBC calls against A-UDTFs. The context carries the
+// statement's deadline into every nested query.
+type GoBody func(ctx context.Context, rt catalog.QueryRunner, task *simlat.Task, args []types.Value) (*types.Table, error)
 
 // RegisterGoIntegrationUDTF registers a host-coded integration UDTF with
 // the same entry costs as a SQL I-UDTF.
 func RegisterGoIntegrationUDTF(eng *engine.Engine, ins *Instrument,
 	name string, params []types.Column, returns types.Schema, body GoBody) error {
 	profile := ins.profile
-	impl := func(rt catalog.QueryRunner, task *simlat.Task, args []types.Value) (*types.Table, error) {
+	impl := func(ctx context.Context, rt catalog.QueryRunner, task *simlat.Task, args []types.Value) (*types.Table, error) {
 		sp := obs.StartSpan(task, "udtf.go", obs.Attr{Key: "fn", Value: name})
 		defer sp.End(task)
 		ins.chargeEntry(task, name)
 		task.Step(simlat.StepStartIUDTF, profile.IUDTFStart)
-		out, err := body(rt, task, args)
+		out, err := body(ctx, rt, task, args)
 		if err != nil {
 			sp.SetAttr("error", err.Error())
 			return nil, err
@@ -181,7 +183,7 @@ func RegisterGoIntegrationUDTF(eng *engine.Engine, ins *Instrument,
 		task.Step(simlat.StepFinishIUDTF, profile.IUDTFFinish)
 		return out, nil
 	}
-	fn := &catalog.GoFunc{FName: name, FParams: params, FReturns: returns, Fn: impl}
+	fn := &catalog.GoFunc{FName: name, FParams: params, FReturns: returns, FnCtx: impl}
 	return eng.Catalog().RegisterFunc(fn)
 }
 
@@ -198,7 +200,7 @@ func RegisterWorkflowUDTF(eng *engine.Engine, bridge *controller.Bridge, ins *In
 	profile := ins.profile
 	params := make([]types.Column, len(process.Input))
 	copy(params, process.Input)
-	impl := func(rt catalog.QueryRunner, task *simlat.Task, args []types.Value) (*types.Table, error) {
+	impl := func(ctx context.Context, rt catalog.QueryRunner, task *simlat.Task, args []types.Value) (*types.Table, error) {
 		sp := obs.StartSpan(task, "udtf.workflow", obs.Attr{Key: "fn", Value: process.Name})
 		defer sp.End(task)
 		ins.chargeEntry(task, process.Name)
@@ -208,7 +210,7 @@ func RegisterWorkflowUDTF(eng *engine.Engine, bridge *controller.Bridge, ins *In
 		for i, p := range process.Input {
 			input[strings.ToLower(p.Name)] = args[i]
 		}
-		out, err := bridge.RunWorkflow(task, process, input)
+		out, err := bridge.RunWorkflow(ctx, task, process, input)
 		if err != nil {
 			sp.SetAttr("error", err.Error())
 			return nil, err
@@ -216,6 +218,6 @@ func RegisterWorkflowUDTF(eng *engine.Engine, bridge *controller.Bridge, ins *In
 		task.Step(simlat.StepFinishUDTF, profile.UDTFFinish)
 		return out, nil
 	}
-	fn := &catalog.GoFunc{FName: process.Name, FParams: params, FReturns: process.Output.Clone(), Fn: impl}
+	fn := &catalog.GoFunc{FName: process.Name, FParams: params, FReturns: process.Output.Clone(), FnCtx: impl}
 	return eng.Catalog().RegisterFunc(fn)
 }

@@ -1,6 +1,7 @@
 package udtf
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -26,8 +27,8 @@ func newFixture(t *testing.T) *fixture {
 	profile := simlat.DefaultProfile()
 	apps := appsys.MustBuildScenario()
 	client := rpc.NewInProc(apps.Handler())
-	invoker := wfms.InvokerFunc(func(task *simlat.Task, system, function string, args []types.Value) (*types.Table, error) {
-		return client.Call(task, rpc.Request{System: system, Function: function, Args: args})
+	invoker := wfms.InvokerFunc(func(ctx context.Context, task *simlat.Task, system, function string, args []types.Value) (*types.Table, error) {
+		return client.Call(ctx, task, rpc.Request{System: system, Function: function, Args: args})
 	})
 	wfEngine := wfms.New(invoker, wfms.CostsFromProfile(profile))
 	ctl := controller.New(profile, wfEngine, client)
@@ -146,7 +147,7 @@ func TestSQLIntegrationUDTFHooks(t *testing.T) {
 
 func TestGoIntegrationUDTF(t *testing.T) {
 	f := newFixture(t)
-	body := func(rt catalog.QueryRunner, task *simlat.Task, args []types.Value) (*types.Table, error) {
+	body := func(ctx context.Context, rt catalog.QueryRunner, task *simlat.Task, args []types.Value) (*types.Table, error) {
 		out := types.NewTable(types.Schema{{Name: "V", Type: types.Integer}})
 		out.MustAppend(types.Row{types.NewInt(args[0].Int() * 2)})
 		return out, nil

@@ -1,6 +1,7 @@
 package wfms
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"fedwf/internal/obs"
+	"fedwf/internal/resil"
 	"fedwf/internal/simlat"
 	"fedwf/internal/types"
 )
@@ -60,8 +62,17 @@ type RunResult struct {
 }
 
 // Run validates and executes a process and returns its output container.
+//
+// Deprecated: use RunContext; this shim delegates with a background
+// context.
 func (e *Engine) Run(task *simlat.Task, p *Process, input map[string]types.Value) (*types.Table, error) {
-	res, err := e.RunDetailed(task, p, input)
+	return e.RunContext(context.Background(), task, p, input)
+}
+
+// RunContext validates and executes a process under the statement context
+// and returns its output container.
+func (e *Engine) RunContext(ctx context.Context, task *simlat.Task, p *Process, input map[string]types.Value) (*types.Table, error) {
+	res, err := e.RunDetailedContext(ctx, task, p, input)
 	if err != nil {
 		return nil, err
 	}
@@ -69,7 +80,16 @@ func (e *Engine) Run(task *simlat.Task, p *Process, input map[string]types.Value
 }
 
 // RunDetailed is Run with the audit trail and activity count.
+//
+// Deprecated: use RunDetailedContext; this shim delegates with a
+// background context.
 func (e *Engine) RunDetailed(task *simlat.Task, p *Process, input map[string]types.Value) (*RunResult, error) {
+	return e.RunDetailedContext(context.Background(), task, p, input)
+}
+
+// RunDetailedContext is RunContext with the audit trail and activity
+// count.
+func (e *Engine) RunDetailedContext(ctx context.Context, task *simlat.Task, p *Process, input map[string]types.Value) (*RunResult, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -79,7 +99,7 @@ func (e *Engine) RunDetailed(task *simlat.Task, p *Process, input map[string]typ
 	// environment: a constant cost per call, per the paper's Fig. 6.
 	task.Step(simlat.StepStartWorkflow, e.costs.StartProcess)
 	st := &runState{}
-	out, err := e.runProcess(task, p, input, st)
+	out, err := e.runProcess(ctx, task, p, input, st)
 	if err != nil {
 		return nil, err
 	}
@@ -124,7 +144,7 @@ type completion struct {
 // goroutines, resolves control connectors as nodes complete (dead-path
 // elimination for false transition conditions), and assembles the output
 // container from the result node.
-func (e *Engine) runProcess(task *simlat.Task, p *Process, input map[string]types.Value, st *runState) (*types.Table, error) {
+func (e *Engine) runProcess(ctx context.Context, task *simlat.Task, p *Process, input map[string]types.Value, st *runState) (*types.Table, error) {
 	type nodeState struct {
 		unresolved int
 		trueCount  int
@@ -164,7 +184,7 @@ func (e *Engine) runProcess(task *simlat.Task, p *Process, input map[string]type
 			snapshot[k] = v
 		}
 		go func() {
-			out, err := e.runNode(branch, p, name, input, snapshot, st)
+			out, err := e.runNode(ctx, branch, p, name, input, snapshot, st)
 			events <- completion{node: name, out: out, branch: branch, err: err}
 		}()
 	}
@@ -314,7 +334,7 @@ func (e *Engine) runProcess(task *simlat.Task, p *Process, input map[string]type
 }
 
 // runNode executes one node on its own branch task.
-func (e *Engine) runNode(branch *simlat.Task, p *Process, name string, input map[string]types.Value, outputs map[string]*types.Table, st *runState) (out *types.Table, err error) {
+func (e *Engine) runNode(ctx context.Context, branch *simlat.Task, p *Process, name string, input map[string]types.Value, outputs map[string]*types.Table, st *runState) (out *types.Table, err error) {
 	sp := obs.StartSpan(branch, "wfms.activity", obs.Attr{Key: "node", Value: name})
 	defer func() {
 		if err != nil {
@@ -322,23 +342,26 @@ func (e *Engine) runNode(branch *simlat.Task, p *Process, name string, input map
 		}
 		sp.End(branch)
 	}()
+	if err := resil.Check(ctx, branch); err != nil {
+		return nil, err
+	}
 	st.record(branch.Elapsed(), name, "started", 0)
 	node := p.node(name)
 	// Navigator bookkeeping per activity.
 	branch.Step(simlat.StepWorkflowEngine, e.costs.Navigate)
 	switch a := node.(type) {
 	case *FunctionActivity:
-		return e.runFunctionActivity(branch, a, input, outputs, st)
+		return e.runFunctionActivity(ctx, branch, a, input, outputs, st)
 	case *HelperActivity:
 		return e.runHelperActivity(branch, a, input, outputs, st)
 	case *Block:
-		return e.runBlock(branch, a, input, outputs, st)
+		return e.runBlock(ctx, branch, a, input, outputs, st)
 	default:
 		return nil, fmt.Errorf("wfms: unknown node type %T", node)
 	}
 }
 
-func (e *Engine) runFunctionActivity(branch *simlat.Task, a *FunctionActivity, input map[string]types.Value, outputs map[string]*types.Table, st *runState) (*types.Table, error) {
+func (e *Engine) runFunctionActivity(ctx context.Context, branch *simlat.Task, a *FunctionActivity, input map[string]types.Value, outputs map[string]*types.Table, st *runState) (*types.Table, error) {
 	// Each activity boots a fresh program (the paper's per-activity JVM
 	// start) and handles its input and output containers; the local
 	// function's own service time is charged by the invoker under the
@@ -358,7 +381,10 @@ func (e *Engine) runFunctionActivity(branch *simlat.Task, a *FunctionActivity, i
 	}
 	var union *types.Table
 	for _, args := range bindings {
-		out, err := e.invoker.Invoke(branch, a.System, a.Function, args)
+		if err := resil.Check(ctx, branch); err != nil {
+			return nil, err
+		}
+		out, err := e.invoker.Invoke(ctx, branch, a.System, a.Function, args)
 		if err != nil {
 			return nil, err
 		}
@@ -393,7 +419,7 @@ func (e *Engine) runHelperActivity(branch *simlat.Task, a *HelperActivity, input
 	return out, nil
 }
 
-func (e *Engine) runBlock(branch *simlat.Task, b *Block, input map[string]types.Value, outputs map[string]*types.Table, st *runState) (*types.Table, error) {
+func (e *Engine) runBlock(ctx context.Context, branch *simlat.Task, b *Block, input map[string]types.Value, outputs map[string]*types.Table, st *runState) (*types.Table, error) {
 	// Assemble the first iteration's input container.
 	blockInput := make(map[string]types.Value, len(b.Args))
 	for field, src := range b.Args {
@@ -412,7 +438,10 @@ func (e *Engine) runBlock(branch *simlat.Task, b *Block, input map[string]types.
 	}
 	var acc *types.Table
 	for iter := 1; ; iter++ {
-		out, err := e.runProcess(branch, b.Body, blockInput, st)
+		if err := resil.Check(ctx, branch); err != nil {
+			return nil, err
+		}
+		out, err := e.runProcess(ctx, branch, b.Body, blockInput, st)
 		if err != nil {
 			return nil, err
 		}

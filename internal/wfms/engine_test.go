@@ -1,6 +1,7 @@
 package wfms
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -17,7 +18,7 @@ import (
 func testInvoker(t *testing.T) Invoker {
 	t.Helper()
 	reg := appsys.MustBuildScenario()
-	return InvokerFunc(func(task *simlat.Task, system, function string, args []types.Value) (*types.Table, error) {
+	return InvokerFunc(func(ctx context.Context, task *simlat.Task, system, function string, args []types.Value) (*types.Table, error) {
 		if system == "" {
 			sys, _, err := reg.Resolve(function)
 			if err != nil {
@@ -425,7 +426,7 @@ func TestRowAlignedBindings(t *testing.T) {
 	// downstream activity consuming both columns must see them row-aligned,
 	// and is invoked once per row.
 	calls := 0
-	inv := InvokerFunc(func(task *simlat.Task, system, function string, args []types.Value) (*types.Table, error) {
+	inv := InvokerFunc(func(ctx context.Context, task *simlat.Task, system, function string, args []types.Value) (*types.Table, error) {
 		switch function {
 		case "pairs":
 			out := types.NewTable(types.Schema{{Name: "A", Type: types.Integer}, {Name: "B", Type: types.Integer}})
@@ -523,7 +524,7 @@ func TestValidateErrors(t *testing.T) {
 }
 
 func TestInvokerErrorPropagates(t *testing.T) {
-	inv := InvokerFunc(func(task *simlat.Task, system, function string, args []types.Value) (*types.Table, error) {
+	inv := InvokerFunc(func(ctx context.Context, task *simlat.Task, system, function string, args []types.Value) (*types.Table, error) {
 		return nil, errors.New("boom")
 	})
 	eng := New(inv, Costs{})

@@ -13,6 +13,7 @@
 package wfms
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -348,15 +349,16 @@ func CostsFromProfile(p simlat.Profile) Costs {
 }
 
 // Invoker reaches application-system functions on behalf of function
-// activities.
+// activities. The context carries the statement's deadline and
+// cancellation into the invocation.
 type Invoker interface {
-	Invoke(task *simlat.Task, system, function string, args []types.Value) (*types.Table, error)
+	Invoke(ctx context.Context, task *simlat.Task, system, function string, args []types.Value) (*types.Table, error)
 }
 
 // InvokerFunc adapts a function to Invoker.
-type InvokerFunc func(task *simlat.Task, system, function string, args []types.Value) (*types.Table, error)
+type InvokerFunc func(ctx context.Context, task *simlat.Task, system, function string, args []types.Value) (*types.Table, error)
 
 // Invoke implements Invoker.
-func (f InvokerFunc) Invoke(task *simlat.Task, system, function string, args []types.Value) (*types.Table, error) {
-	return f(task, system, function, args)
+func (f InvokerFunc) Invoke(ctx context.Context, task *simlat.Task, system, function string, args []types.Value) (*types.Table, error) {
+	return f(ctx, task, system, function, args)
 }

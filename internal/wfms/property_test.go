@@ -1,6 +1,7 @@
 package wfms
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -57,7 +58,7 @@ func TestNavigatorCriticalPathProperty(t *testing.T) {
 
 		// Every activity costs a uniform 10 paper-ms, so the expected
 		// elapsed time is the DAG's critical path in activity slots.
-		eng := New(InvokerFunc(func(task *simlat.Task, system, function string, args []types.Value) (*types.Table, error) {
+		eng := New(InvokerFunc(func(ctx context.Context, task *simlat.Task, system, function string, args []types.Value) (*types.Table, error) {
 			return nil, fmt.Errorf("unused")
 		}), Costs{ActivityBoot: 10 * simlat.PaperMS})
 
@@ -130,7 +131,7 @@ func TestNavigatorSerialSumProperty(t *testing.T) {
 			}
 		}
 		p.Result = "A0"
-		eng := New(InvokerFunc(func(task *simlat.Task, system, function string, args []types.Value) (*types.Table, error) {
+		eng := New(InvokerFunc(func(ctx context.Context, task *simlat.Task, system, function string, args []types.Value) (*types.Table, error) {
 			return nil, fmt.Errorf("unused")
 		}), Costs{ContainerHandling: 7 * simlat.PaperMS})
 		eng.SetSerial(true)

@@ -15,6 +15,7 @@
 package wrapper
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -42,7 +43,7 @@ const (
 // answers "query" (one SELECT statement text) and "schema" (a table name)
 // requests. It is the server half of the SQL wrapper.
 func NewRemoteHandler(eng *engine.Engine) rpc.Handler {
-	return func(task *simlat.Task, req rpc.Request) (*types.Table, error) {
+	return func(ctx context.Context, task *simlat.Task, req rpc.Request) (*types.Table, error) {
 		switch strings.ToLower(req.Function) {
 		case fnQuery:
 			if len(req.Args) != 1 {
@@ -56,7 +57,7 @@ func NewRemoteHandler(eng *engine.Engine) rpc.Handler {
 			if err != nil {
 				return nil, err
 			}
-			return eng.RunSelect(sel, nil, task)
+			return eng.RunSelectContext(ctx, sel, nil, task)
 		case fnSchema:
 			if len(req.Args) != 1 {
 				return nil, fmt.Errorf("wrapper: schema expects one argument")
@@ -104,7 +105,7 @@ func (r *RemoteServer) Name() string { return r.name }
 
 // TableSchema implements catalog.ForeignServer.
 func (r *RemoteServer) TableSchema(remote string) (types.Schema, error) {
-	res, err := r.call(nil, fnSchema, types.NewString(remote))
+	res, err := r.call(context.Background(), nil, fnSchema, types.NewString(remote))
 	if err != nil {
 		return nil, err
 	}
@@ -124,11 +125,20 @@ func (r *RemoteServer) TableSchema(remote string) (types.Schema, error) {
 
 // Query implements catalog.ForeignServer: it ships the pushed-down
 // statement text to the remote engine.
+//
+// Deprecated: use QueryContext; Query runs without deadline propagation.
 func (r *RemoteServer) Query(sel *sqlparser.Select, task *simlat.Task) (*types.Table, error) {
-	return r.call(task, fnQuery, types.NewString(sel.String()))
+	return r.QueryContext(context.Background(), sel, task)
 }
 
-func (r *RemoteServer) call(task *simlat.Task, fn string, arg types.Value) (out *types.Table, err error) {
+// QueryContext implements catalog.ContextForeignServer: it ships the
+// pushed-down statement text to the remote engine, carrying the
+// statement's deadline across the wire.
+func (r *RemoteServer) QueryContext(ctx context.Context, sel *sqlparser.Select, task *simlat.Task) (*types.Table, error) {
+	return r.call(ctx, task, fnQuery, types.NewString(sel.String()))
+}
+
+func (r *RemoteServer) call(ctx context.Context, task *simlat.Task, fn string, arg types.Value) (out *types.Table, err error) {
 	sp := obs.StartSpan(task, "wrapper.remote", obs.Attr{Key: "server", Value: r.name}, obs.Attr{Key: "op", Value: fn})
 	defer func() {
 		if err != nil {
@@ -142,7 +152,7 @@ func (r *RemoteServer) call(task *simlat.Task, fn string, arg types.Value) (out 
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.client.Call(task, rpc.Request{System: r.name, Function: fn, Args: []types.Value{arg}})
+	return r.client.Call(ctx, task, rpc.Request{System: r.name, Function: fn, Args: []types.Value{arg}})
 }
 
 // Close releases the underlying client.

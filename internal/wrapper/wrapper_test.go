@@ -1,6 +1,7 @@
 package wrapper
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -134,16 +135,16 @@ func TestWrapperErrors(t *testing.T) {
 	// Remote protocol errors.
 	remote := remoteEngine(t)
 	h := NewRemoteHandler(remote)
-	if _, err := h(simlat.Free(), rpc.Request{Function: "nope"}); err == nil {
+	if _, err := h(context.Background(), simlat.Free(), rpc.Request{Function: "nope"}); err == nil {
 		t.Error("unknown protocol function accepted")
 	}
-	if _, err := h(simlat.Free(), rpc.Request{Function: "query", Args: []types.Value{types.NewString("DROP TABLE stock")}}); err == nil {
+	if _, err := h(context.Background(), simlat.Free(), rpc.Request{Function: "query", Args: []types.Value{types.NewString("DROP TABLE stock")}}); err == nil {
 		t.Error("non-SELECT pushdown accepted")
 	}
-	if _, err := h(simlat.Free(), rpc.Request{Function: "query"}); err == nil {
+	if _, err := h(context.Background(), simlat.Free(), rpc.Request{Function: "query"}); err == nil {
 		t.Error("missing query text accepted")
 	}
-	if _, err := h(simlat.Free(), rpc.Request{Function: "schema", Args: []types.Value{types.NewString("nope")}}); err == nil {
+	if _, err := h(context.Background(), simlat.Free(), rpc.Request{Function: "schema", Args: []types.Value{types.NewString("nope")}}); err == nil {
 		t.Error("unknown remote table accepted")
 	}
 	srv := NewRemoteServer("x", rpc.NewInProc(h), simlat.DefaultProfile(), false)
