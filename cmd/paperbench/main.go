@@ -23,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -227,7 +228,7 @@ func main() {
 	if run("faults") {
 		any = true
 		section("E12 - Fault tolerance: retries, deadlines, circuit breaking (extension)")
-		report, err := h.Faults(*seed)
+		report, err := h.Faults(context.Background(), *seed)
 		if err != nil {
 			fail(err)
 		}

@@ -98,7 +98,7 @@ func faultStack(seed uint64, plan resil.FaultPlan, protected bool, extra func(*f
 // 10%, and 20% over the trivial (one call per statement) and linear
 // (several calls per statement) federated functions, 200 statements each,
 // then the hang and breaker demonstrations.
-func (h *Harness) Faults(seed uint64) (*FaultReport, error) {
+func (h *Harness) Faults(ctx context.Context, seed uint64) (*FaultReport, error) {
 	report := &FaultReport{Seed: seed}
 	const statements = 200
 	specs := map[string]*fedfunc.Spec{}
@@ -123,10 +123,10 @@ func (h *Harness) Faults(seed uint64) (*FaultReport, error) {
 			row := FaultSweepRow{ErrorRate: rate, Function: fn, Calls: statements}
 			for i := 0; i < statements; i++ {
 				sample := i % len(spec.SampleArgs)
-				if _, err := unprot.CallContext(context.Background(), simlat.NewVirtualTask(), fn, spec.SampleArgs[sample]); err == nil {
+				if _, err := unprot.CallContext(ctx, simlat.NewVirtualTask(), fn, spec.SampleArgs[sample]); err == nil {
 					row.UnprotectedOK++
 				}
-				if _, err := prot.CallContext(context.Background(), simlat.NewVirtualTask(), fn, spec.SampleArgs[sample]); err == nil {
+				if _, err := prot.CallContext(ctx, simlat.NewVirtualTask(), fn, spec.SampleArgs[sample]); err == nil {
 					row.ProtectedOK++
 				}
 			}
@@ -135,10 +135,10 @@ func (h *Harness) Faults(seed uint64) (*FaultReport, error) {
 		}
 	}
 
-	if err := h.faultHangDemo(seed, report); err != nil {
+	if err := h.faultHangDemo(ctx, seed, report); err != nil {
 		return nil, err
 	}
-	if err := h.faultBreakerDemo(seed, report); err != nil {
+	if err := h.faultBreakerDemo(ctx, seed, report); err != nil {
 		return nil, err
 	}
 	return report, nil
@@ -147,7 +147,7 @@ func (h *Harness) Faults(seed uint64) (*FaultReport, error) {
 // faultHangDemo drives one statement into a system that always hangs and
 // checks it resolves to ErrTimeout at the statement deadline (virtual
 // time — the test itself never blocks).
-func (h *Harness) faultHangDemo(seed uint64, report *FaultReport) error {
+func (h *Harness) faultHangDemo(ctx context.Context, seed uint64, report *FaultReport) error {
 	const limit = 500 * simlat.PaperMS
 	stack, err := faultStack(seed, resil.FaultPlan{HangRate: 1}, true, func(o *fedfunc.Options) {
 		o.StmtTimeout = limit
@@ -156,7 +156,7 @@ func (h *Harness) faultHangDemo(seed uint64, report *FaultReport) error {
 		return err
 	}
 	task := simlat.NewVirtualTask()
-	_, callErr := stack.CallContext(context.Background(), task, "GibKompNr",
+	_, callErr := stack.CallContext(ctx, task, "GibKompNr",
 		[]types.Value{types.NewString("washer")})
 	report.HangIsTimeout = errors.Is(callErr, resil.ErrTimeout)
 	report.HangElapsed = task.Elapsed()
@@ -167,7 +167,7 @@ func (h *Harness) faultHangDemo(seed uint64, report *FaultReport) error {
 // faultBreakerDemo trips a breaker on an always-failing system, verifies
 // the next call is shed unexecuted with ErrCircuitOpen, and shows the
 // partial-result degradation of an optional branch over the open circuit.
-func (h *Harness) faultBreakerDemo(seed uint64, report *FaultReport) error {
+func (h *Harness) faultBreakerDemo(ctx context.Context, seed uint64, report *FaultReport) error {
 	inj := resil.NewInjector(seed)
 	inj.Plan(appsys.ProductData, resil.FaultPlan{ErrorRate: 1})
 	stack, err := fedfunc.NewStack(fedfunc.ArchWfMS, fedfunc.Options{
@@ -180,13 +180,13 @@ func (h *Harness) faultBreakerDemo(seed uint64, report *FaultReport) error {
 	}
 	args := []types.Value{types.NewString("washer")}
 	for i := 0; i < 3; i++ {
-		if _, err := stack.CallContext(context.Background(), simlat.NewVirtualTask(), "GibKompNr", args); err == nil {
+		if _, err := stack.CallContext(ctx, simlat.NewVirtualTask(), "GibKompNr", args); err == nil {
 			return fmt.Errorf("benchharn: always-failing system succeeded")
 		}
 	}
 	report.BreakerTripped = stack.Guard().Trips() > 0
 	before := inj.Injected(appsys.ProductData)
-	_, shedErr := stack.CallContext(context.Background(), simlat.NewVirtualTask(), "GibKompNr", args)
+	_, shedErr := stack.CallContext(ctx, simlat.NewVirtualTask(), "GibKompNr", args)
 	report.ShedIsOpenErr = errors.Is(shedErr, resil.ErrCircuitOpen)
 	report.ShedWithoutCall = inj.Injected(appsys.ProductData) == before
 
@@ -194,13 +194,13 @@ func (h *Harness) faultBreakerDemo(seed uint64, report *FaultReport) error {
 	// NULL-padded partial result instead of failing the statement.
 	session := stack.Engine().NewSession()
 	session.SetTask(simlat.NewVirtualTask())
-	if _, err := session.ExecContext(context.Background(), "CREATE TABLE comps (Name VARCHAR(30))"); err != nil {
+	if _, err := session.ExecContext(ctx, "CREATE TABLE comps (Name VARCHAR(30))"); err != nil {
 		return err
 	}
-	if _, err := session.ExecContext(context.Background(), "INSERT INTO comps VALUES ('washer'), ('bolt')"); err != nil {
+	if _, err := session.ExecContext(ctx, "INSERT INTO comps VALUES ('washer'), ('bolt')"); err != nil {
 		return err
 	}
-	res, err := session.ExecContext(context.Background(),
+	res, err := session.ExecContext(ctx,
 		"SELECT c.Name, k.KompNr FROM comps c LEFT JOIN TABLE (GibKompNr(c.Name)) AS k ON 1 = 1")
 	if err != nil {
 		return fmt.Errorf("benchharn: optional branch did not degrade: %w", err)

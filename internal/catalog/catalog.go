@@ -94,6 +94,21 @@ type ContextForeignServer interface {
 	QueryContext(ctx context.Context, sel *sqlparser.Select, task *simlat.Task) (*types.Table, error)
 }
 
+// SchemaContextForeignServer is implemented by foreign servers whose
+// schema discovery honours the caller's context (deadline, cancellation).
+type SchemaContextForeignServer interface {
+	TableSchemaContext(ctx context.Context, remote string) (types.Schema, error)
+}
+
+// ServerTableSchema fetches a remote table's schema, dispatching to
+// TableSchemaContext when the server implements it.
+func ServerTableSchema(ctx context.Context, srv ForeignServer, remote string) (types.Schema, error) {
+	if cs, ok := srv.(SchemaContextForeignServer); ok {
+		return cs.TableSchemaContext(ctx, remote)
+	}
+	return srv.TableSchema(remote)
+}
+
 // QueryServer dispatches to srv.QueryContext when implemented.
 func QueryServer(ctx context.Context, srv ForeignServer, sel *sqlparser.Select, task *simlat.Task) (*types.Table, error) {
 	if cs, ok := srv.(ContextForeignServer); ok {
@@ -285,14 +300,23 @@ func (c *Catalog) Servers() []string {
 	return out
 }
 
-// CreateNickname exposes server.remote under a local name, fetching the
-// remote schema eagerly so planning needs no remote round trip.
+// CreateNickname exposes server.remote under a local name.
+//
+// Deprecated: use CreateNicknameContext; this shim fetches the remote
+// schema with a background context.
 func (c *Catalog) CreateNickname(name, server, remote string) error {
+	return c.CreateNicknameContext(context.Background(), name, server, remote)
+}
+
+// CreateNicknameContext exposes server.remote under a local name, fetching
+// the remote schema eagerly — under the caller's context — so planning
+// needs no remote round trip.
+func (c *Catalog) CreateNicknameContext(ctx context.Context, name, server, remote string) error {
 	srv, err := c.Server(server)
 	if err != nil {
 		return err
 	}
-	schema, err := srv.TableSchema(remote)
+	schema, err := ServerTableSchema(ctx, srv, remote)
 	if err != nil {
 		return fmt.Errorf("catalog: nickname %s: %w", name, err)
 	}
@@ -390,6 +414,9 @@ func (f *SQLFunc) Schema() types.Schema { return f.FReturns }
 
 // Invoke binds the arguments, runs the body, and coerces the result to the
 // declared RETURNS TABLE schema.
+//
+// Deprecated: use InvokeContext; this shim runs the body with a
+// background context.
 func (f *SQLFunc) Invoke(rt QueryRunner, task *simlat.Task, args []types.Value) (*types.Table, error) {
 	return f.InvokeContext(context.Background(), rt, task, args)
 }
@@ -456,6 +483,9 @@ func (f *GoFunc) Schema() types.Schema { return f.FReturns }
 
 // Invoke casts the arguments to the declared parameter types, runs the
 // host implementation, and coerces its result to the declared schema.
+//
+// Deprecated: use InvokeContext; this shim runs the implementation with a
+// background context.
 func (f *GoFunc) Invoke(rt QueryRunner, task *simlat.Task, args []types.Value) (*types.Table, error) {
 	return f.InvokeContext(context.Background(), rt, task, args)
 }

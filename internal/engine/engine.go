@@ -322,6 +322,7 @@ func (s *Session) SetPartialResults(enabled bool) { s.allowPartial = enabled }
 // anchored (nested execution) keep it.
 func (s *Session) beginStmt(ctx context.Context) (context.Context, *stmtState) {
 	if ctx == nil {
+		//fedlint:ignore ctxfirst nil-context hardening for callers of the deprecated context-free shims
 		ctx = context.Background()
 	}
 	if st := stmtStateFrom(ctx); st != nil {
@@ -574,7 +575,7 @@ func (s *Session) ExecStmtContext(ctx context.Context, stmt sqlparser.Statement)
 		return &Result{Message: "server " + st.Name + " created"}, nil
 
 	case *sqlparser.CreateNickname:
-		if err := s.eng.cat.CreateNickname(st.Name, st.Server, st.Remote); err != nil {
+		if err := s.eng.cat.CreateNicknameContext(ctx, st.Name, st.Server, st.Remote); err != nil {
 			return nil, err
 		}
 		return &Result{Message: "nickname " + st.Name + " created"}, nil

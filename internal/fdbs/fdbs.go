@@ -184,6 +184,9 @@ const (
 // The engine session still drives the integration stack, so the simulated
 // latency is the paper's per-statement elapsed time; wall time is the real
 // serving duration of this process.
+//
+// Deprecated: use ExecTracedContext; this shim serves with a background
+// context.
 func (s *Server) ExecObserved(text string) (*types.Table, map[string]string, error) {
 	return s.ExecTracedContext(context.Background(), text, obs.TraceContext{})
 }
@@ -193,6 +196,9 @@ func (s *Server) ExecObserved(text string) (*types.Table, map[string]string, err
 // statement is offered to the trace collector (tail sampling decides
 // retention), and — when the caller sampled the request — the span tree is
 // shipped back as a fragment in the metadata so the caller can graft it.
+//
+// Deprecated: use ExecTracedContext; this shim serves with a background
+// context.
 func (s *Server) ExecTraced(text string, tc obs.TraceContext) (*types.Table, map[string]string, error) {
 	return s.ExecTracedContext(context.Background(), text, tc)
 }
@@ -213,9 +219,12 @@ func (s *Server) ExecTracedContext(ctx context.Context, text string, tc obs.Trac
 	}
 	tr.Root().SetTraceID(traceID)
 	s.metrics.InFlight.Add(1)
-	wallStart := time.Now()
+	// A scale-0 wall task reads real time without sleeping; routing the
+	// serving-duration measurement through the simlat meter keeps every
+	// clock read in the federation behind one interface (rule virtualclock).
+	wallMeter := simlat.NewWallTask(0)
 	res, err := session.ExecContext(ctx, text)
-	wall := time.Since(wallStart)
+	wall := wallMeter.Elapsed()
 	root := tr.Finish()
 	s.metrics.InFlight.Add(-1)
 	paper := task.Elapsed()
@@ -393,6 +402,9 @@ func (c *Client) ExecTimedContext(ctx context.Context, sql string) (*types.Table
 // full cross-process waterfall (client.exec → rpc.call → rpc.serve →
 // fdbs.exec → … → appsys.call). The root is nil against transports or
 // servers without trace support; metadata still carries the usual timing.
+//
+// Deprecated: use ExecTracedContext; this shim runs with a background
+// context.
 func (c *Client) ExecTraced(sql string) (*types.Table, map[string]string, *obs.Span, error) {
 	return c.ExecTracedContext(context.Background(), sql)
 }

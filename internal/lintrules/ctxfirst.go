@@ -1,0 +1,100 @@
+package lintrules
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFirst enforces the context-first API convention: context.Context is
+// always the first parameter of a function that takes one, and fresh root
+// contexts (context.Background/TODO) are never minted inside internal/
+// packages — callers thread their context down. The deprecated
+// context-free shims (functions whose doc comment carries "Deprecated:")
+// are the one sanctioned place a background context may appear.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "context.Context must be the first parameter; no context.Background/TODO outside deprecated shims",
+	Run:  runCtxFirst,
+}
+
+var ctxRootFuncs = map[string]bool{"Background": true, "TODO": true}
+
+func runCtxFirst(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		// Parameter-order check applies everywhere in the module.
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ft *ast.FuncType
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ft = fn.Type
+			case *ast.FuncLit:
+				ft = fn.Type
+			default:
+				return true
+			}
+			checkCtxPosition(pass, ft)
+			return true
+		})
+	}
+	if !strings.HasPrefix(pass.Pkg.PkgPath, internalPfx) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			deprecated := false
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil &&
+				strings.Contains(fd.Doc.Text(), "Deprecated:") {
+				deprecated = true
+			}
+			if deprecated {
+				continue
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if name := usedPkgObject(info, sel.Sel, "context", ctxRootFuncs); name != "" {
+					pass.Reportf(sel.Pos(),
+						"context.%s minted inside internal/: thread the caller's context (or mark the enclosing shim Deprecated)", name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkCtxPosition reports any context.Context parameter that is not the
+// first parameter of its signature.
+func checkCtxPosition(pass *Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	idx := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextType(pass.Pkg.Info, field.Type) && idx > 0 {
+			pass.Reportf(field.Type.Pos(), "context.Context must be the first parameter")
+		}
+		idx += n
+	}
+}
+
+// isContextType reports whether the expression denotes context.Context.
+func isContextType(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

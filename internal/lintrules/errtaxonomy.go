@@ -1,0 +1,221 @@
+package lintrules
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// ErrTaxonomy enforces the resil typed-error taxonomy:
+//
+//   - sentinel errors exported by resil (ErrTimeout, ErrCircuitOpen, ...)
+//     must be compared with errors.Is, never == or != — wrapped errors
+//     cross layer boundaries, and identity comparison silently misses
+//     them;
+//   - resil error types must be matched with errors.As, never a type
+//     assertion or type switch, for the same reason;
+//   - an error formatted into fmt.Errorf must use the %w verb so the
+//     taxonomy stays inspectable across layers.
+var ErrTaxonomy = &Analyzer{
+	Name: "errtaxonomy",
+	Doc:  "resil sentinels via errors.Is/As only; errors wrap with %w across layers",
+	Run:  runErrTaxonomy,
+}
+
+func runErrTaxonomy(pass *Pass) {
+	info := pass.Pkg.Info
+	// The resil package defines the taxonomy; its Is methods compare
+	// sentinels with == by design, so the matching rules apply only to
+	// consumers.
+	inResil := pass.Pkg.PkgPath == resilPkgPath
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				if inResil || (e.Op != token.EQL && e.Op != token.NEQ) {
+					return true
+				}
+				for _, side := range []ast.Expr{e.X, e.Y} {
+					if name := resilSentinel(info, side); name != "" {
+						pass.Reportf(e.Pos(),
+							"resil.%s compared with %s: use errors.Is so wrapped errors still match", name, e.Op)
+					}
+				}
+			case *ast.TypeAssertExpr:
+				if inResil || e.Type == nil {
+					return true // x.(type) handled below; resil exempt
+				}
+				if name := resilErrType(info, e.Type); name != "" && isErrorExpr(info, e.X) {
+					pass.Reportf(e.Pos(),
+						"type assertion to resil.%s: use errors.As so wrapped errors still match", name)
+				}
+			case *ast.TypeSwitchStmt:
+				if !inResil {
+					checkTypeSwitch(pass, e)
+				}
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, e)
+			}
+			return true
+		})
+	}
+}
+
+// resilSentinel returns the name of the resil package-level error
+// variable the expression refers to, or "".
+func resilSentinel(info *types.Info, e ast.Expr) string {
+	var id *ast.Ident
+	switch v := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		id = v.Sel
+	case *ast.Ident:
+		id = v
+	default:
+		return ""
+	}
+	obj, ok := info.Uses[id].(*types.Var)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != resilPkgPath {
+		return ""
+	}
+	// Sentinels are package-level vars; locals and parameters declared
+	// inside resil functions share the Pkg but are not sentinels.
+	if obj.Parent() != obj.Pkg().Scope() {
+		return ""
+	}
+	if !implementsError(obj.Type()) {
+		return ""
+	}
+	return obj.Name()
+}
+
+// resilErrType returns the name of the resil-defined error type the type
+// expression denotes (through one pointer level), or "".
+func resilErrType(info *types.Info, e ast.Expr) string {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	t := tv.Type
+	if !implementsError(t) && !implementsError(types.NewPointer(t)) {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != resilPkgPath {
+		return ""
+	}
+	return named.Obj().Name()
+}
+
+// checkTypeSwitch flags `switch err.(type)` cases naming resil error
+// types.
+func checkTypeSwitch(pass *Pass, sw *ast.TypeSwitchStmt) {
+	var x ast.Expr
+	switch a := sw.Assign.(type) {
+	case *ast.ExprStmt:
+		if ta, ok := a.X.(*ast.TypeAssertExpr); ok {
+			x = ta.X
+		}
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			if ta, ok := a.Rhs[0].(*ast.TypeAssertExpr); ok {
+				x = ta.X
+			}
+		}
+	}
+	if x == nil || !isErrorExpr(pass.Pkg.Info, x) {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, t := range cc.List {
+			if name := resilErrType(pass.Pkg.Info, t); name != "" {
+				pass.Reportf(t.Pos(),
+					"type switch on resil.%s: use errors.As so wrapped errors still match", name)
+			}
+		}
+	}
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that format an error value with
+// a verb other than %w.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || usedPkgObject(info, sel.Sel, "fmt", map[string]bool{"Errorf": true}) == "" {
+		return
+	}
+	if len(call.Args) < 2 || call.Ellipsis != token.NoPos {
+		return
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	verbs := formatVerbs(constant.StringVal(tv.Value))
+	for i, verb := range verbs {
+		argIdx := 1 + i
+		if argIdx >= len(call.Args) || verb == 'w' {
+			continue
+		}
+		arg := call.Args[argIdx]
+		if atv, ok := info.Types[arg]; ok && atv.Type != nil && implementsError(atv.Type) {
+			pass.Reportf(arg.Pos(),
+				"error formatted with %%%c: wrap with %%w so the resil taxonomy stays inspectable (errors.Is/As) across layers", verb)
+		}
+	}
+}
+
+// formatVerbs returns one element per argument the format string
+// consumes: the final verb character, with '*' width/precision arguments
+// represented as '*'.
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(format) {
+			c := format[i]
+			if c == '%' {
+				break // literal %%
+			}
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			// flags, width, precision, argument indexes
+			if c == '+' || c == '-' || c == '#' || c == ' ' || c == '0' ||
+				c == '.' || c == '[' || c == ']' || (c >= '1' && c <= '9') {
+				i++
+				continue
+			}
+			verbs = append(verbs, c)
+			break
+		}
+	}
+	return verbs
+}
+
+// implementsError reports whether t itself implements the error
+// interface (or is it).
+func implementsError(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}
+
+// isErrorExpr reports whether the expression's static type is (or
+// implements) error; used to restrict assertion checks to error values.
+func isErrorExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Type != nil && implementsError(tv.Type)
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)

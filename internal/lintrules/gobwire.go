@@ -1,0 +1,175 @@
+package lintrules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// GobWire enforces wire hygiene for types that cross the gob boundary:
+// every struct reachable from a gob.Register / Encoder.Encode /
+// Decoder.Decode call site must have only exported fields, and no field
+// may be (or contain) a func or chan. gob silently drops unexported
+// fields and rejects func/chan values at runtime — both failure modes
+// surface as corrupt or failed RPCs long after the type was written, so
+// the rule moves them to lint time.
+var GobWire = &Analyzer{
+	Name: "gobwire",
+	Doc:  "gob wire types must have only exported fields and no func/chan members",
+	Run:  runGobWire,
+}
+
+var gobPkgFuncs = map[string]bool{"Register": true, "RegisterName": true}
+
+func runGobWire(pass *Pass) {
+	info := pass.Pkg.Info
+	roots := make(map[types.Type]token.Pos)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			arg := gobWireArg(info, call, sel)
+			if arg == nil {
+				return true
+			}
+			tv, ok := info.Types[arg]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, dup := roots[tv.Type]; !dup {
+				roots[tv.Type] = call.Pos()
+			}
+			return true
+		})
+	}
+
+	type finding struct {
+		pos  token.Pos
+		line int
+		msg  string
+	}
+	var findings []finding
+	seen := make(map[types.Type]bool)
+	var rootList []types.Type
+	for t := range roots {
+		rootList = append(rootList, t)
+	}
+	sort.Slice(rootList, func(i, j int) bool { return roots[rootList[i]] < roots[rootList[j]] })
+	for _, t := range rootList {
+		at := roots[t]
+		walkGobType(t, seen, func(named *types.Named, field *types.Var, why string) {
+			pos := at
+			if field.Pkg() == pass.Pkg.Types {
+				pos = field.Pos() // point at the field itself when it is ours
+			}
+			findings = append(findings, finding{
+				pos:  pos,
+				line: pass.Pkg.Fset.Position(pos).Line,
+				msg:  "gob wire type " + named.Obj().Name() + ": field " + field.Name() + " " + why,
+			})
+		})
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].line < findings[j].line })
+	for _, f := range findings {
+		pass.Reportf(f.pos, "%s", f.msg)
+	}
+}
+
+// gobWireArg returns the expression whose type enters the gob wire for
+// this call: the argument of gob.Register/RegisterName, or of
+// (*gob.Encoder).Encode / (*gob.Decoder).Decode.
+func gobWireArg(info *types.Info, call *ast.CallExpr, sel *ast.SelectorExpr) ast.Expr {
+	// Package-level gob.Register(v) / gob.RegisterName(name, v).
+	if name := usedPkgObject(info, sel.Sel, "encoding/gob", gobPkgFuncs); name != "" && len(call.Args) > 0 {
+		return call.Args[len(call.Args)-1]
+	}
+	// Method calls enc.Encode(v) / dec.Decode(&v).
+	switch sel.Sel.Name {
+	case "Encode", "Decode", "EncodeValue", "DecodeValue":
+	default:
+		return nil
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "encoding/gob" {
+		return nil
+	}
+	if len(call.Args) != 1 {
+		return nil
+	}
+	return call.Args[0]
+}
+
+// walkGobType descends through pointers, slices, arrays, maps, and named
+// struct types reachable from t, reporting each struct field that gob
+// would mishandle.
+func walkGobType(t types.Type, seen map[types.Type]bool, report func(*types.Named, *types.Var, string)) {
+	if t == nil || seen[t] {
+		return
+	}
+	seen[t] = true
+	switch u := t.(type) {
+	case *types.Pointer:
+		walkGobType(u.Elem(), seen, report)
+	case *types.Slice:
+		walkGobType(u.Elem(), seen, report)
+	case *types.Array:
+		walkGobType(u.Elem(), seen, report)
+	case *types.Map:
+		walkGobType(u.Key(), seen, report)
+		walkGobType(u.Elem(), seen, report)
+	case *types.Named:
+		st, ok := u.Underlying().(*types.Struct)
+		if !ok {
+			walkGobType(u.Underlying(), seen, report)
+			return
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() {
+				report(u, f, "is unexported: gob silently drops it from the wire")
+				continue
+			}
+			if why := gobHostile(f.Type(), make(map[types.Type]bool)); why != "" {
+				report(u, f, why)
+				continue
+			}
+			walkGobType(f.Type(), seen, report)
+		}
+	}
+}
+
+// gobHostile reports why a field type cannot cross the gob wire ("" when
+// it can): it is, or contains, a func or chan.
+func gobHostile(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	switch u := t.(type) {
+	case *types.Signature:
+		return "is a func: gob cannot encode functions"
+	case *types.Chan:
+		return "is a chan: gob cannot encode channels"
+	case *types.Pointer:
+		return gobHostile(u.Elem(), seen)
+	case *types.Slice:
+		return gobHostile(u.Elem(), seen)
+	case *types.Array:
+		return gobHostile(u.Elem(), seen)
+	case *types.Map:
+		if why := gobHostile(u.Key(), seen); why != "" {
+			return why
+		}
+		return gobHostile(u.Elem(), seen)
+	case *types.Named:
+		return gobHostile(u.Underlying(), seen)
+	}
+	return ""
+}

@@ -1,0 +1,288 @@
+package lintrules
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Loader parses and type-checks module packages with the standard
+// library's source importer, so fedlint needs no dependencies beyond the
+// Go toolchain itself.
+type Loader struct {
+	root    string // module root (directory of go.mod)
+	modPath string // module path from go.mod
+	fset    *token.FileSet
+	std     types.Importer      // stdlib, type-checked from $GOROOT source
+	byPath  map[string]*Package // loaded module packages
+	imports map[string][]string // module-internal import edges
+	files   map[string][]string // dir -> non-test .go files
+}
+
+// NewLoader prepares a loader for the module rooted at root (the
+// directory containing go.mod).
+func NewLoader(root string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lintrules: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.Trim(strings.TrimSpace(rest), `"`)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("lintrules: no module line in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		root:    root,
+		modPath: modPath,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		byPath:  make(map[string]*Package),
+		imports: make(map[string][]string),
+		files:   make(map[string][]string),
+	}, nil
+}
+
+// ModulePath returns the module path from go.mod.
+func (l *Loader) ModulePath() string { return l.modPath }
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// skipDir names directories the walk never descends into.
+func skipDir(name string) bool {
+	switch name {
+	case "testdata", "vendor", "bin":
+		return true
+	}
+	return strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+// LoadModule discovers, parses, and type-checks every non-test package
+// under the module root, in dependency order. The result is sorted by
+// import path.
+func (l *Loader) LoadModule() ([]*Package, error) {
+	dirs, err := l.discover()
+	if err != nil {
+		return nil, err
+	}
+	parsed := make(map[string][]*ast.File, len(dirs))
+	for _, dir := range dirs {
+		path := l.pathForDir(dir)
+		files, err := l.parseDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			continue
+		}
+		parsed[path] = files
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				ip, _ := strconv.Unquote(imp.Path.Value)
+				if ip == l.modPath || strings.HasPrefix(ip, l.modPath+"/") {
+					l.imports[path] = append(l.imports[path], ip)
+				}
+			}
+		}
+	}
+	order, err := l.topoOrder(parsed)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, path := range order {
+		pkg, err := l.check(path, l.dirForPath(path), parsed[path])
+		if err != nil {
+			return nil, err
+		}
+		l.byPath[path] = pkg
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	return out, nil
+}
+
+// LoadDir parses and type-checks a single extra directory (e.g. a test
+// fixture) under the given claimed import path, resolving its
+// module-internal imports against an earlier LoadModule.
+func (l *Loader) LoadDir(dir, claimedPath string) (*Package, error) {
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lintrules: no Go files in %s", dir)
+	}
+	return l.check(claimedPath, dir, files)
+}
+
+// discover walks the module collecting directories that hold at least one
+// non-test Go file.
+func (l *Loader) discover() ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != l.root && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		l.files[dir] = append(l.files[dir], path)
+		if len(l.files[dir]) == 1 {
+			dirs = append(dirs, dir)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func (l *Loader) pathForDir(dir string) string {
+	rel, err := filepath.Rel(l.root, dir)
+	if err != nil || rel == "." {
+		return l.modPath
+	}
+	return l.modPath + "/" + filepath.ToSlash(rel)
+}
+
+func (l *Loader) dirForPath(path string) string {
+	if path == l.modPath {
+		return l.root
+	}
+	return filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(path, l.modPath+"/")))
+}
+
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	names := l.files[dir]
+	if names == nil {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			names = append(names, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lintrules: %w", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// topoOrder sorts the parsed packages so every module-internal import is
+// checked before its importer.
+func (l *Loader) topoOrder(parsed map[string][]*ast.File) ([]string, error) {
+	var order []string
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string, chain []string) error
+	visit = func(path string, chain []string) error {
+		switch state[path] {
+		case 1:
+			return fmt.Errorf("lintrules: import cycle: %s", strings.Join(append(chain, path), " -> "))
+		case 2:
+			return nil
+		}
+		state[path] = 1
+		deps := append([]string(nil), l.imports[path]...)
+		sort.Strings(deps)
+		for _, dep := range deps {
+			if _, ok := parsed[dep]; !ok {
+				continue // e.g. an import of a path with no buildable files
+			}
+			if err := visit(dep, append(chain, path)); err != nil {
+				return err
+			}
+		}
+		state[path] = 2
+		order = append(order, path)
+		return nil
+	}
+	var roots []string
+	for path := range parsed {
+		roots = append(roots, path)
+	}
+	sort.Strings(roots)
+	for _, path := range roots {
+		if err := visit(path, nil); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// check type-checks one package against the already-loaded module
+// packages and the source-importer stdlib.
+func (l *Loader) check(path, dir string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErrs []string
+	conf := types.Config{
+		Importer: &moduleImporter{loader: l},
+		Error: func(err error) {
+			typeErrs = append(typeErrs, err.Error())
+		},
+	}
+	tpkg, _ := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		max := len(typeErrs)
+		if max > 10 {
+			typeErrs = typeErrs[:10]
+		}
+		return nil, fmt.Errorf("lintrules: type errors in %s:\n  %s", path, strings.Join(typeErrs, "\n  "))
+	}
+	return &Package{PkgPath: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// moduleImporter resolves module-internal paths from the loader's cache
+// and everything else (the standard library) from source.
+type moduleImporter struct{ loader *Loader }
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m.loader.byPath[path]; ok {
+		return pkg.Types, nil
+	}
+	mod := m.loader.modPath
+	if path == mod || strings.HasPrefix(path, mod+"/") {
+		return nil, fmt.Errorf("module package %s not loaded (dependency order bug?)", path)
+	}
+	return m.loader.std.Import(path)
+}

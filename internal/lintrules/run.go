@@ -1,0 +1,43 @@
+package lintrules
+
+import "sort"
+
+// RunAnalyzers applies the analyzers to every package, filters findings
+// through the //fedlint:ignore directives, and returns the surviving
+// diagnostics sorted by position. Malformed suppressions are reported
+// under the pseudo-rule "fedlint" and are never themselves suppressible.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, AllPkgs: pkgs, diags: &raw}
+			a.Run(pass)
+		}
+		index, bad := collectIgnores(pkg.Fset, pkg.Files, known)
+		for _, d := range raw {
+			if !suppressed(index, d) {
+				out = append(out, d)
+			}
+		}
+		out = append(out, bad...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}

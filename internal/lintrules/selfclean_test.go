@@ -1,0 +1,30 @@
+package lintrules
+
+import "testing"
+
+// TestModuleIsLintClean is the meta-test: the repository itself must be
+// clean under its own analyzer suite, so a change that violates an
+// invariant (or adds an unexplained suppression) fails go test, not just
+// the separate fedlint CI job.
+func TestModuleIsLintClean(t *testing.T) {
+	_, pkgs := moduleLoad(t)
+	for _, d := range RunAnalyzers(pkgs, Analyzers()) {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestLayeringTableCoversModule guards the other direction: every row of
+// the layering table must correspond to a package that still exists, so
+// deleted packages do not leave stale rows behind.
+func TestLayeringTableCoversModule(t *testing.T) {
+	_, pkgs := moduleLoad(t)
+	present := make(map[string]bool)
+	for _, p := range pkgs {
+		present[p.PkgPath] = true
+	}
+	for rel := range allowedImports {
+		if !present[internalPfx+rel] {
+			t.Errorf("layering table row %q has no package %s%s", rel, internalPfx, rel)
+		}
+	}
+}

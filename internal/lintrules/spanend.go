@@ -1,0 +1,569 @@
+package lintrules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpanEnd enforces span begin/end discipline: every span opened with
+// obs.StartSpan must be ended (span.End) on all return paths of the
+// function that opened it, and every tracer opened with obs.Trace must be
+// finished (tracer.Finish). A span that is never ended keeps attributing
+// charges to itself and reports a zero elapsed time, silently corrupting
+// the trace waterfalls and the Fig. 6 step accounting.
+//
+// The check runs per function. It accepts, in order of preference:
+//
+//   - defer sp.End(task) — including an End inside a deferred closure;
+//   - an End/Finish call that appears on every path from the start to
+//     each return statement (a statement-level flow scan, not a full CFG:
+//     loops are conservative, and an End guarded by a condition that
+//     mentions the span variable — `if sp != nil { sp.End(task) }` — is
+//     treated as ending the span, since nil-guards correlate with a
+//     conditional start);
+//   - escape: a span passed to another function, stored, or returned is
+//     assumed to be ended by its new owner.
+//
+// Starting a span and discarding the result is always a finding.
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc:  "every obs.StartSpan must be Ended on all return paths; every obs.Trace must be Finished",
+	Run:  runSpanEnd,
+}
+
+var spanStartFuncs = map[string]bool{"StartSpan": true, "Trace": true}
+
+func runSpanEnd(pass *Pass) {
+	if pass.Pkg.PkgPath == obsPkgPath {
+		return // the span implementation manipulates itself freely
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkSpansIn(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkSpansIn(pass, fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// spanStart is one obs.StartSpan/obs.Trace call site inside a function.
+type spanStart struct {
+	call *ast.CallExpr
+	fn   string       // "StartSpan" or "Trace"
+	obj  types.Object // the variable holding the result, nil when discarded
+	stmt ast.Stmt     // the statement containing the start
+}
+
+// endMethod returns the method that closes a start of kind fn.
+func (s spanStart) endMethod() string {
+	if s.fn == "Trace" {
+		return "Finish"
+	}
+	return "End"
+}
+
+// checkSpansIn analyzes one function body. Nested function literals are
+// skipped here (each is analyzed as its own function), except that
+// deferred closures count toward the enclosing function's defer check.
+func checkSpansIn(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	starts := findSpanStarts(pass, body)
+	for _, st := range starts {
+		if st.obj == nil {
+			pass.Reportf(st.call.Pos(),
+				"obs.%s result discarded: the span can never be ended", st.fn)
+			continue
+		}
+		if spanEscapes(info, body, st) || deferEnds(info, body, st) {
+			continue
+		}
+		sc := &spanScan{info: info, start: st}
+		path := sc.pathTo(body, st.stmt)
+		if path == nil {
+			continue // start not in this body (defensive)
+		}
+		ended := sc.scanAfter(path, false)
+		for _, pos := range sc.bad {
+			pass.Reportf(pos, "span from obs.%s is not ended on this return path: call %s or defer it",
+				st.fn, st.obj.Name()+"."+st.endMethod())
+		}
+		if len(sc.bad) == 0 && !ended {
+			pass.Reportf(st.call.Pos(),
+				"span from obs.%s is not ended before the function exits: call %s or defer it",
+				st.fn, st.obj.Name()+"."+st.endMethod())
+		}
+	}
+}
+
+// findSpanStarts collects the obs.StartSpan/Trace calls whose enclosing
+// statement sits directly in this function (not in a nested FuncLit).
+func findSpanStarts(pass *Pass, body *ast.BlockStmt) []spanStart {
+	info := pass.Pkg.Info
+	var starts []spanStart
+	inspectShallow(body, func(stmt ast.Stmt) {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			if len(s.Rhs) != 1 || len(s.Lhs) != 1 {
+				return
+			}
+			if call, fn := spanStartCall(info, s.Rhs[0]); call != nil {
+				var obj types.Object
+				if id, ok := s.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+					obj = info.Defs[id]
+					if obj == nil {
+						obj = info.Uses[id]
+					}
+				}
+				starts = append(starts, spanStart{call: call, fn: fn, obj: obj, stmt: stmt})
+			}
+		case *ast.DeclStmt:
+			gd, ok := s.Decl.(*ast.GenDecl)
+			if !ok {
+				return
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 1 || len(vs.Names) != 1 {
+					continue
+				}
+				if call, fn := spanStartCall(info, vs.Values[0]); call != nil {
+					starts = append(starts, spanStart{call: call, fn: fn, obj: info.Defs[vs.Names[0]], stmt: stmt})
+				}
+			}
+		case *ast.ExprStmt:
+			if call, fn := spanStartCall(info, s.X); call != nil {
+				starts = append(starts, spanStart{call: call, fn: fn, stmt: stmt})
+			}
+		}
+	})
+	return starts
+}
+
+// spanStartCall returns the call expression and function name when e is a
+// direct call to obs.StartSpan or obs.Trace.
+func spanStartCall(info *types.Info, e ast.Expr) (*ast.CallExpr, string) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil, ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	name := usedPkgObject(info, sel.Sel, obsPkgPath, spanStartFuncs)
+	if name == "" {
+		return nil, ""
+	}
+	return call, name
+}
+
+// inspectShallow walks every statement of the function body without
+// descending into nested function literals.
+func inspectShallow(body *ast.BlockStmt, visit func(ast.Stmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if stmt, ok := n.(ast.Stmt); ok {
+			visit(stmt)
+		}
+		return true
+	})
+}
+
+// spanEscapes reports whether the span variable is handed to other code:
+// used as a call argument, returned, assigned onward, stored in a
+// composite, sent on a channel, or address-taken. Such spans are assumed
+// to be ended by their new owner.
+func spanEscapes(info *types.Info, body *ast.BlockStmt, st spanStart) bool {
+	escape := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if escape {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			for _, arg := range e.Args {
+				if usesObj(info, arg, st.obj) {
+					escape = true
+					return false
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range e.Results {
+				if usesObj(info, r, st.obj) {
+					escape = true
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			for _, r := range e.Rhs {
+				if e.Tok != token.DEFINE && r != st.call && usesObj(info, r, st.obj) {
+					escape = true
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range e.Elts {
+				if usesObj(info, el, st.obj) {
+					escape = true
+					return false
+				}
+			}
+		case *ast.SendStmt:
+			if usesObj(info, e.Value, st.obj) {
+				escape = true
+				return false
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.AND && usesObj(info, e.X, st.obj) {
+				escape = true
+				return false
+			}
+		}
+		return true
+	})
+	return escape
+}
+
+// usesObj reports whether the expression is exactly an identifier bound
+// to obj (receivers like obj.End(...) are method calls on obj, not uses
+// *of* obj as a value in the escape sense, so only bare identifiers
+// count).
+func usesObj(info *types.Info, e ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && obj != nil && (info.Uses[id] == obj || info.Defs[id] == obj)
+}
+
+// deferEnds reports whether some defer in the function ends the span:
+// either `defer sp.End(...)` directly or a deferred closure whose body
+// contains the call.
+func deferEnds(info *types.Info, body *ast.BlockStmt, st spanStart) bool {
+	found := false
+	inspectShallow(body, func(stmt ast.Stmt) {
+		d, ok := stmt.(*ast.DeferStmt)
+		if !ok || found {
+			return
+		}
+		if isEndCall(info, d.Call, st) {
+			found = true
+			return
+		}
+		if lit, ok := d.Call.Fun.(*ast.FuncLit); ok && containsEndCall(info, lit.Body, st) {
+			found = true
+		}
+	})
+	return found
+}
+
+// isEndCall reports whether the call is sp.End(...) / tr.Finish(...) for
+// this start's variable.
+func isEndCall(info *types.Info, call *ast.CallExpr, st spanStart) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != st.endMethod() {
+		return false
+	}
+	return usesObj(info, sel.X, st.obj)
+}
+
+// containsEndCall reports whether any end call for the start appears
+// inside the node (descending into everything, including closures).
+func containsEndCall(info *types.Info, n ast.Node, st spanStart) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isEndCall(info, call, st) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// spanScan walks statements in source order after the span start,
+// tracking whether the span is guaranteed ended, and records return
+// statements reached while it is not.
+type spanScan struct {
+	info  *types.Info
+	start spanStart
+	bad   []token.Pos
+}
+
+// pathTo returns the chain of statements from the body down to (and
+// including) target, or nil when target is not in the body.
+func (sc *spanScan) pathTo(body *ast.BlockStmt, target ast.Stmt) []ast.Node {
+	var path []ast.Node
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		path = append(path, n)
+		if n == target {
+			return true
+		}
+		for _, child := range stmtChildren(n) {
+			if walk(child) {
+				return true
+			}
+		}
+		path = path[:len(path)-1]
+		return false
+	}
+	if !walk(body) {
+		return nil
+	}
+	return path
+}
+
+// stmtChildren returns the direct child statements of a node, in source
+// order, without entering function literals.
+func stmtChildren(n ast.Node) []ast.Node {
+	var out []ast.Node
+	switch s := n.(type) {
+	case *ast.BlockStmt:
+		for _, c := range s.List {
+			out = append(out, c)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			out = append(out, s.Init)
+		}
+		out = append(out, s.Body)
+		if s.Else != nil {
+			out = append(out, s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			out = append(out, s.Init)
+		}
+		out = append(out, s.Body)
+	case *ast.RangeStmt:
+		out = append(out, s.Body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			out = append(out, s.Init)
+		}
+		out = append(out, s.Body)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			out = append(out, s.Init)
+		}
+		out = append(out, s.Body)
+	case *ast.SelectStmt:
+		out = append(out, s.Body)
+	case *ast.CaseClause:
+		for _, c := range s.Body {
+			out = append(out, c)
+		}
+	case *ast.CommClause:
+		for _, c := range s.Body {
+			out = append(out, c)
+		}
+	case *ast.LabeledStmt:
+		out = append(out, s.Stmt)
+	}
+	return out
+}
+
+// scanAfter resumes the scan after the start statement: at each level of
+// the path it scans the statements following the path element, innermost
+// first, threading the ended state outward. Returns whether the span is
+// guaranteed ended when the outermost level completes.
+func (sc *spanScan) scanAfter(path []ast.Node, ended bool) bool {
+	for level := len(path) - 2; level >= 0; level-- {
+		parent := path[level]
+		childStmt := path[level+1]
+		switch p := parent.(type) {
+		case *ast.BlockStmt:
+			idx := -1
+			for i, s := range p.List {
+				if s == childStmt {
+					idx = i
+					break
+				}
+			}
+			if idx >= 0 {
+				ended = sc.scanStmts(p.List[idx+1:], ended)
+			}
+		case *ast.CaseClause:
+			idx := -1
+			for i, s := range p.Body {
+				if s == childStmt {
+					idx = i
+					break
+				}
+			}
+			if idx >= 0 {
+				ended = sc.scanStmts(p.Body[idx+1:], ended)
+			}
+		case *ast.CommClause:
+			idx := -1
+			for i, s := range p.Body {
+				if s == childStmt {
+					idx = i
+					break
+				}
+			}
+			if idx >= 0 {
+				ended = sc.scanStmts(p.Body[idx+1:], ended)
+			}
+		}
+		// Other parents (if/for/switch wrappers) contribute nothing
+		// directly; their enclosing block is the next level out.
+	}
+	return ended
+}
+
+// scanStmts scans a statement sequence, returning whether the span is
+// guaranteed ended after it.
+func (sc *spanScan) scanStmts(stmts []ast.Stmt, ended bool) bool {
+	for _, stmt := range stmts {
+		ended = sc.scanStmt(stmt, ended)
+	}
+	return ended
+}
+
+// scanStmt scans one statement.
+func (sc *spanScan) scanStmt(stmt ast.Stmt, ended bool) bool {
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt:
+		if !ended {
+			sc.bad = append(sc.bad, s.Pos())
+		}
+		return ended
+	case *ast.IfStmt:
+		thenEnded := sc.scanStmts(s.Body.List, ended)
+		// Correlated nil-guard: `if sp != nil { ... sp.End(task) }` ends
+		// the span for analysis purposes — the guard mirrors a
+		// conditional start.
+		if !ended && thenEnded && condMentionsObj(sc.info, s.Cond, sc.start.obj) {
+			if s.Else != nil {
+				sc.scanElse(s.Else, ended)
+			}
+			return true
+		}
+		if s.Else == nil {
+			return ended // the if may be skipped entirely
+		}
+		elseEnded := sc.scanElse(s.Else, ended)
+		return thenEnded && elseEnded
+	case *ast.BlockStmt:
+		return sc.scanStmts(s.List, ended)
+	case *ast.LabeledStmt:
+		return sc.scanStmt(s.Stmt, ended)
+	case *ast.ForStmt:
+		sc.scanStmts(s.Body.List, ended)
+		return ended // body may run zero times
+	case *ast.RangeStmt:
+		sc.scanStmts(s.Body.List, ended)
+		return ended
+	case *ast.SwitchStmt:
+		return sc.scanCases(s.Body, ended)
+	case *ast.TypeSwitchStmt:
+		return sc.scanCases(s.Body, ended)
+	case *ast.SelectStmt:
+		return sc.scanCases(s.Body, ended)
+	case *ast.DeferStmt:
+		if isEndCall(sc.info, s.Call, sc.start) {
+			return true
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok && containsEndCall(sc.info, lit.Body, sc.start) {
+			return true
+		}
+		return ended
+	default:
+		// Any other statement that contains an end call (plain call,
+		// assignment of Finish's result, ...) ends the span once the
+		// statement executes.
+		if stmtEndsSpan(sc.info, stmt, sc.start) {
+			return true
+		}
+		return ended
+	}
+}
+
+// scanElse scans an else arm (block or else-if chain).
+func (sc *spanScan) scanElse(e ast.Stmt, ended bool) bool {
+	switch el := e.(type) {
+	case *ast.BlockStmt:
+		return sc.scanStmts(el.List, ended)
+	case *ast.IfStmt:
+		return sc.scanStmt(el, ended)
+	}
+	return ended
+}
+
+// scanCases scans every clause of a switch/select body. The result is
+// ended only when every clause ends the span and a default clause exists
+// (otherwise the statement may fall through unmatched).
+func (sc *spanScan) scanCases(body *ast.BlockStmt, ended bool) bool {
+	allEnd := true
+	hasDefault := false
+	for _, stmt := range body.List {
+		switch cc := stmt.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+			if !sc.scanStmts(cc.Body, ended) {
+				allEnd = false
+			}
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+			if !sc.scanStmts(cc.Body, ended) {
+				allEnd = false
+			}
+		}
+	}
+	if ended {
+		return true
+	}
+	return allEnd && hasDefault
+}
+
+// stmtEndsSpan reports whether executing the statement implies the end
+// call ran (an end call appears anywhere in the statement outside nested
+// closures).
+func stmtEndsSpan(info *types.Info, stmt ast.Stmt, st spanStart) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isEndCall(info, call, st) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// condMentionsObj reports whether the condition references the span
+// variable (the `sp != nil` correlation).
+func condMentionsObj(info *types.Info, cond ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && (info.Uses[id] == obj || info.Defs[id] == obj) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

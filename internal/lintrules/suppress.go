@@ -1,0 +1,82 @@
+package lintrules
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression comment:
+//
+//	//fedlint:ignore <rule> <reason>
+//
+// placed on the flagged line or on the line immediately above it. The
+// rule must name an analyzer of the suite and the reason is mandatory —
+// an unexplained suppression is itself reported under the pseudo-rule
+// "fedlint".
+const ignorePrefix = "//fedlint:ignore"
+
+// ignoreDirective is one parsed suppression comment.
+type ignoreDirective struct {
+	rule   string
+	reason string
+	pos    token.Position
+}
+
+// collectIgnores parses every suppression directive in the files,
+// returning them keyed by (filename, line) for both the directive's own
+// line and the following line, plus diagnostics for malformed directives.
+func collectIgnores(fset *token.FileSet, files []*ast.File, known map[string]bool) (map[string][]ignoreDirective, []Diagnostic) {
+	index := make(map[string][]ignoreDirective)
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				rule, reason, _ := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				switch {
+				case rule == "":
+					bad = append(bad, Diagnostic{Rule: "fedlint", Position: pos,
+						Message: "malformed suppression: want //fedlint:ignore <rule> <reason>"})
+					continue
+				case !known[rule]:
+					bad = append(bad, Diagnostic{Rule: "fedlint", Position: pos,
+						Message: "suppression names unknown rule " + rule})
+					continue
+				case reason == "":
+					bad = append(bad, Diagnostic{Rule: "fedlint", Position: pos,
+						Message: "suppression of " + rule + " needs a reason"})
+					continue
+				}
+				d := ignoreDirective{rule: rule, reason: reason, pos: pos}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					key := ignoreKey(pos.Filename, line)
+					index[key] = append(index[key], d)
+				}
+			}
+		}
+	}
+	return index, bad
+}
+
+func ignoreKey(filename string, line int) string {
+	return filename + "\x00" + strconv.Itoa(line)
+}
+
+// suppressed reports whether a diagnostic is covered by an ignore
+// directive for its rule on its own or the preceding line.
+func suppressed(index map[string][]ignoreDirective, d Diagnostic) bool {
+	for _, dir := range index[ignoreKey(d.Position.Filename, d.Position.Line)] {
+		if dir.rule == d.Rule {
+			return true
+		}
+	}
+	return false
+}

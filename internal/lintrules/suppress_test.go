@@ -1,0 +1,66 @@
+package lintrules
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestMalformedSuppressions covers the directive grammar: a rule name
+// and a reason are both mandatory, and the rule must exist.
+func TestMalformedSuppressions(t *testing.T) {
+	src := `package p
+
+//fedlint:ignore
+func a() {}
+
+//fedlint:ignore nosuchrule because it seemed fine
+func b() {}
+
+//fedlint:ignore virtualclock
+func c() {}
+
+//fedlint:ignore virtualclock the demo reads the host clock on purpose
+func d() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := map[string]bool{"virtualclock": true}
+	index, bad := collectIgnores(fset, []*ast.File{f}, known)
+
+	wantMsgs := []string{
+		"malformed suppression: want //fedlint:ignore <rule> <reason>",
+		"suppression names unknown rule nosuchrule",
+		"suppression of virtualclock needs a reason",
+	}
+	if len(bad) != len(wantMsgs) {
+		t.Fatalf("got %d malformed-directive diagnostics, want %d: %v", len(bad), len(wantMsgs), bad)
+	}
+	for i, want := range wantMsgs {
+		if bad[i].Rule != "fedlint" {
+			t.Errorf("diagnostic %d: rule %q, want fedlint", i, bad[i].Rule)
+		}
+		if !strings.Contains(bad[i].Message, want) {
+			t.Errorf("diagnostic %d: message %q, want it to contain %q", i, bad[i].Message, want)
+		}
+	}
+
+	// Only the well-formed directive suppresses, on its line and the next.
+	d := Diagnostic{Rule: "virtualclock", Position: token.Position{Filename: "p.go", Line: 12}}
+	if !suppressed(index, d) {
+		t.Error("well-formed directive does not suppress its own line")
+	}
+	d.Position.Line = 13
+	if !suppressed(index, d) {
+		t.Error("well-formed directive does not suppress the following line")
+	}
+	d.Position.Line = 10
+	if suppressed(index, d) {
+		t.Error("reason-less directive suppresses; it must not")
+	}
+}

@@ -1,0 +1,59 @@
+// Package fixture exercises the errtaxonomy rule: resil sentinels and
+// error types are matched with errors.Is/As, and errors wrap with %w.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+
+	"fedwf/internal/resil"
+)
+
+// BadEq compares a sentinel by identity.
+func BadEq(err error) bool {
+	return err == resil.ErrTimeout // want `resil\.ErrTimeout compared with ==`
+}
+
+// BadNeq compares a sentinel by negated identity.
+func BadNeq(err error) bool {
+	return resil.ErrCircuitOpen != err // want `resil\.ErrCircuitOpen compared with !=`
+}
+
+// BadAssert type-asserts a resil error type.
+func BadAssert(err error) bool {
+	_, ok := err.(*resil.TimeoutError) // want `type assertion to resil\.TimeoutError`
+	return ok
+}
+
+// BadSwitch type-switches over resil error types.
+func BadSwitch(err error) string {
+	switch err.(type) {
+	case *resil.CircuitOpenError: // want `type switch on resil\.CircuitOpenError`
+		return "open"
+	default:
+		return ""
+	}
+}
+
+// BadWrap formats an error with a non-wrapping verb.
+func BadWrap(err error) error {
+	return fmt.Errorf("exec failed: %v", err) // want `error formatted with %v`
+}
+
+// Good uses the taxonomy as intended.
+func Good(err error) error {
+	if errors.Is(err, resil.ErrTimeout) {
+		return fmt.Errorf("exec failed: %w", err)
+	}
+	var open *resil.CircuitOpenError
+	if errors.As(err, &open) {
+		return fmt.Errorf("breaker for %s: %w", open.System, err)
+	}
+	return err
+}
+
+// Suppressed identity-compares with an explained exemption.
+func Suppressed(err error) bool {
+	//fedlint:ignore errtaxonomy fixture exercises the suppression path
+	return err == resil.ErrTimeout
+}

@@ -1,0 +1,46 @@
+// Package fixture exercises the gobwire rule: structs crossing the gob
+// boundary must have only exported fields and no func/chan members, and
+// the walk is transitive through containers.
+package fixture
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// BadWire goes straight onto the wire with three hostile fields.
+type BadWire struct {
+	ID     int
+	hidden string   // want `field hidden is unexported`
+	Notify chan int // want `field Notify is a chan`
+	Hook   func()   // want `field Hook is a func`
+}
+
+// Inner is only reachable through Outer's slice; the walk still finds it.
+type Inner struct {
+	secret int // want `field secret is unexported`
+}
+
+// Outer is clean itself but carries Inner.
+type Outer struct {
+	In []Inner
+}
+
+// GoodWire is a clean wire type: no findings.
+type GoodWire struct {
+	Name string
+	Vals []float64
+	Tags map[string]string
+}
+
+// Register puts the types on the wire.
+func Register() {
+	gob.Register(BadWire{})
+	gob.Register(GoodWire{})
+}
+
+// Encode exercises the Encoder.Encode root.
+func Encode(v Outer) error {
+	var buf bytes.Buffer
+	return gob.NewEncoder(&buf).Encode(v)
+}

@@ -1,0 +1,9 @@
+// Package fixture claims the import path of internal/exec so the
+// layering rule checks it against exec's allowedImports row: storage is
+// on the row, engine is a layer above and is not.
+package fixture
+
+import (
+	_ "fedwf/internal/engine" // want `layer violation: exec may not import engine`
+	_ "fedwf/internal/storage"
+)

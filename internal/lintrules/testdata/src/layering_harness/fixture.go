@@ -1,0 +1,7 @@
+// Package fixture claims a non-internal, non-process-edge import path,
+// so its benchharn import trips the harness-only restriction.
+package fixture
+
+import (
+	_ "fedwf/internal/benchharn" // want `benchharn is harness-only`
+)

@@ -1,0 +1,3 @@
+// Package fixture claims an internal import path that has no row in the
+// layering table; the rule reports the package itself.
+package fixture // want `internal package mystery is not in the layering table`

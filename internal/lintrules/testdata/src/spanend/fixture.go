@@ -1,0 +1,88 @@
+// Package fixture exercises the spanend rule: spans opened with
+// obs.StartSpan end on every return path, tracers opened with obs.Trace
+// are finished, and escaping spans are the new owner's responsibility.
+package fixture
+
+import (
+	"errors"
+
+	"fedwf/internal/obs"
+	"fedwf/internal/simlat"
+)
+
+var errBoom = errors.New("boom")
+
+// BadDiscard throws the span away at birth.
+func BadDiscard(task *simlat.Task) {
+	obs.StartSpan(task, "discard") // want `obs\.StartSpan result discarded`
+}
+
+// BadBlank is the same leak through the blank identifier.
+func BadBlank(task *simlat.Task) {
+	_ = obs.Trace(task, "blank") // want `obs\.Trace result discarded`
+}
+
+// BadReturn leaks the span on the early-error path only.
+func BadReturn(task *simlat.Task, fail bool) error {
+	sp := obs.StartSpan(task, "leaky")
+	if fail {
+		return errBoom // want `span from obs\.StartSpan is not ended on this return path`
+	}
+	sp.End(task)
+	return nil
+}
+
+// BadNeverEnded opens a span and falls off the end of the function.
+func BadNeverEnded(task *simlat.Task) {
+	sp := obs.StartSpan(task, "never") // want `span from obs\.StartSpan is not ended before the function exits`
+	_ = sp.Name()
+}
+
+// GoodDefer ends via defer — the canonical shape.
+func GoodDefer(task *simlat.Task) {
+	sp := obs.StartSpan(task, "good")
+	defer sp.End(task)
+}
+
+// GoodDeferredClosure ends inside a deferred closure.
+func GoodDeferredClosure(task *simlat.Task) {
+	sp := obs.StartSpan(task, "good")
+	defer func() {
+		sp.End(task)
+	}()
+}
+
+// GoodLinear ends on the straight-line path.
+func GoodLinear(task *simlat.Task) {
+	tr := obs.Trace(task, "trace")
+	root := tr.Finish()
+	_ = root
+}
+
+// GoodGuarded correlates a conditional start with a nil-guarded end,
+// the shape resil's executor uses.
+func GoodGuarded(task *simlat.Task, on bool) {
+	var sp *obs.Span
+	if on {
+		sp = obs.StartSpan(task, "guarded")
+	}
+	if sp != nil {
+		sp.End(task)
+	}
+}
+
+// GoodEscape hands the span to another function, which owns ending it.
+func GoodEscape(task *simlat.Task) {
+	sp := obs.StartSpan(task, "handed-off")
+	endElsewhere(task, sp)
+}
+
+func endElsewhere(task *simlat.Task, sp *obs.Span) {
+	sp.End(task)
+}
+
+// Suppressed documents a cross-closure pair the analyzer cannot see.
+func Suppressed(task *simlat.Task) {
+	//fedlint:ignore spanend fixture exercises the suppression path
+	obs.StartSpan(task, "elsewhere")
+}

@@ -1,0 +1,30 @@
+// Package fixture exercises the virtualclock rule: wall-clock calls are
+// forbidden inside internal/, bare references (clock injection) are only
+// allowed in resil, and suppressions need a rule and a reason.
+package fixture
+
+import "time"
+
+// Bad reads the wall clock on what the rule treats as a measured path.
+func Bad() time.Time {
+	return time.Now() // want `call to time\.Now on a measured path`
+}
+
+// BadSleep waits on the wall clock.
+func BadSleep() {
+	time.Sleep(time.Millisecond) // want `call to time\.Sleep on a measured path`
+}
+
+// BadTimer builds a wall-clock timer.
+func BadTimer() *time.Timer {
+	return time.NewTimer(time.Second) // want `call to time\.NewTimer on a measured path`
+}
+
+// Inject references time.Now as a value; legal only inside resil.
+var Inject = time.Now // want `reference to time\.Now outside resil's injected-clock fields`
+
+// Suppressed shows a well-formed suppression: no finding.
+func Suppressed() time.Time {
+	//fedlint:ignore virtualclock fixture exercises the suppression path
+	return time.Now()
+}

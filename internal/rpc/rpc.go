@@ -327,8 +327,28 @@ type Server struct {
 	conns     map[net.Conn]struct{}
 	closed    bool
 	wg        sync.WaitGroup
-	inflight  atomic.Int64 // requests currently being handled or encoded
-	traceSink atomic.Value // func(*obs.Fragment), for fragments too big to inline
+	inflight  int           // requests currently being handled or encoded
+	idle      chan struct{} // non-nil while a Shutdown waits for drain; closed at inflight==0
+	traceSink atomic.Value  // func(*obs.Fragment), for fragments too big to inline
+}
+
+// beginRequest marks one request in flight.
+func (s *Server) beginRequest() {
+	s.mu.Lock()
+	s.inflight++
+	s.mu.Unlock()
+}
+
+// endRequest retires one request and wakes a draining Shutdown when the
+// server goes idle.
+func (s *Server) endRequest() {
+	s.mu.Lock()
+	s.inflight--
+	if s.inflight == 0 && s.idle != nil {
+		close(s.idle)
+		s.idle = nil
+	}
+	s.mu.Unlock()
 }
 
 // NewServer creates a server around a handler.
@@ -406,9 +426,10 @@ func (s *Server) serveConn(conn net.Conn) {
 		for i, w := range wreq.Args {
 			args[i] = fromWireValue(w)
 		}
-		s.inflight.Add(1)
+		s.beginRequest()
 		req := Request{System: wreq.System, Function: wreq.Function, Args: args,
 			Trace: obs.TraceContext{TraceID: wreq.TraceID, SpanID: wreq.SpanID, Sampled: wreq.Sampled}}
+		//fedlint:ignore ctxfirst the connection handler is a request root; there is no caller context to thread
 		ctx := context.Background()
 		if wreq.DeadlineMS > 0 {
 			// Re-arm the remaining statement time as a relative timeout;
@@ -440,7 +461,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		wres.Meta = meta
 		encErr := enc.Encode(&wres)
-		s.inflight.Add(-1)
+		s.endRequest()
 		if encErr != nil {
 			return
 		}
@@ -517,9 +538,23 @@ func (s *Server) Shutdown(grace time.Duration) error {
 		err = s.ln.Close()
 	}
 	if grace > 0 {
-		deadline := time.Now().Add(grace)
-		for s.inflight.Load() > 0 && time.Now().Before(deadline) {
-			time.Sleep(time.Millisecond)
+		s.mu.Lock()
+		var idle chan struct{}
+		if s.inflight > 0 {
+			if s.idle == nil {
+				s.idle = make(chan struct{})
+			}
+			idle = s.idle
+		}
+		s.mu.Unlock()
+		if idle != nil {
+			//fedlint:ignore virtualclock the shutdown grace is real process time, not a measured federation path
+			timer := time.NewTimer(grace)
+			select {
+			case <-idle:
+			case <-timer.C:
+			}
+			timer.Stop()
 		}
 	}
 	s.mu.Lock()

@@ -143,6 +143,7 @@ func RegisterSQLIntegrationUDTF(eng *engine.Engine, ins *Instrument, createFunct
 	}
 	profile := ins.profile
 	sqlFn.BeforeInvoke = func(task *simlat.Task) {
+		//fedlint:ignore spanend the span is closed by AfterInvoke below via obs.CurrentSpan; the hook pair spans two closures
 		obs.StartSpan(task, "udtf.sql", obs.Attr{Key: "fn", Value: name})
 		ins.chargeEntry(task, name)
 		task.Step(simlat.StepStartIUDTF, profile.IUDTFStart)

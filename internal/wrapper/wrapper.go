@@ -104,8 +104,17 @@ func NewRemoteServer(name string, client rpc.Client, profile simlat.Profile, cha
 func (r *RemoteServer) Name() string { return r.name }
 
 // TableSchema implements catalog.ForeignServer.
+//
+// Deprecated: use TableSchemaContext; this shim discovers the remote
+// schema with a background context.
 func (r *RemoteServer) TableSchema(remote string) (types.Schema, error) {
-	res, err := r.call(context.Background(), nil, fnSchema, types.NewString(remote))
+	return r.TableSchemaContext(context.Background(), remote)
+}
+
+// TableSchemaContext implements catalog.SchemaContextForeignServer: schema
+// discovery honours the caller's deadline and cancellation.
+func (r *RemoteServer) TableSchemaContext(ctx context.Context, remote string) (types.Schema, error) {
+	res, err := r.call(ctx, nil, fnSchema, types.NewString(remote))
 	if err != nil {
 		return nil, err
 	}
