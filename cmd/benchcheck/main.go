@@ -1,0 +1,109 @@
+// Command benchcheck validates a paperbench -json record file: it parses
+// the JSON, rejects structurally malformed output, and optionally asserts
+// that specific experiments are present. CI pipes fresh paperbench output
+// through it so a refactor that silently breaks the bench emitters fails
+// the build instead of publishing an empty benchmark artifact.
+//
+//	paperbench -exp batch -json bench.json && benchcheck -require E8,E13 bench.json
+//	benchcheck < bench.json
+//
+// Exit status is 0 when the file is well-formed (and every required
+// experiment appears), 1 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+)
+
+// record mirrors paperbench's -json output shape.
+type record struct {
+	Experiment string  `json:"experiment"`
+	Arch       string  `json:"arch"`
+	Function   string  `json:"function"`
+	Step       string  `json:"step"`
+	DOP        int     `json:"dop"`
+	Calls      int     `json:"calls"`
+	PaperMS    float64 `json:"paper_ms"`
+}
+
+func main() {
+	require := flag.String("require", "", "comma-separated experiment ids that must appear (e.g. E8,E13)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	src := "stdin"
+	if flag.NArg() > 1 {
+		fail(fmt.Errorf("at most one input file, got %d", flag.NArg()))
+	}
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		in = f
+		src = flag.Arg(0)
+	}
+
+	dec := json.NewDecoder(in)
+	dec.DisallowUnknownFields()
+	var records []record
+	if err := dec.Decode(&records); err != nil {
+		fail(fmt.Errorf("%s: %w", src, err))
+	}
+	if dec.More() {
+		fail(fmt.Errorf("%s: trailing data after the record list", src))
+	}
+	if len(records) == 0 {
+		fail(fmt.Errorf("%s: no records", src))
+	}
+	seen := map[string]int{}
+	for i, r := range records {
+		if r.Experiment == "" {
+			fail(fmt.Errorf("%s: record %d has no experiment id", src, i))
+		}
+		if r.PaperMS < 0 || math.IsNaN(r.PaperMS) || math.IsInf(r.PaperMS, 0) {
+			fail(fmt.Errorf("%s: record %d (%s): bad paper_ms %v", src, i, r.Experiment, r.PaperMS))
+		}
+		seen[strings.ToUpper(r.Experiment)]++
+	}
+	if *require != "" {
+		for _, id := range strings.Split(*require, ",") {
+			id = strings.ToUpper(strings.TrimSpace(id))
+			if id == "" {
+				continue
+			}
+			if seen[id] == 0 {
+				fail(fmt.Errorf("%s: required experiment %s has no records", src, id))
+			}
+		}
+	}
+	fmt.Printf("benchcheck: %d records ok", len(records))
+	if len(seen) > 0 {
+		ids := make([]string, 0, len(seen))
+		for id := range seen {
+			ids = append(ids, id)
+		}
+		// Deterministic order for log readability.
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				if ids[j] < ids[i] {
+					ids[i], ids[j] = ids[j], ids[i]
+				}
+			}
+		}
+		fmt.Printf(" (%s)", strings.Join(ids, ", "))
+	}
+	fmt.Println()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchcheck:", err)
+	os.Exit(1)
+}

@@ -57,6 +57,7 @@ func main() {
 	archName := flag.String("arch", "wfms", "integration architecture: wfms or udtf")
 	direct := flag.Bool("direct", false, "bypass the controller (ablation configuration)")
 	dop := flag.Int("dop", 0, "intra-query degree of parallelism (0 = sequential, -1 = GOMAXPROCS)")
+	batchSize := flag.Int("batch-size", 0, "set-oriented federated calls: chunk lateral invocations into batches of this many rows (0 or 1 = per-row; SET BATCH_SIZE overrides at runtime, engine-global like SET PARALLELISM)")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address for /metrics, /healthz and /traces (empty = disabled)")
 	slowMS := flag.Float64("slow-query-ms", 0, "log statements at or above this simulated latency in paper ms (0 = disabled)")
 	grace := flag.Duration("grace", 5*time.Second, "shutdown grace period for draining in-flight statements")
@@ -120,6 +121,10 @@ func main() {
 	if *dop != 0 {
 		srv.Engine().SetParallelism(*dop)
 		fmt.Printf("fedserver: intra-query parallelism %d\n", srv.Engine().Parallelism())
+	}
+	if *batchSize > 1 {
+		srv.Engine().SetBatchSize(*batchSize)
+		fmt.Printf("fedserver: set-oriented federated calls, batch size %d\n", srv.Engine().BatchSize())
 	}
 	if *slowMS > 0 {
 		threshold := time.Duration(*slowMS * float64(simlat.PaperMS))

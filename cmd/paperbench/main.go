@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"fedwf/internal/benchharn"
+	"fedwf/internal/fedfunc"
 	"fedwf/internal/simlat"
 )
 
@@ -55,6 +56,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "fault-injection seed for -exp faults (same seed, same faults)")
 	bootFn := flag.String("bootfn", "GetSuppQual", "federated function for the boot-state experiment")
 	dops := flag.String("dops", "1,2,4,8", "comma-separated degrees of parallelism for the E9 sweep")
+	batchSize := flag.Int("batchsize", 8, "chunk size for the E13 set-orientation experiment")
 	jsonPath := flag.String("json", "", "also write the numeric results as JSON to this path")
 	traceOut := flag.String("trace-out", "", "with -exp spans: write each architecture's span tree as JSON into this directory (virtual-clock trees are deterministic, so the files diff cleanly across commits)")
 	flag.Parse()
@@ -176,6 +178,39 @@ func main() {
 			records = append(records,
 				record{Experiment: "E8", Arch: "wfms", Calls: r.Calls, PaperMS: paperMS(r.WfMS)},
 				record{Experiment: "E8", Arch: "udtf", Calls: r.Calls, PaperMS: paperMS(r.UDTF)})
+		}
+
+		section("E13 - Set-oriented federated calls (extension)")
+		setRows, err := h.SetOriented([]int{8, 16, 24}, *batchSize)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(benchharn.RenderSetOriented(setRows))
+		// The acceptance bars of the experiment: a batched chunk is ONE wire
+		// request and ONE workflow instance, so at chunk size B the batched
+		// mode issues at most ceil(N/B) of each; and batching on top of
+		// parallelism must still win, strictly, at every measured N.
+		perRowParallel := make(map[string]time.Duration)
+		for _, r := range setRows {
+			key := fmt.Sprintf("%s/%d", r.Arch.Label(), r.N)
+			switch r.Mode {
+			case "batched":
+				chunks := int64((r.N + *batchSize - 1) / *batchSize)
+				if r.RPCs > chunks {
+					fail(fmt.Errorf("E13: batched mode issued %d RPCs for N=%d, want <= %d", r.RPCs, r.N, chunks))
+				}
+				if r.Arch == fedfunc.ArchWfMS && r.WfInst > chunks {
+					fail(fmt.Errorf("E13: batched mode started %d workflow instances for N=%d, want <= %d", r.WfInst, r.N, chunks))
+				}
+			case "parallel":
+				perRowParallel[key] = r.Elapsed
+			case "batched+parallel":
+				if seq, ok := perRowParallel[key]; ok && r.Elapsed >= seq {
+					fail(fmt.Errorf("E13: batched+parallel %v not below per-row parallel %v at %s", r.Elapsed, seq, key))
+				}
+			}
+			records = append(records, record{Experiment: "E13", Arch: r.Arch.Label(), Function: "GibKompNr",
+				Step: r.Mode, Calls: r.N, PaperMS: paperMS(r.Elapsed)})
 		}
 	}
 	if run("dop") {

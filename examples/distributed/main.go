@@ -26,6 +26,10 @@ func main() {
 		log.Fatal(err)
 	}
 	server := rpc.NewServer(remoteApps.Handler())
+	// Serve batches natively: one wire request carries a whole chunk of
+	// parameter rows when the FDBS runs with SET BATCH_SIZE. Clients of
+	// servers that predate this call keep working row by row.
+	server.SetBatchHandler(remoteApps.BatchHandler())
 	addr, err := server.Listen("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)

@@ -141,6 +141,31 @@ func (s *System) CallContext(ctx context.Context, task *simlat.Task, name string
 	return out, nil
 }
 
+// CallBatchContext invokes a local function once per argument row under a
+// single batch span. Batching amortizes the wire and workflow overheads
+// upstream; the per-row service time is intrinsic to the function and is
+// still charged for every row.
+func (s *System) CallBatchContext(ctx context.Context, task *simlat.Task, name string, rows [][]types.Value) (out []*types.Table, err error) {
+	sp := obs.StartSpan(task, "appsys.call.batch",
+		obs.Attr{Key: "system", Value: s.name}, obs.Attr{Key: "fn", Value: name},
+		obs.Attr{Key: "batch_size", Value: fmt.Sprint(len(rows))})
+	defer func() {
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End(task)
+	}()
+	out = make([]*types.Table, len(rows))
+	for i, args := range rows {
+		res, err := s.CallContext(ctx, task, name, args)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
 // Registry is the set of reachable application systems.
 type Registry struct {
 	systems map[string]*System
@@ -197,6 +222,16 @@ func (r *Registry) CallContext(ctx context.Context, task *simlat.Task, system, f
 	return s.CallContext(ctx, task, function, args)
 }
 
+// CallBatchContext routes a batch to the named system (resolved once for
+// the whole batch); an unknown system is a permanent resil.AppSysError.
+func (r *Registry) CallBatchContext(ctx context.Context, task *simlat.Task, system, function string, rows [][]types.Value) ([]*types.Table, error) {
+	s, err := r.System(system)
+	if err != nil {
+		return nil, &resil.AppSysError{System: system, Transient: false, Err: err}
+	}
+	return s.CallBatchContext(ctx, task, function, rows)
+}
+
 // Resolve finds the unique system providing the named function; the
 // integration layers use it so mappings can name functions without
 // spelling out their hosting system.
@@ -228,5 +263,20 @@ func (r *Registry) Handler() rpc.Handler {
 			return sys.CallContext(ctx, task, req.Function, req.Args)
 		}
 		return r.CallContext(ctx, task, req.System, req.Function, req.Args)
+	}
+}
+
+// BatchHandler adapts the registry's set-oriented entry point to the RPC
+// substrate, so one wire request can carry a whole batch.
+func (r *Registry) BatchHandler() rpc.BatchHandler {
+	return func(ctx context.Context, task *simlat.Task, req rpc.BatchRequest) ([]*types.Table, error) {
+		if req.System == "" {
+			sys, _, err := r.Resolve(req.Function)
+			if err != nil {
+				return nil, &resil.AppSysError{System: "fn:" + req.Function, Transient: false, Err: err}
+			}
+			return sys.CallBatchContext(ctx, task, req.Function, req.Rows)
+		}
+		return r.CallBatchContext(ctx, task, req.System, req.Function, req.Rows)
 	}
 }

@@ -669,3 +669,107 @@ func RenderDOP(rows []DOPRow) string {
 	}
 	return b.String()
 }
+
+// ------------------------------------------------------------------ E13
+
+// setDOP is the degree of parallelism of E13's parallel modes.
+const setDOP = 4
+
+// SetRow is one point of the set-orientation experiment E13: one (arch,
+// driver size, execution mode) cell with its virtual elapsed time and the
+// stack's wire-request and workflow-instance counters.
+type SetRow struct {
+	Arch    fedfunc.Arch
+	N       int    // driver-table rows
+	Mode    string // per-row, batched, parallel, batched+parallel
+	Elapsed time.Duration
+	RPCs    int64
+	WfInst  int64 // workflow process instances (WfMS architecture only)
+}
+
+// SetOriented measures the set-orientation win (E13, extension): a lateral
+// join of an N-row driver table of component names against the trivial
+// federated function GibKompNr, under four execution modes — per-row and
+// batched, each sequential and parallel. Batching amortizes the per-call
+// federation overheads (UDTF entry, RPC round trip, workflow instance
+// start) across chunks of batchSize rows, so the batched modes must show
+// both fewer wire requests and less virtual elapsed time; the counters in
+// the rows let callers assert exactly that.
+func (h *Harness) SetOriented(ns []int, batchSize int) ([]SetRow, error) {
+	if batchSize < 2 {
+		return nil, fmt.Errorf("benchharn: batch size %d out of range", batchSize)
+	}
+	modes := []struct {
+		name  string
+		batch int
+		dop   int
+	}{
+		{"per-row", 0, 1},
+		{"batched", batchSize, 1},
+		{"parallel", 0, setDOP},
+		{"batched+parallel", batchSize, setDOP},
+	}
+	var rows []SetRow
+	for _, arch := range []fedfunc.Arch{fedfunc.ArchWfMS, fedfunc.ArchUDTF} {
+		stack, err := fedfunc.NewStack(arch, fedfunc.Options{Profile: h.profile, Apps: h.apps})
+		if err != nil {
+			return nil, err
+		}
+		eng := stack.Engine()
+		session := eng.NewSession()
+		for _, n := range ns {
+			if n < 1 || n > appsys.NumComponents {
+				return nil, fmt.Errorf("benchharn: driver size %d out of range", n)
+			}
+			driver := fmt.Sprintf("set_driver_%d", n)
+			session.MustExec(fmt.Sprintf("CREATE TABLE %s (KompName VARCHAR(30))", driver))
+			for i := 0; i < n; i++ {
+				// Distinct names, so no cache effect hides a wire request.
+				session.MustExec(fmt.Sprintf("INSERT INTO %s VALUES ('%s')", driver, appsys.ComponentName(1+i)))
+			}
+			query := fmt.Sprintf(`SELECT COUNT(*) FROM %s d, TABLE (GibKompNr(d.KompName)) AS K`, driver)
+			for _, m := range modes {
+				eng.SetBatchSize(m.batch)
+				if m.dop > 1 {
+					eng.SetParallelism(m.dop)
+				} else {
+					eng.SetParallelism(0)
+				}
+				session.SetTask(simlat.Free())
+				if _, err := session.Query(query); err != nil { // warm boot state
+					return nil, err
+				}
+				stack.ResetCounters()
+				task := simlat.NewVirtualTask()
+				session.SetTask(task)
+				if _, err := session.Query(query); err != nil {
+					return nil, err
+				}
+				rpcs, inst := stack.Counters()
+				rows = append(rows, SetRow{
+					Arch: arch, N: n, Mode: m.name,
+					Elapsed: task.Elapsed(), RPCs: rpcs, WfInst: inst,
+				})
+			}
+			eng.SetBatchSize(0)
+			eng.SetParallelism(0)
+		}
+	}
+	return rows, nil
+}
+
+// RenderSetOriented prints the E13 grid.
+func RenderSetOriented(rows []SetRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %4s %-18s %14s %6s %8s\n", "Arch", "N", "Mode", "Elapsed", "RPCs", "WfInst")
+	b.WriteString(strings.Repeat("-", 62) + "\n")
+	for _, r := range rows {
+		arch := "WfMS"
+		if r.Arch == fedfunc.ArchUDTF {
+			arch = "UDTF"
+		}
+		fmt.Fprintf(&b, "%-6s %4d %-18s %14s %6d %8d\n",
+			arch, r.N, r.Mode, fmtPaperMS(r.Elapsed), r.RPCs, r.WfInst)
+	}
+	return b.String()
+}

@@ -63,6 +63,41 @@ func InvokeFunc(ctx context.Context, f TableFunc, rt QueryRunner, task *simlat.T
 	return f.Invoke(rt, task, args)
 }
 
+// BatchTableFunc is the set-oriented extension of TableFunc (again the
+// optional-interface pattern): one invocation carries N argument rows and
+// returns one table per row, letting the implementation amortize its
+// per-call setup — RPC round trips, workflow instances, JVM boots — across
+// the whole batch.
+type BatchTableFunc interface {
+	TableFunc
+	InvokeBatch(ctx context.Context, rt QueryRunner, task *simlat.Task, rows [][]types.Value) ([]*types.Table, error)
+}
+
+// InvokeFuncBatch dispatches the batch to f.InvokeBatch when implemented,
+// else degrades to a per-row InvokeFunc loop so every function stays
+// callable from a batched plan.
+func InvokeFuncBatch(ctx context.Context, f TableFunc, rt QueryRunner, task *simlat.Task, rows [][]types.Value) ([]*types.Table, error) {
+	if bf, ok := f.(BatchTableFunc); ok {
+		out, err := bf.InvokeBatch(ctx, rt, task, rows)
+		if err != nil {
+			return nil, err
+		}
+		if len(out) != len(rows) {
+			return nil, fmt.Errorf("catalog: %s batch returned %d tables for %d rows", f.Name(), len(out), len(rows))
+		}
+		return out, nil
+	}
+	out := make([]*types.Table, len(rows))
+	for i, args := range rows {
+		res, err := InvokeFunc(ctx, f, rt, task, args)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
 // ContextRunner is the context-aware extension of QueryRunner, implemented
 // by the engine session.
 type ContextRunner interface {
@@ -401,6 +436,11 @@ type SQLFunc struct {
 	// Hooks let the UDTF layer charge simulated costs around the body.
 	BeforeInvoke func(task *simlat.Task)
 	AfterInvoke  func(task *simlat.Task)
+	// BatchBody, when set, is a hand-written set-oriented realization of
+	// the function: one call receives all argument rows of a batch and
+	// answers one table per row. The per-row SQL body stays the reference
+	// semantics; BatchBody is the optimized path a batched plan uses.
+	BatchBody func(ctx context.Context, rt QueryRunner, task *simlat.Task, rows [][]types.Value) ([]*types.Table, error)
 }
 
 // Name implements TableFunc.
@@ -459,6 +499,53 @@ func (f *SQLFunc) InvokeContext(ctx context.Context, rt QueryRunner, task *simla
 	return out, nil
 }
 
+// InvokeBatch implements BatchTableFunc. Without a BatchBody the batch
+// degrades to a per-row InvokeContext loop.
+func (f *SQLFunc) InvokeBatch(ctx context.Context, rt QueryRunner, task *simlat.Task, rows [][]types.Value) ([]*types.Table, error) {
+	if f.BatchBody == nil {
+		out := make([]*types.Table, len(rows))
+		for i, args := range rows {
+			res, err := f.InvokeContext(ctx, rt, task, args)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = res
+		}
+		return out, nil
+	}
+	cast := make([][]types.Value, len(rows))
+	for i, args := range rows {
+		if len(args) != len(f.FParams) {
+			return nil, fmt.Errorf("catalog: %s expects %d arguments, got %d", f.FName, len(f.FParams), len(args))
+		}
+		cr := make([]types.Value, len(args))
+		for j, p := range f.FParams {
+			v, err := types.Cast(args[j], p.Type)
+			if err != nil {
+				return nil, fmt.Errorf("catalog: %s parameter %s: %w", f.FName, p.Name, err)
+			}
+			cr[j] = v
+		}
+		cast[i] = cr
+	}
+	res, err := f.BatchBody(ctx, rt, task, cast)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: executing %s: %w", f.FName, err)
+	}
+	if len(res) != len(rows) {
+		return nil, fmt.Errorf("catalog: %s batch body returned %d tables for %d rows", f.FName, len(res), len(rows))
+	}
+	out := make([]*types.Table, len(res))
+	for i, t := range res {
+		ct, err := coerceTable(t, f.FReturns)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: %s result: %w", f.FName, err)
+		}
+		out[i] = ct
+	}
+	return out, nil
+}
+
 // GoFunc is a host-implemented table function (LANGUAGE EXTERNAL): the
 // mechanism behind access UDTFs, Go integration UDTFs, and the workflow
 // UDTF.
@@ -470,6 +557,9 @@ type GoFunc struct {
 	// FnCtx, when set, takes precedence over Fn and receives the statement
 	// context, so deadlines and cancellation flow into the host body.
 	FnCtx func(ctx context.Context, rt QueryRunner, task *simlat.Task, args []types.Value) (*types.Table, error)
+	// FnBatchCtx, when set, makes the function set-oriented: one call
+	// receives all argument rows of a batch and answers one table per row.
+	FnBatchCtx func(ctx context.Context, rt QueryRunner, task *simlat.Task, rows [][]types.Value) ([]*types.Table, error)
 }
 
 // Name implements TableFunc.
@@ -516,6 +606,54 @@ func (f *GoFunc) InvokeContext(ctx context.Context, rt QueryRunner, task *simlat
 	out, err := coerceTable(res, f.FReturns)
 	if err != nil {
 		return nil, fmt.Errorf("catalog: %s result: %w", f.FName, err)
+	}
+	return out, nil
+}
+
+// InvokeBatch implements BatchTableFunc. When FnBatchCtx is unset the
+// batch degrades to a per-row InvokeContext loop, so registering a plain
+// GoFunc in a batched plan stays correct — just not amortized.
+func (f *GoFunc) InvokeBatch(ctx context.Context, rt QueryRunner, task *simlat.Task, rows [][]types.Value) ([]*types.Table, error) {
+	if f.FnBatchCtx == nil {
+		out := make([]*types.Table, len(rows))
+		for i, args := range rows {
+			res, err := f.InvokeContext(ctx, rt, task, args)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = res
+		}
+		return out, nil
+	}
+	cast := make([][]types.Value, len(rows))
+	for i, args := range rows {
+		if len(args) != len(f.FParams) {
+			return nil, fmt.Errorf("catalog: %s expects %d arguments, got %d", f.FName, len(f.FParams), len(args))
+		}
+		cr := make([]types.Value, len(args))
+		for j, p := range f.FParams {
+			v, err := types.Cast(args[j], p.Type)
+			if err != nil {
+				return nil, fmt.Errorf("catalog: %s parameter %s: %w", f.FName, p.Name, err)
+			}
+			cr[j] = v
+		}
+		cast[i] = cr
+	}
+	res, err := f.FnBatchCtx(ctx, rt, task, cast)
+	if err != nil {
+		return nil, err
+	}
+	if len(res) != len(rows) {
+		return nil, fmt.Errorf("catalog: %s batch body returned %d tables for %d rows", f.FName, len(res), len(rows))
+	}
+	out := make([]*types.Table, len(res))
+	for i, t := range res {
+		ct, err := coerceTable(t, f.FReturns)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: %s result: %w", f.FName, err)
+		}
+		out[i] = ct
 	}
 	return out, nil
 }

@@ -15,6 +15,7 @@ package controller
 
 import (
 	"context"
+	"fmt"
 	"sync"
 
 	"fedwf/internal/obs"
@@ -105,6 +106,27 @@ func (c *Controller) RunWorkflow(ctx context.Context, task *simlat.Task, p *wfms
 	return c.wf.RunContext(ctx, task, p, input)
 }
 
+// RunWorkflowBatch starts ONE workflow process instance for a whole batch
+// of input containers: the controller's invocation work is paid once, and
+// the engine amortizes the instance start across the rows.
+func (c *Controller) RunWorkflowBatch(ctx context.Context, task *simlat.Task, p *wfms.Process, inputs []map[string]types.Value) (out []*types.Table, err error) {
+	sp := obs.StartSpan(task, "controller.run-workflow.batch",
+		obs.Attr{Key: "process", Value: p.Name},
+		obs.Attr{Key: "batch_size", Value: fmt.Sprint(len(inputs))})
+	defer func() {
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End(task)
+	}()
+	if err := resil.Check(ctx, task); err != nil {
+		return nil, err
+	}
+	c.ensureConnected(task)
+	task.Step(simlat.StepController, c.profile.ControllerInvokeWf)
+	return c.wf.RunBatchContext(ctx, task, p, inputs)
+}
+
 // CallFunction dispatches one local-function call of an access UDTF. In
 // the UDTF architecture the controller is already running, so dispatch is
 // cheap — the paper measures the three controller runs of GetNoSuppComp
@@ -123,6 +145,26 @@ func (c *Controller) CallFunction(ctx context.Context, task *simlat.Task, system
 	c.ensureConnected(task)
 	task.Step(simlat.StepControllerRuns, c.profile.ControllerDispatch)
 	return c.apps.Call(ctx, task, rpc.Request{System: system, Function: function, Args: args})
+}
+
+// CallFunctionBatch dispatches one set-oriented local-function call: one
+// controller dispatch and one wire request carry the whole batch.
+func (c *Controller) CallFunctionBatch(ctx context.Context, task *simlat.Task, system, function string, rows [][]types.Value) (out []*types.Table, err error) {
+	sp := obs.StartSpan(task, "controller.call.batch",
+		obs.Attr{Key: "system", Value: system}, obs.Attr{Key: "function", Value: function},
+		obs.Attr{Key: "batch_size", Value: fmt.Sprint(len(rows))})
+	defer func() {
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End(task)
+	}()
+	if err := resil.Check(ctx, task); err != nil {
+		return nil, err
+	}
+	c.ensureConnected(task)
+	task.Step(simlat.StepControllerRuns, c.profile.ControllerDispatch)
+	return rpc.CallBatch(ctx, task, c.apps, rpc.BatchRequest{System: system, Function: function, Rows: rows})
 }
 
 // Bridge is the UDTF-side view of the controller. With the controller
@@ -163,6 +205,18 @@ func (b *Bridge) RunWorkflow(ctx context.Context, task *simlat.Task, p *wfms.Pro
 	return out, err
 }
 
+// RunWorkflowBatch executes one workflow process instance for a whole
+// batch through the controller: a single RMI round trip carries the set.
+func (b *Bridge) RunWorkflowBatch(ctx context.Context, task *simlat.Task, p *wfms.Process, inputs []map[string]types.Value) ([]*types.Table, error) {
+	if b.direct {
+		return b.ctl.wf.RunBatchContext(ctx, task, p, inputs)
+	}
+	task.Step(simlat.StepRMICall, b.profile.RMICall)
+	out, err := b.ctl.RunWorkflowBatch(ctx, task, p, inputs)
+	task.Step(simlat.StepRMIReturn, b.profile.RMIReturn)
+	return out, err
+}
+
 // CallFunction invokes one local function through the controller (or
 // directly in the ablation).
 func (b *Bridge) CallFunction(ctx context.Context, task *simlat.Task, system, function string, args []types.Value) (*types.Table, error) {
@@ -171,6 +225,18 @@ func (b *Bridge) CallFunction(ctx context.Context, task *simlat.Task, system, fu
 	}
 	task.Step(simlat.StepRMICall, b.profile.RMICall)
 	out, err := b.ctl.CallFunction(ctx, task, system, function, args)
+	task.Step(simlat.StepRMIReturn, b.profile.RMIReturn)
+	return out, err
+}
+
+// CallFunctionBatch invokes one local function for a whole batch through
+// the controller: a single RMI round trip carries the set.
+func (b *Bridge) CallFunctionBatch(ctx context.Context, task *simlat.Task, system, function string, rows [][]types.Value) ([]*types.Table, error) {
+	if b.direct {
+		return rpc.CallBatch(ctx, task, b.ctl.apps, rpc.BatchRequest{System: system, Function: function, Rows: rows})
+	}
+	task.Step(simlat.StepRMICall, b.profile.RMICall)
+	out, err := b.ctl.CallFunctionBatch(ctx, task, system, function, rows)
 	task.Step(simlat.StepRMIReturn, b.profile.RMIReturn)
 	return out, err
 }

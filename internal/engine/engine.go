@@ -16,6 +16,7 @@ import (
 
 	"fedwf/internal/catalog"
 	"fedwf/internal/exec"
+	"fedwf/internal/exec/batcher"
 	"fedwf/internal/obs"
 	"fedwf/internal/plan"
 	"fedwf/internal/resil"
@@ -53,6 +54,14 @@ func WithDOP(n int) Option { return func(e *Engine) { e.setParallelismLocked(n) 
 
 // WithFunctionCache enables per-statement table-function memoisation.
 func WithFunctionCache(enabled bool) Option { return func(e *Engine) { e.funcCache = enabled } }
+
+// WithBatchSize sets the set-oriented lateral batch size (see
+// SetBatchSize).
+func WithBatchSize(n int) Option { return func(e *Engine) { e.planOpts.Batch.Count = n } }
+
+// WithBatchPolicy sets the full lateral batch policy: count, bytes, and
+// virtual-time-period triggers.
+func WithBatchPolicy(pol batcher.Policy) Option { return func(e *Engine) { e.planOpts.Batch = pol } }
 
 // WithCompositionCost sets the simulated result-composition cost.
 func WithCompositionCost(d time.Duration) Option { return func(e *Engine) { e.compositionCost = d } }
@@ -165,6 +174,23 @@ func (e *Engine) Parallelism() int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.planOpts.Parallelism
+}
+
+// SetBatchSize configures set-oriented lateral execution: n >= 2 makes
+// side-effect-free lateral FuncScan right sides accumulate outer rows
+// into chunks of up to n, each flushed as one batched federated call;
+// n <= 1 keeps per-row calls (the default).
+func (e *Engine) SetBatchSize(n int) {
+	e.mu.Lock()
+	e.planOpts.Batch.Count = n
+	e.mu.Unlock()
+}
+
+// BatchSize returns the configured lateral batch size.
+func (e *Engine) BatchSize() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.planOpts.Batch.Count
 }
 
 // RetryPolicy returns the engine's default retry policy.
@@ -463,6 +489,12 @@ func (s *Session) ExecStmtContext(ctx context.Context, stmt sqlparser.Statement)
 		case "PARALLELISM":
 			s.eng.SetParallelism(int(st.Value))
 			return &Result{Message: fmt.Sprintf("parallelism set to %d", s.eng.Parallelism())}, nil
+		case "BATCH_SIZE":
+			s.eng.SetBatchSize(int(st.Value))
+			if s.eng.BatchSize() < 2 {
+				return &Result{Message: "batching disabled"}, nil
+			}
+			return &Result{Message: fmt.Sprintf("batch size set to %d", s.eng.BatchSize())}, nil
 		case "STATEMENT_TIMEOUT":
 			s.stmtTimeout = time.Duration(st.Value) * simlat.PaperMS
 			if st.Value <= 0 {

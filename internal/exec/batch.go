@@ -1,0 +1,340 @@
+package exec
+
+import (
+	"fmt"
+	"io"
+
+	"fedwf/internal/catalog"
+	"fedwf/internal/exec/batcher"
+	"fedwf/internal/obs"
+	"fedwf/internal/types"
+)
+
+// This file implements the set-oriented lateral path: Apply, LeftApply,
+// and ParallelApply accumulate outer rows into chunks under a
+// batcher.Policy and flush each chunk as ONE set-oriented invocation of
+// the right-hand FuncScan, amortizing the per-call federation overheads
+// (UDTF entry, RPC round trip, workflow instance start) across the chunk.
+//
+// The batched path engages only when the right side is a bare FuncScan
+// (possibly behind Analyzed instrumentation) — the only operator whose
+// whole evaluation is a single function call that can be vectorized.
+// Any other right-hand shape falls back to the per-row loop.
+
+// asFuncScan unwraps instrumentation and returns the right side's
+// FuncScan, or nil when the subtree has any other shape.
+func asFuncScan(op Operator) *FuncScan {
+	for {
+		switch o := op.(type) {
+		case *FuncScan:
+			return o
+		case *Analyzed:
+			op = o.Child
+		default:
+			return nil
+		}
+	}
+}
+
+// acquire classifies one key for the batch path and reserves it on a
+// miss: the caller that receives CacheMiss owns the returned entry and
+// MUST publish a result (close done) exactly once. Hits return a
+// completed entry; coalesced lookups return an entry owned by another
+// in-flight caller — or by an earlier duplicate row in the same chunk,
+// which is how duplicate keys inside a batch collapse to one wire row.
+func (fc *FuncCache) acquire(name string, args []types.Value) (*funcCall, CacheOutcome) {
+	key := fc.key(name, args)
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	if c, ok := fc.entries[key]; ok {
+		select {
+		case <-c.done:
+			fc.hits++
+			return c, CacheHit
+		default:
+			fc.coalesced++
+			return c, CacheCoalesced
+		}
+	}
+	c := &funcCall{done: make(chan struct{})}
+	fc.entries[key] = c
+	fc.misses++
+	return c, CacheMiss
+}
+
+// invokeBatch materialises the function result for every binding row
+// using at most one set-oriented invocation. Per-row cache hits are
+// extracted before the wire batch forms; only misses travel. Returns one
+// table per binding row; any per-row failure fails the whole chunk,
+// matching the RPC layer's batch-as-a-unit error semantics.
+func (f *FuncScan) invokeBatch(ctx *Ctx, binds []types.Row) (out []*types.Table, err error) {
+	n := len(binds)
+	argRows := make([][]types.Value, n)
+	for i, b := range binds {
+		args := make([]types.Value, len(f.Args))
+		for j, a := range f.Args {
+			v, err := a.Eval(b)
+			if err != nil {
+				return nil, fmt.Errorf("exec: argument %d of %s: %w", j+1, f.Fn.Name(), err)
+			}
+			args[j] = v
+		}
+		argRows[i] = args
+	}
+	if err := ctx.check(); err != nil {
+		return nil, err
+	}
+	sp := obs.StartSpan(ctx.Task, "exec.func.batch",
+		obs.Attr{Key: "fn", Value: f.Fn.Name()},
+		obs.Attr{Key: "batch_size", Value: fmt.Sprint(n)})
+	defer func() {
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End(ctx.Task)
+	}()
+	if ctx.FuncCache == nil {
+		sp.SetAttr("wire_rows", fmt.Sprint(n))
+		return catalog.InvokeFuncBatch(ctx.Context, f.Fn, ctx.Runner, ctx.Task, argRows)
+	}
+
+	fc := ctx.FuncCache
+	calls := make([]*funcCall, n)
+	var wireRows [][]types.Value
+	var wireCalls []*funcCall
+	for i, args := range argRows {
+		c, outcome := fc.acquire(f.Fn.Name(), args)
+		calls[i] = c
+		if f.Stats != nil {
+			switch outcome {
+			case CacheHit:
+				f.Stats.CacheHits.Add(1)
+			case CacheMiss:
+				f.Stats.CacheMisses.Add(1)
+			case CacheCoalesced:
+				f.Stats.CacheCoalesced.Add(1)
+			}
+		}
+		if outcome == CacheMiss {
+			wireRows = append(wireRows, args)
+			wireCalls = append(wireCalls, c)
+		}
+	}
+	sp.SetAttr("wire_rows", fmt.Sprint(len(wireRows)))
+	if len(wireRows) > 0 {
+		tabs, werr := catalog.InvokeFuncBatch(ctx.Context, f.Fn, ctx.Runner, ctx.Task, wireRows)
+		if werr != nil {
+			// Publish the failure on every reserved entry (errors are
+			// cached like the per-row path) before failing the chunk.
+			for _, c := range wireCalls {
+				c.err = werr
+				close(c.done)
+			}
+			return nil, werr
+		}
+		for j, c := range wireCalls {
+			c.res = tabs[j]
+			close(c.done)
+		}
+	}
+	out = make([]*types.Table, n)
+	for i, c := range calls {
+		<-c.done // hits and own misses are already closed; coalesced may wait
+		if c.err != nil {
+			return nil, c.err
+		}
+		out[i] = c.res
+	}
+	return out, nil
+}
+
+// padNullRow emits lr padded with NULLs for the right schema — the
+// unmatched/degraded outer-join shape.
+func padNullRow(lr types.Row, rightSch types.Schema) types.Row {
+	out := make(types.Row, 0, len(lr)+len(rightSch))
+	out = append(out, lr...)
+	for range rightSch {
+		out = append(out, types.Null)
+	}
+	return out
+}
+
+// joinLateralRows combines one outer row with its right-side result
+// table, applying the On filter and, in outer mode, NULL padding when no
+// row matches. Shared by every batched lateral operator.
+func joinLateralRows(lr types.Row, tab *types.Table, on Expr, outer bool, rightSch types.Schema) ([]types.Row, error) {
+	var out []types.Row
+	matched := false
+	for _, rr := range tab.Rows {
+		row := make(types.Row, 0, len(lr)+len(rr))
+		row = append(row, lr...)
+		row = append(row, rr...)
+		if on != nil {
+			v, err := on.Eval(row)
+			if err != nil {
+				return nil, err
+			}
+			ok, err := Truthy(v)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		matched = true
+		out = append(out, row)
+	}
+	if outer && !matched {
+		out = append(out, padNullRow(lr, rightSch))
+	}
+	return out, nil
+}
+
+// batchRun is the shared iteration state of a batched Apply/LeftApply:
+// the accumulating chunk's trigger bookkeeping and the flushed output
+// buffer Next drains.
+type batchRun struct {
+	fs       *FuncScan
+	bat      *batcher.Batcher
+	buf      []types.Row
+	bufPos   int
+	leftDone bool
+}
+
+// newBatchRun returns the batched iteration state when the policy is
+// enabled and the right side is a batchable FuncScan, else nil (per-row
+// path).
+func newBatchRun(pol batcher.Policy, right Operator) *batchRun {
+	if !pol.Enabled() {
+		return nil
+	}
+	fs := asFuncScan(right)
+	if fs == nil {
+		return nil
+	}
+	return &batchRun{fs: fs, bat: batcher.New(pol)}
+}
+
+// next returns the next buffered row, or false when the buffer is dry.
+func (b *batchRun) next() (types.Row, bool) {
+	if b.bufPos < len(b.buf) {
+		r := b.buf[b.bufPos]
+		b.bufPos++
+		return r, true
+	}
+	return nil, false
+}
+
+// fill drains left rows into the next chunk until a policy trigger fires
+// or the left side is exhausted (final flush). The byte trigger is fed an
+// estimate over the outer row, which carries the argument values.
+func (b *batchRun) fill(ctx *Ctx, left Operator) ([]types.Row, error) {
+	b.buf = b.buf[:0]
+	b.bufPos = 0
+	var chunk []types.Row
+	for {
+		lr, err := left.Next()
+		if err == io.EOF {
+			b.leftDone = true
+			b.bat.Flush()
+			return chunk, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := ctx.check(); err != nil {
+			return nil, err
+		}
+		chunk = append(chunk, lr)
+		if b.bat.Add(batcher.RowBytes(lr), ctx.Task.Elapsed()) != batcher.TriggerNone {
+			b.bat.Flush()
+			return chunk, nil
+		}
+	}
+}
+
+// childBindRows builds the per-row child bindings (enclosing bind ++
+// outer row) for a chunk.
+func childBindRows(bind types.Row, chunk []types.Row) []types.Row {
+	out := make([]types.Row, len(chunk))
+	for i, lr := range chunk {
+		cb := make(types.Row, 0, len(bind)+len(lr))
+		cb = append(cb, bind...)
+		cb = append(cb, lr...)
+		out[i] = cb
+	}
+	return out
+}
+
+// nextBatched is the batched Next loop of Apply: inner lateral join, so a
+// chunk failure fails the statement like the per-row path would.
+func (a *Apply) nextBatched() (types.Row, error) {
+	b := a.batch
+	for {
+		if r, ok := b.next(); ok {
+			return r, nil
+		}
+		if b.leftDone {
+			return nil, io.EOF
+		}
+		chunk, err := b.fill(a.ctx, a.Left)
+		if err != nil {
+			return nil, err
+		}
+		if len(chunk) == 0 {
+			continue
+		}
+		tabs, err := b.fs.invokeBatch(a.ctx, childBindRows(a.bind, chunk))
+		if err != nil {
+			return nil, err
+		}
+		for i, lr := range chunk {
+			rows, err := joinLateralRows(lr, tabs[i], nil, false, a.Right.Schema())
+			if err != nil {
+				return nil, err
+			}
+			b.buf = append(b.buf, rows...)
+		}
+	}
+}
+
+// nextBatched is the batched Next loop of LeftApply. The chunk is the
+// resilience unit: a degradable failure of the set-oriented call NULL-pads
+// every outer row of the chunk (per-row execution would have padded them
+// one by one as each row's call hit the same open breaker).
+func (a *LeftApply) nextBatched() (types.Row, error) {
+	b := a.batch
+	for {
+		if r, ok := b.next(); ok {
+			return r, nil
+		}
+		if b.leftDone {
+			return nil, io.EOF
+		}
+		chunk, err := b.fill(a.ctx, a.Left)
+		if err != nil {
+			return nil, err
+		}
+		if len(chunk) == 0 {
+			continue
+		}
+		tabs, err := b.fs.invokeBatch(a.ctx, childBindRows(a.bind, chunk))
+		if err != nil {
+			if degrade(a.ctx, true, err) {
+				for _, lr := range chunk {
+					b.buf = append(b.buf, padNullRow(lr, a.Right.Schema()))
+				}
+				continue
+			}
+			return nil, err
+		}
+		for i, lr := range chunk {
+			rows, err := joinLateralRows(lr, tabs[i], a.On, true, a.Right.Schema())
+			if err != nil {
+				return nil, err
+			}
+			b.buf = append(b.buf, rows...)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"fedwf/internal/catalog"
+	"fedwf/internal/exec/batcher"
 	"fedwf/internal/obs"
 	"fedwf/internal/resil"
 	"fedwf/internal/simlat"
@@ -486,11 +487,16 @@ type Apply struct {
 	// operator then composes two materialised result sets and charges the
 	// composition cost.
 	Independent bool
+	// Batch, when enabled and the right side is a bare FuncScan,
+	// accumulates outer rows into chunks flushed as one set-oriented
+	// invocation each (see batch.go).
+	Batch batcher.Policy
 
 	ctx       *Ctx
 	bind      types.Row
 	leftRow   types.Row
 	rightOpen bool
+	batch     *batchRun
 }
 
 // Schema implements Operator.
@@ -502,6 +508,7 @@ func (a *Apply) Open(ctx *Ctx, bind types.Row) error {
 	a.bind = bind
 	a.leftRow = nil
 	a.rightOpen = false
+	a.batch = newBatchRun(a.Batch, a.Right)
 	if a.Independent {
 		ctx.Task.Step(simlat.StepJoinComposition, ctx.CompositionCost)
 	}
@@ -510,6 +517,9 @@ func (a *Apply) Open(ctx *Ctx, bind types.Row) error {
 
 // Next implements Operator.
 func (a *Apply) Next() (types.Row, error) {
+	if a.batch != nil {
+		return a.nextBatched()
+	}
 	for {
 		if a.leftRow == nil {
 			lr, err := a.Left.Next()
@@ -555,14 +565,19 @@ func (a *Apply) Close() error {
 }
 
 // Describe implements Operator.
-func (a *Apply) Describe() string { return "Apply (lateral)" }
+func (a *Apply) Describe() string {
+	if a.Batch.Enabled() {
+		return fmt.Sprintf("Apply (lateral, batch=%s)", a.Batch)
+	}
+	return "Apply (lateral)"
+}
 
 // Children implements Operator.
 func (a *Apply) Children() []Operator { return []Operator{a.Left, a.Right} }
 
 // Clone implements Operator.
 func (a *Apply) Clone() Operator {
-	return &Apply{Left: a.Left.Clone(), Right: a.Right.Clone(), Sch: a.Sch, Independent: a.Independent}
+	return &Apply{Left: a.Left.Clone(), Right: a.Right.Clone(), Sch: a.Sch, Independent: a.Independent, Batch: a.Batch}
 }
 
 // ------------------------------------------------------------ LeftApply
@@ -574,12 +589,15 @@ type LeftApply struct {
 	Left, Right Operator
 	On          Expr // evaluated over leftRow ++ rightRow; nil matches all
 	Sch         types.Schema
+	// Batch mirrors Apply.Batch: chunked set-oriented right-side calls.
+	Batch batcher.Policy
 
 	ctx       *Ctx
 	bind      types.Row
 	leftRow   types.Row
 	rightOpen bool
 	matched   bool
+	batch     *batchRun
 }
 
 // Schema implements Operator.
@@ -591,11 +609,15 @@ func (a *LeftApply) Open(ctx *Ctx, bind types.Row) error {
 	a.bind = bind
 	a.leftRow = nil
 	a.rightOpen = false
+	a.batch = newBatchRun(a.Batch, a.Right)
 	return a.Left.Open(ctx, bind)
 }
 
 // Next implements Operator.
 func (a *LeftApply) Next() (types.Row, error) {
+	if a.batch != nil {
+		return a.nextBatched()
+	}
 	for {
 		if a.leftRow == nil {
 			lr, err := a.Left.Next()
@@ -678,10 +700,14 @@ func (a *LeftApply) Close() error {
 
 // Describe implements Operator.
 func (a *LeftApply) Describe() string {
-	if a.On != nil {
-		return "LeftApply on " + a.On.String()
+	s := "LeftApply"
+	if a.Batch.Enabled() {
+		s += fmt.Sprintf(" (batch=%s)", a.Batch)
 	}
-	return "LeftApply"
+	if a.On != nil {
+		s += " on " + a.On.String()
+	}
+	return s
 }
 
 // Children implements Operator.
@@ -689,7 +715,7 @@ func (a *LeftApply) Children() []Operator { return []Operator{a.Left, a.Right} }
 
 // Clone implements Operator.
 func (a *LeftApply) Clone() Operator {
-	return &LeftApply{Left: a.Left.Clone(), Right: a.Right.Clone(), On: a.On, Sch: a.Sch}
+	return &LeftApply{Left: a.Left.Clone(), Right: a.Right.Clone(), On: a.On, Sch: a.Sch, Batch: a.Batch}
 }
 
 // -------------------------------------------------------------- HashJoin

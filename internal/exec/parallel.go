@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"fedwf/internal/exec/batcher"
 	"fedwf/internal/obs"
 	"fedwf/internal/simlat"
 	"fedwf/internal/types"
@@ -40,6 +41,11 @@ type ParallelApply struct {
 	// On filters matches in Outer mode; evaluated over leftRow ++
 	// rightRow, nil matches all. Mirrors LeftApply.On.
 	On Expr
+	// Batch, when enabled and the right side is a bare FuncScan, makes
+	// each worker accumulate its partition's outer rows into chunks
+	// flushed as one set-oriented invocation each: batching amortizes the
+	// per-call overheads that parallelism only hides.
+	Batch batcher.Policy
 	// Stats, when set by Instrument, receives per-worker utilization
 	// (work charged to each branch); clones share it.
 	Stats *OpStats
@@ -122,21 +128,28 @@ func (a *ParallelApply) Open(ctx *Ctx, bind types.Row) error {
 				Warnings:        ctx.Warnings,
 				AllowDegraded:   ctx.AllowDegraded,
 			}
+			// Report the error the sequential plan would have hit
+			// first: the one at the lowest left-row index.
+			fail := func(idx int, err error) {
+				mu.Lock()
+				if idx < errIdx {
+					errIdx = idx
+					first = err
+				}
+				mu.Unlock()
+				stop.Store(true)
+			}
+			if fs := asFuncScan(rights[w]); fs != nil && a.Batch.Enabled() {
+				a.workerBatched(fs, wctx, bind, leftRows, results, w, workers, &stop, fail)
+				return
+			}
 			for idx := w; idx < len(leftRows); idx += workers {
 				if stop.Load() {
 					return
 				}
 				out, err := a.applyOne(rights[w], wctx, bind, leftRows[idx])
 				if err != nil {
-					mu.Lock()
-					// Report the error the sequential plan would have
-					// hit first: the one at the lowest left-row index.
-					if idx < errIdx {
-						errIdx = idx
-						first = err
-					}
-					mu.Unlock()
-					stop.Store(true)
+					fail(idx, err)
 					return
 				}
 				results[idx] = out
@@ -162,6 +175,68 @@ func (a *ParallelApply) Open(ctx *Ctx, bind types.Row) error {
 		a.rows = append(a.rows, rs...)
 	}
 	return nil
+}
+
+// workerBatched is one worker's batched loop: its static partition of the
+// outer rows accumulates into chunks under the batch policy (measured on
+// the worker's own virtual branch), each chunk flushing as one
+// set-oriented invocation. The chunk is the resilience unit — a
+// degradable failure NULL-pads every outer row of the chunk in Outer
+// mode.
+func (a *ParallelApply) workerBatched(fs *FuncScan, wctx *Ctx, bind types.Row, leftRows []types.Row, results [][]types.Row, w, workers int, stop *atomic.Bool, fail func(int, error)) {
+	bat := batcher.New(a.Batch)
+	var chunk []int
+	flush := func() bool {
+		if len(chunk) == 0 {
+			return true
+		}
+		bat.Flush()
+		binds := make([]types.Row, len(chunk))
+		for j, idx := range chunk {
+			cb := make(types.Row, 0, len(bind)+len(leftRows[idx]))
+			cb = append(cb, bind...)
+			cb = append(cb, leftRows[idx]...)
+			binds[j] = cb
+		}
+		tabs, err := fs.invokeBatch(wctx, binds)
+		if err != nil {
+			if degrade(wctx, a.Outer, err) {
+				for _, idx := range chunk {
+					results[idx] = []types.Row{padNullRow(leftRows[idx], fs.Schema())}
+				}
+				chunk = chunk[:0]
+				return true
+			}
+			fail(chunk[0], err)
+			return false
+		}
+		for j, idx := range chunk {
+			rows, err := joinLateralRows(leftRows[idx], tabs[j], a.On, a.Outer, fs.Schema())
+			if err != nil {
+				fail(idx, err)
+				return false
+			}
+			results[idx] = rows
+		}
+		chunk = chunk[:0]
+		return true
+	}
+	for idx := w; idx < len(leftRows); idx += workers {
+		if stop.Load() {
+			return
+		}
+		if err := wctx.check(); err != nil {
+			fail(idx, err)
+			return
+		}
+		chunk = append(chunk, idx)
+		if bat.Add(batcher.RowBytes(leftRows[idx]), wctx.Task.Elapsed()) != batcher.TriggerNone {
+			if !flush() {
+				return
+			}
+		}
+	}
+	flush()
 }
 
 // applyOne runs the right side for one outer row and returns the joined
@@ -250,6 +325,9 @@ func (a *ParallelApply) Describe() string {
 		name = "ParallelLeftApply"
 	}
 	s := fmt.Sprintf("%s (dop=%d)", name, a.effectiveDOP())
+	if a.Batch.Enabled() {
+		s += fmt.Sprintf(" (batch=%s)", a.Batch)
+	}
 	if a.On != nil {
 		s += " on " + a.On.String()
 	}
@@ -264,6 +342,6 @@ func (a *ParallelApply) Clone() Operator {
 	return &ParallelApply{
 		Left: a.Left.Clone(), Right: a.Right.Clone(), Sch: a.Sch,
 		DOP: a.DOP, Independent: a.Independent, Outer: a.Outer, On: a.On,
-		Stats: a.Stats,
+		Batch: a.Batch, Stats: a.Stats,
 	}
 }

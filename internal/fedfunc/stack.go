@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"fedwf/internal/appsys"
+	"fedwf/internal/catalog"
 	"fedwf/internal/controller"
 	"fedwf/internal/engine"
 	"fedwf/internal/resil"
@@ -57,6 +59,13 @@ type Stack struct {
 	profile    simlat.Profile
 	supported  map[string]bool
 	guard      *resil.Executor
+
+	// rpcCalls counts wire requests to the application systems (one per
+	// Call and one per CallBatch, so batching N rows is ONE request);
+	// wfInstances counts started workflow process instances. Both feed the
+	// set-orientation experiment (E13).
+	rpcCalls    *atomic.Int64
+	wfInstances *atomic.Int64
 }
 
 // Options configures stack construction.
@@ -107,7 +116,7 @@ func NewStack(arch Arch, opts Options) (*Stack, error) {
 	}
 	appsClient := opts.AppsClient
 	if appsClient == nil {
-		appsClient = rpc.NewInProc(apps.Handler())
+		appsClient = rpc.NewInProcBatch(apps.Handler(), apps.BatchHandler())
 	}
 	// Guard order matters: fault injection sits inside the retry loop, so
 	// every retry attempt re-rolls the fault plan; the breaker observes
@@ -121,10 +130,11 @@ func NewStack(arch Arch, opts Options) (*Stack, error) {
 		guard.SetObserver(opts.Observer)
 		appsClient = rpc.Guard(appsClient, guard)
 	}
-	invoker := wfms.InvokerFunc(func(ctx context.Context, task *simlat.Task, system, function string, args []types.Value) (*types.Table, error) {
-		return appsClient.Call(ctx, task, rpc.Request{System: system, Function: function, Args: args})
-	})
-	wfEngine := wfms.New(invoker, wfms.CostsFromProfile(profile))
+	rpcCalls := new(atomic.Int64)
+	appsClient = &countingClient{inner: appsClient, n: rpcCalls}
+	wfEngine := wfms.New(rpcInvoker{c: appsClient}, wfms.CostsFromProfile(profile))
+	wfInstances := new(atomic.Int64)
+	wfEngine.SetProcessObserver(func() { wfInstances.Add(1) })
 	ctl := controller.New(profile, wfEngine, appsClient)
 	var bridge *controller.Bridge
 	if opts.Direct {
@@ -141,11 +151,13 @@ func NewStack(arch Arch, opts Options) (*Stack, error) {
 			engine.WithStatementTimeout(opts.StmtTimeout),
 			engine.WithPartialResults(opts.PartialResults),
 		),
-		bridge:     bridge,
-		instrument: udtf.NewInstrument(profile),
-		profile:    profile,
-		supported:  make(map[string]bool),
-		guard:      guard,
+		bridge:      bridge,
+		instrument:  udtf.NewInstrument(profile),
+		profile:     profile,
+		supported:   make(map[string]bool),
+		guard:       guard,
+		rpcCalls:    rpcCalls,
+		wfInstances: wfInstances,
 	}
 	specs := Specs()
 	switch arch {
@@ -169,6 +181,12 @@ func NewStack(arch Arch, opts Options) (*Stack, error) {
 			}
 			s.supported[strings.ToLower(spec.Name)] = true
 		}
+		// The trivial case gets a hand-written set-oriented realization:
+		// batched plans drive the A-UDTF's batch path, so a whole chunk
+		// costs one I-UDTF entry, one A-UDTF entry, and one RPC round trip.
+		if err := s.registerGibKompNrBatch(); err != nil {
+			return nil, err
+		}
 		// The Go I-UDTF variants (enhanced Java UDTF architecture) ride on
 		// the same A-UDTFs.
 		for _, spec := range specs {
@@ -186,6 +204,85 @@ func NewStack(arch Arch, opts Options) (*Stack, error) {
 		return nil, fmt.Errorf("fedfunc: unknown architecture %d", arch)
 	}
 	return s, nil
+}
+
+// registerGibKompNrBatch installs the set-oriented realization of the
+// trivial-case SQL I-UDTF: all KompName rows of a chunk forward to the
+// GetCompNo A-UDTF's own batch path in one call, and each per-row result
+// is projected onto the federated signature (No -> KompNr), mirroring the
+// SQL body's SELECT list.
+func (s *Stack) registerGibKompNrBatch() error {
+	getCompNo, err := s.engine.Catalog().Func("GetCompNo")
+	if err != nil {
+		return err
+	}
+	returns := types.Schema{{Name: "KompNr", Type: types.Integer}}
+	body := func(ctx context.Context, rt catalog.QueryRunner, task *simlat.Task, rows [][]types.Value) ([]*types.Table, error) {
+		tabs, err := catalog.InvokeFuncBatch(ctx, getCompNo, rt, task, rows)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]*types.Table, len(tabs))
+		for i, tab := range tabs {
+			pt := &types.Table{Schema: returns.Clone(), Rows: make([]types.Row, 0, len(tab.Rows))}
+			for _, r := range tab.Rows {
+				pt.Rows = append(pt.Rows, types.Row{r[0]})
+			}
+			out[i] = pt
+		}
+		return out, nil
+	}
+	return udtf.SetSQLBatchRealization(s.engine, s.instrument, "GibKompNr", body)
+}
+
+// countingClient counts wire requests leaving the stack: each Call and
+// each CallBatch increments by ONE, so batching N rows shows up as a
+// single request. The count sits outside the guard, measuring logical
+// round trips rather than retry attempts.
+type countingClient struct {
+	inner rpc.Client
+	n     *atomic.Int64
+}
+
+func (c *countingClient) Call(ctx context.Context, task *simlat.Task, req rpc.Request) (*types.Table, error) {
+	c.n.Add(1)
+	return c.inner.Call(ctx, task, req)
+}
+
+// CallMeta implements rpc.MetaCaller when the wrapped client does.
+func (c *countingClient) CallMeta(ctx context.Context, task *simlat.Task, req rpc.Request) (*types.Table, map[string]string, error) {
+	c.n.Add(1)
+	if mc, ok := c.inner.(rpc.MetaCaller); ok {
+		return mc.CallMeta(ctx, task, req)
+	}
+	res, err := c.inner.Call(ctx, task, req)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, map[string]string{}, nil
+}
+
+// CallBatch implements rpc.BatchCaller: one increment for the whole set,
+// degrading to per-row calls only below this layer when the transport
+// cannot batch.
+func (c *countingClient) CallBatch(ctx context.Context, task *simlat.Task, req rpc.BatchRequest) ([]*types.Table, error) {
+	c.n.Add(1)
+	return rpc.CallBatch(ctx, task, c.inner, req)
+}
+
+func (c *countingClient) Close() error { return c.inner.Close() }
+
+// rpcInvoker adapts the stack's application-system client to the workflow
+// engine's invoker interfaces, including the set-oriented path.
+type rpcInvoker struct{ c rpc.Client }
+
+func (iv rpcInvoker) Invoke(ctx context.Context, task *simlat.Task, system, function string, args []types.Value) (*types.Table, error) {
+	return iv.c.Call(ctx, task, rpc.Request{System: system, Function: function, Args: args})
+}
+
+// InvokeBatch implements wfms.BatchInvoker.
+func (iv rpcInvoker) InvokeBatch(ctx context.Context, task *simlat.Task, system, function string, rows [][]types.Value) ([]*types.Table, error) {
+	return rpc.CallBatch(ctx, task, iv.c, rpc.BatchRequest{System: system, Function: function, Rows: rows})
 }
 
 // registerAccessUDTFs creates one A-UDTF per local function of every
@@ -254,6 +351,21 @@ func (s *Stack) Flush(level udtf.BootLevel) {
 // application-system calls (nil when neither retries nor breaking are
 // configured).
 func (s *Stack) Guard() *resil.Executor { return s.guard }
+
+// Counters returns the number of application-system wire requests and
+// started workflow process instances since construction or the last
+// ResetCounters. A batched call of N rows counts as ONE request, and a
+// batch mapped onto one process instance counts as ONE instance — the
+// quantities experiment E13 asserts on.
+func (s *Stack) Counters() (rpcCalls, wfInstances int64) {
+	return s.rpcCalls.Load(), s.wfInstances.Load()
+}
+
+// ResetCounters zeroes the RPC and workflow-instance counters.
+func (s *Stack) ResetCounters() {
+	s.rpcCalls.Store(0)
+	s.wfInstances.Store(0)
+}
 
 // Call invokes a federated function through the full stack.
 //

@@ -38,10 +38,11 @@ var allowedImports = map[string][]string{
 	"resil":         {"obs", "simlat", "types"},
 
 	// FDBS core.
-	"catalog": {"simlat", "sqlparser", "storage", "types"},
-	"exec":    {"catalog", "obs", "resil", "simlat", "sqlparser", "storage", "types"},
-	"plan":    {"catalog", "exec", "simlat", "sqlparser", "types"},
-	"engine":  {"catalog", "exec", "obs", "plan", "resil", "simlat", "sqlparser", "types"},
+	"catalog":      {"simlat", "sqlparser", "storage", "types"},
+	"exec/batcher": {"types"},
+	"exec":         {"catalog", "exec/batcher", "obs", "resil", "simlat", "sqlparser", "storage", "types"},
+	"plan":         {"catalog", "exec", "exec/batcher", "simlat", "sqlparser", "types"},
+	"engine":       {"catalog", "exec", "exec/batcher", "obs", "plan", "resil", "simlat", "sqlparser", "types"},
 
 	// Workflow side.
 	"rpc":        {"obs", "resil", "simlat", "types"},

@@ -33,14 +33,43 @@ type GoodWire struct {
 	Tags map[string]string
 }
 
+// BatchEntry mirrors the per-row entry of a batched response; it is only
+// reachable through BatchResponse's slice, two containers deep.
+type BatchEntry struct {
+	Err     string
+	Rows    [][]int64
+	onClose func() // want `field onClose is unexported`
+}
+
+// BatchRequest mirrors a set-oriented request: a slice-of-slices payload
+// is a legal gob shape and must produce no findings.
+type BatchRequest struct {
+	System string
+	Rows   [][]string
+}
+
+// BatchResponse carries one entry per request row.
+type BatchResponse struct {
+	Err   string
+	Batch []BatchEntry
+}
+
 // Register puts the types on the wire.
 func Register() {
 	gob.Register(BadWire{})
 	gob.Register(GoodWire{})
+	gob.Register(BatchRequest{})
 }
 
 // Encode exercises the Encoder.Encode root.
 func Encode(v Outer) error {
+	var buf bytes.Buffer
+	return gob.NewEncoder(&buf).Encode(v)
+}
+
+// EncodeBatch puts the batched response on the wire, so the walk must
+// descend Batch []BatchEntry and flag the hostile field.
+func EncodeBatch(v BatchResponse) error {
 	var buf bytes.Buffer
 	return gob.NewEncoder(&buf).Encode(v)
 }

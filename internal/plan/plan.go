@@ -12,6 +12,7 @@ import (
 
 	"fedwf/internal/catalog"
 	"fedwf/internal/exec"
+	"fedwf/internal/exec/batcher"
 	"fedwf/internal/sqlparser"
 	"fedwf/internal/types"
 )
@@ -25,6 +26,20 @@ type Options struct {
 	// degree of parallelism wherever the right side of a lateral join is
 	// side-effect-free; <= 1 keeps today's sequential Apply plans.
 	Parallelism int
+	// Batch makes lateral operators over a side-effect-free FuncScan
+	// accumulate outer rows into chunks flushed as one set-oriented
+	// federated call each (count/bytes/virtual-time-period triggers).
+	// The zero policy keeps today's per-row calls.
+	Batch batcher.Policy
+}
+
+// batchFor gates the batch policy the same way ParallelApply is gated:
+// only a side-effect-free, laterally-referenced right side batches.
+func (c *compiler) batchFor(right exec.Operator, lateral bool) batcher.Policy {
+	if !lateral || !c.opts.Batch.Enabled() || !sideEffectFree(right) {
+		return batcher.Policy{}
+	}
+	return c.opts.Batch
 }
 
 // CompileSelect compiles a SELECT against the catalog. params binds the
@@ -222,11 +237,13 @@ func (c *compiler) addFromItem(chain exec.Operator, item sqlparser.FromItem, pen
 					Left: orEmptyValues(left), Right: rightOp, On: on,
 					Sch: c.schemaOf(0, len(c.cols)),
 					DOP: c.opts.Parallelism, Outer: true,
+					Batch: c.batchFor(rightOp, lateral),
 				}
 			} else {
 				joined = &exec.LeftApply{
 					Left: orEmptyValues(left), Right: rightOp, On: on,
-					Sch: c.schemaOf(0, len(c.cols)),
+					Sch:   c.schemaOf(0, len(c.cols)),
+					Batch: c.batchFor(rightOp, lateral),
 				}
 			}
 			return c.attachReady(joined, pending)
@@ -327,9 +344,13 @@ func (c *compiler) joinWith(left, right exec.Operator, leftWidth int, lateral bo
 		op = &exec.ParallelApply{
 			Left: orEmptyValues(left), Right: right, Sch: full,
 			DOP: c.opts.Parallelism, Independent: !lateral && leftWidth > 0,
+			Batch: c.batchFor(right, lateral),
 		}
 	} else {
-		op = &exec.Apply{Left: orEmptyValues(left), Right: right, Sch: full, Independent: !lateral && leftWidth > 0}
+		op = &exec.Apply{
+			Left: orEmptyValues(left), Right: right, Sch: full, Independent: !lateral && leftWidth > 0,
+			Batch: c.batchFor(right, lateral),
+		}
 	}
 	for _, oc := range onConjuncts {
 		pred, err := c.compileExpr(oc)

@@ -42,10 +42,28 @@ type Request struct {
 	Trace obs.TraceContext
 }
 
+// BatchRequest names one set-oriented invocation: the same function
+// applied to N parameter rows in a single round trip. The reply carries
+// one result table per row, in row order.
+type BatchRequest struct {
+	System   string
+	Function string
+	Rows     [][]types.Value
+	// Trace is the caller's trace context, as on Request.
+	Trace obs.TraceContext
+}
+
 // Handler serves requests. The context carries the statement's deadline
 // and cancellation; the task is the caller's cost meter for in-process
 // transports and a free meter for TCP servers.
 type Handler func(ctx context.Context, task *simlat.Task, req Request) (*types.Table, error)
+
+// BatchHandler serves set-oriented requests: it returns exactly one result
+// table per request row. A nil BatchHandler on a server or in-process
+// client makes the transport fall back to invoking the row handler once
+// per row, so batch-capable clients interoperate with row-oriented
+// services.
+type BatchHandler func(ctx context.Context, task *simlat.Task, req BatchRequest) ([]*types.Table, error)
 
 // MetaHandler is a Handler that additionally returns response metadata
 // (string key/value pairs shipped alongside the result table); the fdbs
@@ -72,9 +90,38 @@ type MetaCaller interface {
 	CallMeta(ctx context.Context, task *simlat.Task, req Request) (*types.Table, map[string]string, error)
 }
 
+// BatchCaller is implemented by clients that ship N parameter rows in one
+// wire request (the database/sql optional-interface pattern, like
+// MetaCaller). Both built-in transports implement it.
+type BatchCaller interface {
+	CallBatch(ctx context.Context, task *simlat.Task, req BatchRequest) ([]*types.Table, error)
+}
+
+// CallBatch issues a set-oriented request through any client: natively
+// when the client implements BatchCaller, else by degrading to one Call
+// per row — so callers can batch unconditionally and old transports keep
+// working. The result always has exactly one table per request row.
+func CallBatch(ctx context.Context, task *simlat.Task, c Client, req BatchRequest) ([]*types.Table, error) {
+	if bc, ok := c.(BatchCaller); ok {
+		return bc.CallBatch(ctx, task, req)
+	}
+	out := make([]*types.Table, len(req.Rows))
+	for i, args := range req.Rows {
+		res, err := c.Call(ctx, task, Request{System: req.System, Function: req.Function, Args: args, Trace: req.Trace})
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
 // ----------------------------------------------------------- in-process
 
-type inProcClient struct{ h MetaHandler }
+type inProcClient struct {
+	h  MetaHandler
+	bh BatchHandler
+}
 
 // NewInProc returns a client that dispatches directly to the handler.
 func NewInProc(h Handler) Client { return &inProcClient{h: metaOf(h)} }
@@ -82,6 +129,13 @@ func NewInProc(h Handler) Client { return &inProcClient{h: metaOf(h)} }
 // NewInProcMeta returns an in-process client over a metadata-returning
 // handler.
 func NewInProcMeta(h MetaHandler) Client { return &inProcClient{h: h} }
+
+// NewInProcBatch returns an in-process client that dispatches row requests
+// to h and set-oriented requests to bh. A nil bh falls back to one h call
+// per row.
+func NewInProcBatch(h Handler, bh BatchHandler) Client {
+	return &inProcClient{h: metaOf(h), bh: bh}
+}
 
 // Call implements Client.
 func (c *inProcClient) Call(ctx context.Context, task *simlat.Task, req Request) (*types.Table, error) {
@@ -97,6 +151,37 @@ func (c *inProcClient) CallMeta(ctx context.Context, task *simlat.Task, req Requ
 	sp := obs.StartSpan(task, "rpc.call", obs.Attr{Key: "system", Value: req.System}, obs.Attr{Key: "function", Value: req.Function})
 	defer sp.End(task)
 	return c.h(ctx, task, req)
+}
+
+// CallBatch implements BatchCaller: one logical round trip for N rows.
+func (c *inProcClient) CallBatch(ctx context.Context, task *simlat.Task, req BatchRequest) ([]*types.Table, error) {
+	if err := resil.Check(ctx, task); err != nil {
+		return nil, err
+	}
+	sp := obs.StartSpan(task, "rpc.call.batch",
+		obs.Attr{Key: "system", Value: req.System},
+		obs.Attr{Key: "function", Value: req.Function},
+		obs.Attr{Key: "batch_size", Value: fmt.Sprintf("%d", len(req.Rows))})
+	defer sp.End(task)
+	if c.bh != nil {
+		out, err := c.bh(ctx, task, req)
+		if err != nil {
+			return nil, err
+		}
+		if len(out) != len(req.Rows) {
+			return nil, fmt.Errorf("rpc: batch handler returned %d tables for %d rows", len(out), len(req.Rows))
+		}
+		return out, nil
+	}
+	out := make([]*types.Table, len(req.Rows))
+	for i, args := range req.Rows {
+		res, _, err := c.h(ctx, task, Request{System: req.System, Function: req.Function, Args: args, Trace: req.Trace})
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
+	}
+	return out, nil
 }
 
 // Close implements Client.
@@ -137,12 +222,18 @@ func (g *guardClient) Call(ctx context.Context, task *simlat.Task, req Request) 
 }
 
 // CallMeta implements MetaCaller when the wrapped client does; metadata of
-// the successful (final) attempt is returned.
+// the successful (final) attempt is returned. When the wrapped client is
+// not a MetaCaller, a successful call carries an explicit empty map —
+// never nil — so callers can distinguish "no metadata available" from "the
+// call failed" without a nil check.
 func (g *guardClient) CallMeta(ctx context.Context, task *simlat.Task, req Request) (*types.Table, map[string]string, error) {
 	mc, ok := g.c.(MetaCaller)
 	if !ok {
 		res, err := g.Call(ctx, task, req)
-		return res, nil, err
+		if err != nil {
+			return nil, nil, err
+		}
+		return res, map[string]string{}, nil
 	}
 	var meta map[string]string
 	res, err := g.ex.Call(ctx, task, guardKey(req), func(ctx context.Context) (*types.Table, error) {
@@ -151,6 +242,23 @@ func (g *guardClient) CallMeta(ctx context.Context, task *simlat.Task, req Reque
 		return r, err
 	})
 	return res, meta, err
+}
+
+// CallBatch implements BatchCaller: the whole batch passes the breaker and
+// retry loop as one unit — a batch is one wire request, so it fails,
+// retries, and trips breakers atomically.
+func (g *guardClient) CallBatch(ctx context.Context, task *simlat.Task, req BatchRequest) ([]*types.Table, error) {
+	var out []*types.Table
+	key := guardKey(Request{System: req.System, Function: req.Function})
+	_, err := g.ex.Call(ctx, task, key, func(ctx context.Context) (*types.Table, error) {
+		res, err := CallBatch(ctx, task, g.c, req)
+		out = res
+		return nil, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Close implements Client.
@@ -190,6 +298,15 @@ func (f *faultClient) CallMeta(ctx context.Context, task *simlat.Task, req Reque
 	}
 	res, err := f.c.Call(ctx, task, req)
 	return res, nil, err
+}
+
+// CallBatch implements BatchCaller: one injection roll per batch, because
+// a batch is one wire request.
+func (f *faultClient) CallBatch(ctx context.Context, task *simlat.Task, req BatchRequest) ([]*types.Table, error) {
+	if err := f.in.Inject(ctx, task, guardKey(Request{System: req.System, Function: req.Function})); err != nil {
+		return nil, err
+	}
+	return CallBatch(ctx, task, f.c, req)
 }
 
 // Close implements Client.
@@ -257,6 +374,21 @@ type wireRequest struct {
 	// relative timeout on the handler context, so deadlines propagate
 	// across the process boundary. Old peers decode it as 0.
 	DeadlineMS int64
+	// BatchRows carries the parameter rows of a set-oriented request; a
+	// non-empty slice makes Args irrelevant and asks the server for one
+	// result table per row. Old servers decode the field and ignore it —
+	// which is why batch-capable clients must only send it to servers that
+	// announce batch support (or accept a single-row-shaped reply); old
+	// clients never set it, so upgraded servers serve them unchanged.
+	BatchRows [][]wireValue
+}
+
+// wireBatchEntry is one per-row result of a set-oriented reply: either an
+// error or a table. Entries appear in request-row order.
+type wireBatchEntry struct {
+	Err     string
+	Columns []wireColumn
+	Rows    [][]wireValue
 }
 
 type wireResponse struct {
@@ -264,6 +396,10 @@ type wireResponse struct {
 	Columns []wireColumn
 	Rows    [][]wireValue
 	Meta    map[string]string
+	// Batch carries the per-row tables of a set-oriented reply; empty on
+	// single-row responses, and decoded as empty by old clients (which
+	// never issue batch requests, so they never look for it).
+	Batch []wireBatchEntry
 }
 
 // registerWireTypes guards one-time gob registration.
@@ -281,6 +417,7 @@ func RegisterWireTypes() {
 		gob.Register(wireColumn{})
 		gob.Register(wireRequest{})
 		gob.Register(wireResponse{})
+		gob.Register(wireBatchEntry{})
 	})
 }
 
@@ -321,6 +458,7 @@ func fromWireTable(cols []wireColumn, rows [][]wireValue) *types.Table {
 // Server serves RPC requests over TCP.
 type Server struct {
 	h  MetaHandler
+	bh BatchHandler
 	ln net.Listener
 
 	mu        sync.Mutex
@@ -361,6 +499,13 @@ func NewServerMeta(h MetaHandler) *Server {
 	RegisterWireTypes()
 	return &Server{h: h, conns: make(map[net.Conn]struct{})}
 }
+
+// SetBatchHandler installs a set-oriented handler consulted for requests
+// that carry batch rows. Without one, the server falls back to running the
+// row handler once per batch row — batch clients still get a correct
+// per-row reply, just without server-side amortization. Install it at
+// wiring time, before Listen.
+func (s *Server) SetBatchHandler(bh BatchHandler) { s.bh = bh }
 
 // SetTraceSink installs the destination for server-side span fragments
 // that exceed the inline metadata cap: typically a collector's Offer. When
@@ -449,12 +594,39 @@ func (s *Server) serveConn(conn net.Conn) {
 				obs.Attr{Key: "function", Value: req.Function})
 			tr.Root().SetTraceID(req.Trace.TraceID)
 		}
-		res, meta, err := s.h(ctx, task, req)
 		var wres wireResponse
-		if err != nil {
-			wres.Err = err.Error()
+		var meta map[string]string
+		var err error
+		if len(wreq.BatchRows) > 0 {
+			rows := make([][]types.Value, len(wreq.BatchRows))
+			for i, wr := range wreq.BatchRows {
+				row := make([]types.Value, len(wr))
+				for j, w := range wr {
+					row[j] = fromWireValue(w)
+				}
+				rows[i] = row
+			}
+			var tables []*types.Table
+			tables, err = s.serveBatch(ctx, task, BatchRequest{
+				System: req.System, Function: req.Function, Rows: rows, Trace: req.Trace})
+			if err != nil {
+				wres.Err = err.Error()
+			} else {
+				wres.Batch = make([]wireBatchEntry, len(tables))
+				for i, t := range tables {
+					var e wireBatchEntry
+					e.Columns, e.Rows = toWireTable(t)
+					wres.Batch[i] = e
+				}
+			}
 		} else {
-			wres.Columns, wres.Rows = toWireTable(res)
+			var res *types.Table
+			res, meta, err = s.h(ctx, task, req)
+			if err != nil {
+				wres.Err = err.Error()
+			} else {
+				wres.Columns, wres.Rows = toWireTable(res)
+			}
 		}
 		if tr != nil {
 			meta = s.finishServeTrace(tr, req.Trace, meta, err)
@@ -466,6 +638,31 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// serveBatch dispatches a set-oriented request to the batch handler, or —
+// when none is installed — replays it as one row-handler call per row, so
+// the wire contract (one table per row) holds either way.
+func (s *Server) serveBatch(ctx context.Context, task *simlat.Task, req BatchRequest) ([]*types.Table, error) {
+	if s.bh != nil {
+		out, err := s.bh(ctx, task, req)
+		if err != nil {
+			return nil, err
+		}
+		if len(out) != len(req.Rows) {
+			return nil, fmt.Errorf("rpc: batch handler returned %d tables for %d rows", len(out), len(req.Rows))
+		}
+		return out, nil
+	}
+	out := make([]*types.Table, len(req.Rows))
+	for i, args := range req.Rows {
+		res, _, err := s.h(ctx, task, Request{System: req.System, Function: req.Function, Args: args, Trace: req.Trace})
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
+	}
+	return out, nil
 }
 
 // finishServeTrace closes the serve-side trace and decides how its
@@ -664,6 +861,87 @@ func (c *tcpClient) CallMeta(ctx context.Context, task *simlat.Task, req Request
 		return nil, wres.Meta, errors.New(wres.Err)
 	}
 	return fromWireTable(wres.Columns, wres.Rows), wres.Meta, nil
+}
+
+// CallBatch implements BatchCaller over the wire: N parameter rows travel
+// in one gob frame and the reply carries one table (or error) per row.
+// Deadline and trace propagation follow CallMeta. A server that predates
+// batch support replies in the single-row shape; that surfaces here as an
+// explicit error rather than silently dropping rows.
+func (c *tcpClient) CallBatch(ctx context.Context, task *simlat.Task, req BatchRequest) ([]*types.Table, error) {
+	if err := resil.Check(ctx, task); err != nil {
+		return nil, err
+	}
+	sp := obs.StartSpan(task, "rpc.call.batch",
+		obs.Attr{Key: "system", Value: req.System},
+		obs.Attr{Key: "function", Value: req.Function},
+		obs.Attr{Key: "batch_size", Value: fmt.Sprintf("%d", len(req.Rows))})
+	defer sp.End(task)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	wreq := wireRequest{System: req.System, Function: req.Function, BatchRows: make([][]wireValue, len(req.Rows))}
+	for i, row := range req.Rows {
+		wr := make([]wireValue, len(row))
+		for j, v := range row {
+			wr[j] = toWireValue(v)
+		}
+		wreq.BatchRows[i] = wr
+	}
+	tc := req.Trace
+	if !tc.Sampled {
+		tc = obs.ContextFrom(task)
+	}
+	wreq.TraceID, wreq.SpanID, wreq.Sampled = tc.TraceID, tc.SpanID, tc.Sampled
+	if rem, ok := resil.Remaining(ctx, task); ok && rem > 0 {
+		wreq.DeadlineMS = int64(rem / simlat.PaperMS)
+	}
+	if err := c.enc.Encode(&wreq); err != nil {
+		return nil, fmt.Errorf("rpc: send: %w", err)
+	}
+	var watchDone chan struct{}
+	if ctx != nil && ctx.Done() != nil {
+		watchDone = make(chan struct{})
+		go func() {
+			select {
+			case <-ctx.Done():
+				c.conn.SetReadDeadline(time.Unix(1, 0))
+			case <-watchDone:
+			}
+		}()
+	}
+	var wres wireResponse
+	err := c.dec.Decode(&wres)
+	if watchDone != nil {
+		close(watchDone)
+	}
+	if err != nil {
+		if ctx != nil && ctx.Err() != nil {
+			return nil, fmt.Errorf("rpc: call cancelled: %w", ctx.Err())
+		}
+		return nil, fmt.Errorf("rpc: receive: %w", err)
+	}
+	if enc, ok := wres.Meta[obs.MetaTraceFragment]; ok {
+		if sp != nil {
+			if frag, ferr := obs.DecodeFragment(enc); ferr == nil && frag.Root != nil {
+				obs.Graft(sp, obs.SpanFromData(frag.Root, sp.Start()))
+			}
+		}
+	}
+	if wres.Err != "" {
+		sp.SetAttr("error", wres.Err)
+		return nil, errors.New(wres.Err)
+	}
+	if len(wres.Batch) != len(req.Rows) {
+		return nil, fmt.Errorf("rpc: batch reply has %d entries for %d rows (server predates batch support?)", len(wres.Batch), len(req.Rows))
+	}
+	out := make([]*types.Table, len(wres.Batch))
+	for i, e := range wres.Batch {
+		if e.Err != "" {
+			return nil, errors.New(e.Err)
+		}
+		out[i] = fromWireTable(e.Columns, e.Rows)
+	}
+	return out, nil
 }
 
 // Close implements Client.

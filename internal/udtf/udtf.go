@@ -113,8 +113,58 @@ func RegisterAccessUDTF(eng *engine.Engine, bridge *controller.Bridge, ins *Inst
 		task.Step(simlat.StepFinishAUDTF, profile.AUDTFFinish)
 		return out, nil
 	}
-	fn := &catalog.GoFunc{FName: name, FParams: params, FReturns: returns, FnCtx: impl}
+	implBatch := func(ctx context.Context, rt catalog.QueryRunner, task *simlat.Task, rows [][]types.Value) ([]*types.Table, error) {
+		sp := obs.StartSpan(task, "udtf.access.batch",
+			obs.Attr{Key: "fn", Value: name}, obs.Attr{Key: "batch_size", Value: fmt.Sprint(len(rows))})
+		defer sp.End(task)
+		// Entry, prepare, and finish are paid once for the whole set; the
+		// hop to the controller carries every row in one request.
+		ins.chargeEntry(task, name)
+		task.Step(simlat.StepPrepareAUDTF, profile.AUDTFPrepare)
+		prev := task.SetLabel(simlat.StepLocalFunctions)
+		out, err := bridge.CallFunctionBatch(ctx, task, system, function, rows)
+		task.SetLabel(prev)
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+			return nil, err
+		}
+		task.Step(simlat.StepFinishAUDTF, profile.AUDTFFinish)
+		return out, nil
+	}
+	fn := &catalog.GoFunc{FName: name, FParams: params, FReturns: returns, FnCtx: impl, FnBatchCtx: implBatch}
 	return eng.Catalog().RegisterFunc(fn)
+}
+
+// SetSQLBatchRealization installs a hand-written set-oriented realization
+// on a registered SQL I-UDTF: the body receives all argument rows of a
+// batch and answers one table per row, paying the I-UDTF entry and finish
+// costs once for the whole set. The per-row SQL body remains the
+// reference semantics for unbatched plans.
+func SetSQLBatchRealization(eng *engine.Engine, ins *Instrument, name string, body GoBatchBody) error {
+	fn, err := eng.Catalog().Func(name)
+	if err != nil {
+		return err
+	}
+	sqlFn, ok := fn.(*catalog.SQLFunc)
+	if !ok {
+		return fmt.Errorf("udtf: %s is not a SQL function", name)
+	}
+	profile := ins.profile
+	sqlFn.BatchBody = func(ctx context.Context, rt catalog.QueryRunner, task *simlat.Task, rows [][]types.Value) ([]*types.Table, error) {
+		sp := obs.StartSpan(task, "udtf.sql.batch",
+			obs.Attr{Key: "fn", Value: name}, obs.Attr{Key: "batch_size", Value: fmt.Sprint(len(rows))})
+		defer sp.End(task)
+		ins.chargeEntry(task, name)
+		task.Step(simlat.StepStartIUDTF, profile.IUDTFStart)
+		out, err := body(ctx, rt, task, rows)
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+			return nil, err
+		}
+		task.Step(simlat.StepFinishIUDTF, profile.IUDTFFinish)
+		return out, nil
+	}
+	return nil
 }
 
 // RegisterSQLIntegrationUDTF registers a SQL I-UDTF from its CREATE
@@ -165,6 +215,10 @@ func RegisterSQLIntegrationUDTF(eng *engine.Engine, ins *Instrument, createFunct
 // architecture's JDBC calls against A-UDTFs. The context carries the
 // statement's deadline into every nested query.
 type GoBody func(ctx context.Context, rt catalog.QueryRunner, task *simlat.Task, args []types.Value) (*types.Table, error)
+
+// GoBatchBody is the set-oriented form of GoBody: one call receives all
+// argument rows of a batch and returns one table per row.
+type GoBatchBody func(ctx context.Context, rt catalog.QueryRunner, task *simlat.Task, rows [][]types.Value) ([]*types.Table, error)
 
 // RegisterGoIntegrationUDTF registers a host-coded integration UDTF with
 // the same entry costs as a SQL I-UDTF.
@@ -219,6 +273,31 @@ func RegisterWorkflowUDTF(eng *engine.Engine, bridge *controller.Bridge, ins *In
 		task.Step(simlat.StepFinishUDTF, profile.UDTFFinish)
 		return out, nil
 	}
-	fn := &catalog.GoFunc{FName: process.Name, FParams: params, FReturns: process.Output.Clone(), FnCtx: impl}
+	implBatch := func(ctx context.Context, rt catalog.QueryRunner, task *simlat.Task, rows [][]types.Value) ([]*types.Table, error) {
+		sp := obs.StartSpan(task, "udtf.workflow.batch",
+			obs.Attr{Key: "fn", Value: process.Name}, obs.Attr{Key: "batch_size", Value: fmt.Sprint(len(rows))})
+		defer sp.End(task)
+		// The wrapper enters once for the whole set; the controller maps
+		// the batch onto one process instance looping over the rows.
+		ins.chargeEntry(task, process.Name)
+		task.Step(simlat.StepStartUDTF, profile.UDTFStart)
+		task.Step(simlat.StepProcessUDTF, profile.UDTFProcess)
+		inputs := make([]map[string]types.Value, len(rows))
+		for r, args := range rows {
+			input := make(map[string]types.Value, len(args))
+			for i, p := range process.Input {
+				input[strings.ToLower(p.Name)] = args[i]
+			}
+			inputs[r] = input
+		}
+		out, err := bridge.RunWorkflowBatch(ctx, task, process, inputs)
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+			return nil, err
+		}
+		task.Step(simlat.StepFinishUDTF, profile.UDTFFinish)
+		return out, nil
+	}
+	fn := &catalog.GoFunc{FName: process.Name, FParams: params, FReturns: process.Output.Clone(), FnCtx: impl, FnBatchCtx: implBatch}
 	return eng.Catalog().RegisterFunc(fn)
 }

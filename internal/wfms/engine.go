@@ -22,6 +22,9 @@ type Engine struct {
 	// onActivity, when set, is called once per executed activity (from
 	// activity goroutines; the observer must be safe for concurrent use).
 	onActivity func()
+	// onProcess, when set, is called once per started process instance —
+	// a whole batch shares one instance, so it fires once per batch.
+	onProcess func()
 }
 
 // New creates a workflow engine around an invoker for local functions.
@@ -43,6 +46,18 @@ func (e *Engine) SetActivityObserver(f func()) { e.onActivity = f }
 func (e *Engine) notifyActivity() {
 	if e.onActivity != nil {
 		e.onActivity()
+	}
+}
+
+// SetProcessObserver installs a callback invoked once per started process
+// instance. A batched run starts exactly one instance regardless of how
+// many rows the batch carries — the observer is how experiments count
+// workflow instances.
+func (e *Engine) SetProcessObserver(f func()) { e.onProcess = f }
+
+func (e *Engine) notifyProcess() {
+	if e.onProcess != nil {
+		e.onProcess()
 	}
 }
 
@@ -98,6 +113,7 @@ func (e *Engine) RunDetailedContext(ctx context.Context, task *simlat.Task, p *P
 	// Starting the process instance boots the workflow engine's Java
 	// environment: a constant cost per call, per the paper's Fig. 6.
 	task.Step(simlat.StepStartWorkflow, e.costs.StartProcess)
+	e.notifyProcess()
 	st := &runState{}
 	out, err := e.runProcess(ctx, task, p, input, st)
 	if err != nil {

@@ -355,6 +355,39 @@ type Invoker interface {
 	Invoke(ctx context.Context, task *simlat.Task, system, function string, args []types.Value) (*types.Table, error)
 }
 
+// BatchInvoker is the set-oriented extension of Invoker (the optional-
+// interface pattern): one call carries every argument row of a batch and
+// answers one table per row, so the transport underneath can issue a
+// single RPC for the whole set.
+type BatchInvoker interface {
+	Invoker
+	InvokeBatch(ctx context.Context, task *simlat.Task, system, function string, rows [][]types.Value) ([]*types.Table, error)
+}
+
+// invokeBatch dispatches to InvokeBatch when the invoker supports it, else
+// degrades to a per-row loop.
+func invokeBatch(ctx context.Context, inv Invoker, task *simlat.Task, system, function string, rows [][]types.Value) ([]*types.Table, error) {
+	if bi, ok := inv.(BatchInvoker); ok {
+		out, err := bi.InvokeBatch(ctx, task, system, function, rows)
+		if err != nil {
+			return nil, err
+		}
+		if len(out) != len(rows) {
+			return nil, fmt.Errorf("wfms: batch invoker returned %d tables for %d rows", len(out), len(rows))
+		}
+		return out, nil
+	}
+	out := make([]*types.Table, len(rows))
+	for i, args := range rows {
+		res, err := inv.Invoke(ctx, task, system, function, args)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
 // InvokerFunc adapts a function to Invoker.
 type InvokerFunc func(ctx context.Context, task *simlat.Task, system, function string, args []types.Value) (*types.Table, error)
 
