@@ -1,14 +1,22 @@
-// Command benchcheck validates a paperbench -json record file: it parses
-// the JSON, rejects structurally malformed output, and optionally asserts
-// that specific experiments are present. CI pipes fresh paperbench output
-// through it so a refactor that silently breaks the bench emitters fails
-// the build instead of publishing an empty benchmark artifact.
+// Command benchcheck validates and compares paperbench -json record
+// files. In validate mode it parses the JSON, rejects structurally
+// malformed output, and optionally asserts that specific experiments are
+// present. In compare mode (-compare) it diffs two record files and fails
+// when any measurement regressed by more than -threshold percent, so CI
+// can gate merges on benchmark drift instead of eyeballing artifacts.
 //
 //	paperbench -exp batch -json bench.json && benchcheck -require E8,E13 bench.json
 //	benchcheck < bench.json
+//	benchcheck -compare -threshold 5 BENCH_seed.json BENCH_head.json
 //
-// Exit status is 0 when the file is well-formed (and every required
-// experiment appears), 1 otherwise.
+// Compare mode keys each record by experiment|arch|function|step|dop|calls
+// and sums paper_ms per key (some experiments emit several records per
+// configuration). Keys present in only one file are reported but do not
+// fail the check — experiments come and go across PRs — but zero key
+// overlap fails, since that means the files are not comparable at all.
+//
+// Exit status is 0 when the input is well-formed (and every required
+// experiment appears / no measurement regressed), 1 otherwise.
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sort"
 	"strings"
 )
 
@@ -32,9 +41,26 @@ type record struct {
 	PaperMS    float64 `json:"paper_ms"`
 }
 
+// key is the comparison identity of a record: everything but the
+// measurement itself.
+func (r record) key() string {
+	return fmt.Sprintf("%s|%s|%s|%s|dop=%d|calls=%d",
+		strings.ToUpper(r.Experiment), r.Arch, r.Function, r.Step, r.DOP, r.Calls)
+}
+
 func main() {
 	require := flag.String("require", "", "comma-separated experiment ids that must appear (e.g. E8,E13)")
+	compare := flag.Bool("compare", false, "compare two record files (old new) and fail on regressions")
+	threshold := flag.Float64("threshold", 5, "with -compare: max allowed paper_ms increase in percent")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fail(fmt.Errorf("-compare takes exactly two files (old new), got %d args", flag.NArg()))
+		}
+		runCompare(flag.Arg(0), flag.Arg(1), *threshold)
+		return
+	}
 
 	var in io.Reader = os.Stdin
 	src := "stdin"
@@ -51,6 +77,33 @@ func main() {
 		src = flag.Arg(0)
 	}
 
+	records, seen := load(in, src)
+	if *require != "" {
+		for _, id := range strings.Split(*require, ",") {
+			id = strings.ToUpper(strings.TrimSpace(id))
+			if id == "" {
+				continue
+			}
+			if seen[id] == 0 {
+				fail(fmt.Errorf("%s: required experiment %s has no records", src, id))
+			}
+		}
+	}
+	fmt.Printf("benchcheck: %d records ok", len(records))
+	if len(seen) > 0 {
+		ids := make([]string, 0, len(seen))
+		for id := range seen {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Printf(" (%s)", strings.Join(ids, ", "))
+	}
+	fmt.Println()
+}
+
+// load parses and structurally validates one record file, returning the
+// records plus per-experiment counts.
+func load(in io.Reader, src string) ([]record, map[string]int) {
 	dec := json.NewDecoder(in)
 	dec.DisallowUnknownFields()
 	var records []record
@@ -73,34 +126,95 @@ func main() {
 		}
 		seen[strings.ToUpper(r.Experiment)]++
 	}
-	if *require != "" {
-		for _, id := range strings.Split(*require, ",") {
-			id = strings.ToUpper(strings.TrimSpace(id))
-			if id == "" {
-				continue
-			}
-			if seen[id] == 0 {
-				fail(fmt.Errorf("%s: required experiment %s has no records", src, id))
-			}
+	return records, seen
+}
+
+// sums aggregates a record list into key -> total paper_ms.
+func sums(records []record) map[string]float64 {
+	out := map[string]float64{}
+	for _, r := range records {
+		out[r.key()] += r.PaperMS
+	}
+	return out
+}
+
+// runCompare diffs oldPath against newPath and exits nonzero when any
+// shared key's paper_ms grew by more than threshold percent.
+func runCompare(oldPath, newPath string, threshold float64) {
+	if threshold < 0 {
+		fail(fmt.Errorf("-threshold must be >= 0, got %v", threshold))
+	}
+	oldSums := sums(loadFile(oldPath))
+	newSums := sums(loadFile(newPath))
+
+	keys := make([]string, 0, len(oldSums))
+	for k := range oldSums {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var regressions, shared, missing int
+	for _, k := range keys {
+		oldMS := oldSums[k]
+		newMS, ok := newSums[k]
+		if !ok {
+			missing++
+			fmt.Printf("benchcheck: note: %s only in %s\n", k, oldPath)
+			continue
+		}
+		shared++
+		limit := oldMS * (1 + threshold/100)
+		switch {
+		case newMS > limit:
+			regressions++
+			fmt.Printf("benchcheck: REGRESSION %s: %.3fms -> %.3fms (+%.1f%%, limit +%.1f%%)\n",
+				k, oldMS, newMS, pctChange(oldMS, newMS), threshold)
+		case newMS != oldMS:
+			fmt.Printf("benchcheck: ok %s: %.3fms -> %.3fms (%+.1f%%)\n", k, oldMS, newMS, pctChange(oldMS, newMS))
 		}
 	}
-	fmt.Printf("benchcheck: %d records ok", len(records))
-	if len(seen) > 0 {
-		ids := make([]string, 0, len(seen))
-		for id := range seen {
-			ids = append(ids, id)
+	newKeys := make([]string, 0, len(newSums))
+	for k := range newSums {
+		if _, ok := oldSums[k]; !ok {
+			newKeys = append(newKeys, k)
 		}
-		// Deterministic order for log readability.
-		for i := 0; i < len(ids); i++ {
-			for j := i + 1; j < len(ids); j++ {
-				if ids[j] < ids[i] {
-					ids[i], ids[j] = ids[j], ids[i]
-				}
-			}
-		}
-		fmt.Printf(" (%s)", strings.Join(ids, ", "))
 	}
-	fmt.Println()
+	sort.Strings(newKeys)
+	for _, k := range newKeys {
+		fmt.Printf("benchcheck: note: %s only in %s\n", k, newPath)
+	}
+
+	if shared == 0 {
+		fail(fmt.Errorf("no overlapping measurement keys between %s and %s", oldPath, newPath))
+	}
+	if regressions > 0 {
+		fail(fmt.Errorf("%d of %d shared measurements regressed beyond +%.1f%%", regressions, shared, threshold))
+	}
+	fmt.Printf("benchcheck: compare ok: %d shared measurements within +%.1f%% (%d old-only, %d new-only)\n",
+		shared, threshold, missing, len(newKeys))
+}
+
+// pctChange returns the percent change from oldMS to newMS; a zero
+// baseline with a nonzero head reads as +infinity-ish, rendered as 100%.
+func pctChange(oldMS, newMS float64) float64 {
+	if oldMS == 0 {
+		if newMS == 0 {
+			return 0
+		}
+		return 100
+	}
+	return (newMS - oldMS) / oldMS * 100
+}
+
+// loadFile opens and parses one record file.
+func loadFile(path string) []record {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	records, _ := load(f, path)
+	return records
 }
 
 func fail(err error) {

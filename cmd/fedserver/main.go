@@ -141,6 +141,7 @@ func main() {
 	if *metricsAddr != "" {
 		mux := obs.MetricsMux(srv.MetricsRegistry())
 		srv.Collector().Register(mux)
+		srv.Stats().Register(mux)
 		if *enablePprof {
 			mux.HandleFunc("/debug/pprof/", pprof.Index)
 			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -155,7 +156,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, "fedserver: metrics:", err)
 			}
 		}()
-		fmt.Printf("fedserver: metrics on http://%s/metrics, traces on http://%s/traces\n", *metricsAddr, *metricsAddr)
+		fmt.Printf("fedserver: metrics on http://%s/metrics, traces on http://%s/traces, stats on http://%s/stats/statements\n", *metricsAddr, *metricsAddr, *metricsAddr)
 	}
 
 	if cfg.Retry.Enabled() || cfg.Breaker.Enabled() || cfg.StmtTimeout > 0 {

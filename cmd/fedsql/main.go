@@ -7,10 +7,12 @@
 // In interactive mode, statements end with a semicolon; \q quits,
 // \timing toggles per-statement timing (the server's simulated paper
 // latency, the wall round-trip, and function-cache counters), \trace
-// on|off requests distributed tracing for the following statements, and
+// on|off requests distributed tracing for the following statements,
 // \lasttrace pretty-prints the last traced statement's cross-process
 // waterfall (client, rpc, fdbs, engine, UDTF, controller, WfMS and
-// application-system spans stitched into one tree).
+// application-system spans stitched into one tree), and \stats [n] lists
+// the server's top n statements by total simulated time from the
+// fed_stat_statements warehouse (default 10).
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -62,7 +65,7 @@ func main() {
 		return
 	}
 
-	fmt.Println("fedsql: connected to", *addr, `- terminate statements with ';', \q quits, \timing toggles timing, \trace traces, \lasttrace shows the last trace`)
+	fmt.Println("fedsql: connected to", *addr, `- terminate statements with ';', \q quits, \timing toggles timing, \trace traces, \lasttrace shows the last trace, \stats [n] shows the top statements by total time`)
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -103,6 +106,19 @@ func main() {
 			}
 			continue
 		}
+		if buf.Len() == 0 && (trimmed == `\stats` || strings.HasPrefix(trimmed, `\stats `)) {
+			n := 10
+			if arg := strings.TrimSpace(strings.TrimPrefix(trimmed, `\stats`)); arg != "" {
+				parsed, err := strconv.Atoi(arg)
+				if err != nil || parsed <= 0 {
+					fmt.Fprintf(os.Stderr, "error: \\stats takes a positive row count, got %q\n", arg)
+					continue
+				}
+				n = parsed
+			}
+			execute(client, statsQuery(n), st)
+			continue
+		}
 		if buf.Len() == 0 && trimmed == `\lasttrace` {
 			if st.lastTrace == "" {
 				fmt.Println("No trace captured yet; turn tracing on with \trace and run a statement.")
@@ -124,6 +140,12 @@ func main() {
 			prompt = "   ...> "
 		}
 	}
+}
+
+// statsQuery is the \stats meta-command's SQL: the top-n statements by
+// total simulated time from the server's statement-statistics warehouse.
+func statsQuery(n int) string {
+	return fmt.Sprintf("SELECT Fingerprint, Calls, Errors, Total_MS, Mean_MS, P99_MS, Query FROM fed_stat_statements ORDER BY Total_MS DESC LIMIT %d", n)
 }
 
 // state holds the REPL toggles and the last captured trace rendering.

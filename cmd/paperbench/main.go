@@ -13,6 +13,7 @@
 //	paperbench -exp dop          # intra-query parallelism sweep (E9, extension)
 //	paperbench -exp spans        # Fig. 6 from live spans (E10, extension)
 //	paperbench -exp faults       # fault-tolerance sweep + demos (E12, extension)
+//	paperbench -exp stats        # statement-statistics warehouse accuracy (E14, extension)
 //
 // With -json <path>, the numeric results of the experiments that ran are
 // additionally written as a JSON record list (experiment, arch, function,
@@ -35,6 +36,7 @@ import (
 
 	"fedwf/internal/benchharn"
 	"fedwf/internal/fedfunc"
+	"fedwf/internal/obs/stats"
 	"fedwf/internal/simlat"
 )
 
@@ -52,7 +54,7 @@ type record struct {
 func paperMS(d time.Duration) float64 { return float64(d) / float64(simlat.PaperMS) }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: all, complexity, fig5, fig6, bootstate, parallel, loop, controller, batch, dop, spans, faults")
+	exp := flag.String("exp", "all", "experiment id: all, complexity, fig5, fig6, bootstate, parallel, loop, controller, batch, dop, spans, faults, stats")
 	seed := flag.Uint64("seed", 42, "fault-injection seed for -exp faults (same seed, same faults)")
 	bootFn := flag.String("bootfn", "GetSuppQual", "federated function for the boot-state experiment")
 	dops := flag.String("dops", "1,2,4,8", "comma-separated degrees of parallelism for the E9 sweep")
@@ -289,6 +291,35 @@ func main() {
 		}
 		if !report.PartialFlagged {
 			fail(fmt.Errorf("E12: optional branch did not degrade to a partial result"))
+		}
+	}
+	if run("stats") {
+		any = true
+		section("E14 - Statement-statistics warehouse accuracy (extension)")
+		for _, arch := range []fedfunc.Arch{fedfunc.ArchWfMS, fedfunc.ArchUDTF} {
+			rep, err := h.StatementStats(arch, 12)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(benchharn.RenderStatementStats(rep))
+			// The acceptance bars of the experiment: the warehouse is an
+			// exact ledger — one fingerprint for one statement shape, and
+			// calls, rows, RPCs, workflow instances, and total simulated
+			// time equal to the stack's own counters and the serving
+			// metadata — while the quantile sketch's p99 may sit at most
+			// one log bucket above the exact p99.
+			if !rep.ExactTotals() {
+				fail(fmt.Errorf("E14 %s: warehouse totals diverge from the references (fingerprints=%d calls=%d/%d rows=%d/%d rpcs=%d/%d instances=%d/%d paper=%v/%v)",
+					rep.Arch, rep.Fingerprints, rep.Calls, rep.Statements, rep.Rows, rep.RefRows,
+					rep.RPCs, rep.RefRPCs, rep.Instances, rep.RefInstances, rep.Paper, rep.RefPaper))
+			}
+			if !rep.P99WithinOneBucket() {
+				fail(fmt.Errorf("E14 %s: sketch p99 %.3fms outside [%.3fms, %.3fms]",
+					rep.Arch, rep.P99MS, rep.ExactP99MS, rep.ExactP99MS*stats.SketchGamma))
+			}
+			records = append(records,
+				record{Experiment: "E14", Arch: rep.Arch, Function: "GetSuppQual", Step: "total", Calls: rep.Statements, PaperMS: paperMS(rep.Paper)},
+				record{Experiment: "E14", Arch: rep.Arch, Function: "GetSuppQual", Step: "p99", Calls: rep.Statements, PaperMS: rep.P99MS})
 		}
 	}
 	if !any {

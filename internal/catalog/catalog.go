@@ -169,6 +169,18 @@ type Catalog struct {
 	nicknames map[string]*Nickname
 	wrappers  map[string]WrapperFactory
 	views     map[string]*sqlparser.Select
+	virtuals  map[string]*VirtualTable
+}
+
+// VirtualTable is a read-only relation materialized on demand by a
+// provider function — the mechanism behind the fed_stat_* introspection
+// tables, where the federation queries its own statistics through its own
+// SQL path. The provider is called once per scan, under the catalog's
+// read path, and must be safe for concurrent use.
+type VirtualTable struct {
+	Name     string
+	Sch      types.Schema
+	Provider func() (*types.Table, error)
 }
 
 // WrapperFactory creates a ForeignServer from CREATE SERVER options. The
@@ -185,6 +197,7 @@ func New() *Catalog {
 		nicknames: make(map[string]*Nickname),
 		wrappers:  make(map[string]WrapperFactory),
 		views:     make(map[string]*sqlparser.Select),
+		virtuals:  make(map[string]*VirtualTable),
 	}
 }
 
@@ -202,7 +215,51 @@ func (c *Catalog) CreateTable(name string, schema types.Schema) (*storage.Table,
 	if _, ok := c.views[key]; ok {
 		return nil, fmt.Errorf("catalog: %s already exists as a view", name)
 	}
+	if _, ok := c.virtuals[key]; ok {
+		return nil, fmt.Errorf("catalog: %s already exists as a virtual table", name)
+	}
 	return c.store.Create(name, schema)
+}
+
+// RegisterVirtual installs a virtual table; the name must be free of
+// nicknames, views, virtual tables, and base tables.
+func (c *Catalog) RegisterVirtual(v *VirtualTable) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(v.Name)
+	if _, ok := c.nicknames[key]; ok {
+		return fmt.Errorf("catalog: %s already exists as a nickname", v.Name)
+	}
+	if _, ok := c.views[key]; ok {
+		return fmt.Errorf("catalog: %s already exists as a view", v.Name)
+	}
+	if _, ok := c.virtuals[key]; ok {
+		return fmt.Errorf("catalog: virtual table %s already exists", v.Name)
+	}
+	if _, err := c.store.Get(v.Name); err == nil {
+		return fmt.Errorf("catalog: %s already exists as a base table", v.Name)
+	}
+	c.virtuals[key] = v
+	return nil
+}
+
+// Virtual returns the named virtual table, or nil when absent.
+func (c *Catalog) Virtual(name string) *VirtualTable {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.virtuals[strings.ToLower(name)]
+}
+
+// Virtuals lists virtual table names in sorted order.
+func (c *Catalog) Virtuals() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.virtuals))
+	for _, v := range c.virtuals {
+		out = append(out, v.Name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Table returns the named base table.

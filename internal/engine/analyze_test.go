@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"fedwf/internal/catalog"
+	"fedwf/internal/obs/stats"
 	"fedwf/internal/simlat"
 	"fedwf/internal/types"
 )
@@ -94,5 +95,40 @@ func TestExplainWithoutAnalyzeUnchanged(t *testing.T) {
 	out := s.MustExec("EXPLAIN " + analyzeQuery).Table.String()
 	if strings.Contains(out, "actual rows=") {
 		t.Errorf("plain EXPLAIN carries actuals:\n%s", out)
+	}
+}
+
+func TestExplainShowsMeasuredActualsAfterAnalyze(t *testing.T) {
+	eng, s := analyzeFixture(t)
+	eng.SetPlanStats(stats.NewPlanStore(0))
+
+	before := s.MustExec("EXPLAIN " + analyzeQuery).Table.String()
+	if strings.Contains(before, "last run:") || strings.Contains(before, "measured:") {
+		t.Errorf("plain EXPLAIN annotated before any ANALYZE run:\n%s", before)
+	}
+
+	s.MustExec("EXPLAIN ANALYZE " + analyzeQuery)
+	after := s.MustExec("EXPLAIN " + analyzeQuery).Table.String()
+	for _, want := range []string{
+		"(last run: rows=16 loops=1 time=160.0",
+		"(last run: rows=16 loops=16 time=160.0", // the lateral right side
+		"measured: last of 1 analyzed run(s) of this plan shape",
+	} {
+		if !strings.Contains(after, want) {
+			t.Errorf("measured EXPLAIN missing %q:\n%s", want, after)
+		}
+	}
+
+	// A different plan shape stays unannotated.
+	other := s.MustExec("EXPLAIN SELECT d.X FROM driver d").Table.String()
+	if strings.Contains(other, "last run:") {
+		t.Errorf("unrelated plan shape annotated:\n%s", other)
+	}
+
+	// A second ANALYZE run bumps the run counter.
+	s.MustExec("EXPLAIN ANALYZE " + analyzeQuery)
+	again := s.MustExec("EXPLAIN " + analyzeQuery).Table.String()
+	if !strings.Contains(again, "last of 2 analyzed run(s)") {
+		t.Errorf("run counter not updated:\n%s", again)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"fedwf/internal/exec"
 	"fedwf/internal/exec/batcher"
 	"fedwf/internal/obs"
+	"fedwf/internal/obs/stats"
 	"fedwf/internal/plan"
 	"fedwf/internal/resil"
 	"fedwf/internal/simlat"
@@ -42,6 +43,7 @@ type Engine struct {
 	stmtTimeout     time.Duration
 	retry           resil.RetryPolicy
 	allowPartial    bool
+	planStats       *stats.PlanStore
 }
 
 // Option configures an engine at construction time. Options are the
@@ -100,6 +102,23 @@ func New(opts ...Option) *Engine {
 
 // Catalog exposes the engine's catalog.
 func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// SetPlanStats installs (or, with nil, removes) the per-plan-shape
+// actuals store: EXPLAIN ANALYZE records each operator's measured rows,
+// loops, and busy time there, and plain EXPLAIN annotates its output with
+// the last measured run of the same plan shape.
+func (e *Engine) SetPlanStats(ps *stats.PlanStore) {
+	e.mu.Lock()
+	e.planStats = ps
+	e.mu.Unlock()
+}
+
+// PlanStats returns the installed per-plan-shape actuals store, or nil.
+func (e *Engine) PlanStats() *stats.PlanStore {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.planStats
+}
 
 // RegisterExternal installs a host implementation under the given external
 // name, making it available to CREATE FUNCTION ... LANGUAGE EXTERNAL.
@@ -836,6 +855,10 @@ func (s *Session) execExplain(ctx context.Context, st *sqlparser.Explain) (*Resu
 	if err != nil {
 		return nil, err
 	}
+	// The plan shape (the un-instrumented EXPLAIN text) keys the measured
+	// actuals store; compute it before RunAnalyze mutates the tree.
+	shape := exec.ExplainString(op)
+	planStats := s.eng.PlanStats()
 	var text string
 	var footer []string
 	if st.Analyze {
@@ -873,8 +896,18 @@ func (s *Session) execExplain(ctx context.Context, st *sqlparser.Explain) (*Resu
 			cs := s.lastCacheStats
 			footer = append(footer, fmt.Sprintf("func cache: hits=%d misses=%d coalesced=%d", cs.Hits, cs.Misses, cs.Coalesced))
 		}
+		if planStats != nil {
+			planStats.Record(shape, exec.CollectActuals(root))
+		}
 	} else {
-		text = exec.ExplainString(op)
+		text = shape
+		if planStats != nil {
+			if actuals, ok := planStats.Lookup(shape); ok {
+				text = annotateMeasured(shape, actuals.Ops)
+				footer = append(footer,
+					fmt.Sprintf("measured: last of %d analyzed run(s) of this plan shape", actuals.Runs))
+			}
+		}
 	}
 	tab := types.NewTable(types.Schema{{Name: "PLAN", Type: types.VarChar}})
 	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
@@ -884,6 +917,22 @@ func (s *Session) execExplain(ctx context.Context, st *sqlparser.Explain) (*Resu
 		tab.Rows = append(tab.Rows, types.Row{types.NewString(line)})
 	}
 	return &Result{Table: tab}, nil
+}
+
+// annotateMeasured suffixes each plan line with the last measured actuals
+// of the same shape (measured-vs-estimated EXPLAIN). Lines and actuals
+// come from the same preorder walk; on any mismatch the plan is returned
+// unannotated rather than misattributed.
+func annotateMeasured(shape string, ops []stats.OpActual) string {
+	lines := strings.Split(strings.TrimRight(shape, "\n"), "\n")
+	if len(lines) != len(ops) {
+		return shape
+	}
+	for i, op := range ops {
+		lines[i] += fmt.Sprintf(" (last run: rows=%d loops=%d time=%.3fms)",
+			op.Rows, op.Loops, float64(op.Busy)/float64(simlat.PaperMS))
+	}
+	return strings.Join(lines, "\n") + "\n"
 }
 
 func (s *Session) execShow(st *sqlparser.Show) (*Result, error) {

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fedwf/internal/obs/stats"
 	"fedwf/internal/simlat"
 	"fedwf/internal/types"
 )
@@ -194,6 +195,36 @@ func ExplainAnalyzeString(op Operator) string {
 // paperMSString renders d in paper milliseconds with one decimal.
 func paperMSString(d time.Duration) string {
 	return fmt.Sprintf("%.1fms", float64(d)/float64(simlat.PaperMS))
+}
+
+// CollectActuals flattens an instrumented plan's measured actuals in
+// ExplainString preorder, one entry per plan line, for the plan-shape
+// feedback store behind measured-vs-estimated EXPLAIN output.
+func CollectActuals(op Operator) []stats.OpActual {
+	var out []stats.OpActual
+	var walk func(o Operator, depth int)
+	walk = func(o Operator, depth int) {
+		if an, ok := o.(*Analyzed); ok {
+			st := an.Stats
+			out = append(out, stats.OpActual{
+				Node:  an.Child.Describe(),
+				Depth: depth,
+				Rows:  st.Rows.Load(),
+				Loops: st.Opens.Load(),
+				Busy:  time.Duration(st.Busy.Load()),
+			})
+			for _, c := range an.Child.Children() {
+				walk(c, depth+1)
+			}
+			return
+		}
+		out = append(out, stats.OpActual{Node: o.Describe(), Depth: depth})
+		for _, c := range o.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(op, 0)
+	return out
 }
 
 // RunAnalyze instruments the plan, executes it to completion, and returns

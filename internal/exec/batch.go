@@ -7,6 +7,7 @@ import (
 	"fedwf/internal/catalog"
 	"fedwf/internal/exec/batcher"
 	"fedwf/internal/obs"
+	"fedwf/internal/obs/stats"
 	"fedwf/internal/types"
 )
 
@@ -197,6 +198,7 @@ func joinLateralRows(lr types.Row, tab *types.Table, on Expr, outer bool, rightS
 type batchRun struct {
 	fs       *FuncScan
 	bat      *batcher.Batcher
+	slots    int // policy row capacity, for the fill-ratio statistic
 	buf      []types.Row
 	bufPos   int
 	leftDone bool
@@ -213,7 +215,13 @@ func newBatchRun(pol batcher.Policy, right Operator) *batchRun {
 	if fs == nil {
 		return nil
 	}
-	return &batchRun{fs: fs, bat: batcher.New(pol)}
+	return &batchRun{fs: fs, bat: batcher.New(pol), slots: pol.Count}
+}
+
+// noteChunk records a flushed chunk's fill against the statement's
+// counters (sum(rows)/sum(slots) aggregates to the batch fill ratio).
+func (b *batchRun) noteChunk(ctx *Ctx, rows int) {
+	stats.FromContext(ctx.Context).AddBatch(rows, b.slots)
 }
 
 // next returns the next buffered row, or false when the buffer is dry.
@@ -285,6 +293,7 @@ func (a *Apply) nextBatched() (types.Row, error) {
 		if len(chunk) == 0 {
 			continue
 		}
+		b.noteChunk(a.ctx, len(chunk))
 		tabs, err := b.fs.invokeBatch(a.ctx, childBindRows(a.bind, chunk))
 		if err != nil {
 			return nil, err
@@ -319,6 +328,7 @@ func (a *LeftApply) nextBatched() (types.Row, error) {
 		if len(chunk) == 0 {
 			continue
 		}
+		b.noteChunk(a.ctx, len(chunk))
 		tabs, err := b.fs.invokeBatch(a.ctx, childBindRows(a.bind, chunk))
 		if err != nil {
 			if degrade(a.ctx, true, err) {

@@ -318,6 +318,57 @@ func (t *TableScan) Children() []Operator { return nil }
 // Clone implements Operator.
 func (t *TableScan) Clone() Operator { return &TableScan{Table: t.Table, Sch: t.Sch} }
 
+// ---------------------------------------------------------- VirtualScan
+
+// VirtualScan materializes a catalog virtual table through its provider —
+// the read path of the fed_stat_* introspection relations. The provider
+// runs at Open, so the scan sees one consistent snapshot per execution.
+type VirtualScan struct {
+	Name     string
+	Sch      types.Schema
+	Provider func() (*types.Table, error)
+	rows     []types.Row
+	pos      int
+}
+
+// Schema implements Operator.
+func (v *VirtualScan) Schema() types.Schema { return v.Sch }
+
+// Open implements Operator.
+func (v *VirtualScan) Open(*Ctx, types.Row) error {
+	tab, err := v.Provider()
+	if err != nil {
+		return fmt.Errorf("virtual table %s: %w", v.Name, err)
+	}
+	v.rows = tab.Rows
+	v.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (v *VirtualScan) Next() (types.Row, error) {
+	if v.pos >= len(v.rows) {
+		return nil, io.EOF
+	}
+	r := v.rows[v.pos]
+	v.pos++
+	return r, nil
+}
+
+// Close implements Operator.
+func (v *VirtualScan) Close() error { v.rows = nil; return nil }
+
+// Describe implements Operator.
+func (v *VirtualScan) Describe() string { return "VirtualScan " + v.Name }
+
+// Children implements Operator.
+func (v *VirtualScan) Children() []Operator { return nil }
+
+// Clone implements Operator.
+func (v *VirtualScan) Clone() Operator {
+	return &VirtualScan{Name: v.Name, Sch: v.Sch, Provider: v.Provider}
+}
+
 // ----------------------------------------------------------- RemoteScan
 
 // RemoteScan pushes a subquery down to a foreign server through its

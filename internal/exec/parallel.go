@@ -10,6 +10,7 @@ import (
 
 	"fedwf/internal/exec/batcher"
 	"fedwf/internal/obs"
+	"fedwf/internal/obs/stats"
 	"fedwf/internal/simlat"
 	"fedwf/internal/types"
 )
@@ -198,6 +199,7 @@ func (a *ParallelApply) workerBatched(fs *FuncScan, wctx *Ctx, bind types.Row, l
 			cb = append(cb, leftRows[idx]...)
 			binds[j] = cb
 		}
+		stats.FromContext(wctx.Context).AddBatch(len(binds), a.Batch.Count)
 		tabs, err := fs.invokeBatch(wctx, binds)
 		if err != nil {
 			if degrade(wctx, a.Outer, err) {

@@ -16,10 +16,12 @@ import (
 	"time"
 
 	"fedwf/internal/appsys"
+	"fedwf/internal/catalog"
 	"fedwf/internal/engine"
 	"fedwf/internal/fedfunc"
 	"fedwf/internal/obs"
 	"fedwf/internal/obs/collector"
+	"fedwf/internal/obs/stats"
 	"fedwf/internal/resil"
 	"fedwf/internal/rpc"
 	"fedwf/internal/simlat"
@@ -71,8 +73,10 @@ type Server struct {
 	wrapReg *wrapper.Registry
 	rpcSrv  *rpc.Server
 
-	metrics *obs.ServerMetrics
-	col     *collector.Collector
+	metrics   *obs.ServerMetrics
+	col       *collector.Collector
+	warehouse *stats.Warehouse
+	plans     *stats.PlanStore
 
 	mu   sync.Mutex
 	slow *obs.SlowQueryLog
@@ -104,16 +108,24 @@ func NewServer(cfg Config) (*Server, error) {
 		StmtTimeout:    cfg.StmtTimeout,
 		PartialResults: cfg.PartialResults,
 		Observer: resil.Observer{
-			OnRetry: func(system string, _ int, _ time.Duration) {
+			OnRetry: func(ctx context.Context, system string, _ int, _ time.Duration) {
 				metrics.Retries.With(system).Inc()
+				stats.FromContext(ctx).AddRetry()
 			},
-			OnBreakerTransition: func(system string, _, to resil.BreakerState) {
+			OnBreakerTransition: func(ctx context.Context, system string, _, to resil.BreakerState) {
 				if to == resil.BreakerOpen {
 					metrics.BreakerTrips.With(system).Inc()
+					stats.FromContext(ctx).AddBreakerTrip()
 				}
 			},
-			OnShed:    func(system string) { metrics.BreakerSheds.With(system).Inc() },
-			OnTimeout: func(system string) { metrics.Timeouts.With(system).Inc() },
+			OnShed: func(ctx context.Context, system string) {
+				metrics.BreakerSheds.With(system).Inc()
+				stats.FromContext(ctx).AddShed()
+			},
+			OnTimeout: func(ctx context.Context, system string) {
+				metrics.Timeouts.With(system).Inc()
+				stats.FromContext(ctx).AddTimeout()
+			},
 		},
 	})
 	if err != nil {
@@ -125,7 +137,23 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	stack.WorkflowEngine().SetActivityObserver(func() { metrics.WfMSActivities.Inc() })
 	col := collector.New(cfg.Trace, metrics.Registry)
-	return &Server{stack: stack, apps: apps, wrapReg: wrapReg, metrics: metrics, col: col}, nil
+	warehouse := stats.NewWarehouse(stats.Options{})
+	warehouse.AttachMetrics(metrics.Registry)
+	plans := stats.NewPlanStore(0)
+	stack.Engine().SetPlanStats(plans)
+	// The federation observes itself through its own query path: the
+	// warehouse's aggregates are SELECT-able as ordinary relations.
+	cat := stack.Engine().Catalog()
+	for _, v := range []*catalog.VirtualTable{
+		{Name: "fed_stat_statements", Sch: stats.StatementsSchema(), Provider: warehouse.StatementsTable},
+		{Name: "fed_stat_functions", Sch: stats.FunctionsSchema(), Provider: warehouse.FunctionsTable},
+	} {
+		if err := cat.RegisterVirtual(v); err != nil {
+			return nil, err
+		}
+	}
+	return &Server{stack: stack, apps: apps, wrapReg: wrapReg, metrics: metrics, col: col,
+		warehouse: warehouse, plans: plans}, nil
 }
 
 // Session opens a SQL session against the integration server.
@@ -152,6 +180,13 @@ func (s *Server) Metrics() *obs.ServerMetrics { return s.metrics }
 
 // Collector exposes the trace collector behind /traces.
 func (s *Server) Collector() *collector.Collector { return s.col }
+
+// Stats exposes the statement-statistics warehouse (behind /stats and the
+// fed_stat_* virtual tables).
+func (s *Server) Stats() *stats.Warehouse { return s.warehouse }
+
+// PlanStats exposes the per-plan-shape measured actuals store.
+func (s *Server) PlanStats() *stats.PlanStore { return s.plans }
 
 // MetricsRegistry exposes the registry behind the server's metrics, for
 // the /metrics endpoint.
@@ -219,6 +254,10 @@ func (s *Server) ExecTracedContext(ctx context.Context, text string, tc obs.Trac
 	}
 	tr.Root().SetTraceID(traceID)
 	s.metrics.InFlight.Add(1)
+	// Per-statement execution-shape counters ride the context through the
+	// whole stack (RPC client, workflow engine, resilience executor, batch
+	// path); the warehouse folds them in when the statement finishes.
+	ctx, stmtCounters := stats.WithStmtCounters(ctx)
 	// A scale-0 wall task reads real time without sleeping; routing the
 	// serving-duration measurement through the simlat meter keeps every
 	// clock read in the federation behind one interface (rule virtualclock).
@@ -245,6 +284,7 @@ func (s *Server) ExecTracedContext(ctx context.Context, text string, tc obs.Trac
 	meta := map[string]string{
 		"arch":            archLabel,
 		"paper_ms":        fmt.Sprintf("%.3f", float64(paper)/float64(simlat.PaperMS)),
+		"paper_ns":        strconv.FormatInt(int64(paper), 10),
 		"wall_ms":         fmt.Sprintf("%.3f", float64(wall)/float64(time.Millisecond)),
 		"cache_hits":      strconv.Itoa(cs.Hits),
 		"cache_misses":    strconv.Itoa(cs.Misses),
@@ -252,6 +292,18 @@ func (s *Server) ExecTracedContext(ctx context.Context, text string, tc obs.Trac
 		obs.MetaTraceID:   traceID,
 	}
 	snap := obs.SnapshotSpan(root)
+	record := stats.StatementRecord{
+		SQL:            text,
+		Arch:           archLabel,
+		Err:            err,
+		Paper:          paper,
+		Wall:           wall,
+		CacheHits:      cs.Hits,
+		CacheMisses:    cs.Misses,
+		CacheCoalesced: cs.Coalesced,
+		Counters:       stmtCounters,
+		Funcs:          stats.FuncObservations(snap),
+	}
 	errStr := ""
 	if err != nil {
 		errStr = err.Error()
@@ -273,6 +325,7 @@ func (s *Server) ExecTracedContext(ctx context.Context, text string, tc obs.Trac
 		}
 	}
 	if err != nil {
+		s.warehouse.RecordStatement(record)
 		return nil, meta, err
 	}
 	if res.Partial {
@@ -294,6 +347,8 @@ func (s *Server) ExecTracedContext(ctx context.Context, text string, tc obs.Trac
 	}
 	rows := out.Len()
 	meta["rows"] = strconv.Itoa(rows)
+	record.Rows = rows
+	s.warehouse.RecordStatement(record)
 	s.metrics.RowsReturned.With(archLabel).Add(float64(rows))
 	if s.slowLog().Observe(text, paper, wall, rows, root) {
 		s.metrics.SlowQueries.Inc()

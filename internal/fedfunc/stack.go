@@ -11,6 +11,7 @@ import (
 	"fedwf/internal/catalog"
 	"fedwf/internal/controller"
 	"fedwf/internal/engine"
+	"fedwf/internal/obs/stats"
 	"fedwf/internal/resil"
 	"fedwf/internal/rpc"
 	"fedwf/internal/simlat"
@@ -134,7 +135,10 @@ func NewStack(arch Arch, opts Options) (*Stack, error) {
 	appsClient = &countingClient{inner: appsClient, n: rpcCalls}
 	wfEngine := wfms.New(rpcInvoker{c: appsClient}, wfms.CostsFromProfile(profile))
 	wfInstances := new(atomic.Int64)
-	wfEngine.SetProcessObserver(func() { wfInstances.Add(1) })
+	wfEngine.SetProcessObserver(func(ctx context.Context) {
+		wfInstances.Add(1)
+		stats.FromContext(ctx).AddInstance()
+	})
 	ctl := controller.New(profile, wfEngine, appsClient)
 	var bridge *controller.Bridge
 	if opts.Direct {
@@ -246,12 +250,14 @@ type countingClient struct {
 
 func (c *countingClient) Call(ctx context.Context, task *simlat.Task, req rpc.Request) (*types.Table, error) {
 	c.n.Add(1)
+	stats.FromContext(ctx).AddRPC()
 	return c.inner.Call(ctx, task, req)
 }
 
 // CallMeta implements rpc.MetaCaller when the wrapped client does.
 func (c *countingClient) CallMeta(ctx context.Context, task *simlat.Task, req rpc.Request) (*types.Table, map[string]string, error) {
 	c.n.Add(1)
+	stats.FromContext(ctx).AddRPC()
 	if mc, ok := c.inner.(rpc.MetaCaller); ok {
 		return mc.CallMeta(ctx, task, req)
 	}
@@ -267,6 +273,7 @@ func (c *countingClient) CallMeta(ctx context.Context, task *simlat.Task, req rp
 // cannot batch.
 func (c *countingClient) CallBatch(ctx context.Context, task *simlat.Task, req rpc.BatchRequest) ([]*types.Table, error) {
 	c.n.Add(1)
+	stats.FromContext(ctx).AddRPC()
 	return rpc.CallBatch(ctx, task, c.inner, req)
 }
 

@@ -57,6 +57,7 @@ var fixtureTests = []struct {
 	{"layering_harness", "fedwf/fixtureharness", Layering},
 	{"layering_unknown", "fedwf/internal/mystery", Layering},
 	{"gobwire", "fedwf/internal/fixturegob", GobWire},
+	{"metricname", "fedwf/internal/fixturemetric", MetricName},
 }
 
 // TestFixtures runs each analyzer over its golden fixture and matches

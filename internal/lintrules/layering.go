@@ -35,31 +35,32 @@ var allowedImports = map[string][]string{
 	// Observability and resilience.
 	"obs":           {"simlat"},
 	"obs/collector": {"obs", "simlat"},
+	"obs/stats":     {"obs", "resil", "simlat", "types"},
 	"resil":         {"obs", "simlat", "types"},
 
 	// FDBS core.
 	"catalog":      {"simlat", "sqlparser", "storage", "types"},
 	"exec/batcher": {"types"},
-	"exec":         {"catalog", "exec/batcher", "obs", "resil", "simlat", "sqlparser", "storage", "types"},
+	"exec":         {"catalog", "exec/batcher", "obs", "obs/stats", "resil", "simlat", "sqlparser", "storage", "types"},
 	"plan":         {"catalog", "exec", "exec/batcher", "simlat", "sqlparser", "types"},
-	"engine":       {"catalog", "exec", "exec/batcher", "obs", "plan", "resil", "simlat", "sqlparser", "types"},
+	"engine":       {"catalog", "exec", "exec/batcher", "obs", "obs/stats", "plan", "resil", "simlat", "sqlparser", "types"},
 
 	// Workflow side.
 	"rpc":        {"obs", "resil", "simlat", "types"},
 	"appsys":     {"obs", "resil", "rpc", "simlat", "storage", "types"},
-	"wfms":       {"appsys", "obs", "resil", "simlat", "types"},
+	"wfms":       {"appsys", "obs", "obs/stats", "resil", "simlat", "types"},
 	"controller": {"appsys", "obs", "resil", "rpc", "simlat", "types", "wfms"},
 
 	// Coupling layer (paper Sect. 3: UDTFs, federation functions,
 	// wrappers, and the FDBS server tying both worlds together).
 	"udtf":    {"appsys", "catalog", "controller", "engine", "obs", "rpc", "simlat", "sqlparser", "types", "wfms"},
 	"wrapper": {"catalog", "engine", "obs", "rpc", "simlat", "sqlparser", "types"},
-	"fedfunc": {"appsys", "catalog", "controller", "engine", "resil", "rpc", "simlat", "sqlparser", "types", "udtf", "wfms"},
-	"fdbs":    {"appsys", "engine", "fedfunc", "obs", "obs/collector", "resil", "rpc", "simlat", "types", "wrapper"},
+	"fedfunc": {"appsys", "catalog", "controller", "engine", "obs/stats", "resil", "rpc", "simlat", "sqlparser", "types", "udtf", "wfms"},
+	"fdbs":    {"appsys", "catalog", "engine", "fedfunc", "obs", "obs/collector", "obs/stats", "resil", "rpc", "simlat", "types", "wrapper"},
 
 	// Harness and tooling. benchharn is additionally restricted to
 	// process-edge importers (cmd/, examples/, the root package).
-	"benchharn": {"appsys", "exec", "fedfunc", "obs", "resil", "simlat", "types", "udtf", "wfms"},
+	"benchharn": {"appsys", "exec", "fdbs", "fedfunc", "obs", "obs/collector", "obs/stats", "resil", "simlat", "types", "udtf", "wfms"},
 	"lintrules": {},
 }
 

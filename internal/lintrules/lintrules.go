@@ -89,6 +89,7 @@ func Analyzers() []*Analyzer {
 		SpanEnd,
 		Layering,
 		GobWire,
+		MetricName,
 	}
 }
 

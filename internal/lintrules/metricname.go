@@ -1,0 +1,123 @@
+package lintrules
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// metricCtors are the *obs.Registry methods that mint a metric family;
+// their first argument is the exposed series name.
+var metricCtors = map[string]bool{
+	"Counter":      true,
+	"CounterVec":   true,
+	"Gauge":        true,
+	"GaugeVec":     true,
+	"Histogram":    true,
+	"HistogramVec": true,
+}
+
+// metricUnitSuffixes are the accepted unit suffixes, following the
+// Prometheus naming convention: counters end in _total, measurements name
+// their unit.
+var metricUnitSuffixes = []string{"_ms", "_bytes", "_total"}
+
+// MetricName enforces the registry naming convention: every metric family
+// registered on an *obs.Registry must carry the fedwf_ namespace prefix
+// and end in a unit suffix (_ms, _bytes, _total). Dashboards and the CI
+// smoke greps key on these names; a bare or unitless name silently
+// escapes both. The name must also be a string literal so the convention
+// stays statically checkable.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc:  "require fedwf_ prefix and a unit suffix (_ms/_bytes/_total) on registry metric names",
+	Run:  runMetricName,
+}
+
+func runMetricName(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isRegistryMethod(pass, fd) {
+				// The registry's own unlabelled constructors forward the
+				// caller's name variable to their Vec counterparts; the
+				// convention is enforced at the registration sites, not
+				// inside the registry implementation.
+				continue
+			}
+			checkMetricCalls(pass, fd.Body)
+		}
+	}
+}
+
+// isRegistryMethod reports whether fd is a method with an obs.Registry
+// receiver.
+func isRegistryMethod(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	return isObsRegistry(pass.Pkg.Info.Types[fd.Recv.List[0].Type].Type)
+}
+
+// checkMetricCalls flags convention violations in one function body.
+func checkMetricCalls(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !metricCtors[sel.Sel.Name] || len(call.Args) == 0 {
+			return true
+		}
+		if !isObsRegistry(pass.Pkg.Info.Types[sel.X].Type) {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok {
+			pass.Reportf(call.Args[0].Pos(),
+				"metric name passed to Registry.%s must be a string literal so the naming convention is statically checkable", sel.Sel.Name)
+			return true
+		}
+		name, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		if !strings.HasPrefix(name, "fedwf_") {
+			pass.Reportf(lit.Pos(), "metric %q lacks the fedwf_ namespace prefix", name)
+		}
+		if !hasUnitSuffix(name) {
+			pass.Reportf(lit.Pos(), "metric %q lacks a unit suffix (%s)", name, strings.Join(metricUnitSuffixes, ", "))
+		}
+		return true
+	})
+}
+
+// hasUnitSuffix reports whether the metric name ends in an accepted unit.
+func hasUnitSuffix(name string) bool {
+	for _, s := range metricUnitSuffixes {
+		if strings.HasSuffix(name, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// isObsRegistry reports whether t is obs.Registry or a pointer to it.
+func isObsRegistry(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == obsPkgPath && named.Obj().Name() == "Registry"
+}

@@ -1,0 +1,46 @@
+// Package fixture exercises the metricname rule: every metric family
+// registered on an *obs.Registry must be a string literal carrying the
+// fedwf_ namespace prefix and a unit suffix.
+package fixture
+
+import "fedwf/internal/obs"
+
+// GoodNames register cleanly: namespaced, unit-suffixed literals.
+func GoodNames(reg *obs.Registry) {
+	reg.Counter("fedwf_fixture_hits_total", "Hits.")
+	reg.CounterVec("fedwf_fixture_rows_total", "Rows.", "arch")
+	reg.Gauge("fedwf_fixture_inflight_total", "In flight.")
+	reg.Histogram("fedwf_fixture_latency_ms", "Latency.", obs.LatencyBuckets)
+	reg.HistogramVec("fedwf_fixture_payload_bytes", "Payload.", obs.LatencyBuckets, "fn")
+}
+
+// BadPrefix misses the namespace.
+func BadPrefix(reg *obs.Registry) {
+	reg.Counter("fixture_hits_total", "Hits.") // want `metric "fixture_hits_total" lacks the fedwf_ namespace prefix`
+}
+
+// BadSuffix has no unit.
+func BadSuffix(reg *obs.Registry) {
+	reg.Gauge("fedwf_fixture_inflight", "In flight.") // want `metric "fedwf_fixture_inflight" lacks a unit suffix`
+}
+
+// BadBoth misses prefix and unit at once: two findings on one literal.
+func BadBoth(reg *obs.Registry) {
+	reg.Counter("hits", "Hits.") // want `metric "hits" lacks the fedwf_ namespace prefix` `metric "hits" lacks a unit suffix`
+}
+
+// BadDynamic computes the name, defeating static checking.
+func BadDynamic(reg *obs.Registry, name string) {
+	reg.CounterVec(name, "Dynamic.", "arch") // want `metric name passed to Registry\.CounterVec must be a string literal`
+}
+
+// notARegistry has the same method names on an unrelated type; the rule
+// must not fire on it.
+type notARegistry struct{}
+
+func (notARegistry) Counter(name, help string) {}
+
+// UnrelatedCounter calls a non-Registry Counter with a bare name.
+func UnrelatedCounter() {
+	notARegistry{}.Counter("hits", "Hits.")
+}

@@ -53,9 +53,9 @@ func NewServerMetrics(reg *Registry) *ServerMetrics {
 		CacheHits:      reg.Counter("fedwf_func_cache_hits_total", "Function-cache hits across all statements."),
 		CacheMisses:    reg.Counter("fedwf_func_cache_misses_total", "Function-cache misses across all statements."),
 		CacheCoalesced: reg.Counter("fedwf_func_cache_coalesced_total", "Function-cache calls coalesced into an in-flight invocation."),
-		Parallelism:    reg.Gauge("fedwf_parallelism", "Degree of parallelism last applied to a session."),
+		Parallelism:    reg.Gauge("fedwf_parallelism_workers_total", "Degree of parallelism last applied to a session."),
 		WfMSActivities: reg.Counter("fedwf_wfms_activities_total", "Workflow activities executed by the WfMS engine."),
-		InFlight:       reg.Gauge("fedwf_inflight_statements", "Statements currently executing."),
+		InFlight:       reg.Gauge("fedwf_inflight_statements_total", "Statements currently executing."),
 		SlowQueries:    reg.Counter("fedwf_slow_queries_total", "Statements logged by the slow-query log."),
 		Retries:        reg.CounterVec("fedwf_appsys_retries_total", "Retry attempts against application systems, by system.", "system"),
 		BreakerTrips:   reg.CounterVec("fedwf_breaker_trips_total", "Circuit-breaker trips, by system.", "system"),

@@ -32,10 +32,17 @@ type Policy struct {
 	// SampleRate is the probability of retaining a fast, healthy,
 	// unforced trace (default 0.05; negative disables).
 	SampleRate float64
-	// Seed makes the probabilistic decisions deterministic when nonzero
-	// (tests); zero seeds from the first Offer's wall clock.
+	// Seed seeds the sampler's deterministic source; zero uses a fixed
+	// default seed, so two collectors fed the same trace sequence always
+	// retain the same traces (reproducible daemon runs). Set a nonzero
+	// value to get a different — still deterministic — sampling sequence.
 	Seed int64
 }
+
+// defaultSeed seeds the sampler when Policy.Seed is zero. Any fixed value
+// works; what matters is that no collector ever seeds from the wall
+// clock, which would make daemon trace retention unreproducible.
+const defaultSeed = 0x5eedfed5
 
 // Default returns pol with unset fields filled in.
 func Default(pol Policy) Policy {
@@ -99,9 +106,11 @@ type Collector struct {
 func New(pol Policy, reg *obs.Registry) *Collector {
 	c := &Collector{pol: Default(pol)}
 	c.ring = make([]*Trace, c.pol.Capacity)
-	if c.pol.Seed != 0 {
-		c.rnd = rand.New(rand.NewSource(c.pol.Seed))
+	seed := c.pol.Seed
+	if seed == 0 {
+		seed = defaultSeed
 	}
+	c.rnd = rand.New(rand.NewSource(seed))
 	if reg != nil {
 		c.offered = reg.Counter("fedwf_traces_offered_total", "Traces offered to the collector.")
 		c.retained = reg.Counter("fedwf_traces_retained_total", "Traces retained by tail sampling.")
@@ -145,15 +154,11 @@ func (c *Collector) Offer(t *Trace) bool {
 	return true
 }
 
-// randFloat draws from the seeded source when configured, else the shared
-// global source.
+// randFloat draws from the collector's seeded source (always non-nil).
 func (c *Collector) randFloat() float64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.rnd != nil {
-		return c.rnd.Float64()
-	}
-	return rand.Float64()
+	return c.rnd.Float64()
 }
 
 // observeFedFuncs walks the tree and feeds each federated-function span

@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// StmtCounters ride the statement context through the whole stack: the
+// RPC client, the workflow engine, the resilience executor, and the batch
+// path each increment the counter they own, and the serving layer folds
+// the totals into the warehouse when the statement finishes. Carrying the
+// counters on the context — rather than diffing process-wide counters —
+// keeps concurrent statements from bleeding into each other's numbers.
+// All methods are safe on a nil receiver, so instrumented code paths need
+// no "is a statement being counted?" checks.
+type StmtCounters struct {
+	rpcs         atomic.Int64
+	instances    atomic.Int64
+	retries      atomic.Int64
+	breakerTrips atomic.Int64
+	sheds        atomic.Int64
+	timeouts     atomic.Int64
+	batchCalls   atomic.Int64
+	batchRows    atomic.Int64
+	batchSlots   atomic.Int64
+}
+
+type stmtCountersKey struct{}
+
+// WithStmtCounters attaches a fresh counter set to ctx and returns both.
+func WithStmtCounters(ctx context.Context) (context.Context, *StmtCounters) {
+	c := &StmtCounters{}
+	return context.WithValue(ctx, stmtCountersKey{}, c), c
+}
+
+// FromContext returns the statement's counters, or nil when the context
+// carries none (untracked execution).
+func FromContext(ctx context.Context) *StmtCounters {
+	if ctx == nil {
+		return nil
+	}
+	c, _ := ctx.Value(stmtCountersKey{}).(*StmtCounters)
+	return c
+}
+
+// AddRPC counts one application-system wire request (a batched call of N
+// rows is ONE request).
+func (c *StmtCounters) AddRPC() {
+	if c != nil {
+		c.rpcs.Add(1)
+	}
+}
+
+// AddInstance counts one started workflow process instance.
+func (c *StmtCounters) AddInstance() {
+	if c != nil {
+		c.instances.Add(1)
+	}
+}
+
+// AddRetry counts one retry attempt.
+func (c *StmtCounters) AddRetry() {
+	if c != nil {
+		c.retries.Add(1)
+	}
+}
+
+// AddBreakerTrip counts one circuit-breaker trip (transition to open).
+func (c *StmtCounters) AddBreakerTrip() {
+	if c != nil {
+		c.breakerTrips.Add(1)
+	}
+}
+
+// AddShed counts one call rejected unexecuted by an open breaker.
+func (c *StmtCounters) AddShed() {
+	if c != nil {
+		c.sheds.Add(1)
+	}
+}
+
+// AddTimeout counts one call abandoned on the statement deadline.
+func (c *StmtCounters) AddTimeout() {
+	if c != nil {
+		c.timeouts.Add(1)
+	}
+}
+
+// AddBatch counts one flushed set-oriented chunk: rows is the chunk's
+// actual row count, slots the policy's row capacity (the count trigger;
+// rows when the policy has no row bound). Fill ratio aggregates as
+// sum(rows)/sum(slots).
+func (c *StmtCounters) AddBatch(rows, slots int) {
+	if c == nil {
+		return
+	}
+	if slots < rows {
+		slots = rows
+	}
+	c.batchCalls.Add(1)
+	c.batchRows.Add(int64(rows))
+	c.batchSlots.Add(int64(slots))
+}
+
+// Snapshot is the counter values at one instant.
+type CounterSnapshot struct {
+	RPCs, Instances, Retries, BreakerTrips, Sheds, Timeouts int64
+	BatchCalls, BatchRows, BatchSlots                       int64
+}
+
+// Snapshot reads all counters; a nil receiver reads zeros.
+func (c *StmtCounters) Snapshot() CounterSnapshot {
+	if c == nil {
+		return CounterSnapshot{}
+	}
+	return CounterSnapshot{
+		RPCs:         c.rpcs.Load(),
+		Instances:    c.instances.Load(),
+		Retries:      c.retries.Load(),
+		BreakerTrips: c.breakerTrips.Load(),
+		Sheds:        c.sheds.Load(),
+		Timeouts:     c.timeouts.Load(),
+		BatchCalls:   c.batchCalls.Load(),
+		BatchRows:    c.batchRows.Load(),
+		BatchSlots:   c.batchSlots.Load(),
+	}
+}

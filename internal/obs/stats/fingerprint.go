@@ -1,0 +1,122 @@
+// Package stats is the statement-statistics warehouse: a
+// pg_stat_statements-style aggregate store for the federation. Every
+// served statement is fingerprinted (literal-normalized SQL, hashed to a
+// stable ID) and folded into per-fingerprint and per-federated-function
+// aggregates — call counts, rows, errors by resil taxonomy class,
+// retries, breaker trips, cache outcomes, RPC and workflow-instance
+// counts, batch fill, and paper-latency quantiles from a deterministic
+// log-bucket sketch. The warehouse is bounded (LRU eviction of cold
+// fingerprints) and surfaced three ways: JSON endpoints
+// (/stats/statements, /stats/functions), Prometheus series on the shared
+// registry, and the fed_stat_statements / fed_stat_functions virtual
+// tables queryable through the federation's own SQL path.
+//
+// Unlike the trace collector's ring, the warehouse never forgets a hot
+// statement: aggregates survive long after the individual traces aged
+// out, which is what the roadmap's adaptive cost-based planner feeds on.
+package stats
+
+import (
+	"hash/fnv"
+	"strings"
+)
+
+// Fingerprint literal-normalizes a SQL text and returns the stable
+// fingerprint ID (16 hex digits of FNV-64a over the normalized form)
+// together with the normalized text itself. Two statements differing only
+// in literals — numbers or quoted strings — normalize identically and
+// therefore coalesce to one fingerprint.
+func Fingerprint(sql string) (id, normalized string) {
+	normalized = Normalize(sql)
+	h := fnv.New64a()
+	h.Write([]byte(normalized))
+	const hexdigits = "0123456789abcdef"
+	sum := h.Sum64()
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexdigits[sum&0xf]
+		sum >>= 4
+	}
+	return string(b[:]), normalized
+}
+
+// Normalize rewrites a SQL text into its fingerprint form: string and
+// numeric literals become '?', letters fold to lower case, and runs of
+// whitespace collapse to one space. The rewrite is purely lexical — it
+// does not parse — so it is total: any input normalizes, including
+// statements the parser would reject.
+func Normalize(sql string) string {
+	var b strings.Builder
+	b.Grow(len(sql))
+	i := 0
+	pendingSpace := false
+	emit := func(s string) {
+		if pendingSpace && b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		pendingSpace = false
+		b.WriteString(s)
+	}
+	for i < len(sql) {
+		c := sql[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			pendingSpace = true
+			i++
+		case c == '\'':
+			// String literal; '' escapes a quote inside it.
+			i++
+			for i < len(sql) {
+				if sql[i] == '\'' {
+					if i+1 < len(sql) && sql[i+1] == '\'' {
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				i++
+			}
+			emit("?")
+		case c >= '0' && c <= '9':
+			// Numeric literal (integer or decimal, with exponent).
+			j := i
+			for j < len(sql) && (isDigit(sql[j]) || sql[j] == '.') {
+				j++
+			}
+			if j < len(sql) && (sql[j] == 'e' || sql[j] == 'E') {
+				k := j + 1
+				if k < len(sql) && (sql[k] == '+' || sql[k] == '-') {
+					k++
+				}
+				if k < len(sql) && isDigit(sql[k]) {
+					for k < len(sql) && isDigit(sql[k]) {
+						k++
+					}
+					j = k
+				}
+			}
+			i = j
+			emit("?")
+		case isIdentStart(c):
+			j := i
+			for j < len(sql) && isIdentPart(sql[j]) {
+				j++
+			}
+			emit(strings.ToLower(sql[i:j]))
+			i = j
+		default:
+			emit(string(c))
+			i++
+		}
+	}
+	return b.String()
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }

@@ -1,0 +1,48 @@
+package stats
+
+import "testing"
+
+func TestFingerprintCoalescesLiterals(t *testing.T) {
+	variants := []string{
+		"SELECT Q.Qual FROM TABLE (GetSuppQual('Supplier3')) AS Q",
+		"SELECT Q.Qual FROM TABLE (GetSuppQual('Supplier7')) AS Q",
+		"select q.qual\n FROM table (getsuppqual('X''quoted''Y')) AS q",
+	}
+	id0, norm0 := Fingerprint(variants[0])
+	if len(id0) != 16 {
+		t.Fatalf("fingerprint ID %q: want 16 hex digits", id0)
+	}
+	want := "select q.qual from table (getsuppqual(?)) as q"
+	if norm0 != want {
+		t.Fatalf("normalized = %q, want %q", norm0, want)
+	}
+	for _, v := range variants[1:] {
+		id, _ := Fingerprint(v)
+		if id != id0 {
+			t.Errorf("Fingerprint(%q) = %s, want %s (literals must coalesce)", v, id, id0)
+		}
+	}
+}
+
+func TestFingerprintDistinguishesShapes(t *testing.T) {
+	a, _ := Fingerprint("SELECT X FROM T WHERE X = 1")
+	b, _ := Fingerprint("SELECT X FROM T WHERE X > 1")
+	if a == b {
+		t.Fatalf("different operators produced the same fingerprint %s", a)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"SELECT 1 + 2.5e-3", "select ? + ?"},
+		{"WHERE Price >= 10.5 AND Name = 'a''b'", "where price >= ? and name = ?"},
+		{"  SELECT\t*\nFROM  T  ", "select * from t"},
+		{"SELECT COUNT(*) FROM T GROUP BY A", "select count(*) from t group by a"},
+		{"'unterminated", "?"},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package stats
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Register mounts the warehouse's JSON endpoints on mux:
+//
+//	/stats/statements — per-fingerprint aggregates, hottest first
+//	/stats/functions  — per-federated-function aggregates, hottest first
+func (w *Warehouse) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/stats/statements", func(rw http.ResponseWriter, r *http.Request) {
+		writeJSON(rw, w.Statements())
+	})
+	mux.HandleFunc("/stats/functions", func(rw http.ResponseWriter, r *http.Request) {
+		writeJSON(rw, w.Functions())
+	})
+}
+
+func writeJSON(rw http.ResponseWriter, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(rw)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(rw, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"sync"
+	"time"
+)
+
+// PlanStore keeps the last measured per-operator actuals keyed by plan
+// shape (the EXPLAIN text of the physical plan). EXPLAIN consults it to
+// print measured-vs-estimated, and it is the feedback store a cost-based
+// planner can calibrate against. Bounded like the warehouse: cold shapes
+// are evicted least-recently-recorded first.
+type PlanStore struct {
+	mu     sync.Mutex
+	max    int
+	seq    uint64
+	shapes map[string]*planEntry
+}
+
+type planEntry struct {
+	shape   string
+	lastSeq uint64
+	runs    int64
+	ops     []OpActual
+}
+
+// OpActual is one operator's measured actuals from the most recent
+// EXPLAIN ANALYZE (or instrumented run) of a plan shape. Depth mirrors
+// the indentation level of the operator's line in the EXPLAIN text, so a
+// consumer can realign actuals with the rendered plan.
+type OpActual struct {
+	Node  string
+	Depth int
+	Rows  int64
+	Loops int64
+	Busy  time.Duration
+}
+
+// PlanActuals is a snapshot for one plan shape.
+type PlanActuals struct {
+	Shape string
+	Runs  int64
+	Ops   []OpActual
+}
+
+const defaultMaxShapes = 256
+
+// NewPlanStore returns an empty store bounded to max shapes (0 = default
+// 256).
+func NewPlanStore(max int) *PlanStore {
+	if max <= 0 {
+		max = defaultMaxShapes
+	}
+	return &PlanStore{max: max, shapes: make(map[string]*planEntry)}
+}
+
+// Record stores the measured actuals for a plan shape, replacing any
+// previous measurement and bumping the shape's run count.
+func (p *PlanStore) Record(shape string, ops []OpActual) {
+	cp := make([]OpActual, len(ops))
+	copy(cp, ops)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.seq++
+	e := p.shapes[shape]
+	if e == nil {
+		e = &planEntry{shape: shape, lastSeq: p.seq}
+		p.shapes[shape] = e
+		for len(p.shapes) > p.max {
+			var coldest *planEntry
+			for _, c := range p.shapes {
+				if coldest == nil || c.lastSeq < coldest.lastSeq {
+					coldest = c
+				}
+			}
+			delete(p.shapes, coldest.shape)
+		}
+	}
+	e.lastSeq = p.seq
+	e.runs++
+	e.ops = cp
+}
+
+// Lookup returns the last measured actuals for a plan shape.
+func (p *PlanStore) Lookup(shape string) (PlanActuals, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.shapes[shape]
+	if !ok {
+		return PlanActuals{}, false
+	}
+	ops := make([]OpActual, len(e.ops))
+	copy(ops, e.ops)
+	return PlanActuals{Shape: e.shape, Runs: e.runs, Ops: ops}, true
+}

@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// sketchGamma is the geometric bucket growth factor: 2^(1/8), eight
+// buckets per doubling. A quantile read off the sketch is at most one
+// bucket — a factor of sketchGamma, about 9% — above the exact value,
+// which is the error bound the E14 experiment asserts.
+const sketchBucketsPerDoubling = 8
+
+// SketchGamma is the geometric bucket growth factor (2^(1/8) ≈ 1.0905):
+// the relative one-bucket error bound. Accuracy assertions (E14) check
+// exact <= quantile <= exact*SketchGamma.
+var SketchGamma = math.Exp2(1.0 / sketchBucketsPerDoubling)
+
+// Bucket index clamp: 2^(-64/8) ms = ~4 µs up to 2^(512/8) ms = 2^64 ms.
+// Values outside the range land in the edge buckets instead of growing
+// the index space.
+const (
+	sketchMinIdx = -64
+	sketchMaxIdx = 512
+)
+
+// Sketch is a deterministic log-bucket quantile sketch over paper
+// milliseconds: values map to geometric buckets (2^(i/8) ms), so memory
+// is bounded by the index clamp regardless of how many observations
+// arrive, merging two sketches is exact (bucket counts add), and — unlike
+// sampling sketches — the same observations always reproduce the same
+// quantiles. Not safe for concurrent use; the warehouse serializes
+// access.
+type Sketch struct {
+	counts map[int]uint64
+	zero   uint64 // observations <= 0
+	count  uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// NewSketch returns an empty sketch.
+func NewSketch() *Sketch {
+	return &Sketch{counts: make(map[int]uint64)}
+}
+
+// bucketIdx maps a positive value to its bucket index.
+func bucketIdx(v float64) int {
+	idx := int(math.Floor(math.Log2(v) * sketchBucketsPerDoubling))
+	if idx < sketchMinIdx {
+		return sketchMinIdx
+	}
+	if idx > sketchMaxIdx {
+		return sketchMaxIdx
+	}
+	return idx
+}
+
+// bucketUpper is the representative (upper edge) of a bucket.
+func bucketUpper(idx int) float64 {
+	return math.Exp2(float64(idx+1) / sketchBucketsPerDoubling)
+}
+
+// Observe folds one value (in paper milliseconds) into the sketch.
+func (s *Sketch) Observe(v float64) {
+	s.count++
+	s.sum += v
+	if s.count == 1 || v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	if v <= 0 {
+		s.zero++
+		return
+	}
+	s.counts[bucketIdx(v)]++
+}
+
+// Merge folds another sketch into this one; the result is identical to
+// having observed both value streams directly.
+func (s *Sketch) Merge(o *Sketch) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	if s.count == 0 || o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.count += o.count
+	s.sum += o.sum
+	s.zero += o.zero
+	for idx, n := range o.counts {
+		s.counts[idx] += n
+	}
+}
+
+// Count returns the number of observations.
+func (s *Sketch) Count() uint64 { return s.count }
+
+// Sum returns the sum of all observations.
+func (s *Sketch) Sum() float64 { return s.sum }
+
+// Max returns the largest observation (0 when empty).
+func (s *Sketch) Max() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) as the upper edge of the
+// bucket holding it — never below the exact value, and at most one
+// geometric bucket above it. An empty sketch returns 0.
+func (s *Sketch) Quantile(q float64) float64 {
+	if s.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank <= s.zero {
+		return 0
+	}
+	cum := s.zero
+	idxs := make([]int, 0, len(s.counts))
+	for idx := range s.counts {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	for _, idx := range idxs {
+		cum += s.counts[idx]
+		if cum >= rank {
+			u := bucketUpper(idx)
+			if u > s.max {
+				return s.max
+			}
+			return u
+		}
+	}
+	return s.max
+}
+
+// Clone returns an independent copy.
+func (s *Sketch) Clone() *Sketch {
+	c := &Sketch{counts: make(map[int]uint64, len(s.counts)),
+		zero: s.zero, count: s.count, sum: s.sum, min: s.min, max: s.max}
+	for idx, n := range s.counts {
+		c.counts[idx] = n
+	}
+	return c
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// stream is a deterministic, unsorted value stream (no wall clock, no
+// global rand: reproducible by construction).
+func stream(n int, seed uint64) []float64 {
+	vals := make([]float64, n)
+	x := seed
+	for i := range vals {
+		x = x*6364136223846793005 + 1442695040888963407
+		vals[i] = 0.01 + float64(x>>40)/float64(1<<24)*500 // (0, 500] ms
+	}
+	return vals
+}
+
+func exactQuantile(vals []float64, q float64) float64 {
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	rank := int(math.Ceil(q * float64(len(s))))
+	if rank < 1 {
+		rank = 1
+	}
+	return s[rank-1]
+}
+
+// gamma is the worst-case multiplicative quantile error: one log bucket.
+const gamma = 1.0905077326652577 // 2^(1/8)
+
+func TestSketchQuantileWithinOneBucket(t *testing.T) {
+	vals := stream(5000, 42)
+	s := NewSketch()
+	for _, v := range vals {
+		s.Observe(v)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		exact := exactQuantile(vals, q)
+		got := s.Quantile(q)
+		if got < exact || got > exact*gamma*(1+1e-9) {
+			t.Errorf("q=%.2f: sketch %.4f outside [exact %.4f, exact*gamma %.4f]",
+				q, got, exact, exact*gamma)
+		}
+	}
+	if s.Count() != uint64(len(vals)) {
+		t.Errorf("Count = %d, want %d", s.Count(), len(vals))
+	}
+}
+
+func TestSketchZeroAndEmpty(t *testing.T) {
+	s := NewSketch()
+	if s.Quantile(0.99) != 0 || s.Count() != 0 || s.Max() != 0 {
+		t.Fatal("empty sketch must read as zeros")
+	}
+	s.Observe(0)
+	s.Observe(0)
+	s.Observe(10)
+	if got := s.Quantile(0.5); got != 0 {
+		t.Errorf("median of {0,0,10} = %v, want 0", got)
+	}
+	if got := s.Quantile(1); got < 10 || got > 10*gamma {
+		t.Errorf("max quantile = %v, want within one bucket of 10", got)
+	}
+}
+
+func TestSketchMergeIsExact(t *testing.T) {
+	all := stream(4000, 7)
+	whole := NewSketch()
+	for _, v := range all {
+		whole.Observe(v)
+	}
+	const workers = 8
+	parts := make([]*Sketch, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := NewSketch()
+			for i := w; i < len(all); i += workers {
+				s.Observe(all[i])
+			}
+			parts[w] = s
+		}(w)
+	}
+	wg.Wait()
+	merged := NewSketch()
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if merged.Count() != whole.Count() {
+		t.Fatalf("merged count %d != whole count %d", merged.Count(), whole.Count())
+	}
+	if math.Abs(merged.Sum()-whole.Sum()) > 1e-6*whole.Sum() {
+		t.Fatalf("merged sum %v != whole sum %v", merged.Sum(), whole.Sum())
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99, 1} {
+		if merged.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("q=%.2f: merged %v != whole %v (merge must be exact)",
+				q, merged.Quantile(q), whole.Quantile(q))
+		}
+	}
+}

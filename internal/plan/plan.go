@@ -532,6 +532,11 @@ func (c *compiler) compileLeaf(item sqlparser.FromItem) (exec.Operator, bool, er
 			c.remotes = append(c.remotes, &remoteRef{scan: scan, corr: corr, start: start, end: len(c.cols)})
 			return scan, false, nil
 		}
+		if virt := c.cat.Virtual(it.Name); virt != nil {
+			sch := virt.Sch.Clone()
+			c.appendScope(corr, sch)
+			return &exec.VirtualScan{Name: virt.Name, Sch: sch, Provider: virt.Provider}, false, nil
+		}
 		tab, err := c.cat.Table(it.Name)
 		if err != nil {
 			return nil, false, err

@@ -14,16 +14,19 @@ import (
 )
 
 // Observer receives fault-handling events for metrics. All fields are
-// optional; callbacks must be safe for concurrent use.
+// optional; callbacks must be safe for concurrent use. Each callback
+// receives the statement's context, so observers can attribute the event
+// to whatever the context carries (e.g. per-statement statistics) without
+// resil knowing about those layers.
 type Observer struct {
 	// OnRetry fires before each retry attempt's backoff is charged.
-	OnRetry func(system string, attempt int, backoff time.Duration)
+	OnRetry func(ctx context.Context, system string, attempt int, backoff time.Duration)
 	// OnBreakerTransition fires on every breaker state change.
-	OnBreakerTransition func(system string, from, to BreakerState)
+	OnBreakerTransition func(ctx context.Context, system string, from, to BreakerState)
 	// OnShed fires when an open breaker rejects a call unexecuted.
-	OnShed func(system string)
+	OnShed func(ctx context.Context, system string)
 	// OnTimeout fires when a call gives up on a statement deadline.
-	OnTimeout func(system string)
+	OnTimeout func(ctx context.Context, system string)
 }
 
 // Executor composes the circuit breaker and the retry loop around one
@@ -156,7 +159,7 @@ func (e *Executor) Call(ctx context.Context, task *simlat.Task, system string,
 	var lastErr error
 	for attempt := 1; attempt <= attempts; attempt++ {
 		if err := Check(ctx, task); err != nil {
-			e.noteTimeout(system, err)
+			e.noteTimeout(ctx, system, err)
 			if lastErr != nil {
 				return nil, fmt.Errorf("%w (last attempt: %w)", err, lastErr)
 			}
@@ -169,7 +172,7 @@ func (e *Executor) Call(ctx context.Context, task *simlat.Task, system string,
 				shed := e.observer.OnShed
 				e.mu.Unlock()
 				if shed != nil {
-					shed(system)
+					shed(ctx, system)
 				}
 				obs.CurrentSpan(task).SetAttr("resil.shed", system)
 				return nil, err
@@ -197,7 +200,7 @@ func (e *Executor) Call(ctx context.Context, task *simlat.Task, system string,
 				trans := e.observer.OnBreakerTransition
 				e.mu.Unlock()
 				if trans != nil {
-					trans(system, from, to)
+					trans(ctx, system, from, to)
 				}
 				obs.CurrentSpan(task).SetAttr("resil.breaker."+system,
 					from.String()+"->"+to.String())
@@ -223,7 +226,7 @@ func (e *Executor) Call(ctx context.Context, task *simlat.Task, system string,
 		retryCB := e.observer.OnRetry
 		e.mu.Unlock()
 		if retryCB != nil {
-			retryCB(system, attempt+1, backoff)
+			retryCB(ctx, system, attempt+1, backoff)
 		}
 		if backoff > 0 {
 			task.Step(StepRetryBackoff, backoff)
@@ -236,7 +239,7 @@ func (e *Executor) Call(ctx context.Context, task *simlat.Task, system string,
 }
 
 // noteTimeout forwards deadline give-ups to the observer.
-func (e *Executor) noteTimeout(system string, err error) {
+func (e *Executor) noteTimeout(ctx context.Context, system string, err error) {
 	if !errors.Is(err, ErrTimeout) {
 		return
 	}
@@ -244,6 +247,6 @@ func (e *Executor) noteTimeout(system string, err error) {
 	cb := e.observer.OnTimeout
 	e.mu.Unlock()
 	if cb != nil {
-		cb(system)
+		cb(ctx, system)
 	}
 }

@@ -406,9 +406,9 @@ func TestExecutorObserverEvents(t *testing.T) {
 	ex := NewExecutor(pol, BreakerPolicy{ConsecutiveFailures: 2, OpenFor: time.Hour})
 	var retriesSeen, transitions, sheds int
 	ex.SetObserver(Observer{
-		OnRetry:             func(string, int, time.Duration) { retriesSeen++ },
-		OnBreakerTransition: func(string, BreakerState, BreakerState) { transitions++ },
-		OnShed:              func(string) { sheds++ },
+		OnRetry:             func(context.Context, string, int, time.Duration) { retriesSeen++ },
+		OnBreakerTransition: func(context.Context, string, BreakerState, BreakerState) { transitions++ },
+		OnShed:              func(context.Context, string) { sheds++ },
 	})
 	task := simlat.NewVirtualTask()
 	fail := func(context.Context) (*types.Table, error) {

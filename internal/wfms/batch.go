@@ -42,7 +42,7 @@ func (e *Engine) RunBatchContext(ctx context.Context, task *simlat.Task, p *Proc
 	}()
 	// One instance start for the whole batch.
 	task.Step(simlat.StepStartWorkflow, e.costs.StartProcess)
-	e.notifyProcess()
+	e.notifyProcess(ctx)
 	if vectorizable(p) {
 		return e.runVectorized(ctx, task, p, inputs)
 	}

@@ -23,8 +23,10 @@ type Engine struct {
 	// activity goroutines; the observer must be safe for concurrent use).
 	onActivity func()
 	// onProcess, when set, is called once per started process instance —
-	// a whole batch shares one instance, so it fires once per batch.
-	onProcess func()
+	// a whole batch shares one instance, so it fires once per batch. It
+	// receives the run's context so observers can attribute the instance
+	// to the statement that started it.
+	onProcess func(context.Context)
 }
 
 // New creates a workflow engine around an invoker for local functions.
@@ -52,12 +54,12 @@ func (e *Engine) notifyActivity() {
 // SetProcessObserver installs a callback invoked once per started process
 // instance. A batched run starts exactly one instance regardless of how
 // many rows the batch carries — the observer is how experiments count
-// workflow instances.
-func (e *Engine) SetProcessObserver(f func()) { e.onProcess = f }
+// workflow instances. The callback receives the run's context.
+func (e *Engine) SetProcessObserver(f func(context.Context)) { e.onProcess = f }
 
-func (e *Engine) notifyProcess() {
+func (e *Engine) notifyProcess(ctx context.Context) {
 	if e.onProcess != nil {
-		e.onProcess()
+		e.onProcess(ctx)
 	}
 }
 
@@ -113,7 +115,7 @@ func (e *Engine) RunDetailedContext(ctx context.Context, task *simlat.Task, p *P
 	// Starting the process instance boots the workflow engine's Java
 	// environment: a constant cost per call, per the paper's Fig. 6.
 	task.Step(simlat.StepStartWorkflow, e.costs.StartProcess)
-	e.notifyProcess()
+	e.notifyProcess(ctx)
 	st := &runState{}
 	out, err := e.runProcess(ctx, task, p, input, st)
 	if err != nil {
