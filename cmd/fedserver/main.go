@@ -28,6 +28,14 @@
 // its span-tree summary. SIGINT/SIGTERM trigger a graceful shutdown that
 // drains in-flight statements before severing connections.
 //
+// The same listener serves the audit journal: /audit (newest wide events,
+// ?n= bounds the tail), /wf/instances (workflow-instance history), and
+// /slo (availability and latency burn rates over sliding virtual-time
+// windows; objectives via -slo-availability and -slo-latency-ms). With
+// -audit-out, every journal event is additionally mirrored to a JSONL
+// file, flushed during the graceful drain so SIGTERM loses no tail
+// events. Watch it all live with the fedtop command.
+//
 // Connect with the fedsql command.
 package main
 
@@ -48,6 +56,7 @@ import (
 	"fedwf/internal/fedfunc"
 	"fedwf/internal/obs"
 	"fedwf/internal/obs/collector"
+	"fedwf/internal/obs/journal"
 	"fedwf/internal/resil"
 	"fedwf/internal/simlat"
 )
@@ -74,6 +83,9 @@ func main() {
 	partialResults := flag.Bool("partial-results", false, "degrade optional lateral branches to NULL padding while a breaker is open")
 	faultSeed := flag.Uint64("fault-seed", 0, "enable deterministic fault injection with this seed (chaos testing)")
 	faultRate := flag.Float64("fault-rate", 0, "with -fault-seed: transient error probability per application-system call")
+	auditOut := flag.String("audit-out", "", "mirror every audit-journal event to this JSONL file (flushed on graceful shutdown)")
+	sloAvailability := flag.Float64("slo-availability", 0, "availability objective for SLO burn rates, e.g. 0.995 (0 = default 0.995)")
+	sloLatencyMS := flag.Float64("slo-latency-ms", 0, "per-statement latency objective in paper ms for SLO burn rates (0 = default 250)")
 	flag.Parse()
 
 	var arch fedfunc.Arch
@@ -131,6 +143,29 @@ func main() {
 		srv.SetSlowQueryLog(obs.NewSlowQueryLog(os.Stderr, threshold))
 		fmt.Printf("fedserver: slow-query log at %.1f paper ms\n", *slowMS)
 	}
+	if *sloAvailability > 0 || *sloLatencyMS > 0 {
+		obj := journal.DefaultObjectives()
+		if *sloAvailability > 0 {
+			obj.Availability = *sloAvailability
+		}
+		if *sloLatencyMS > 0 {
+			obj.Latency = time.Duration(*sloLatencyMS * float64(simlat.PaperMS))
+		}
+		srv.Journal().SetObjectives(obj)
+		fmt.Printf("fedserver: SLOs: availability %.4f, latency %.0f paper ms\n",
+			obj.Availability, float64(obj.Latency)/float64(simlat.PaperMS))
+	}
+	var auditFile *os.File
+	if *auditOut != "" {
+		f, err := os.Create(*auditOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fedserver:", err)
+			os.Exit(1)
+		}
+		auditFile = f
+		srv.Journal().SetSink(f)
+		fmt.Printf("fedserver: audit journal mirrored to %s\n", *auditOut)
+	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fedserver:", err)
@@ -142,6 +177,7 @@ func main() {
 		mux := obs.MetricsMux(srv.MetricsRegistry())
 		srv.Collector().Register(mux)
 		srv.Stats().Register(mux)
+		srv.Journal().Register(mux)
 		if *enablePprof {
 			mux.HandleFunc("/debug/pprof/", pprof.Index)
 			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -175,6 +211,15 @@ func main() {
 	if err := srv.Shutdown(*grace); err != nil {
 		fmt.Fprintln(os.Stderr, "fedserver:", err)
 		failed = true
+	}
+	if auditFile != nil {
+		// The drain hook flushed the journal's buffer; sync and close the
+		// file itself.
+		if err := auditFile.Sync(); err != nil {
+			fmt.Fprintln(os.Stderr, "fedserver: audit-out:", err)
+			failed = true
+		}
+		auditFile.Close()
 	}
 	if metricsSrv != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), *grace)

@@ -12,7 +12,10 @@
 // waterfall (client, rpc, fdbs, engine, UDTF, controller, WfMS and
 // application-system spans stitched into one tree), and \stats [n] lists
 // the server's top n statements by total simulated time from the
-// fed_stat_statements warehouse (default 10).
+// fed_stat_statements warehouse (default 10). \audit [n] lists the newest
+// n audit-journal events (default 20) from fed_audit_events, and
+// \wf <instance> shows one workflow instance's per-activity history from
+// fed_wf_activities (instance ids come from fed_wf_instances or \audit).
 package main
 
 import (
@@ -65,7 +68,7 @@ func main() {
 		return
 	}
 
-	fmt.Println("fedsql: connected to", *addr, `- terminate statements with ';', \q quits, \timing toggles timing, \trace traces, \lasttrace shows the last trace, \stats [n] shows the top statements by total time`)
+	fmt.Println("fedsql: connected to", *addr, `- terminate statements with ';', \q quits, \timing toggles timing, \trace traces, \lasttrace shows the last trace, \stats [n] shows the top statements by total time, \audit [n] the newest journal events, \wf <instance> one instance's activity history`)
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -119,6 +122,28 @@ func main() {
 			execute(client, statsQuery(n), st)
 			continue
 		}
+		if buf.Len() == 0 && (trimmed == `\audit` || strings.HasPrefix(trimmed, `\audit `)) {
+			n := 20
+			if arg := strings.TrimSpace(strings.TrimPrefix(trimmed, `\audit`)); arg != "" {
+				parsed, err := strconv.Atoi(arg)
+				if err != nil || parsed <= 0 {
+					fmt.Fprintf(os.Stderr, "error: \\audit takes a positive row count, got %q\n", arg)
+					continue
+				}
+				n = parsed
+			}
+			execute(client, auditQuery(n), st)
+			continue
+		}
+		if buf.Len() == 0 && (trimmed == `\wf` || strings.HasPrefix(trimmed, `\wf `)) {
+			inst := strings.TrimSpace(strings.TrimPrefix(trimmed, `\wf`))
+			if inst == "" {
+				fmt.Fprintln(os.Stderr, `error: \wf takes a workflow instance id (see fed_wf_instances or \audit)`)
+				continue
+			}
+			execute(client, wfQuery(inst), st)
+			continue
+		}
 		if buf.Len() == 0 && trimmed == `\lasttrace` {
 			if st.lastTrace == "" {
 				fmt.Println("No trace captured yet; turn tracing on with \trace and run a statement.")
@@ -146,6 +171,20 @@ func main() {
 // total simulated time from the server's statement-statistics warehouse.
 func statsQuery(n int) string {
 	return fmt.Sprintf("SELECT Fingerprint, Calls, Errors, Total_MS, Mean_MS, P99_MS, Query FROM fed_stat_statements ORDER BY Total_MS DESC LIMIT %d", n)
+}
+
+// auditQuery is the \audit meta-command's SQL: the newest n events from
+// the server's audit journal. DESC puts the newest events first — the
+// shape the console wants.
+func auditQuery(n int) string {
+	return fmt.Sprintf("SELECT Seq, Kind, Func, Instance, Node, Detail, RowIdx, Rows, Started_VT, Dur_MS, Err FROM fed_audit_events ORDER BY Seq DESC LIMIT %d", n)
+}
+
+// wfQuery is the \wf meta-command's SQL: one workflow instance's
+// per-activity history, oldest transition first.
+func wfQuery(instance string) string {
+	return fmt.Sprintf("SELECT Node, Event, RowIdx, Rows, At_VT FROM fed_wf_activities WHERE Instance = '%s' ORDER BY At_VT",
+		strings.ReplaceAll(instance, "'", "''"))
 }
 
 // state holds the REPL toggles and the last captured trace rendering.

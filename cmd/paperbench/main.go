@@ -14,6 +14,7 @@
 //	paperbench -exp spans        # Fig. 6 from live spans (E10, extension)
 //	paperbench -exp faults       # fault-tolerance sweep + demos (E12, extension)
 //	paperbench -exp stats        # statement-statistics warehouse accuracy (E14, extension)
+//	paperbench -exp audit        # audit-journal accuracy + SLO burn rates (E15, extension)
 //
 // With -json <path>, the numeric results of the experiments that ran are
 // additionally written as a JSON record list (experiment, arch, function,
@@ -54,8 +55,8 @@ type record struct {
 func paperMS(d time.Duration) float64 { return float64(d) / float64(simlat.PaperMS) }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: all, complexity, fig5, fig6, bootstate, parallel, loop, controller, batch, dop, spans, faults, stats")
-	seed := flag.Uint64("seed", 42, "fault-injection seed for -exp faults (same seed, same faults)")
+	exp := flag.String("exp", "all", "experiment id: all, complexity, fig5, fig6, bootstate, parallel, loop, controller, batch, dop, spans, faults, stats, audit")
+	seed := flag.Uint64("seed", 42, "fault-injection seed for -exp faults and -exp audit (same seed, same faults)")
 	bootFn := flag.String("bootfn", "GetSuppQual", "federated function for the boot-state experiment")
 	dops := flag.String("dops", "1,2,4,8", "comma-separated degrees of parallelism for the E9 sweep")
 	batchSize := flag.Int("batchsize", 8, "chunk size for the E13 set-orientation experiment")
@@ -321,6 +322,45 @@ func main() {
 				record{Experiment: "E14", Arch: rep.Arch, Function: "GetSuppQual", Step: "total", Calls: rep.Statements, PaperMS: paperMS(rep.Paper)},
 				record{Experiment: "E14", Arch: rep.Arch, Function: "GetSuppQual", Step: "p99", Calls: rep.Statements, PaperMS: rep.P99MS})
 		}
+	}
+	if run("audit") {
+		any = true
+		section("E15 - Audit journal accuracy and SLO burn rates (extension)")
+		for _, arch := range []fedfunc.Arch{fedfunc.ArchWfMS, fedfunc.ArchUDTF} {
+			rep, err := h.AuditAccuracy(arch, 12)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(benchharn.RenderAuditAccuracy(rep))
+			// The accuracy bar: the journal's wide events are a third exact
+			// book over the workload — their sums equal the stack's wire
+			// counters and the warehouse's totals, and every claimed
+			// workflow instance has its own wf_instance event.
+			if !rep.Exact() {
+				fail(fmt.Errorf("E15 %s: journal diverges from the references (stmts=%d/%d rows=%d/%d rpcs=%d/%d/%d instances=%d/%d/%d instEvents=%d paper=%v/%v)",
+					rep.Arch, rep.JnlStatements, rep.Statements, rep.JnlRows, rep.WhRows,
+					rep.JnlRPCs, rep.RefRPCs, rep.WhRPCs, rep.JnlInstances, rep.RefInstances, rep.WhInstances,
+					rep.JnlInstEvents, rep.JnlPaper, rep.WhPaper))
+			}
+			records = append(records,
+				record{Experiment: "E15", Arch: rep.Arch, Function: "GetSuppQual", Step: "total", Calls: rep.Statements, PaperMS: paperMS(rep.JnlPaper)})
+		}
+		burn, err := h.AuditBurn(*seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(benchharn.RenderAuditBurn(burn))
+		// The burn bar: the fault burst is loud in the 5-minute window
+		// (burn > 1.0) but the hour of healthy traffic keeps the 1-hour
+		// window under budget (burn < 1.0) — the multi-window shape that
+		// separates an incident from an SLO miss.
+		if !burn.BurstDetected() {
+			fail(fmt.Errorf("E15: burn shape wrong (5m=%.2f want >1, 1h=%.2f want <1)",
+				burn.Window("5m").AvailBurn, burn.Window("1h").AvailBurn))
+		}
+		records = append(records,
+			record{Experiment: "E15", Arch: "wfms", Function: "GetSuppQual", Step: "burn_5m", Calls: burn.Window("5m").Statements, PaperMS: burn.Window("5m").AvailBurn},
+			record{Experiment: "E15", Arch: "wfms", Function: "GetSuppQual", Step: "burn_1h", Calls: burn.Window("1h").Statements, PaperMS: burn.Window("1h").AvailBurn})
 	}
 	if !any {
 		fail(fmt.Errorf("unknown experiment %q", *exp))

@@ -21,6 +21,7 @@ import (
 	"fedwf/internal/fedfunc"
 	"fedwf/internal/obs"
 	"fedwf/internal/obs/collector"
+	"fedwf/internal/obs/journal"
 	"fedwf/internal/obs/stats"
 	"fedwf/internal/resil"
 	"fedwf/internal/rpc"
@@ -77,6 +78,7 @@ type Server struct {
 	col       *collector.Collector
 	warehouse *stats.Warehouse
 	plans     *stats.PlanStore
+	jnl       *journal.Journal
 
 	mu   sync.Mutex
 	slow *obs.SlowQueryLog
@@ -97,6 +99,8 @@ func NewServer(cfg Config) (*Server, error) {
 		}
 	}
 	metrics := obs.NewServerMetrics(obs.NewRegistry())
+	jnl := journal.New(journal.Options{})
+	jnl.AttachMetrics(metrics.Registry)
 	stack, err := fedfunc.NewStack(cfg.Arch, fedfunc.Options{
 		Profile:        profile,
 		Direct:         cfg.Direct,
@@ -111,20 +115,29 @@ func NewServer(cfg Config) (*Server, error) {
 			OnRetry: func(ctx context.Context, system string, _ int, _ time.Duration) {
 				metrics.Retries.With(system).Inc()
 				stats.FromContext(ctx).AddRetry()
+				jnl.Append(journal.Event{Kind: journal.KindRetry,
+					Func: system, Row: -1, StartVT: jnl.Now()})
 			},
 			OnBreakerTransition: func(ctx context.Context, system string, _, to resil.BreakerState) {
 				if to == resil.BreakerOpen {
 					metrics.BreakerTrips.With(system).Inc()
 					stats.FromContext(ctx).AddBreakerTrip()
+					jnl.Append(journal.Event{Kind: journal.KindBreaker,
+						Func: system, Detail: "open", Class: "circuit_open",
+						Row: -1, StartVT: jnl.Now()})
 				}
 			},
 			OnShed: func(ctx context.Context, system string) {
 				metrics.BreakerSheds.With(system).Inc()
 				stats.FromContext(ctx).AddShed()
+				jnl.Append(journal.Event{Kind: journal.KindShed,
+					Func: system, Class: "circuit_open", Row: -1, StartVT: jnl.Now()})
 			},
 			OnTimeout: func(ctx context.Context, system string) {
 				metrics.Timeouts.With(system).Inc()
 				stats.FromContext(ctx).AddTimeout()
+				jnl.Append(journal.Event{Kind: journal.KindTimeout,
+					Func: system, Class: "timeout", Row: -1, StartVT: jnl.Now()})
 			},
 		},
 	})
@@ -136,6 +149,9 @@ func NewServer(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	stack.WorkflowEngine().SetActivityObserver(func() { metrics.WfMSActivities.Inc() })
+	// The per-run wfms audit trail is redirected into the journal, so
+	// instance history survives the run and is queryable afterwards.
+	stack.WorkflowEngine().SetJournal(jnl)
 	col := collector.New(cfg.Trace, metrics.Registry)
 	warehouse := stats.NewWarehouse(stats.Options{})
 	warehouse.AttachMetrics(metrics.Registry)
@@ -147,13 +163,16 @@ func NewServer(cfg Config) (*Server, error) {
 	for _, v := range []*catalog.VirtualTable{
 		{Name: "fed_stat_statements", Sch: stats.StatementsSchema(), Provider: warehouse.StatementsTable},
 		{Name: "fed_stat_functions", Sch: stats.FunctionsSchema(), Provider: warehouse.FunctionsTable},
+		{Name: "fed_audit_events", Sch: journal.EventsSchema(), Provider: jnl.EventsTable},
+		{Name: "fed_wf_instances", Sch: journal.InstancesSchema(), Provider: jnl.InstancesTable},
+		{Name: "fed_wf_activities", Sch: journal.ActivitiesSchema(), Provider: jnl.ActivitiesTable},
 	} {
 		if err := cat.RegisterVirtual(v); err != nil {
 			return nil, err
 		}
 	}
 	return &Server{stack: stack, apps: apps, wrapReg: wrapReg, metrics: metrics, col: col,
-		warehouse: warehouse, plans: plans}, nil
+		warehouse: warehouse, plans: plans, jnl: jnl}, nil
 }
 
 // Session opens a SQL session against the integration server.
@@ -187,6 +206,10 @@ func (s *Server) Stats() *stats.Warehouse { return s.warehouse }
 
 // PlanStats exposes the per-plan-shape measured actuals store.
 func (s *Server) PlanStats() *stats.PlanStore { return s.plans }
+
+// Journal exposes the audit journal (behind /audit, /slo, and the
+// fed_audit_events / fed_wf_instances / fed_wf_activities virtual tables).
+func (s *Server) Journal() *journal.Journal { return s.jnl }
 
 // MetricsRegistry exposes the registry behind the server's metrics, for
 // the /metrics endpoint.
@@ -292,6 +315,37 @@ func (s *Server) ExecTracedContext(ctx context.Context, text string, tc obs.Trac
 		obs.MetaTraceID:   traceID,
 	}
 	snap := obs.SnapshotSpan(root)
+	// One wide journal event per statement, one per federated call inside
+	// it, anchored at the federation-wide virtual instant the statement
+	// began; the clock then advances by the statement's simulated time.
+	fp, _ := stats.Fingerprint(text)
+	cnt := stmtCounters.Snapshot()
+	base := s.jnl.Now()
+	stmtEvent := journal.Event{
+		Kind:        journal.KindStatement,
+		TraceID:     traceID,
+		SpanID:      root.ID(),
+		Fingerprint: fp,
+		Arch:        archLabel,
+		Row:         -1,
+		RPCs:        cnt.RPCs,
+		Instances:   cnt.Instances,
+		StartVT:     base,
+		DurVT:       paper,
+	}
+	if err != nil {
+		stmtEvent.Class = stats.ClassifyError(err)
+		stmtEvent.Err = err.Error()
+	}
+	callTmpl := journal.Event{TraceID: traceID, Fingerprint: fp, Arch: archLabel, StartVT: base}
+	emitJournal := func(rows int) {
+		stmtEvent.Rows = rows
+		s.jnl.Append(stmtEvent)
+		for _, ce := range journal.CallEvents(snap, callTmpl) {
+			s.jnl.Append(ce)
+		}
+		s.jnl.Advance(paper)
+	}
 	record := stats.StatementRecord{
 		SQL:            text,
 		Arch:           archLabel,
@@ -326,6 +380,7 @@ func (s *Server) ExecTracedContext(ctx context.Context, text string, tc obs.Trac
 	}
 	if err != nil {
 		s.warehouse.RecordStatement(record)
+		emitJournal(0)
 		return nil, meta, err
 	}
 	if res.Partial {
@@ -349,6 +404,7 @@ func (s *Server) ExecTracedContext(ctx context.Context, text string, tc obs.Trac
 	meta["rows"] = strconv.Itoa(rows)
 	record.Rows = rows
 	s.warehouse.RecordStatement(record)
+	emitJournal(rows)
 	s.metrics.RowsReturned.With(archLabel).Add(float64(rows))
 	if s.slowLog().Observe(text, paper, wall, rows, root) {
 		s.metrics.SlowQueries.Inc()
@@ -385,7 +441,18 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	s.rpcSrv.SetTraceSink(func(f *obs.Fragment) {
 		s.col.Offer(&collector.Trace{ID: f.TraceID, Statement: "(oversized fragment)", Root: f.Root, Forced: true})
 	})
+	// After the graceful drain, push the buffered observability sinks out
+	// so a SIGTERM loses neither slow-query lines nor journal tail events.
+	s.rpcSrv.SetDrainHook(func() { s.FlushSinks() })
 	return s.rpcSrv.Listen(addr)
+}
+
+// FlushSinks drains the buffered observability sinks: the slow-query log
+// and the audit journal's JSONL file. Shutdown runs it automatically; it
+// is exported for embedders that serve without Listen.
+func (s *Server) FlushSinks() {
+	_ = s.slowLog().Flush()
+	_ = s.jnl.Flush()
 }
 
 // Close stops the TCP listener, if any.
@@ -395,9 +462,11 @@ func (s *Server) Close() error { return s.Shutdown(0) }
 // grace before severing connections.
 func (s *Server) Shutdown(grace time.Duration) error {
 	if s.rpcSrv == nil {
+		// Never listened (embedded use): still flush the sinks.
+		s.FlushSinks()
 		return nil
 	}
-	err := s.rpcSrv.Shutdown(grace)
+	err := s.rpcSrv.Shutdown(grace) // drain hook flushes the sinks
 	s.rpcSrv = nil
 	return err
 }

@@ -1,0 +1,59 @@
+package lintrules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// journalPkgPath is the audit-journal package defining the Kind enum.
+const journalPkgPath = "fedwf/internal/obs/journal"
+
+// EventKind keeps the journal's event-kind enum closed: outside the
+// journal package itself, a raw string literal must never take the type
+// journal.Kind — producers and consumers name the declared constants
+// (journal.KindStatement, ...) instead. A typo'd literal ("statment")
+// type-checks fine but silently fails every kind filter the virtual
+// tables, the SLO monitor, and the CI greps run; naming the constant
+// makes the typo a compile error.
+var EventKind = &Analyzer{
+	Name: "eventkind",
+	Doc:  "journal event kinds must be named constants, not string literals, outside the journal package",
+	Run:  runEventKind,
+}
+
+func runEventKind(pass *Pass) {
+	if pass.Pkg.PkgPath == journalPkgPath {
+		// The enum's own declarations are the one legitimate home of the
+		// literals.
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			// The type checker assigns an untyped string constant its
+			// final type in context: assignments to Kind fields,
+			// comparisons against Kind expressions, composite literals,
+			// and explicit Kind("...") conversions all land here.
+			if tv, ok := info.Types[lit]; ok && isJournalKind(tv.Type) {
+				pass.Reportf(lit.Pos(),
+					"journal event kind %s must name a journal.Kind constant, not a string literal", lit.Value)
+			}
+			return true
+		})
+	}
+}
+
+// isJournalKind reports whether t is the named type Kind of the journal
+// package.
+func isJournalKind(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == journalPkgPath && named.Obj().Name() == "Kind"
+}

@@ -58,6 +58,7 @@ var fixtureTests = []struct {
 	{"layering_unknown", "fedwf/internal/mystery", Layering},
 	{"gobwire", "fedwf/internal/fixturegob", GobWire},
 	{"metricname", "fedwf/internal/fixturemetric", MetricName},
+	{"eventkind", "fedwf/internal/fixturekind", EventKind},
 }
 
 // TestFixtures runs each analyzer over its golden fixture and matches

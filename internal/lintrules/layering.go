@@ -35,6 +35,7 @@ var allowedImports = map[string][]string{
 	// Observability and resilience.
 	"obs":           {"simlat"},
 	"obs/collector": {"obs", "simlat"},
+	"obs/journal":   {"obs", "simlat", "types"},
 	"obs/stats":     {"obs", "resil", "simlat", "types"},
 	"resil":         {"obs", "simlat", "types"},
 
@@ -48,7 +49,7 @@ var allowedImports = map[string][]string{
 	// Workflow side.
 	"rpc":        {"obs", "resil", "simlat", "types"},
 	"appsys":     {"obs", "resil", "rpc", "simlat", "storage", "types"},
-	"wfms":       {"appsys", "obs", "obs/stats", "resil", "simlat", "types"},
+	"wfms":       {"appsys", "obs", "obs/journal", "obs/stats", "resil", "simlat", "types"},
 	"controller": {"appsys", "obs", "resil", "rpc", "simlat", "types", "wfms"},
 
 	// Coupling layer (paper Sect. 3: UDTFs, federation functions,
@@ -56,11 +57,11 @@ var allowedImports = map[string][]string{
 	"udtf":    {"appsys", "catalog", "controller", "engine", "obs", "rpc", "simlat", "sqlparser", "types", "wfms"},
 	"wrapper": {"catalog", "engine", "obs", "rpc", "simlat", "sqlparser", "types"},
 	"fedfunc": {"appsys", "catalog", "controller", "engine", "obs/stats", "resil", "rpc", "simlat", "sqlparser", "types", "udtf", "wfms"},
-	"fdbs":    {"appsys", "catalog", "engine", "fedfunc", "obs", "obs/collector", "obs/stats", "resil", "rpc", "simlat", "types", "wrapper"},
+	"fdbs":    {"appsys", "catalog", "engine", "fedfunc", "obs", "obs/collector", "obs/journal", "obs/stats", "resil", "rpc", "simlat", "types", "wrapper"},
 
 	// Harness and tooling. benchharn is additionally restricted to
 	// process-edge importers (cmd/, examples/, the root package).
-	"benchharn": {"appsys", "exec", "fdbs", "fedfunc", "obs", "obs/collector", "obs/stats", "resil", "simlat", "types", "udtf", "wfms"},
+	"benchharn": {"appsys", "exec", "fdbs", "fedfunc", "obs", "obs/collector", "obs/journal", "obs/stats", "resil", "simlat", "types", "udtf", "wfms"},
 	"lintrules": {},
 }
 

@@ -90,6 +90,7 @@ func Analyzers() []*Analyzer {
 		Layering,
 		GobWire,
 		MetricName,
+		EventKind,
 	}
 }
 

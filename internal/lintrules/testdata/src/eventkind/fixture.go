@@ -1,0 +1,54 @@
+// Package fixture exercises the eventkind rule: outside the journal
+// package, event kinds must name the declared journal.Kind constants —
+// raw string literals of type Kind are diagnostics wherever the type
+// checker lets them in.
+package fixture
+
+import "fedwf/internal/obs/journal"
+
+// GoodConstants uses the enum by name everywhere.
+func GoodConstants(j *journal.Journal) int {
+	j.Append(journal.Event{Kind: journal.KindStatement})
+	n := 0
+	for _, e := range j.Snapshot() {
+		if e.Kind == journal.KindInstance {
+			n++
+		}
+	}
+	return n
+}
+
+// BadCompositeLiteral smuggles the kind in as a field literal.
+func BadCompositeLiteral(j *journal.Journal) {
+	j.Append(journal.Event{Kind: "statement"}) // want `journal event kind "statement" must name a journal.Kind constant`
+}
+
+// BadComparison filters on a literal — the typo'd-filter failure mode.
+func BadComparison(j *journal.Journal) int {
+	n := 0
+	for _, e := range j.Snapshot() {
+		if e.Kind == "statment" { // want `journal event kind "statment" must name a journal.Kind constant`
+			n++
+		}
+	}
+	return n
+}
+
+// BadConversion converts explicitly; the literal still takes type Kind.
+func BadConversion() journal.Kind {
+	return journal.Kind("wf_instance") // want `journal event kind "wf_instance" must name a journal.Kind constant`
+}
+
+// BadAssignment declares a Kind variable from a literal.
+func BadAssignment(j *journal.Journal) {
+	var k journal.Kind = "retry" // want `journal event kind "retry" must name a journal.Kind constant`
+	j.Append(journal.Event{Kind: k})
+}
+
+// UnrelatedStrings stay untouched: plain string contexts never take the
+// Kind type.
+func UnrelatedStrings(j *journal.Journal) bool {
+	detail := "statement"
+	j.Append(journal.Event{Kind: journal.KindBreaker, Detail: "open"})
+	return detail == "wf_instance"
+}

@@ -1,0 +1,83 @@
+package journal
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// auditPayload is the /audit response: journal bookkeeping plus the
+// newest events (newest first, so consoles can render the head).
+type auditPayload struct {
+	Seq     uint64  `json:"seq"`
+	Live    int     `json:"live"`
+	Dropped int64   `json:"dropped"`
+	NowVT   int64   `json:"now_vt_ns"`
+	Events  []Event `json:"events"`
+}
+
+// instancesPayload is the /wf/instances response.
+type instancesPayload struct {
+	Instances []Event `json:"instances"`
+}
+
+// Register mounts the journal's JSON endpoints on mux:
+//
+//	/audit        — newest events (?n= bounds the tail, default 100)
+//	/wf/instances — workflow-instance events, newest first (?n=)
+//	/slo          — burn-rate report over the sliding windows
+func (j *Journal) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/audit", func(rw http.ResponseWriter, r *http.Request) {
+		n := queryN(r, 100)
+		evts := j.Tail(n)
+		reverse(evts)
+		writeJSON(rw, auditPayload{
+			Seq:     j.Seq(),
+			Live:    j.Len(),
+			Dropped: j.Dropped(),
+			NowVT:   int64(j.Now()),
+			Events:  evts,
+		})
+	})
+	mux.HandleFunc("/wf/instances", func(rw http.ResponseWriter, r *http.Request) {
+		n := queryN(r, 100)
+		var inst []Event
+		for _, e := range j.Snapshot() {
+			if e.Kind == KindInstance {
+				inst = append(inst, e)
+			}
+		}
+		reverse(inst)
+		if n > 0 && len(inst) > n {
+			inst = inst[:n]
+		}
+		writeJSON(rw, instancesPayload{Instances: inst})
+	})
+	mux.HandleFunc("/slo", func(rw http.ResponseWriter, r *http.Request) {
+		writeJSON(rw, j.SLOReport())
+	})
+}
+
+func queryN(r *http.Request, def int) int {
+	if s := r.URL.Query().Get("n"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return def
+}
+
+func reverse(evts []Event) {
+	for a, b := 0, len(evts)-1; a < b; a, b = a+1, b-1 {
+		evts[a], evts[b] = evts[b], evts[a]
+	}
+}
+
+func writeJSON(rw http.ResponseWriter, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(rw)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(rw, err.Error(), http.StatusInternalServerError)
+	}
+}

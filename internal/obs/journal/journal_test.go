@@ -1,0 +1,279 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fedwf/internal/obs"
+)
+
+func TestEvictionOldestFirstNoGaps(t *testing.T) {
+	j := New(Options{Capacity: 32})
+	if got := j.Capacity(); got != 32 {
+		t.Fatalf("capacity = %d, want 32", got)
+	}
+	for i := 0; i < 100; i++ {
+		j.Append(Event{Kind: KindStatement, Row: -1})
+	}
+	if got := j.Dropped(); got != 68 {
+		t.Fatalf("dropped = %d, want 68", got)
+	}
+	evts := j.Snapshot()
+	if len(evts) != 32 {
+		t.Fatalf("live events = %d, want 32", len(evts))
+	}
+	// Oldest-first eviction: the survivors are exactly the newest 32
+	// sequence numbers, contiguous and ascending — no gaps, no stragglers.
+	for i, e := range evts {
+		want := uint64(69 + i)
+		if e.Seq != want {
+			t.Fatalf("snapshot[%d].Seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+	if j.Seq() != 100 {
+		t.Fatalf("seq = %d, want 100", j.Seq())
+	}
+}
+
+func TestCapacityRoundsUpToShardMultiple(t *testing.T) {
+	j := New(Options{Capacity: 30})
+	if got := j.Capacity(); got != 32 {
+		t.Fatalf("capacity = %d, want 32 (rounded to shard multiple)", got)
+	}
+}
+
+func TestTailNewestAscending(t *testing.T) {
+	j := New(Options{Capacity: 64})
+	for i := 0; i < 10; i++ {
+		j.Append(Event{Kind: KindCall, Row: -1})
+	}
+	tail := j.Tail(3)
+	if len(tail) != 3 {
+		t.Fatalf("tail length = %d, want 3", len(tail))
+	}
+	for i, want := range []uint64{8, 9, 10} {
+		if tail[i].Seq != want {
+			t.Fatalf("tail[%d].Seq = %d, want %d", i, tail[i].Seq, want)
+		}
+	}
+}
+
+func TestVirtualClockAdvance(t *testing.T) {
+	j := New(Options{})
+	if j.Now() != 0 {
+		t.Fatalf("fresh clock = %v, want 0", j.Now())
+	}
+	j.Advance(250 * time.Millisecond)
+	j.Advance(750 * time.Millisecond)
+	if got := j.Now(); got != time.Second {
+		t.Fatalf("clock = %v, want 1s", got)
+	}
+	j.Advance(-time.Hour) // negative advances are ignored
+	if got := j.Now(); got != time.Second {
+		t.Fatalf("clock after negative advance = %v, want 1s", got)
+	}
+}
+
+func TestSinkJSONLAndFlush(t *testing.T) {
+	var buf bytes.Buffer
+	j := New(Options{Capacity: 8})
+	j.SetSink(&buf)
+	for i := 0; i < 20; i++ {
+		j.Append(Event{Kind: KindStatement, Fingerprint: "abc", Row: -1, Rows: i})
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// The sink sees every append, including the ones the ring later
+	// evicted — that is the point of the JSONL file.
+	if len(lines) != 20 {
+		t.Fatalf("sink lines = %d, want 20", len(lines))
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatalf("sink line not JSON: %v", err)
+	}
+	if e.Seq != 1 || e.Kind != KindStatement || e.Fingerprint != "abc" {
+		t.Fatalf("sink line decoded wrong: %+v", e)
+	}
+}
+
+func TestSLOBurnMath(t *testing.T) {
+	j := New(Options{Capacity: 1024})
+	j.SetObjectives(Objectives{Availability: 0.95, Latency: 100 * time.Millisecond})
+
+	// 8 healthy statements, 1 slow, 1 failed, spread over 40 virtual
+	// seconds so they all sit inside the 1m window.
+	for i := 0; i < 10; i++ {
+		e := Event{Kind: KindStatement, Row: -1, StartVT: j.Now(), DurVT: 10 * time.Millisecond}
+		switch i {
+		case 3:
+			e.DurVT = 200 * time.Millisecond // over the latency objective
+		case 7:
+			e.Err = "resil: statement deadline exceeded"
+		}
+		j.Append(e)
+		j.Advance(4 * time.Second)
+	}
+
+	b := j.SLOBurn(time.Minute)
+	if b.Statements != 10 || b.Errors != 1 || b.Slow != 1 {
+		t.Fatalf("window counts = %+v", b)
+	}
+	// budget = 1 - 0.95 = 0.05; errFraction = 0.1 → burn 2.0.
+	if b.AvailBurn < 1.99 || b.AvailBurn > 2.01 {
+		t.Fatalf("availability burn = %v, want 2.0", b.AvailBurn)
+	}
+	if b.LatencyBurn < 1.99 || b.LatencyBurn > 2.01 {
+		t.Fatalf("latency burn = %v, want 2.0", b.LatencyBurn)
+	}
+
+	// Advance the clock far enough that the 1m window empties; burn
+	// must read 0, not NaN.
+	j.Advance(2 * time.Minute)
+	b = j.SLOBurn(time.Minute)
+	if b.Statements != 0 || b.AvailBurn != 0 || b.LatencyBurn != 0 {
+		t.Fatalf("empty window burn = %+v, want zeros", b)
+	}
+
+	rep := j.SLOReport()
+	if len(rep.Windows) != 3 {
+		t.Fatalf("report windows = %d, want 3", len(rep.Windows))
+	}
+	if rep.Windows[0].Window != "1m" || rep.Windows[1].Window != "5m" || rep.Windows[2].Window != "1h" {
+		t.Fatalf("window labels = %v %v %v", rep.Windows[0].Window, rep.Windows[1].Window, rep.Windows[2].Window)
+	}
+}
+
+func TestDefaultObjectivesWhenUnset(t *testing.T) {
+	j := New(Options{})
+	if got, want := j.Objectives(), DefaultObjectives(); got != want {
+		t.Fatalf("objectives = %+v, want defaults %+v", got, want)
+	}
+}
+
+func TestCallEventsFromSpanTree(t *testing.T) {
+	root := &obs.SpanData{
+		Name: "fdbs.exec",
+		Children: []*obs.SpanData{
+			{Name: "engine.run", Children: []*obs.SpanData{
+				{Name: "udtf.wf", StartNS: 1e6, ElapsedNS: 5e6,
+					Attrs: []obs.Attr{{Key: "fn", Value: "GetSuppQual"}}},
+				{Name: "udtf.appsys", StartNS: 7e6, ElapsedNS: 3e6,
+					Attrs: []obs.Attr{{Key: "fn", Value: "GibLiefQualifikation"}}},
+			}},
+		},
+	}
+	tmpl := Event{TraceID: "t1", Fingerprint: "fp", Arch: "wfms", Row: -1,
+		StartVT: 10 * time.Millisecond}
+	calls := CallEvents(root, tmpl)
+	if len(calls) != 2 {
+		t.Fatalf("call events = %d, want 2", len(calls))
+	}
+	if calls[0].Func != "GetSuppQual" || calls[0].Kind != KindCall {
+		t.Fatalf("first call = %+v", calls[0])
+	}
+	if calls[0].StartVT != 11*time.Millisecond || calls[0].DurVT != 5*time.Millisecond {
+		t.Fatalf("first call timing = %v/%v", calls[0].StartVT, calls[0].DurVT)
+	}
+	if calls[1].Func != "GibLiefQualifikation" || calls[1].TraceID != "t1" {
+		t.Fatalf("second call = %+v", calls[1])
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	j := New(Options{Capacity: 64})
+	j.SetObjectives(Objectives{Availability: 0.99, Latency: 50 * time.Millisecond})
+	for i := 0; i < 5; i++ {
+		j.Append(Event{Kind: KindStatement, Row: -1, StartVT: j.Now(), DurVT: time.Millisecond})
+		j.Advance(time.Second)
+	}
+	j.Append(Event{Kind: KindInstance, Instance: "wf-000001", Func: "wfSuppQual", Row: -1})
+
+	muxr := http.NewServeMux()
+	j.Register(muxr)
+
+	h := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/audit?n=3", nil)
+	muxr.ServeHTTP(h, req)
+	var audit auditPayload
+	if err := json.Unmarshal(h.Body.Bytes(), &audit); err != nil {
+		t.Fatalf("/audit not JSON: %v", err)
+	}
+	if audit.Seq != 6 || len(audit.Events) != 3 {
+		t.Fatalf("/audit payload: seq=%d events=%d", audit.Seq, len(audit.Events))
+	}
+	if audit.Events[0].Seq != 6 {
+		t.Fatalf("/audit newest-first: first seq = %d, want 6", audit.Events[0].Seq)
+	}
+
+	h = httptest.NewRecorder()
+	muxr.ServeHTTP(h, httptest.NewRequest("GET", "/wf/instances", nil))
+	var inst instancesPayload
+	if err := json.Unmarshal(h.Body.Bytes(), &inst); err != nil {
+		t.Fatalf("/wf/instances not JSON: %v", err)
+	}
+	if len(inst.Instances) != 1 || inst.Instances[0].Instance != "wf-000001" {
+		t.Fatalf("/wf/instances payload: %+v", inst)
+	}
+
+	h = httptest.NewRecorder()
+	muxr.ServeHTTP(h, httptest.NewRequest("GET", "/slo", nil))
+	var rep SLOReport
+	if err := json.Unmarshal(h.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("/slo not JSON: %v", err)
+	}
+	if rep.Objectives.Availability != 0.99 || len(rep.Windows) != 3 {
+		t.Fatalf("/slo payload: %+v", rep)
+	}
+}
+
+func TestConcurrentAppendSnapshotAdvance(t *testing.T) {
+	j := New(Options{Capacity: 128})
+	reg := obs.NewRegistry()
+	j.AttachMetrics(reg)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				j.Append(Event{Kind: KindStatement, Row: -1,
+					Fingerprint: fmt.Sprintf("fp%d", g), StartVT: j.Now()})
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = j.Snapshot()
+				_ = j.SLOBurn(time.Minute)
+				j.Advance(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := j.Seq(); got != 1600 {
+		t.Fatalf("seq = %d, want 1600", got)
+	}
+	if got := int64(j.Len()) + j.Dropped(); got != 1600 {
+		t.Fatalf("live+dropped = %d, want 1600", got)
+	}
+	// Post-race snapshot must still be gap-free.
+	evts := j.Snapshot()
+	for i := 1; i < len(evts); i++ {
+		if evts[i].Seq != evts[i-1].Seq+1 {
+			t.Fatalf("gap between seq %d and %d", evts[i-1].Seq, evts[i].Seq)
+		}
+	}
+}

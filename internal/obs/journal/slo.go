@@ -1,0 +1,146 @@
+package journal
+
+import (
+	"strconv"
+	"time"
+)
+
+// Objectives are the federation's service-level objectives. Availability
+// is the target fraction of statements that must succeed; Latency is the
+// per-statement simulated-duration objective. Zero values disable the
+// corresponding burn rate (it reads as 0).
+type Objectives struct {
+	Availability float64       `json:"availability"`
+	Latency      time.Duration `json:"latency_ns"`
+}
+
+// DefaultObjectives are the out-of-the-box SLOs: 99.5% availability and a
+// 250 paper-ms latency objective — loose enough that a healthy federation
+// burns well under budget, tight enough that an E12-style fault burst
+// shows up immediately in the short windows.
+func DefaultObjectives() Objectives {
+	return Objectives{Availability: 0.995, Latency: 250 * time.Millisecond}
+}
+
+// Windows are the sliding virtual-time windows the monitor evaluates, in
+// the multi-window burn-rate style: a short window that reacts fast and a
+// long window that filters noise.
+var Windows = []time.Duration{time.Minute, 5 * time.Minute, time.Hour}
+
+// WindowBurn is the burn-rate evaluation of one sliding window.
+type WindowBurn struct {
+	Window       string  `json:"window"` // "1m", "5m", "1h"
+	Statements   int     `json:"statements"`
+	Errors       int     `json:"errors"`
+	Slow         int     `json:"slow"` // statements over the latency objective
+	AvailBurn    float64 `json:"availability_burn"`
+	LatencyBurn  float64 `json:"latency_burn"`
+	ErrFraction  float64 `json:"error_fraction"`
+	SlowFraction float64 `json:"slow_fraction"`
+}
+
+// SLOReport is the full monitor output: the configured objectives, the
+// current virtual instant, and one WindowBurn per window.
+type SLOReport struct {
+	Objectives Objectives    `json:"objectives"`
+	NowVT      time.Duration `json:"now_vt_ns"`
+	Windows    []WindowBurn  `json:"windows"`
+}
+
+// SetObjectives replaces the monitor's objectives and refreshes the
+// gauges.
+func (j *Journal) SetObjectives(o Objectives) {
+	j.objMu.Lock()
+	j.obj = o
+	j.objMu.Unlock()
+	j.updateSLOGauges()
+}
+
+// Objectives returns the configured objectives (DefaultObjectives if
+// never set).
+func (j *Journal) Objectives() Objectives {
+	j.objMu.Lock()
+	defer j.objMu.Unlock()
+	if j.obj == (Objectives{}) {
+		return DefaultObjectives()
+	}
+	return j.obj
+}
+
+// windowLabel renders a window duration the way dashboards expect.
+func windowLabel(w time.Duration) string {
+	switch {
+	case w >= time.Hour && w%time.Hour == 0:
+		return strconv.Itoa(int(w/time.Hour)) + "h"
+	case w >= time.Minute && w%time.Minute == 0:
+		return strconv.Itoa(int(w/time.Minute)) + "m"
+	default:
+		return strconv.Itoa(int(w/time.Second)) + "s"
+	}
+}
+
+// SLOBurn evaluates one sliding window ending at the journal's current
+// virtual instant. The burn rate is the fraction of the error budget the
+// window consumed, normalized so 1.0 means "burning exactly at the rate
+// that exhausts the budget": errFraction / (1 - availabilityObjective)
+// for availability, slowFraction over the same budget for latency. A
+// window with no statements burns nothing.
+func (j *Journal) SLOBurn(w time.Duration) WindowBurn {
+	obj := j.Objectives()
+	now := j.Now()
+	cutoff := now - w
+
+	b := WindowBurn{Window: windowLabel(w)}
+	for i := range j.shards {
+		sh := &j.shards[i]
+		sh.mu.Lock()
+		for k := 0; k < sh.n; k++ {
+			e := &sh.buf[k]
+			if e.Kind != KindStatement || e.StartVT <= cutoff {
+				continue
+			}
+			b.Statements++
+			if e.Err != "" {
+				b.Errors++
+			}
+			if obj.Latency > 0 && e.DurVT > obj.Latency {
+				b.Slow++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if b.Statements == 0 {
+		return b
+	}
+	b.ErrFraction = float64(b.Errors) / float64(b.Statements)
+	b.SlowFraction = float64(b.Slow) / float64(b.Statements)
+	budget := 1 - obj.Availability
+	if budget > 0 {
+		b.AvailBurn = b.ErrFraction / budget
+		b.LatencyBurn = b.SlowFraction / budget
+	}
+	return b
+}
+
+// SLOReport evaluates every window.
+func (j *Journal) SLOReport() SLOReport {
+	rep := SLOReport{Objectives: j.Objectives(), NowVT: j.Now()}
+	for _, w := range Windows {
+		rep.Windows = append(rep.Windows, j.SLOBurn(w))
+	}
+	return rep
+}
+
+// updateSLOGauges refreshes the fedwf_slo_* gauges from a fresh report.
+// No-op until AttachMetrics has run.
+func (j *Journal) updateSLOGauges() {
+	if j.mAvail == nil {
+		return
+	}
+	for _, w := range Windows {
+		b := j.SLOBurn(w)
+		j.mAvail.With(b.Window).Set(b.AvailBurn)
+		j.mLat.With(b.Window).Set(b.LatencyBurn)
+		j.mWindow.With(b.Window).Set(float64(b.Statements))
+	}
+}

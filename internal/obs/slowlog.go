@@ -48,6 +48,25 @@ func (l *SlowQueryLog) Observe(stmt string, paper, wall time.Duration, rows int,
 	return true
 }
 
+// Flush pushes buffered lines out of the underlying writer when it
+// supports flushing (bufio.Writer's Flush or an os.File's Sync) — wired
+// into the server's graceful-shutdown drain so the tail of the log
+// survives SIGTERM. A nil log or an unbuffered writer is a no-op.
+func (l *SlowQueryLog) Flush() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch w := l.w.(type) {
+	case interface{ Flush() error }:
+		return w.Flush()
+	case interface{ Sync() error }:
+		return w.Sync()
+	}
+	return nil
+}
+
 // compactStmt collapses runs of whitespace so the statement fits one line.
 func compactStmt(s string) string {
 	return strings.Join(strings.Fields(s), " ")

@@ -468,6 +468,7 @@ type Server struct {
 	inflight  int           // requests currently being handled or encoded
 	idle      chan struct{} // non-nil while a Shutdown waits for drain; closed at inflight==0
 	traceSink atomic.Value  // func(*obs.Fragment), for fragments too big to inline
+	drainHook func()        // runs after the graceful drain, before Shutdown returns
 }
 
 // beginRequest marks one request in flight.
@@ -506,6 +507,13 @@ func NewServerMeta(h MetaHandler) *Server {
 // per-row reply, just without server-side amortization. Install it at
 // wiring time, before Listen.
 func (s *Server) SetBatchHandler(bh BatchHandler) { s.bh = bh }
+
+// SetDrainHook installs a function Shutdown runs once after the graceful
+// drain completes (listener closed, in-flight requests finished or cut,
+// serving goroutines joined) — the place to flush buffered observability
+// sinks such as the slow-query log and the audit-journal JSONL file, so a
+// SIGTERM loses no tail events. Install it at wiring time, before Listen.
+func (s *Server) SetDrainHook(f func()) { s.drainHook = f }
 
 // SetTraceSink installs the destination for server-side span fragments
 // that exceed the inline metadata cap: typically a collector's Offer. When
@@ -764,6 +772,9 @@ func (s *Server) Shutdown(grace time.Duration) error {
 		c.Close()
 	}
 	s.wg.Wait()
+	if s.drainHook != nil {
+		s.drainHook()
+	}
 	return err
 }
 

@@ -40,23 +40,35 @@ func (e *Engine) RunBatchContext(ctx context.Context, task *simlat.Task, p *Proc
 		}
 		sp.End(task)
 	}()
+	st := e.newRunState(task)
 	// One instance start for the whole batch.
 	task.Step(simlat.StepStartWorkflow, e.costs.StartProcess)
 	e.notifyProcess(ctx)
 	if vectorizable(p) {
-		return e.runVectorized(ctx, task, p, inputs)
-	}
-	// Fallback: the single instance loops the rows through the navigator.
-	st := &runState{}
-	out = make([]*types.Table, len(inputs))
-	for i, input := range inputs {
-		res, err := e.runProcess(ctx, task, p, input, st)
-		if err != nil {
-			return nil, err
+		out, err = e.runVectorized(ctx, task, p, inputs, st)
+	} else {
+		// Fallback: the single instance loops the rows through the
+		// navigator; audit entries carry the row driving each pass.
+		out = make([]*types.Table, len(inputs))
+		for i, input := range inputs {
+			st.setRow(i)
+			res, rerr := e.runProcess(ctx, task, p, input, st)
+			if rerr != nil {
+				out, err = nil, rerr
+				break
+			}
+			out[i] = res
 		}
-		out[i] = res
+		st.setRow(-1)
 	}
-	return out, nil
+	rows := 0
+	for _, t := range out {
+		if t != nil {
+			rows += t.Len()
+		}
+	}
+	st.finishInstance(task, p.Name, len(inputs), rows, err)
+	return out, err
 }
 
 // vectorizable reports whether the process is an unconditional DAG of
@@ -82,7 +94,7 @@ func vectorizable(p *Process) bool {
 // topological order. Per activity: one navigate charge, one boot, the
 // per-row bindings flattened into one set-oriented invocation, results
 // split back per row.
-func (e *Engine) runVectorized(ctx context.Context, task *simlat.Task, p *Process, inputs []map[string]types.Value) ([]*types.Table, error) {
+func (e *Engine) runVectorized(ctx context.Context, task *simlat.Task, p *Process, inputs []map[string]types.Value, st *runState) ([]*types.Table, error) {
 	// Per-row output containers, keyed by lowercase node name.
 	rowOutputs := make([]map[string]*types.Table, len(inputs))
 	for i := range rowOutputs {
@@ -97,12 +109,13 @@ func (e *Engine) runVectorized(ctx context.Context, task *simlat.Task, p *Proces
 			obs.Attr{Key: "batch_size", Value: fmt.Sprint(len(inputs))})
 		// The navigator visits the activity once for the whole batch.
 		task.Step(simlat.StepWorkflowEngine, e.costs.Navigate)
+		st.record(task.Elapsed(), node.NodeName(), "started", 0)
 		var err error
 		switch a := node.(type) {
 		case *FunctionActivity:
-			err = e.runFunctionActivityBatch(ctx, task, a, inputs, rowOutputs)
+			err = e.runFunctionActivityBatch(ctx, task, a, inputs, rowOutputs, st)
 		case *HelperActivity:
-			err = e.runHelperActivityBatch(task, a, inputs, rowOutputs)
+			err = e.runHelperActivityBatch(task, a, inputs, rowOutputs, st)
 		default:
 			err = fmt.Errorf("wfms: unexpected node type %T in vectorized run", node)
 		}
@@ -140,11 +153,12 @@ func (e *Engine) runVectorized(ctx context.Context, task *simlat.Task, p *Proces
 // runFunctionActivityBatch boots the activity program once, flattens every
 // row's argument bindings into one set-oriented invocation, and splits the
 // results back onto the rows.
-func (e *Engine) runFunctionActivityBatch(ctx context.Context, task *simlat.Task, a *FunctionActivity, inputs []map[string]types.Value, rowOutputs []map[string]*types.Table) error {
+func (e *Engine) runFunctionActivityBatch(ctx context.Context, task *simlat.Task, a *FunctionActivity, inputs []map[string]types.Value, rowOutputs []map[string]*types.Table, st *runState) error {
 	prev := task.SetLabel(simlat.StepActivities)
 	defer task.SetLabel(prev)
 	// One program start and one container-handling pass for the batch.
 	task.Spend(e.costs.ActivityBoot + e.costs.ContainerHandling)
+	st.countExec()
 	e.notifyActivity()
 
 	var flat [][]types.Value
@@ -171,9 +185,11 @@ func (e *Engine) runFunctionActivityBatch(ctx context.Context, task *simlat.Task
 	}
 	pos := 0
 	key := strings.ToLower(a.Name)
+	at := task.Elapsed()
 	for i, n := range perRow {
 		if n < 0 {
 			rowOutputs[i][key] = nil // no data: dependents see an empty source
+			st.recordRow(at, a.Name, "skipped", 0, i)
 			continue
 		}
 		var union *types.Table
@@ -187,16 +203,22 @@ func (e *Engine) runFunctionActivityBatch(ctx context.Context, task *simlat.Task
 			}
 		}
 		rowOutputs[i][key] = union
+		rows := 0
+		if union != nil {
+			rows = union.Len()
+		}
+		st.recordRow(at, a.Name, "completed", rows, i)
 	}
 	return nil
 }
 
 // runHelperActivityBatch boots the helper once and runs its body per row
 // (helper bodies are local Go transforms; only the boot is amortized).
-func (e *Engine) runHelperActivityBatch(task *simlat.Task, a *HelperActivity, inputs []map[string]types.Value, rowOutputs []map[string]*types.Table) error {
+func (e *Engine) runHelperActivityBatch(task *simlat.Task, a *HelperActivity, inputs []map[string]types.Value, rowOutputs []map[string]*types.Table, st *runState) error {
 	prev := task.SetLabel(simlat.StepActivities)
 	defer task.SetLabel(prev)
 	task.Spend(e.costs.ActivityBoot + e.costs.ContainerHandling)
+	st.countExec()
 	e.notifyActivity()
 
 	key := strings.ToLower(a.Name)
@@ -214,6 +236,11 @@ func (e *Engine) runHelperActivityBatch(task *simlat.Task, a *HelperActivity, in
 			return err
 		}
 		rowOutputs[i][key] = out
+		rows := 0
+		if out != nil {
+			rows = out.Len()
+		}
+		st.recordRow(task.Elapsed(), a.Name, "completed", rows, i)
 	}
 	return nil
 }

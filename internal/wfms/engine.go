@@ -6,9 +6,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fedwf/internal/obs"
+	"fedwf/internal/obs/journal"
 	"fedwf/internal/resil"
 	"fedwf/internal/simlat"
 	"fedwf/internal/types"
@@ -27,6 +29,12 @@ type Engine struct {
 	// receives the run's context so observers can attribute the instance
 	// to the statement that started it.
 	onProcess func(context.Context)
+	// jnl, when set, receives one wf_instance event per process instance
+	// and one wf_activity event per audit-trail entry, so instance
+	// history survives the run (the MQSeries-Workflow audit trail the
+	// paper's WfMS side is modeled on).
+	jnl     *journal.Journal
+	instSeq atomic.Uint64 // instance ids, engine-lifetime monotonic
 }
 
 // New creates a workflow engine around an invoker for local functions.
@@ -51,6 +59,12 @@ func (e *Engine) notifyActivity() {
 	}
 }
 
+// SetJournal redirects the engine's audit trail into the federation audit
+// journal: every process instance and every activity transition is
+// appended as a wide event, so history outlives the RunResult. Set it at
+// wiring time, before any process runs.
+func (e *Engine) SetJournal(j *journal.Journal) { e.jnl = j }
+
 // SetProcessObserver installs a callback invoked once per started process
 // instance. A batched run starts exactly one instance regardless of how
 // many rows the batch carries — the observer is how experiments count
@@ -69,6 +83,10 @@ type AuditEvent struct {
 	Node  string
 	Event string // "started", "completed", "skipped", "iteration"
 	Rows  int
+	// Row is the in-chunk row index the entry is attributable to when the
+	// instance absorbed a batch (RunBatchContext); -1 means the entry
+	// covers the whole instance.
+	Row int
 }
 
 // RunResult carries the process output plus execution metadata.
@@ -112,12 +130,17 @@ func (e *Engine) RunDetailedContext(ctx context.Context, task *simlat.Task, p *P
 	}
 	sp := obs.StartSpan(task, "wfms.process", obs.Attr{Key: "process", Value: p.Name})
 	defer sp.End(task)
+	st := e.newRunState(task)
 	// Starting the process instance boots the workflow engine's Java
 	// environment: a constant cost per call, per the paper's Fig. 6.
 	task.Step(simlat.StepStartWorkflow, e.costs.StartProcess)
 	e.notifyProcess(ctx)
-	st := &runState{}
 	out, err := e.runProcess(ctx, task, p, input, st)
+	rows := 0
+	if out != nil {
+		rows = out.Len()
+	}
+	st.finishInstance(task, p.Name, 1, rows, err)
 	if err != nil {
 		return nil, err
 	}
@@ -135,12 +158,94 @@ type runState struct {
 	mu       sync.Mutex
 	audit    []AuditEvent
 	executed int
+	row      int // current in-chunk row index; -1 = whole instance
+
+	// Journal routing, set by newRunState when the engine has one.
+	jnl      *journal.Journal
+	instance string
+	base     time.Duration // journal virtual instant when the instance began
+	startAt  time.Duration // task-relative instant the instance began
+}
+
+// newRunState starts the audit trail of one process instance. When the
+// engine carries a journal, the instance gets a stable engine-lifetime id
+// and its trail is mirrored into the journal as wide events.
+func (e *Engine) newRunState(task *simlat.Task) *runState {
+	st := &runState{row: -1}
+	if e.jnl != nil {
+		st.jnl = e.jnl
+		st.instance = fmt.Sprintf("wf-%06d", e.instSeq.Add(1))
+		st.base = e.jnl.Now()
+		st.startAt = task.Elapsed()
+	}
+	return st
+}
+
+// setRow tags subsequent audit entries with an in-chunk row index (-1
+// returns to whole-instance scope). Callers only switch rows between
+// navigator runs, never while activity goroutines are live.
+func (st *runState) setRow(row int) {
+	st.mu.Lock()
+	st.row = row
+	st.mu.Unlock()
 }
 
 func (st *runState) record(at time.Duration, node, event string, rows int) {
 	st.mu.Lock()
-	st.audit = append(st.audit, AuditEvent{At: at, Node: node, Event: event, Rows: rows})
+	row := st.row
+	st.audit = append(st.audit, AuditEvent{At: at, Node: node, Event: event, Rows: rows, Row: row})
 	st.mu.Unlock()
+	st.emitActivity(at, node, event, rows, row)
+}
+
+// recordRow is record with an explicit row index — the vectorized batch
+// path attributes split results to rows without flipping shared state.
+func (st *runState) recordRow(at time.Duration, node, event string, rows, row int) {
+	st.mu.Lock()
+	st.audit = append(st.audit, AuditEvent{At: at, Node: node, Event: event, Rows: rows, Row: row})
+	st.mu.Unlock()
+	st.emitActivity(at, node, event, rows, row)
+}
+
+func (st *runState) emitActivity(at time.Duration, node, event string, rows, row int) {
+	if st.jnl == nil {
+		return
+	}
+	st.jnl.Append(journal.Event{
+		Kind:     journal.KindActivity,
+		Instance: st.instance,
+		Node:     node,
+		Detail:   event,
+		Row:      row,
+		Rows:     rows,
+		StartVT:  st.base + at,
+	})
+}
+
+// finishInstance appends the instance's own wide event — emitted on both
+// the success and the error path, so failed instances are auditable too.
+func (st *runState) finishInstance(task *simlat.Task, process string, batch, rows int, err error) {
+	if st.jnl == nil {
+		return
+	}
+	st.mu.Lock()
+	executed := st.executed
+	st.mu.Unlock()
+	ev := journal.Event{
+		Kind:       journal.KindInstance,
+		Instance:   st.instance,
+		Func:       process,
+		Batch:      batch,
+		Activities: executed,
+		Row:        -1,
+		Rows:       rows,
+		StartVT:    st.base + st.startAt,
+		DurVT:      task.Elapsed() - st.startAt,
+	}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	st.jnl.Append(ev)
 }
 
 func (st *runState) countExec() {

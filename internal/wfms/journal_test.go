@@ -1,0 +1,146 @@
+package wfms
+
+import (
+	"context"
+	"testing"
+
+	"fedwf/internal/obs/journal"
+	"fedwf/internal/simlat"
+	"fedwf/internal/types"
+)
+
+func batchInputs(n int) []map[string]types.Value {
+	in := make([]map[string]types.Value, n)
+	for i := range in {
+		in[i] = map[string]types.Value{"suppliername": types.NewString("Supplier" + string(rune('1'+i)))}
+	}
+	return in
+}
+
+func eventsOf(j *journal.Journal, kind journal.Kind) []journal.Event {
+	var out []journal.Event
+	for _, e := range j.Snapshot() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestJournalInstanceAndActivityEvents(t *testing.T) {
+	j := journal.New(journal.Options{Capacity: 256})
+	eng := New(testInvoker(t), testCosts())
+	eng.SetJournal(j)
+	task := simlat.NewVirtualTask()
+	res, err := eng.RunDetailedContext(context.Background(), task, linearProcess(),
+		map[string]types.Value{"suppliername": types.NewString("Supplier3")})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inst := eventsOf(j, journal.KindInstance)
+	if len(inst) != 1 {
+		t.Fatalf("instance events = %d, want 1", len(inst))
+	}
+	ie := inst[0]
+	if ie.Instance != "wf-000001" || ie.Func != "GetSuppQual" || ie.Batch != 1 {
+		t.Fatalf("instance event = %+v", ie)
+	}
+	if ie.Activities != res.Activities || ie.Rows != res.Output.Len() {
+		t.Fatalf("instance event counts = %+v, want activities %d rows %d", ie, res.Activities, res.Output.Len())
+	}
+	if ie.DurVT != task.Elapsed() {
+		t.Fatalf("instance DurVT = %v, want %v", ie.DurVT, task.Elapsed())
+	}
+
+	acts := eventsOf(j, journal.KindActivity)
+	// Linear chain: started+completed per node, all whole-instance scoped.
+	if len(acts) != 2*len(res.Audit)/2 && len(acts) != len(res.Audit) {
+		t.Fatalf("activity events = %d, audit entries = %d", len(acts), len(res.Audit))
+	}
+	for _, a := range acts {
+		if a.Instance != ie.Instance {
+			t.Fatalf("activity not joinable to instance: %+v", a)
+		}
+		if a.Row != -1 {
+			t.Fatalf("non-batched activity has row index: %+v", a)
+		}
+	}
+	for _, ev := range res.Audit {
+		if ev.Row != -1 {
+			t.Fatalf("non-batched audit entry has row index: %+v", ev)
+		}
+	}
+}
+
+func TestJournalBatchRowAttributionVectorized(t *testing.T) {
+	j := journal.New(journal.Options{Capacity: 256})
+	eng := New(testInvoker(t), testCosts())
+	eng.SetJournal(j)
+	task := simlat.NewVirtualTask()
+	out, err := eng.RunBatchContext(context.Background(), task, linearProcess(), batchInputs(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("outputs = %d, want 3", len(out))
+	}
+
+	inst := eventsOf(j, journal.KindInstance)
+	if len(inst) != 1 || inst[0].Batch != 3 {
+		t.Fatalf("instance events = %+v, want one with Batch=3", inst)
+	}
+
+	// Vectorized run: per activity one whole-batch "started" (row -1) and
+	// one "completed" per in-chunk row.
+	rowsSeen := map[string]map[int]bool{}
+	for _, a := range eventsOf(j, journal.KindActivity) {
+		if a.Detail == "started" {
+			if a.Row != -1 {
+				t.Fatalf("batch started event has row index: %+v", a)
+			}
+			continue
+		}
+		m := rowsSeen[a.Node]
+		if m == nil {
+			m = map[int]bool{}
+			rowsSeen[a.Node] = m
+		}
+		m[a.Row] = true
+	}
+	for _, node := range []string{"GSN", "GQ"} {
+		for row := 0; row < 3; row++ {
+			if !rowsSeen[node][row] {
+				t.Fatalf("node %s missing completion for row %d: %v", node, row, rowsSeen)
+			}
+		}
+	}
+}
+
+func TestJournalBatchRowAttributionFallback(t *testing.T) {
+	// A conditional connector defeats vectorization, forcing the
+	// navigator-fallback loop — rows must still be attributable.
+	p := linearProcess()
+	p.Flow[0].Condition = func(*types.Table) (bool, error) { return true, nil }
+
+	j := journal.New(journal.Options{Capacity: 256})
+	eng := New(testInvoker(t), testCosts())
+	eng.SetJournal(j)
+	task := simlat.NewVirtualTask()
+	out, err := eng.RunBatchContext(context.Background(), task, p, batchInputs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("outputs = %d, want 2", len(out))
+	}
+	perRow := map[int]int{}
+	for _, a := range eventsOf(j, journal.KindActivity) {
+		perRow[a.Row]++
+	}
+	// Each of the two rows drove a full navigator pass (started+completed
+	// per node); nothing may remain unattributed.
+	if perRow[-1] != 0 || perRow[0] == 0 || perRow[1] == 0 {
+		t.Fatalf("fallback row attribution = %v", perRow)
+	}
+}
