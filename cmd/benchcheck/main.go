@@ -14,6 +14,9 @@
 // configuration). Keys present in only one file are reported but do not
 // fail the check — experiments come and go across PRs — but zero key
 // overlap fails, since that means the files are not comparable at all.
+// Most measurements are latencies, where growth is a regression; keys
+// whose step contains "throughput" measure rates, so there the direction
+// flips and a DROP beyond the threshold fails instead.
 //
 // Exit status is 0 when the input is well-formed (and every required
 // experiment appears / no measurement regressed), 1 otherwise.
@@ -163,6 +166,20 @@ func runCompare(oldPath, newPath string, threshold float64) {
 			continue
 		}
 		shared++
+		if higherIsBetter(k) {
+			// Rate measurements regress downward: flag a drop beyond the
+			// threshold, not growth.
+			limit := oldMS * (1 - threshold/100)
+			switch {
+			case newMS < limit:
+				regressions++
+				fmt.Printf("benchcheck: REGRESSION %s: %.3f -> %.3f (%+.1f%%, limit -%.1f%%)\n",
+					k, oldMS, newMS, pctChange(oldMS, newMS), threshold)
+			case newMS != oldMS:
+				fmt.Printf("benchcheck: ok %s: %.3f -> %.3f (%+.1f%%)\n", k, oldMS, newMS, pctChange(oldMS, newMS))
+			}
+			continue
+		}
 		limit := oldMS * (1 + threshold/100)
 		switch {
 		case newMS > limit:
@@ -192,6 +209,12 @@ func runCompare(oldPath, newPath string, threshold float64) {
 	}
 	fmt.Printf("benchcheck: compare ok: %d shared measurements within +%.1f%% (%d old-only, %d new-only)\n",
 		shared, threshold, missing, len(newKeys))
+}
+
+// higherIsBetter reports whether a comparison key measures a rate (its
+// step segment mentions throughput) rather than a latency.
+func higherIsBetter(key string) bool {
+	return strings.Contains(strings.ToLower(key), "throughput")
 }
 
 // pctChange returns the percent change from oldMS to newMS; a zero

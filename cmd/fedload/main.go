@@ -1,0 +1,258 @@
+// Command fedload is the load generator for a running fedserver: it opens
+// many concurrent sessions over the framed multiplexed protocol, drives
+// pipelined statements through each, and reports latency percentiles,
+// throughput, and shed counts.
+//
+//	fedload -addr 127.0.0.1:4711 -sessions 16 -requests 8
+//	fedload -sessions 100 -pipeline 1              # serialized round-trips
+//	fedload -tenant batch -rate 50                 # open loop at 50 stmts/s
+//	fedload -json summary.json
+//	fedload -sim -sessions 10000                   # deterministic simulation
+//
+// In closed-loop mode (the default) each session keeps its pipeline
+// window full: up to -pipeline statements in flight per session, the next
+// sent as soon as one completes. With -rate, the generator switches to an
+// open loop: statements arrive at the given aggregate rate regardless of
+// completions — the mode that actually exposes an overloaded server,
+// because arrivals do not slow down when the server does. Statements shed
+// by the server's admission controller (the typed "unavailable" error)
+// are counted separately and do not fail the run; any other error does.
+//
+// With -sim, no server is contacted: the same deterministic serving
+// simulation behind paperbench -exp serve runs on the virtual clock with
+// the given sessions/requests/pipeline and admission bounds, so capacity
+// questions ("what sheds at 10k sessions under this policy?") answer
+// identically on every machine.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fedwf/internal/benchharn"
+	"fedwf/internal/fdbs"
+	"fedwf/internal/resil"
+	"fedwf/internal/rpc"
+	"fedwf/internal/simlat"
+)
+
+// summary is the run's result, printed as text or as -json.
+type summary struct {
+	Mode       string  `json:"mode"` // "wall" or "sim"
+	Sessions   int     `json:"sessions"`
+	Requests   int     `json:"requests"` // per session
+	Pipeline   int     `json:"pipeline"`
+	Completed  int     `json:"completed"`
+	Shed       int     `json:"shed"`
+	Errors     int     `json:"errors"` // non-shed failures
+	P50MS      float64 `json:"p50_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	Throughput float64 `json:"throughput_per_s"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:4711", "fedserver address")
+	sessions := flag.Int("sessions", 8, "concurrent sessions")
+	requests := flag.Int("requests", 8, "statements per session")
+	pipeline := flag.Int("pipeline", 4, "statements in flight per session (1 = serialized round-trips)")
+	tenant := flag.String("tenant", "", "tenant the sessions are accounted under")
+	stmt := flag.String("stmt", "SELECT Q.Qual FROM TABLE (GetSuppQual('Supplier3')) AS Q", "statement every session repeats")
+	rate := flag.Float64("rate", 0, "open-loop aggregate arrival rate in statements/s (0 = closed loop)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-statement wall deadline")
+	jsonPath := flag.String("json", "", "write the summary as JSON to this path")
+	sim := flag.Bool("sim", false, "run the deterministic serving simulation instead of contacting a server")
+	simConcurrent := flag.Int("sim-max-concurrent", 128, "with -sim: admission concurrency bound")
+	simQueue := flag.Int("sim-queue-depth", 512, "with -sim: admission queue depth")
+	flag.Parse()
+
+	if *sessions <= 0 || *requests <= 0 || *pipeline <= 0 {
+		fail(errors.New("-sessions, -requests and -pipeline must be positive"))
+	}
+	var sum summary
+	if *sim {
+		sum = runSim(*sessions, *requests, *pipeline, *simConcurrent, *simQueue)
+	} else {
+		sum = runWall(*addr, *tenant, *stmt, *sessions, *requests, *pipeline, *rate, *timeout)
+	}
+
+	fmt.Printf("fedload: %s mode: %d sessions x %d stmts, pipeline %d\n", sum.Mode, sum.Sessions, sum.Requests, sum.Pipeline)
+	fmt.Printf("fedload: completed %d, shed %d, errors %d\n", sum.Completed, sum.Shed, sum.Errors)
+	fmt.Printf("fedload: p50 %.3f ms, p99 %.3f ms, %.1f stmts/s over %.1f ms\n",
+		sum.P50MS, sum.P99MS, sum.Throughput, sum.ElapsedMS)
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("fedload: wrote %s\n", *jsonPath)
+	}
+	if sum.Errors > 0 {
+		fail(fmt.Errorf("%d statements failed with non-shed errors", sum.Errors))
+	}
+}
+
+// runWall drives a live server and measures wall-clock latencies.
+func runWall(addr, tenant, stmt string, sessions, requests, pipeline int, rate float64, timeout time.Duration) summary {
+	sum := summary{Mode: "wall", Sessions: sessions, Requests: requests, Pipeline: pipeline}
+	var dialOpts []fdbs.ClientOption
+	if tenant != "" {
+		dialOpts = append(dialOpts, fdbs.WithTenant(tenant))
+	}
+	clients := make([]*fdbs.Client, sessions)
+	for i := range clients {
+		c, err := fdbs.DialClient(addr, dialOpts...)
+		if err != nil {
+			fail(fmt.Errorf("dial session %d: %w", i, err))
+		}
+		clients[i] = c
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+
+	// Open loop: a central ticker releases statements at the aggregate
+	// rate; closed loop: every window slot fires as soon as it frees.
+	var tickets chan struct{}
+	if rate > 0 {
+		tickets = make(chan struct{})
+		interval := time.Duration(float64(time.Second) / rate)
+		go func() {
+			tk := time.NewTicker(interval)
+			defer tk.Stop()
+			for i := 0; i < sessions*requests; i++ {
+				<-tk.C
+				tickets <- struct{}{}
+			}
+			close(tickets)
+		}()
+	}
+
+	var completed, shed, failures atomic.Int64
+	var mu sync.Mutex
+	var latencies []time.Duration
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		client := clients[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var issued atomic.Int64
+			var swg sync.WaitGroup
+			for w := 0; w < pipeline; w++ {
+				swg.Add(1)
+				go func() {
+					defer swg.Done()
+					for {
+						if issued.Add(1) > int64(requests) {
+							return
+						}
+						if tickets != nil {
+							if _, ok := <-tickets; !ok {
+								return
+							}
+						}
+						ctx, cancel := context.WithTimeout(context.Background(), timeout)
+						t0 := time.Now()
+						_, err := client.Exec(ctx, stmt)
+						d := time.Since(t0)
+						cancel()
+						switch {
+						case err == nil:
+							completed.Add(1)
+							mu.Lock()
+							latencies = append(latencies, d)
+							mu.Unlock()
+						case errors.Is(err, resil.ErrAppSysUnavailable):
+							shed.Add(1)
+						default:
+							failures.Add(1)
+						}
+					}
+				}()
+			}
+			swg.Wait()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sum.Completed = int(completed.Load())
+	sum.Shed = int(shed.Load())
+	sum.Errors = int(failures.Load())
+	sum.P50MS, sum.P99MS = percentilesMS(latencies)
+	sum.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+	if elapsed > 0 {
+		sum.Throughput = float64(sum.Completed) / elapsed.Seconds()
+	}
+	return sum
+}
+
+// runSim runs the deterministic serving simulation on the virtual clock.
+func runSim(sessions, requests, pipeline, maxConcurrent, queueDepth int) summary {
+	h, err := benchharn.New()
+	if err != nil {
+		fail(err)
+	}
+	service, err := servingService(h)
+	if err != nil {
+		fail(err)
+	}
+	res := benchharn.SimulateServing(benchharn.ServingConfig{
+		Sessions: sessions,
+		Requests: requests,
+		Window:   pipeline,
+		Service:  service,
+		GenGap:   service / 2,
+		Ramp:     1000 * simlat.PaperMS,
+		Policy:   rpc.AdmissionPolicy{MaxConcurrent: maxConcurrent, QueueDepth: queueDepth},
+	})
+	sum := summary{Mode: "sim", Sessions: sessions, Requests: requests, Pipeline: pipeline,
+		Completed: res.Completed, Shed: res.Shed,
+		P50MS:      float64(res.P50) / float64(simlat.PaperMS),
+		P99MS:      float64(res.P99) / float64(simlat.PaperMS),
+		Throughput: res.Throughput,
+		ElapsedMS:  float64(res.Makespan) / float64(simlat.PaperMS),
+	}
+	return sum
+}
+
+// servingService measures the simulation's per-statement service time hot
+// from a real stack, like paperbench -exp serve does.
+func servingService(h *benchharn.Harness) (time.Duration, error) {
+	rep, err := h.ServingSweep(context.Background(), []int{1}, 1)
+	if err != nil {
+		return 0, err
+	}
+	return rep.Service, nil
+}
+
+// percentilesMS returns the p50 and p99 of the sample in milliseconds.
+func percentilesMS(latencies []time.Duration) (p50, p99 float64) {
+	if len(latencies) == 0 {
+		return 0, 0
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p50 = float64(latencies[(len(latencies)-1)*50/100]) / float64(time.Millisecond)
+	p99 = float64(latencies[(len(latencies)-1)*99/100]) / float64(time.Millisecond)
+	return p50, p99
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fedload:", err)
+	os.Exit(1)
+}

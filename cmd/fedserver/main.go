@@ -3,38 +3,35 @@
 // chosen architecture, listening for SQL over the client protocol.
 //
 //	fedserver -addr 127.0.0.1:4711 -arch wfms
-//	fedserver -addr 127.0.0.1:4711 -arch udtf -direct
-//	fedserver -metrics-addr 127.0.0.1:9090 -slow-query-ms 100
-//	fedserver -stmt-timeout-ms 2000 -retry-attempts 3 -breaker-failures 5
+//	fedserver -arch udtf -direct
+//	fedserver -config server.json
+//	fedserver -config server.json -metrics-addr 127.0.0.1:9090
+//	fedserver -max-concurrent-per-tenant 8 -admission-queue-depth 32
+//
+// Every knob lives in one validated fdbs.ServerConfig. It hydrates from
+// a JSON file given with -config, from the command-line flags, or both —
+// flags override the file, so a deployment config can be overridden ad
+// hoc. An unknown key in the JSON file is an error, not a silent default.
+//
+// The listener speaks both wire protocols: new clients negotiate the
+// framed multiplexed protocol (pipelined statements, per-session tenant
+// accounting, typed errors), old clients fall through to the serialized
+// gob transport. The -max-sessions-per-tenant, -max-concurrent-per-tenant
+// and -admission-queue-depth flags bound what one tenant may hold open
+// and in flight; requests beyond the bounded queue are shed immediately
+// with a typed "unavailable" error instead of queueing without bound.
+// Session and admission traffic surfaces as fedwf_sessions_* and
+// fedwf_admission_* on /metrics and as session/shed events in the audit
+// journal. Generate load with the fedload command.
 //
 // The -stmt-timeout-ms, -retry-*, and -breaker-* flags configure the
-// fault-tolerance layer: a per-statement deadline on the virtual clock
-// (overridable per session with SET STATEMENT_TIMEOUT), retries with
-// exponential backoff against the application systems, and a
-// per-application-system circuit breaker. -partial-results lets optional
-// lateral branches degrade to NULL padding (flagged in the statement
-// metadata) while a system's circuit is open. Retries, breaker trips,
-// sheds, and timeouts surface on /metrics and as span attributes on
-// /traces.
-//
-// With -metrics-addr, a second HTTP listener serves /metrics (Prometheus
-// text exposition), /healthz, and the trace API: /traces lists the traces
-// retained by tail sampling (filter with ?stmt=, ?errors=1, ?min_ms=,
-// ?limit=), /traces/<id> serves one trace as JSON or, with ?format=text,
-// as a span tree plus waterfall. -pprof additionally mounts the standard
-// net/http/pprof handlers under /debug/pprof/ on the same listener. The
-// -trace-* flags tune tail sampling. With -slow-query-ms, every statement
-// whose simulated latency reaches the threshold is logged to stderr with
-// its span-tree summary. SIGINT/SIGTERM trigger a graceful shutdown that
+// fault-tolerance layer; -partial-results lets optional lateral branches
+// degrade to NULL padding while a system's circuit is open. With
+// -metrics-addr, a second HTTP listener serves /metrics, /healthz, the
+// trace API (/traces), the statistics warehouse (/stats), and the audit
+// journal (/audit, /wf/instances, /slo). -pprof mounts net/http/pprof on
+// the same listener. SIGINT/SIGTERM trigger a graceful shutdown that
 // drains in-flight statements before severing connections.
-//
-// The same listener serves the audit journal: /audit (newest wide events,
-// ?n= bounds the tail), /wf/instances (workflow-instance history), and
-// /slo (availability and latency burn rates over sliding virtual-time
-// windows; objectives via -slo-availability and -slo-latency-ms). With
-// -audit-out, every journal event is additionally mirrored to a JSONL
-// file, flushed during the graceful drain so SIGTERM loses no tail
-// events. Watch it all live with the fedtop command.
 //
 // Connect with the fedsql command.
 package main
@@ -49,157 +46,131 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
-	"time"
 
-	"fedwf/internal/appsys"
 	"fedwf/internal/fdbs"
-	"fedwf/internal/fedfunc"
 	"fedwf/internal/obs"
-	"fedwf/internal/obs/collector"
-	"fedwf/internal/obs/journal"
-	"fedwf/internal/resil"
 	"fedwf/internal/simlat"
 )
 
-func main() {
-	addr := flag.String("addr", "127.0.0.1:4711", "listen address")
-	archName := flag.String("arch", "wfms", "integration architecture: wfms or udtf")
-	direct := flag.Bool("direct", false, "bypass the controller (ablation configuration)")
-	dop := flag.Int("dop", 0, "intra-query degree of parallelism (0 = sequential, -1 = GOMAXPROCS)")
-	batchSize := flag.Int("batch-size", 0, "set-oriented federated calls: chunk lateral invocations into batches of this many rows (0 or 1 = per-row; SET BATCH_SIZE overrides at runtime, engine-global like SET PARALLELISM)")
-	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address for /metrics, /healthz and /traces (empty = disabled)")
-	slowMS := flag.Float64("slow-query-ms", 0, "log statements at or above this simulated latency in paper ms (0 = disabled)")
-	grace := flag.Duration("grace", 5*time.Second, "shutdown grace period for draining in-flight statements")
-	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the metrics listener")
-	traceCapacity := flag.Int("trace-capacity", 0, "trace collector ring-buffer slots (0 = default 512)")
-	traceSample := flag.Float64("trace-sample", 0, "tail-sampling rate for fast healthy traces (0 = default 0.05, negative = off)")
-	traceSlowMS := flag.Float64("trace-slow-ms", 0, "always retain traces at or above this paper latency in ms (0 = default 250)")
-	stmtTimeoutMS := flag.Float64("stmt-timeout-ms", 0, "per-statement deadline in paper ms (0 = disabled; SET STATEMENT_TIMEOUT overrides per session)")
-	retryAttempts := flag.Int("retry-attempts", 0, "max attempts per application-system call (0 or 1 = no retries)")
-	retryBackoffMS := flag.Float64("retry-backoff-ms", 5, "initial retry backoff in paper ms (doubles per retry)")
-	retryBudget := flag.Int("retry-budget", 16, "per-statement retry budget across all calls (0 = unlimited)")
-	breakerFailures := flag.Int("breaker-failures", 0, "consecutive failures tripping a system's circuit breaker (0 = breaker disabled)")
-	breakerOpen := flag.Duration("breaker-open", 30*time.Second, "how long an open breaker rejects calls before probing (wall clock)")
-	partialResults := flag.Bool("partial-results", false, "degrade optional lateral branches to NULL padding while a breaker is open")
-	faultSeed := flag.Uint64("fault-seed", 0, "enable deterministic fault injection with this seed (chaos testing)")
-	faultRate := flag.Float64("fault-rate", 0, "with -fault-seed: transient error probability per application-system call")
-	auditOut := flag.String("audit-out", "", "mirror every audit-journal event to this JSONL file (flushed on graceful shutdown)")
-	sloAvailability := flag.Float64("slo-availability", 0, "availability objective for SLO burn rates, e.g. 0.995 (0 = default 0.995)")
-	sloLatencyMS := flag.Float64("slo-latency-ms", 0, "per-statement latency objective in paper ms for SLO burn rates (0 = default 250)")
-	flag.Parse()
+// configPath pre-scans the arguments for -config/--config so the file
+// loads before flag parsing and flags override its values.
+func configPath(args []string) string {
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if a == "--" {
+			return ""
+		}
+		name, val, eq := a, "", false
+		if j := strings.IndexByte(a, '='); j >= 0 {
+			name, val, eq = a[:j], a[j+1:], true
+		}
+		if name != "-config" && name != "--config" {
+			continue
+		}
+		if eq {
+			return val
+		}
+		if i+1 < len(args) {
+			return args[i+1]
+		}
+	}
+	return ""
+}
 
-	var arch fedfunc.Arch
-	switch strings.ToLower(*archName) {
-	case "wfms":
-		arch = fedfunc.ArchWfMS
-	case "udtf":
-		arch = fedfunc.ArchUDTF
-	default:
-		fmt.Fprintf(os.Stderr, "fedserver: unknown architecture %q (want wfms or udtf)\n", *archName)
+func main() {
+	cfg := fdbs.DefaultServerConfig()
+	if path := configPath(os.Args[1:]); path != "" {
+		if err := cfg.LoadFile(path); err != nil {
+			fmt.Fprintln(os.Stderr, "fedserver:", err)
+			os.Exit(1)
+		}
+	}
+	flag.String("config", "", "JSON file with a ServerConfig; flags override its values")
+	cfg.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "fedserver:", err)
 		os.Exit(1)
 	}
 
-	cfg := fdbs.Config{Arch: arch, Direct: *direct, Trace: collector.Policy{
-		Capacity:         *traceCapacity,
-		SampleRate:       *traceSample,
-		LatencyThreshold: time.Duration(*traceSlowMS * float64(simlat.PaperMS)),
-	}}
-	cfg.StmtTimeout = time.Duration(*stmtTimeoutMS * float64(simlat.PaperMS))
-	cfg.PartialResults = *partialResults
-	if *retryAttempts > 1 {
-		cfg.Retry = resil.DefaultRetryPolicy()
-		cfg.Retry.MaxAttempts = *retryAttempts
-		cfg.Retry.BaseBackoff = time.Duration(*retryBackoffMS * float64(simlat.PaperMS))
-		cfg.Retry.Budget = *retryBudget
-	}
-	if *breakerFailures > 0 {
-		cfg.Breaker = resil.DefaultBreakerPolicy()
-		cfg.Breaker.ConsecutiveFailures = *breakerFailures
-		cfg.Breaker.OpenFor = *breakerOpen
-	}
-	if *faultSeed != 0 && *faultRate > 0 {
-		inj := resil.NewInjector(*faultSeed)
-		for _, sys := range []string{appsys.StockKeeping, appsys.ProductData, appsys.Purchasing} {
-			inj.Plan(sys, resil.FaultPlan{ErrorRate: *faultRate})
-		}
-		cfg.Faults = inj
-		fmt.Printf("fedserver: fault injection on (seed %d, error rate %.0f%%)\n", *faultSeed, *faultRate*100)
-	}
-	srv, err := fdbs.NewServer(cfg)
+	engineCfg, err := cfg.BuildConfig()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fedserver:", err)
 		os.Exit(1)
 	}
-	if *dop != 0 {
-		srv.Engine().SetParallelism(*dop)
+	if engineCfg.Faults != nil {
+		fmt.Printf("fedserver: fault injection on (seed %d, error rate %.0f%%)\n", cfg.FaultSeed, cfg.FaultRate*100)
+	}
+	srv, err := fdbs.NewServer(engineCfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fedserver:", err)
+		os.Exit(1)
+	}
+	cfg.Apply(srv)
+	if cfg.DOP != 0 {
 		fmt.Printf("fedserver: intra-query parallelism %d\n", srv.Engine().Parallelism())
 	}
-	if *batchSize > 1 {
-		srv.Engine().SetBatchSize(*batchSize)
+	if cfg.BatchSize > 1 {
 		fmt.Printf("fedserver: set-oriented federated calls, batch size %d\n", srv.Engine().BatchSize())
 	}
-	if *slowMS > 0 {
-		threshold := time.Duration(*slowMS * float64(simlat.PaperMS))
-		srv.SetSlowQueryLog(obs.NewSlowQueryLog(os.Stderr, threshold))
-		fmt.Printf("fedserver: slow-query log at %.1f paper ms\n", *slowMS)
+	if cfg.SlowQueryMS > 0 {
+		srv.SetSlowQueryLog(obs.NewSlowQueryLog(os.Stderr, cfg.SlowThreshold()))
+		fmt.Printf("fedserver: slow-query log at %.1f paper ms\n", cfg.SlowQueryMS)
 	}
-	if *sloAvailability > 0 || *sloLatencyMS > 0 {
-		obj := journal.DefaultObjectives()
-		if *sloAvailability > 0 {
-			obj.Availability = *sloAvailability
-		}
-		if *sloLatencyMS > 0 {
-			obj.Latency = time.Duration(*sloLatencyMS * float64(simlat.PaperMS))
-		}
-		srv.Journal().SetObjectives(obj)
+	if cfg.SLOAvailability > 0 || cfg.SLOLatencyMS > 0 {
+		obj := srv.Journal().Objectives()
 		fmt.Printf("fedserver: SLOs: availability %.4f, latency %.0f paper ms\n",
 			obj.Availability, float64(obj.Latency)/float64(simlat.PaperMS))
 	}
 	var auditFile *os.File
-	if *auditOut != "" {
-		f, err := os.Create(*auditOut)
+	if cfg.AuditOut != "" {
+		f, err := os.Create(cfg.AuditOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fedserver:", err)
 			os.Exit(1)
 		}
 		auditFile = f
 		srv.Journal().SetSink(f)
-		fmt.Printf("fedserver: audit journal mirrored to %s\n", *auditOut)
+		fmt.Printf("fedserver: audit journal mirrored to %s\n", cfg.AuditOut)
 	}
-	bound, err := srv.Listen(*addr)
+	bound, err := srv.Listen(cfg.Addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fedserver:", err)
 		os.Exit(1)
 	}
 
 	var metricsSrv *http.Server
-	if *metricsAddr != "" {
+	if cfg.MetricsAddr != "" {
 		mux := obs.MetricsMux(srv.MetricsRegistry())
 		srv.Collector().Register(mux)
 		srv.Stats().Register(mux)
 		srv.Journal().Register(mux)
-		if *enablePprof {
+		if cfg.Pprof {
 			mux.HandleFunc("/debug/pprof/", pprof.Index)
 			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-			fmt.Printf("fedserver: pprof on http://%s/debug/pprof/\n", *metricsAddr)
+			fmt.Printf("fedserver: pprof on http://%s/debug/pprof/\n", cfg.MetricsAddr)
 		}
-		metricsSrv = &http.Server{Addr: *metricsAddr, Handler: mux}
+		metricsSrv = &http.Server{Addr: cfg.MetricsAddr, Handler: mux}
 		go func() {
 			if err := metricsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "fedserver: metrics:", err)
 			}
 		}()
-		fmt.Printf("fedserver: metrics on http://%s/metrics, traces on http://%s/traces, stats on http://%s/stats/statements\n", *metricsAddr, *metricsAddr, *metricsAddr)
+		fmt.Printf("fedserver: metrics on http://%s/metrics, traces on http://%s/traces, stats on http://%s/stats/statements\n", cfg.MetricsAddr, cfg.MetricsAddr, cfg.MetricsAddr)
 	}
 
-	if cfg.Retry.Enabled() || cfg.Breaker.Enabled() || cfg.StmtTimeout > 0 {
+	if cfg.RetryAttempts > 1 || cfg.BreakerFailures > 0 || cfg.StmtTimeoutMS > 0 {
 		fmt.Printf("fedserver: fault tolerance: retries=%d, breaker-failures=%d, stmt-timeout=%.0fms, partial-results=%v\n",
-			cfg.Retry.MaxAttempts, cfg.Breaker.ConsecutiveFailures, *stmtTimeoutMS, *partialResults)
+			cfg.RetryAttempts, cfg.BreakerFailures, cfg.StmtTimeoutMS, cfg.PartialResults)
 	}
-	fmt.Printf("fedserver: %s listening on %s (controller: %v)\n", arch, bound, !*direct)
+	if cfg.MaxSessionsPerTenant > 0 || cfg.MaxConcurrentPerTenant > 0 {
+		fmt.Printf("fedserver: admission: sessions/tenant=%d, concurrent/tenant=%d, queue-depth=%d\n",
+			cfg.MaxSessionsPerTenant, cfg.MaxConcurrentPerTenant, cfg.AdmissionQueueDepth)
+	}
+	fmt.Printf("fedserver: %s listening on %s (controller: %v)\n", cfg.ArchValue(), bound, !cfg.Direct)
 	fmt.Println("fedserver: application systems:", strings.Join(srv.Apps().Systems(), ", "))
 	fmt.Println("fedserver: federated functions registered; connect with fedsql -addr", bound)
 
@@ -208,7 +179,7 @@ func main() {
 	<-sig
 	fmt.Println("\nfedserver: shutting down (draining in-flight statements)")
 	failed := false
-	if err := srv.Shutdown(*grace); err != nil {
+	if err := srv.Shutdown(cfg.Grace()); err != nil {
 		fmt.Fprintln(os.Stderr, "fedserver:", err)
 		failed = true
 	}
@@ -222,7 +193,7 @@ func main() {
 		auditFile.Close()
 	}
 	if metricsSrv != nil {
-		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.Grace())
 		if err := metricsSrv.Shutdown(ctx); err != nil {
 			fmt.Fprintln(os.Stderr, "fedserver: metrics:", err)
 			failed = true

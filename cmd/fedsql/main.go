@@ -30,7 +30,6 @@ import (
 
 	"fedwf/internal/fdbs"
 	"fedwf/internal/obs"
-	"fedwf/internal/types"
 )
 
 func main() {
@@ -39,9 +38,14 @@ func main() {
 	dop := flag.Int("dop", 0, "send SET PARALLELISM <n> before any statement (0 = leave server default)")
 	timing := flag.Bool("timing", false, "start with per-statement timing on (\\timing toggles it)")
 	trace := flag.Bool("trace", false, "start with distributed tracing on (\\trace toggles it)")
+	tenant := flag.String("tenant", "", "tenant the session is accounted under (server-side quotas and metrics key on it)")
 	flag.Parse()
 
-	client, err := fdbs.DialClient(*addr)
+	var dialOpts []fdbs.ClientOption
+	if *tenant != "" {
+		dialOpts = append(dialOpts, fdbs.WithTenant(*tenant))
+	}
+	client, err := fdbs.DialClient(*addr, dialOpts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fedsql:", err)
 		os.Exit(1)
@@ -49,7 +53,7 @@ func main() {
 	defer client.Close()
 
 	if *dop != 0 {
-		if _, err := client.ExecContext(context.Background(), fmt.Sprintf("SET PARALLELISM %d", *dop)); err != nil {
+		if _, err := client.Exec(context.Background(), fmt.Sprintf("SET PARALLELISM %d", *dop)); err != nil {
 			fmt.Fprintln(os.Stderr, "fedsql:", err)
 			os.Exit(1)
 		}
@@ -196,17 +200,14 @@ type state struct {
 
 func execute(client *fdbs.Client, sql string, st *state) bool {
 	start := time.Now()
-	var (
-		tab  *types.Table
-		meta map[string]string
-		err  error
-	)
+	var opts []fdbs.ExecOption
 	if st.trace {
-		var root *obs.Span
-		tab, meta, root, err = client.ExecTracedContext(context.Background(), sql)
-		st.lastTrace = renderTrace(root, meta)
-	} else {
-		tab, meta, err = client.ExecTimedContext(context.Background(), sql)
+		opts = append(opts, fdbs.WithTrace())
+	}
+	res, err := client.Exec(context.Background(), sql, opts...)
+	tab, meta := res.Table, res.Meta
+	if st.trace {
+		st.lastTrace = renderTrace(res.Trace, meta)
 	}
 	roundTrip := time.Since(start)
 	if err != nil {

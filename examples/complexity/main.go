@@ -73,7 +73,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rows, err := h.Capabilities()
+	rows, err := h.Capabilities(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

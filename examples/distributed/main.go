@@ -37,11 +37,14 @@ func main() {
 	defer server.Close()
 	fmt.Println("application systems listening on", addr)
 
-	// "Local" side: the integration server dials them.
-	client, err := rpc.Dial(addr.String())
-	if err != nil {
-		log.Fatal(err)
-	}
+	// "Local" side: the integration server reaches them through a bounded
+	// pool of framed multiplexed connections — parallel lateral workers
+	// pipeline their calls over a few shared sockets instead of dialing
+	// per call. DialMux negotiates the framed protocol and falls back to
+	// the serialized gob transport against servers that predate it.
+	client := rpc.NewPool(4, func() (rpc.Client, error) {
+		return rpc.DialMux(addr.String())
+	})
 	defer client.Close()
 
 	// The local scenario catalog supplies the function signatures; every
@@ -59,8 +62,8 @@ func main() {
 	}
 
 	session := stack.Engine().NewSession()
-	session.MustExec("CREATE TABLE candidates (SupplierNo INT, CompName VARCHAR(30))")
-	session.MustExec("INSERT INTO candidates VALUES (1, 'bolt'), (4, 'washer'), (7, 'pin')")
+	session.MustExecContext(context.Background(), "CREATE TABLE candidates (SupplierNo INT, CompName VARCHAR(30))")
+	session.MustExecContext(context.Background(), "INSERT INTO candidates VALUES (1, 'bolt'), (4, 'washer'), (7, 'pin')")
 
 	fmt.Println("\nDecisions computed through workflows whose activities call over TCP:")
 	start := time.Now()

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,7 +23,7 @@ func main() {
 	fmt.Println("leaner enhanced SQL UDTF architecture.")
 
 	fmt.Println("\n--- Fig. 5: elapsed times over the mapping catalog (hot calls) ---")
-	fig5, err := h.Fig5()
+	fig5, err := h.Fig5(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -32,7 +33,7 @@ func main() {
 	fmt.Println("three-function GetNoSuppComp it is about three times slower.")
 
 	fmt.Println("\n--- Fig. 6: where the time goes (GetNoSuppComp) ---")
-	wf, ud, err := h.Fig6()
+	wf, ud, err := h.Fig6(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,14 +44,14 @@ func main() {
 	fmt.Println("overheads and the RMI hops to the controller dominate.")
 
 	fmt.Println("\n--- Boot states: initial vs after-other-function vs repeated ---")
-	boot, err := h.BootStates("GetSuppQual")
+	boot, err := h.BootStates(context.Background(), "GetSuppQual")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(benchharn.RenderBootStates(boot))
 
 	fmt.Println("\n--- Parallel activities pay off only under the WfMS ---")
-	par, err := h.ParallelVsSequential()
+	par, err := h.ParallelVsSequential(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,14 +61,14 @@ func main() {
 	fmt.Println("composing their result sets.")
 
 	fmt.Println("\n--- Do-until loop: time rises linearly with the call count ---")
-	loop, err := h.LoopScaling([]int{1, 2, 4, 8, 16, 24})
+	loop, err := h.LoopScaling(context.Background(), []int{1, 2, 4, 8, 16, 24})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(benchharn.RenderLoop(loop))
 
 	fmt.Println("\n--- Controller ablation ---")
-	abl, with, without, err := h.ControllerAblation()
+	abl, with, without, err := h.ControllerAblation(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -73,8 +73,8 @@ func main() {
 		log.Fatal(err)
 	}
 	session := stack.Engine().NewSession()
-	session.MustExec("CREATE TABLE pending_orders (SupplierNo INT, CompName VARCHAR(30), Qty INT)")
-	session.MustExec(`INSERT INTO pending_orders VALUES
+	session.MustExecContext(context.Background(), "CREATE TABLE pending_orders (SupplierNo INT, CompName VARCHAR(30), Qty INT)")
+	session.MustExecContext(context.Background(), `INSERT INTO pending_orders VALUES
 		(4, 'washer', 500), (2, 'bolt', 120), (6, 'nut', 60)`)
 	tab, err := session.QueryContext(context.Background(), `
 		SELECT o.SupplierNo, o.CompName, o.Qty, D.Decision

@@ -23,8 +23,8 @@ func main() {
 	session := srv.Session()
 
 	// Plain SQL against the FDBS works as in any database.
-	session.MustExec("CREATE TABLE watchlist (SupplierNo INT, Note VARCHAR(30))")
-	session.MustExec("INSERT INTO watchlist VALUES (3, 'strategic'), (7, 'on probation'), (999, 'unknown')")
+	session.MustExecContext(context.Background(), "CREATE TABLE watchlist (SupplierNo INT, Note VARCHAR(30))")
+	session.MustExecContext(context.Background(), "INSERT INTO watchlist VALUES (3, 'strategic'), (7, 'on probation'), (999, 'unknown')")
 
 	// Federated functions appear as table functions: TABLE (Fn(args)) in
 	// the FROM clause. GetSuppQualRelia is realised by a workflow process

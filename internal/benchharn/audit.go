@@ -1,12 +1,14 @@
 package benchharn
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
 	"fedwf/internal/fdbs"
 	"fedwf/internal/fedfunc"
+	"fedwf/internal/obs"
 	"fedwf/internal/obs/collector"
 	"fedwf/internal/obs/journal"
 	"fedwf/internal/resil"
@@ -56,7 +58,7 @@ func (r *AuditAccuracyReport) Exact() bool {
 // against the stack's wire counters and the warehouse's totals. Every
 // aggregate must match exactly: the journal is a third book over the same
 // workload, not a sampled approximation.
-func (h *Harness) AuditAccuracy(arch fedfunc.Arch, n int) (*AuditAccuracyReport, error) {
+func (h *Harness) AuditAccuracy(ctx context.Context, arch fedfunc.Arch, n int) (*AuditAccuracyReport, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("benchharn: statement count %d out of range", n)
 	}
@@ -69,7 +71,7 @@ func (h *Harness) AuditAccuracy(arch fedfunc.Arch, n int) (*AuditAccuracyReport,
 	rep := &AuditAccuracyReport{Arch: arch.Label(), Statements: n}
 	for i := 0; i < n; i++ {
 		stmt := fmt.Sprintf("SELECT Q.Qual FROM TABLE (GetSuppQual('Supplier%d')) AS Q", i%9+1)
-		if _, _, err := srv.ExecObserved(stmt); err != nil {
+		if _, _, err := srv.ExecTracedContext(ctx, stmt, obs.TraceContext{}); err != nil {
 			return nil, err
 		}
 	}
@@ -132,7 +134,7 @@ func (r *AuditBurnReport) BurstDetected() bool {
 // 100% injected error rate on every application system and a short burst
 // of failing statements. The deterministic injector seed makes the run
 // replayable; the virtual clock makes the "hour" free.
-func (h *Harness) AuditBurn(seed uint64) (*AuditBurnReport, error) {
+func (h *Harness) AuditBurn(ctx context.Context, seed uint64) (*AuditBurnReport, error) {
 	inj := resil.NewInjector(seed)
 	srv, err := fdbs.NewServer(fdbs.Config{
 		Arch:   fedfunc.ArchWfMS,
@@ -151,7 +153,7 @@ func (h *Harness) AuditBurn(seed uint64) (*AuditBurnReport, error) {
 	rep := &AuditBurnReport{Seed: seed, Healthy: 120, Failing: 5, Objectives: obj}
 	for i := 0; i < rep.Healthy; i++ {
 		stmt := fmt.Sprintf("SELECT Q.Qual FROM TABLE (GetSuppQual('Supplier%d')) AS Q", i%9+1)
-		if _, _, err := srv.ExecObserved(stmt); err != nil {
+		if _, _, err := srv.ExecTracedContext(ctx, stmt, obs.TraceContext{}); err != nil {
 			return nil, err
 		}
 		// Space the healthy traffic out on the journal's virtual clock so
@@ -164,7 +166,7 @@ func (h *Harness) AuditBurn(seed uint64) (*AuditBurnReport, error) {
 	}
 	for i := 0; i < rep.Failing; i++ {
 		stmt := fmt.Sprintf("SELECT Q.Qual FROM TABLE (GetSuppQual('Supplier%d')) AS Q", i%9+1)
-		if _, _, err := srv.ExecObserved(stmt); err == nil {
+		if _, _, err := srv.ExecTracedContext(ctx, stmt, obs.TraceContext{}); err == nil {
 			return nil, fmt.Errorf("benchharn: statement under a 100%% error rate succeeded")
 		}
 	}

@@ -19,6 +19,7 @@
 package benchharn
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -71,12 +72,12 @@ func (h *Harness) WfMSStack() *fedfunc.Stack { return h.wf }
 func (h *Harness) UDTFStack() *fedfunc.Stack { return h.ud }
 
 // measureHot returns the virtual elapsed time of one repeated (hot) call.
-func measureHot(s *fedfunc.Stack, spec *fedfunc.Spec, sample int) (time.Duration, error) {
-	if _, err := s.CallSpec(simlat.Free(), spec, sample); err != nil {
+func measureHot(ctx context.Context, s *fedfunc.Stack, spec *fedfunc.Spec, sample int) (time.Duration, error) {
+	if _, err := s.CallSpecContext(ctx, simlat.Free(), spec, sample); err != nil {
 		return 0, err
 	}
 	task := simlat.NewVirtualTask()
-	if _, err := s.CallSpec(task, spec, sample); err != nil {
+	if _, err := s.CallSpecContext(ctx, task, spec, sample); err != nil {
 		return 0, err
 	}
 	return task.Elapsed(), nil
@@ -97,7 +98,7 @@ type CapabilityRow struct {
 
 // Capabilities executes every mapping on both stacks and reports the
 // Sect. 3 support matrix from observed behaviour.
-func (h *Harness) Capabilities() ([]CapabilityRow, error) {
+func (h *Harness) Capabilities(ctx context.Context) ([]CapabilityRow, error) {
 	var rows []CapabilityRow
 	for _, spec := range fedfunc.Specs() {
 		row := CapabilityRow{
@@ -106,11 +107,11 @@ func (h *Harness) Capabilities() ([]CapabilityRow, error) {
 			UDTFMechanism: spec.UDTFMechanism,
 			WfMSMechanism: spec.WfMSMechanism,
 		}
-		if _, err := h.wf.CallSpec(simlat.Free(), spec, 0); err == nil {
+		if _, err := h.wf.CallSpecContext(ctx, simlat.Free(), spec, 0); err == nil {
 			row.WfMSRuns = true
 		}
 		if spec.SupportsUDTF() {
-			if _, err := h.ud.CallSpec(simlat.Free(), spec, 0); err == nil {
+			if _, err := h.ud.CallSpecContext(ctx, simlat.Free(), spec, 0); err == nil {
 				row.UDTFRuns = true
 			}
 		}
@@ -152,7 +153,7 @@ type Fig5Row struct {
 
 // Fig5 measures every federated function of the catalog on both
 // architectures with repeated (hot) calls.
-func (h *Harness) Fig5() ([]Fig5Row, error) {
+func (h *Harness) Fig5(ctx context.Context) ([]Fig5Row, error) {
 	var rows []Fig5Row
 	for _, spec := range fedfunc.Specs() {
 		row := Fig5Row{Function: spec.Name, Case: spec.Case.String(), LocalFns: len(spec.LocalFunctions)}
@@ -161,13 +162,13 @@ func (h *Harness) Fig5() ([]Fig5Row, error) {
 			// calls it actually makes.
 			row.LocalFns = appsys.NumComponents
 		}
-		d, err := measureHot(h.wf, spec, 0)
+		d, err := measureHot(ctx, h.wf, spec, 0)
 		if err != nil {
 			return nil, fmt.Errorf("benchharn: %s on WfMS: %w", spec.Name, err)
 		}
 		row.WfMS = d
 		if spec.SupportsUDTF() {
-			d, err := measureHot(h.ud, spec, 0)
+			d, err := measureHot(ctx, h.ud, spec, 0)
 			if err != nil {
 				return nil, fmt.Errorf("benchharn: %s on UDTF: %w", spec.Name, err)
 			}
@@ -215,30 +216,30 @@ type BreakdownStep struct {
 
 // Fig6 produces the step breakdown of one hot GetNoSuppComp call under
 // each architecture.
-func (h *Harness) Fig6() (wf, ud *Breakdown, err error) {
+func (h *Harness) Fig6(ctx context.Context) (wf, ud *Breakdown, err error) {
 	spec, err := fedfunc.SpecByName("GetNoSuppComp")
 	if err != nil {
 		return nil, nil, err
 	}
-	wf, err = breakdownOf(h.wf, spec)
+	wf, err = breakdownOf(ctx, h.wf, spec)
 	if err != nil {
 		return nil, nil, err
 	}
-	ud, err = breakdownOf(h.ud, spec)
+	ud, err = breakdownOf(ctx, h.ud, spec)
 	if err != nil {
 		return nil, nil, err
 	}
 	return wf, ud, nil
 }
 
-func breakdownOf(s *fedfunc.Stack, spec *fedfunc.Spec) (*Breakdown, error) {
-	if _, err := s.CallSpec(simlat.Free(), spec, 0); err != nil {
+func breakdownOf(ctx context.Context, s *fedfunc.Stack, spec *fedfunc.Spec) (*Breakdown, error) {
+	if _, err := s.CallSpecContext(ctx, simlat.Free(), spec, 0); err != nil {
 		return nil, err
 	}
 	task := simlat.NewVirtualTask()
 	rec := simlat.NewRecorder()
 	task.SetRecorder(rec)
-	if _, err := s.CallSpec(task, spec, 0); err != nil {
+	if _, err := s.CallSpecContext(ctx, task, spec, 0); err != nil {
 		return nil, err
 	}
 	out := &Breakdown{Arch: s.Arch().String(), Total: rec.Total()}
@@ -280,7 +281,7 @@ type BootRow struct {
 
 // BootStates measures the initial (cold), after-other-function (warm), and
 // repeated (hot) call times of a federated function under both stacks.
-func (h *Harness) BootStates(function string) ([]BootRow, error) {
+func (h *Harness) BootStates(ctx context.Context, function string) ([]BootRow, error) {
 	spec, err := fedfunc.SpecByName(function)
 	if err != nil {
 		return nil, err
@@ -294,7 +295,7 @@ func (h *Harness) BootStates(function string) ([]BootRow, error) {
 		measure := func(level udtf.BootLevel) (time.Duration, error) {
 			s.Flush(level)
 			task := simlat.NewVirtualTask()
-			if _, err := s.CallSpec(task, spec, 0); err != nil {
+			if _, err := s.CallSpecContext(ctx, task, spec, 0); err != nil {
 				return 0, err
 			}
 			return task.Elapsed(), nil
@@ -337,7 +338,7 @@ type ParallelRow struct {
 
 // ParallelVsSequential reproduces the Sect. 4 observation about parallel
 // activities.
-func (h *Harness) ParallelVsSequential() ([]ParallelRow, error) {
+func (h *Harness) ParallelVsSequential(ctx context.Context) ([]ParallelRow, error) {
 	par, err := fedfunc.SpecByName("GetSuppQualRelia")
 	if err != nil {
 		return nil, err
@@ -349,10 +350,10 @@ func (h *Harness) ParallelVsSequential() ([]ParallelRow, error) {
 	var rows []ParallelRow
 	for _, s := range []*fedfunc.Stack{h.wf, h.ud} {
 		row := ParallelRow{Arch: s.Arch().String()}
-		if row.Parallel, err = measureHot(s, par, 0); err != nil {
+		if row.Parallel, err = measureHot(ctx, s, par, 0); err != nil {
 			return nil, err
 		}
-		if row.Sequential, err = measureHot(s, seq, 0); err != nil {
+		if row.Sequential, err = measureHot(ctx, s, seq, 0); err != nil {
 			return nil, err
 		}
 		rows = append(rows, row)
@@ -385,7 +386,7 @@ type LoopRow struct {
 
 // LoopScaling runs AllCompNames workflows with increasing iteration
 // counts and reports the elapsed times; the paper observes a linear rise.
-func (h *Harness) LoopScaling(counts []int) ([]LoopRow, error) {
+func (h *Harness) LoopScaling(ctx context.Context, counts []int) ([]LoopRow, error) {
 	// Run the loop directly on the workflow stack's process with a start
 	// cursor limiting the iteration count.
 	var rows []LoopRow
@@ -394,7 +395,7 @@ func (h *Harness) LoopScaling(counts []int) ([]LoopRow, error) {
 			return nil, fmt.Errorf("benchharn: loop count %d out of range 1..%d", n, appsys.NumComponents)
 		}
 		process := fedfunc.AllCompNamesProcess(appsys.NumComponents - n)
-		task, err := h.runProcessHot(process)
+		task, err := h.runProcessHot(ctx, process)
 		if err != nil {
 			return nil, err
 		}
@@ -405,7 +406,7 @@ func (h *Harness) LoopScaling(counts []int) ([]LoopRow, error) {
 
 // runProcessHot measures one process run through a scratch workflow UDTF
 // on a fresh stack sharing the harness's application systems.
-func (h *Harness) runProcessHot(process *wfms.Process) (time.Duration, error) {
+func (h *Harness) runProcessHot(ctx context.Context, process *wfms.Process) (time.Duration, error) {
 	stack, err := fedfunc.NewStack(fedfunc.ArchWfMS, fedfunc.Options{Profile: h.profile, Apps: h.apps})
 	if err != nil {
 		return 0, err
@@ -414,11 +415,11 @@ func (h *Harness) runProcessHot(process *wfms.Process) (time.Duration, error) {
 	if err := stack.RegisterProcess(process); err != nil {
 		return 0, err
 	}
-	if _, err := stack.Call(simlat.Free(), process.Name, nil); err != nil {
+	if _, err := stack.CallContext(ctx, simlat.Free(), process.Name, nil); err != nil {
 		return 0, err
 	}
 	task := simlat.NewVirtualTask()
-	if _, err := stack.Call(task, process.Name, nil); err != nil {
+	if _, err := stack.CallContext(ctx, task, process.Name, nil); err != nil {
 		return 0, err
 	}
 	return task.Elapsed(), nil
@@ -451,7 +452,7 @@ type AblationRow struct {
 
 // ControllerAblation measures GetNoSuppComp with the controller in the
 // path and with direct connections.
-func (h *Harness) ControllerAblation() ([]AblationRow, float64, float64, error) {
+func (h *Harness) ControllerAblation(ctx context.Context) ([]AblationRow, float64, float64, error) {
 	spec, err := fedfunc.SpecByName("GetNoSuppComp")
 	if err != nil {
 		return nil, 0, 0, err
@@ -462,7 +463,7 @@ func (h *Harness) ControllerAblation() ([]AblationRow, float64, float64, error) 
 		if err != nil {
 			return 0, err
 		}
-		return measureHot(s, spec, 0)
+		return measureHot(ctx, s, spec, 0)
 	}
 	var withT, withoutT [2]time.Duration
 	for i, arch := range []fedfunc.Arch{fedfunc.ArchWfMS, fedfunc.ArchUDTF} {
@@ -519,7 +520,7 @@ type BatchRow struct {
 // GetSuppQualRelia — and reports elapsed time per batch size. Both
 // architectures scale linearly in the number of federated calls; the gap
 // between them is the per-call overhead difference of Fig. 5.
-func (h *Harness) BatchScaling(sizes []int) ([]BatchRow, error) {
+func (h *Harness) BatchScaling(ctx context.Context, sizes []int) ([]BatchRow, error) {
 	var rows []BatchRow
 	for _, n := range sizes {
 		if n < 1 {
@@ -532,17 +533,17 @@ func (h *Harness) BatchScaling(sizes []int) ([]BatchRow, error) {
 				return nil, err
 			}
 			session := stack.Engine().NewSession()
-			session.MustExec("CREATE TABLE batch_driver (SupplierNo INT)")
+			session.MustExecContext(ctx, "CREATE TABLE batch_driver (SupplierNo INT)")
 			for i := 0; i < n; i++ {
-				session.MustExec(fmt.Sprintf("INSERT INTO batch_driver VALUES (%d)", 1+i%appsys.NumSuppliers))
+				session.MustExecContext(ctx, fmt.Sprintf("INSERT INTO batch_driver VALUES (%d)", 1+i%appsys.NumSuppliers))
 			}
 			query := `SELECT COUNT(*) FROM batch_driver b, TABLE (GetSuppQualRelia(b.SupplierNo)) AS QR`
-			if _, err := session.Query(query); err != nil { // warm
+			if _, err := session.QueryContext(ctx, query); err != nil { // warm
 				return nil, err
 			}
 			task := simlat.NewVirtualTask()
 			session.SetTask(task)
-			if _, err := session.Query(query); err != nil {
+			if _, err := session.QueryContext(ctx, query); err != nil {
 				return nil, err
 			}
 			if arch == fedfunc.ArchWfMS {
@@ -599,7 +600,7 @@ type DOPRow struct {
 // accounting makes the virtual clock report the max-branch elapsed time.
 // The function cache is enabled throughout, so the rows also show the
 // per-statement hit/miss/coalesced counters.
-func (h *Harness) ParallelLateral(dops []int) ([]DOPRow, error) {
+func (h *Harness) ParallelLateral(ctx context.Context, dops []int) ([]DOPRow, error) {
 	var rows []DOPRow
 	for _, fn := range []string{"GetSuppQualRelia", "GetSuppGrade"} {
 		for _, arch := range []fedfunc.Arch{fedfunc.ArchWfMS, fedfunc.ArchUDTF} {
@@ -610,9 +611,9 @@ func (h *Harness) ParallelLateral(dops []int) ([]DOPRow, error) {
 			eng := stack.Engine()
 			eng.SetFunctionCache(true)
 			session := eng.NewSession()
-			session.MustExec("CREATE TABLE dop_driver (SupplierNo INT)")
+			session.MustExecContext(ctx, "CREATE TABLE dop_driver (SupplierNo INT)")
 			for i := 0; i < dopDriverRows; i++ {
-				session.MustExec(fmt.Sprintf("INSERT INTO dop_driver VALUES (%d)", 1+i%dopDistinctKeys))
+				session.MustExecContext(ctx, fmt.Sprintf("INSERT INTO dop_driver VALUES (%d)", 1+i%dopDistinctKeys))
 			}
 			query := fmt.Sprintf(`SELECT COUNT(*) FROM dop_driver d, TABLE (%s(d.SupplierNo)) AS F`, fn)
 			var seq time.Duration
@@ -626,12 +627,12 @@ func (h *Harness) ParallelLateral(dops []int) ([]DOPRow, error) {
 					eng.SetParallelism(0)
 				}
 				session.SetTask(simlat.Free())
-				if _, err := session.Query(query); err != nil { // warm boot state
+				if _, err := session.QueryContext(ctx, query); err != nil { // warm boot state
 					return nil, err
 				}
 				task := simlat.NewVirtualTask()
 				session.SetTask(task)
-				if _, err := session.Query(query); err != nil {
+				if _, err := session.QueryContext(ctx, query); err != nil {
 					return nil, err
 				}
 				row := DOPRow{
@@ -695,7 +696,7 @@ type SetRow struct {
 // start) across chunks of batchSize rows, so the batched modes must show
 // both fewer wire requests and less virtual elapsed time; the counters in
 // the rows let callers assert exactly that.
-func (h *Harness) SetOriented(ns []int, batchSize int) ([]SetRow, error) {
+func (h *Harness) SetOriented(ctx context.Context, ns []int, batchSize int) ([]SetRow, error) {
 	if batchSize < 2 {
 		return nil, fmt.Errorf("benchharn: batch size %d out of range", batchSize)
 	}
@@ -722,10 +723,10 @@ func (h *Harness) SetOriented(ns []int, batchSize int) ([]SetRow, error) {
 				return nil, fmt.Errorf("benchharn: driver size %d out of range", n)
 			}
 			driver := fmt.Sprintf("set_driver_%d", n)
-			session.MustExec(fmt.Sprintf("CREATE TABLE %s (KompName VARCHAR(30))", driver))
+			session.MustExecContext(ctx, fmt.Sprintf("CREATE TABLE %s (KompName VARCHAR(30))", driver))
 			for i := 0; i < n; i++ {
 				// Distinct names, so no cache effect hides a wire request.
-				session.MustExec(fmt.Sprintf("INSERT INTO %s VALUES ('%s')", driver, appsys.ComponentName(1+i)))
+				session.MustExecContext(ctx, fmt.Sprintf("INSERT INTO %s VALUES ('%s')", driver, appsys.ComponentName(1+i)))
 			}
 			query := fmt.Sprintf(`SELECT COUNT(*) FROM %s d, TABLE (GibKompNr(d.KompName)) AS K`, driver)
 			for _, m := range modes {
@@ -736,13 +737,13 @@ func (h *Harness) SetOriented(ns []int, batchSize int) ([]SetRow, error) {
 					eng.SetParallelism(0)
 				}
 				session.SetTask(simlat.Free())
-				if _, err := session.Query(query); err != nil { // warm boot state
+				if _, err := session.QueryContext(ctx, query); err != nil { // warm boot state
 					return nil, err
 				}
 				stack.ResetCounters()
 				task := simlat.NewVirtualTask()
 				session.SetTask(task)
-				if _, err := session.Query(query); err != nil {
+				if _, err := session.QueryContext(ctx, query); err != nil {
 					return nil, err
 				}
 				rpcs, inst := stack.Counters()

@@ -1,6 +1,7 @@
 package benchharn
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -18,7 +19,7 @@ func newHarness(t *testing.T) *Harness {
 
 func TestCapabilitiesMatrix(t *testing.T) {
 	h := newHarness(t)
-	rows, err := h.Capabilities()
+	rows, err := h.Capabilities(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestCapabilitiesMatrix(t *testing.T) {
 
 func TestFig5Shape(t *testing.T) {
 	h := newHarness(t)
-	rows, err := h.Fig5()
+	rows, err := h.Fig5(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestFig5Shape(t *testing.T) {
 
 func TestFig6Breakdowns(t *testing.T) {
 	h := newHarness(t)
-	wf, ud, err := h.Fig6()
+	wf, ud, err := h.Fig6(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestFig6Breakdowns(t *testing.T) {
 
 func TestBootStatesOrdering(t *testing.T) {
 	h := newHarness(t)
-	rows, err := h.BootStates("GetSuppQual")
+	rows, err := h.BootStates(context.Background(), "GetSuppQual")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestBootStatesOrdering(t *testing.T) {
 			t.Errorf("%s: cold=%v warm=%v hot=%v not ordered", r.Arch, r.Cold, r.Warm, r.Hot)
 		}
 	}
-	if _, err := h.BootStates("NoSuchFn"); err == nil {
+	if _, err := h.BootStates(context.Background(), "NoSuchFn"); err == nil {
 		t.Error("unknown function accepted")
 	}
 	out := RenderBootStates(rows)
@@ -168,7 +169,7 @@ func TestBootStatesOrdering(t *testing.T) {
 
 func TestParallelVsSequentialShape(t *testing.T) {
 	h := newHarness(t)
-	rows, err := h.ParallelVsSequential()
+	rows, err := h.ParallelVsSequential(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestParallelVsSequentialShape(t *testing.T) {
 
 func TestLoopScalingLinearity(t *testing.T) {
 	h := newHarness(t)
-	rows, err := h.LoopScaling([]int{2, 4, 8, 16})
+	rows, err := h.LoopScaling(context.Background(), []int{2, 4, 8, 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,10 +208,10 @@ func TestLoopScalingLinearity(t *testing.T) {
 	if d2 != 2*d1 || d3 != 2*d2 {
 		t.Errorf("not linear: d1=%v d2=%v d3=%v", d1, d2, d3)
 	}
-	if _, err := h.LoopScaling([]int{0}); err == nil {
+	if _, err := h.LoopScaling(context.Background(), []int{0}); err == nil {
 		t.Error("invalid count accepted")
 	}
-	if _, err := h.LoopScaling([]int{10_000}); err == nil {
+	if _, err := h.LoopScaling(context.Background(), []int{10_000}); err == nil {
 		t.Error("excessive count accepted")
 	}
 	out := RenderLoop(rows)
@@ -221,7 +222,7 @@ func TestLoopScalingLinearity(t *testing.T) {
 
 func TestControllerAblationShape(t *testing.T) {
 	h := newHarness(t)
-	rows, with, without, err := h.ControllerAblation()
+	rows, with, without, err := h.ControllerAblation(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +249,7 @@ func TestControllerAblationShape(t *testing.T) {
 
 func TestBatchScalingLinearAndOrdered(t *testing.T) {
 	h := newHarness(t)
-	rows, err := h.BatchScaling([]int{1, 2, 4})
+	rows, err := h.BatchScaling(context.Background(), []int{1, 2, 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +272,7 @@ func TestBatchScalingLinearAndOrdered(t *testing.T) {
 	if du2 != 2*du1 {
 		t.Errorf("UDTF batch growth not linear: %v then %v", du1, du2)
 	}
-	if _, err := h.BatchScaling([]int{0}); err == nil {
+	if _, err := h.BatchScaling(context.Background(), []int{0}); err == nil {
 		t.Error("invalid batch size accepted")
 	}
 	out := RenderBatch(rows)
@@ -292,7 +293,7 @@ func TestHarnessAccessors(t *testing.T) {
 
 func TestParallelLateralSweep(t *testing.T) {
 	h := newHarness(t)
-	rows, err := h.ParallelLateral([]int{1, 2, 4})
+	rows, err := h.ParallelLateral(context.Background(), []int{1, 2, 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +327,7 @@ func TestParallelLateralSweep(t *testing.T) {
 			}
 		}
 	}
-	if _, err := h.ParallelLateral([]int{0}); err == nil {
+	if _, err := h.ParallelLateral(context.Background(), []int{0}); err == nil {
 		t.Error("invalid dop accepted")
 	}
 	out := RenderDOP(rows)

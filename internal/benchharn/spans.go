@@ -1,6 +1,7 @@
 package benchharn
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -30,14 +31,14 @@ type SpanFig6 struct {
 // Fig6FromSpans reproduces the Fig. 6 breakdown of one hot GetNoSuppComp
 // call per architecture from live spans and cross-checks it against the
 // Recorder-derived reference.
-func (h *Harness) Fig6FromSpans() ([]SpanFig6, error) {
+func (h *Harness) Fig6FromSpans(ctx context.Context) ([]SpanFig6, error) {
 	spec, err := fedfunc.SpecByName("GetNoSuppComp")
 	if err != nil {
 		return nil, err
 	}
 	var out []SpanFig6
 	for _, s := range []*fedfunc.Stack{h.wf, h.ud} {
-		if _, err := s.CallSpec(simlat.Free(), spec, 0); err != nil {
+		if _, err := s.CallSpecContext(ctx, simlat.Free(), spec, 0); err != nil {
 			return nil, err
 		}
 		task := simlat.NewVirtualTask()
@@ -46,7 +47,7 @@ func (h *Harness) Fig6FromSpans() ([]SpanFig6, error) {
 		tr := obs.Trace(task, "stack.call",
 			obs.Attr{Key: "arch", Value: s.Arch().Label()},
 			obs.Attr{Key: "fn", Value: spec.Name})
-		_, callErr := s.CallSpec(task, spec, 0)
+		_, callErr := s.CallSpecContext(ctx, task, spec, 0)
 		root := tr.Finish()
 		if callErr != nil {
 			return nil, callErr

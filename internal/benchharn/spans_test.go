@@ -1,6 +1,7 @@
 package benchharn
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -10,7 +11,7 @@ import (
 // simlat.Recorder produces, on both architectures.
 func TestFig6FromSpans(t *testing.T) {
 	h := newHarness(t)
-	results, err := h.Fig6FromSpans()
+	results, err := h.Fig6FromSpans(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

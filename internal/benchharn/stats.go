@@ -1,6 +1,7 @@
 package benchharn
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -9,6 +10,7 @@ import (
 
 	"fedwf/internal/fdbs"
 	"fedwf/internal/fedfunc"
+	"fedwf/internal/obs"
 	"fedwf/internal/obs/collector"
 	"fedwf/internal/obs/stats"
 	"fedwf/internal/simlat"
@@ -67,7 +69,7 @@ func (r *StatsReport) P99WithinOneBucket() bool {
 // fingerprint; calls, rows, RPCs, workflow instances, and total simulated
 // time must match the references exactly; the p99 read off the sketch
 // must sit within one log bucket of the exact p99.
-func (h *Harness) StatementStats(arch fedfunc.Arch, n int) (*StatsReport, error) {
+func (h *Harness) StatementStats(ctx context.Context, arch fedfunc.Arch, n int) (*StatsReport, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("benchharn: statement count %d out of range", n)
 	}
@@ -84,7 +86,7 @@ func (h *Harness) StatementStats(arch fedfunc.Arch, n int) (*StatsReport, error)
 		// distinct, so coalescing to one fingerprint is the normalizer's
 		// doing, not the workload's.
 		stmt := fmt.Sprintf("SELECT Q.Qual FROM TABLE (GetSuppQual('Supplier%d')) AS Q", i%9+1)
-		tab, meta, err := srv.ExecObserved(stmt)
+		tab, meta, err := srv.ExecTracedContext(ctx, stmt, obs.TraceContext{})
 		if err != nil {
 			return nil, err
 		}

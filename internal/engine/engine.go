@@ -469,8 +469,16 @@ func (s *Session) ExecScriptContext(ctx context.Context, sql string) ([]*Result,
 
 // MustExec executes a statement and panics on error; for fixtures whose
 // statements are statically known to be valid.
+//
+// Deprecated: use MustExecContext.
 func (s *Session) MustExec(sql string) *Result {
-	r, err := s.Exec(sql)
+	return s.MustExecContext(context.Background(), sql)
+}
+
+// MustExecContext executes a statement under ctx and panics on error;
+// for fixtures whose statements are statically known to be valid.
+func (s *Session) MustExecContext(ctx context.Context, sql string) *Result {
+	r, err := s.ExecContext(ctx, sql)
 	if err != nil {
 		panic(err)
 	}
@@ -790,6 +798,13 @@ func (s *Session) compilePredicate(table string, schema types.Schema, where sqlp
 		ok, err := exec.Truthy(v)
 		return err == nil && ok
 	}, nil
+}
+
+// DeclareFunction registers a function from its parsed CREATE FUNCTION
+// statement — the construction-time entry point used when a stack
+// assembles its catalog. DDL carries no deadline, so no context flows in.
+func (e *Engine) DeclareFunction(st *sqlparser.CreateFunction) (*Result, error) {
+	return e.NewSession().execCreateFunction(st)
 }
 
 func (s *Session) execCreateFunction(st *sqlparser.CreateFunction) (*Result, error) {

@@ -65,14 +65,19 @@ type Config struct {
 	// padding with warnings instead of failing the statement when their
 	// application system is shedding.
 	PartialResults bool
+	// Admission bounds per-tenant sessions and in-flight statements on
+	// the serving path; the zero value admits everything. Beyond the
+	// bounded queue, statements are shed with resil.ErrAppSysUnavailable.
+	Admission rpc.AdmissionPolicy
 }
 
 // Server is one running integration server.
 type Server struct {
-	stack   *fedfunc.Stack
-	apps    *appsys.Registry
-	wrapReg *wrapper.Registry
-	rpcSrv  *rpc.Server
+	stack     *fedfunc.Stack
+	apps      *appsys.Registry
+	wrapReg   *wrapper.Registry
+	rpcSrv    *rpc.Server
+	admission rpc.AdmissionPolicy
 
 	metrics   *obs.ServerMetrics
 	col       *collector.Collector
@@ -171,8 +176,8 @@ func NewServer(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
-	return &Server{stack: stack, apps: apps, wrapReg: wrapReg, metrics: metrics, col: col,
-		warehouse: warehouse, plans: plans, jnl: jnl}, nil
+	return &Server{stack: stack, apps: apps, wrapReg: wrapReg, admission: cfg.Admission,
+		metrics: metrics, col: col, warehouse: warehouse, plans: plans, jnl: jnl}, nil
 }
 
 // Session opens a SQL session against the integration server.
@@ -438,6 +443,27 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 		return nil, fmt.Errorf("fdbs: server already listening")
 	}
 	s.rpcSrv = rpc.NewServerMeta(s.handler())
+	// The admission controller is always installed (a zero policy admits
+	// everything) so the fedwf_sessions_* / fedwf_admission_* metric
+	// families and the session journal trail exist on every server.
+	s.rpcSrv.SetAdmission(rpc.NewAdmission(s.admission, s.metrics.Serving, rpc.AdmissionObserver{
+		OnSessionOpen: func(tenant, proto string) {
+			s.jnl.Append(journal.Event{Kind: journal.KindSession, Func: tenant,
+				Detail: "open/" + proto, Row: -1, StartVT: s.jnl.Now()})
+		},
+		OnSessionClose: func(tenant string) {
+			s.jnl.Append(journal.Event{Kind: journal.KindSession, Func: tenant,
+				Detail: "close", Row: -1, StartVT: s.jnl.Now()})
+		},
+		OnSessionReject: func(tenant string) {
+			s.jnl.Append(journal.Event{Kind: journal.KindSession, Func: tenant,
+				Detail: "rejected", Class: "appsys_unavailable", Row: -1, StartVT: s.jnl.Now()})
+		},
+		OnShed: func(tenant string) {
+			s.jnl.Append(journal.Event{Kind: journal.KindShed, Func: tenant,
+				Detail: "admission", Class: "appsys_unavailable", Row: -1, StartVT: s.jnl.Now()})
+		},
+	}))
 	s.rpcSrv.SetTraceSink(func(f *obs.Fragment) {
 		s.col.Offer(&collector.Trace{ID: f.TraceID, Statement: "(oversized fragment)", Root: f.Root, Forced: true})
 	})
@@ -476,80 +502,210 @@ type Client struct {
 	c rpc.Client
 }
 
-// DialClient connects to a listening integration server.
-func DialClient(addr string) (*Client, error) {
-	c, err := rpc.Dial(addr)
+// ClientOption configures DialClient.
+type ClientOption func(*clientConfig)
+
+type clientConfig struct {
+	tenant    string
+	legacyGob bool
+}
+
+// WithTenant sets the tenant this session is accounted under; the
+// server's per-tenant session quotas, admission limits, and serving
+// metrics key on it. Ignored on the legacy gob transport, which has no
+// handshake to carry it.
+func WithTenant(tenant string) ClientOption {
+	return func(c *clientConfig) { c.tenant = tenant }
+}
+
+// WithLegacyGob forces the serialized one-call-at-a-time gob transport
+// instead of negotiating the framed multiplexed protocol. Useful for
+// compatibility tests and debugging against the oldest wire format.
+func WithLegacyGob() ClientOption {
+	return func(c *clientConfig) { c.legacyGob = true }
+}
+
+// DialClient connects to a listening integration server. By default it
+// negotiates the framed multiplexed protocol (pipelined statements over
+// one connection, typed errors, tenant accounting) and transparently
+// falls back to the serialized gob transport against servers that
+// predate it.
+func DialClient(addr string, opts ...ClientOption) (*Client, error) {
+	var cfg clientConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.legacyGob {
+		c, err := rpc.Dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		return &Client{c: c}, nil
+	}
+	var dopts []rpc.DialOption
+	if cfg.tenant != "" {
+		dopts = append(dopts, rpc.WithTenant(cfg.tenant))
+	}
+	c, err := rpc.DialMux(addr, dopts...)
 	if err != nil {
 		return nil, err
 	}
 	return &Client{c: c}, nil
 }
 
-// Exec runs one statement remotely and returns its result table.
-//
-// Deprecated: use ExecContext; Exec runs without deadline propagation or
-// cancellation.
-func (c *Client) Exec(sql string) (*types.Table, error) {
-	return c.ExecContext(context.Background(), sql)
+// ExecResult is the outcome of one remotely executed statement: the
+// result table, the server's per-statement metadata, and — when tracing
+// was requested — the grafted cross-process span tree.
+type ExecResult struct {
+	// Table is the statement's result (a one-row message table for
+	// non-queries); nil when the statement failed.
+	Table *types.Table
+	// Meta is the server's timing metadata (paper_ms, wall_ms, rows,
+	// cache counters, arch, trace keys). Nil against transports or
+	// servers that predate metadata; may be non-nil even on error.
+	Meta map[string]string
+	// Trace is the client-side root span with the server's fragment
+	// grafted under it (the full waterfall client.exec → rpc.call →
+	// rpc.serve → fdbs.exec → …). Nil unless WithTrace was given and the
+	// transport supports metadata.
+	Trace *obs.Span
 }
 
-// ExecContext runs one statement remotely under ctx. A relative statement
-// timeout attached with resil.WithTimeout travels on the wire, and the
-// server enforces it on the statement's virtual clock; cancelling ctx
-// abandons the call.
+func (r *ExecResult) metaFloat(key string) float64 {
+	if r == nil || r.Meta == nil {
+		return 0
+	}
+	f, _ := strconv.ParseFloat(r.Meta[key], 64)
+	return f
+}
+
+// PaperMS is the server-reported simulated statement latency in paper
+// milliseconds (0 when metadata is absent).
+func (r *ExecResult) PaperMS() float64 { return r.metaFloat("paper_ms") }
+
+// WallMS is the server-reported real serving duration in milliseconds
+// (0 when metadata is absent).
+func (r *ExecResult) WallMS() float64 { return r.metaFloat("wall_ms") }
+
+// Rows is the server-reported result row count, falling back to the
+// table length when metadata is absent.
+func (r *ExecResult) Rows() int {
+	if r == nil {
+		return 0
+	}
+	if r.Meta != nil {
+		if n, err := strconv.Atoi(r.Meta["rows"]); err == nil {
+			return n
+		}
+	}
+	if r.Table != nil {
+		return r.Table.Len()
+	}
+	return 0
+}
+
+// Partial reports that optional branches degraded to NULL padding.
+func (r *ExecResult) Partial() bool { return r != nil && r.Meta != nil && r.Meta["partial"] == "1" }
+
+// Warnings returns the statement's warnings, if any.
+func (r *ExecResult) Warnings() []string {
+	if r == nil || r.Meta == nil || r.Meta["warnings"] == "" {
+		return nil
+	}
+	return strings.Split(r.Meta["warnings"], "; ")
+}
+
+// ExecOption configures one Exec call.
+type ExecOption func(*execConfig)
+
+type execConfig struct {
+	trace bool
+}
+
+// WithTrace requests the cross-process trace waterfall: the statement is
+// force-sampled, the server ships its span tree back, and ExecResult.Trace
+// carries the grafted client-side root.
+func WithTrace() ExecOption {
+	return func(c *execConfig) { c.trace = true }
+}
+
+// Exec runs one statement remotely under ctx and returns its result with
+// the server's timing metadata. A relative statement timeout attached
+// with resil.WithTimeout travels on the wire, and the server enforces it
+// on the statement's virtual clock; cancelling ctx abandons the call.
+// The returned *ExecResult is never nil — on error it still carries any
+// metadata (and trace) the server reported, so failure timing and
+// classification stay observable.
+func (c *Client) Exec(ctx context.Context, sql string, opts ...ExecOption) (*ExecResult, error) {
+	var cfg execConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	req := rpc.Request{Function: fnExec, Args: []types.Value{types.NewString(sql)}}
+	res := &ExecResult{}
+	mc, hasMeta := c.c.(rpc.MetaCaller)
+	if !hasMeta {
+		tab, err := c.c.Call(ctx, nil, req)
+		res.Table = tab
+		return res, err
+	}
+	if !cfg.trace {
+		tab, meta, err := mc.CallMeta(ctx, nil, req)
+		res.Table, res.Meta = tab, meta
+		return res, err
+	}
+	// A wall task with scale 0 reads real time without sleeping, so the
+	// client-side spans measure the true round trip; the live trace on it
+	// marks the request sampled, which the transport puts on the wire.
+	task := simlat.NewWallTask(0)
+	tr := obs.Trace(task, "client.exec")
+	tab, meta, err := mc.CallMeta(ctx, task, req)
+	root := tr.Finish()
+	if id := meta[obs.MetaTraceID]; id != "" {
+		root.SetTraceID(id)
+	}
+	res.Table, res.Meta, res.Trace = tab, meta, root
+	return res, err
+}
+
+// ExecContext runs one statement remotely and returns its result table.
+//
+// Deprecated: use Exec, which also reports the server's timing metadata.
 func (c *Client) ExecContext(ctx context.Context, sql string) (*types.Table, error) {
-	return c.c.Call(ctx, nil, rpc.Request{Function: fnExec, Args: []types.Value{types.NewString(sql)}})
+	res, err := c.Exec(ctx, sql)
+	return res.Table, err
 }
 
 // ExecTimed runs one statement remotely and additionally returns the
-// server's per-statement metadata (paper_ms, wall_ms, rows, cache
-// counters, arch). The map is nil against servers that predate metadata.
+// server's per-statement metadata.
 //
-// Deprecated: use ExecTimedContext.
+// Deprecated: use Exec; this shim runs with a background context.
 func (c *Client) ExecTimed(sql string) (*types.Table, map[string]string, error) {
 	return c.ExecTimedContext(context.Background(), sql)
 }
 
-// ExecTimedContext is ExecTimed under a caller context.
+// ExecTimedContext runs one statement remotely with timing metadata.
+//
+// Deprecated: use Exec, whose ExecResult carries the same metadata.
 func (c *Client) ExecTimedContext(ctx context.Context, sql string) (*types.Table, map[string]string, error) {
-	mc, ok := c.c.(rpc.MetaCaller)
-	if !ok {
-		res, err := c.ExecContext(ctx, sql)
-		return res, nil, err
-	}
-	return mc.CallMeta(ctx, nil, rpc.Request{Function: fnExec, Args: []types.Value{types.NewString(sql)}})
+	res, err := c.Exec(ctx, sql)
+	return res.Table, res.Meta, err
 }
 
-// ExecTraced runs one statement remotely with tracing requested: the
-// request carries a sampled trace context, and the server's span fragment
-// is grafted under a client-side root, so the returned span tree is the
-// full cross-process waterfall (client.exec → rpc.call → rpc.serve →
-// fdbs.exec → … → appsys.call). The root is nil against transports or
-// servers without trace support; metadata still carries the usual timing.
+// ExecTraced runs one statement remotely with tracing requested.
 //
-// Deprecated: use ExecTracedContext; this shim runs with a background
+// Deprecated: use Exec with WithTrace; this shim runs with a background
 // context.
 func (c *Client) ExecTraced(sql string) (*types.Table, map[string]string, *obs.Span, error) {
 	return c.ExecTracedContext(context.Background(), sql)
 }
 
-// ExecTracedContext is ExecTraced under a caller context.
+// ExecTracedContext runs one statement remotely with tracing requested.
+//
+// Deprecated: use Exec with WithTrace.
 func (c *Client) ExecTracedContext(ctx context.Context, sql string) (*types.Table, map[string]string, *obs.Span, error) {
-	mc, ok := c.c.(rpc.MetaCaller)
-	if !ok {
-		res, err := c.ExecContext(ctx, sql)
-		return res, nil, nil, err
-	}
-	// A wall task with scale 0 reads real time without sleeping, so the
-	// client-side spans measure the true round trip.
-	task := simlat.NewWallTask(0)
-	tr := obs.Trace(task, "client.exec")
-	tab, meta, err := mc.CallMeta(ctx, task, rpc.Request{Function: fnExec, Args: []types.Value{types.NewString(sql)}})
-	root := tr.Finish()
-	if id := meta[obs.MetaTraceID]; id != "" {
-		root.SetTraceID(id)
-	}
-	return tab, meta, root, err
+	res, err := c.Exec(ctx, sql, WithTrace())
+	return res.Table, res.Meta, res.Trace, err
 }
 
 // Close releases the connection.

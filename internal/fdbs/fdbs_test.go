@@ -102,29 +102,29 @@ func TestRemoteProtocol(t *testing.T) {
 	}
 	defer client.Close()
 
-	tab, err := client.Exec("SELECT Q.Qual FROM TABLE (GetSuppQual('Supplier3')) AS Q")
+	res, err := client.Exec(context.Background(), "SELECT Q.Qual FROM TABLE (GetSuppQual('Supplier3')) AS Q")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tab.Len() != 1 {
+	if tab := res.Table; tab.Len() != 1 {
 		t.Errorf("remote federated call:\n%s", tab)
 	}
 	// DDL over the wire returns a message table.
-	tab, err = client.Exec("CREATE TABLE t (a INT)")
+	res, err = client.Exec(context.Background(), "CREATE TABLE t (a INT)")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tab.Len() != 1 || !strings.Contains(tab.Rows[0][0].Str(), "created") {
+	if tab := res.Table; tab.Len() != 1 || !strings.Contains(tab.Rows[0][0].Str(), "created") {
 		t.Errorf("ddl response:\n%s", tab)
 	}
-	tab, err = client.Exec("INSERT INTO t VALUES (1), (2)")
+	res, err = client.Exec(context.Background(), "INSERT INTO t VALUES (1), (2)")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(tab.Rows[0][0].Str(), "2 rows") {
+	if tab := res.Table; !strings.Contains(tab.Rows[0][0].Str(), "2 rows") {
 		t.Errorf("dml response:\n%s", tab)
 	}
-	if _, err := client.Exec("SELECT nope FROM nowhere"); err == nil {
+	if _, err := client.Exec(context.Background(), "SELECT nope FROM nowhere"); err == nil {
 		t.Error("remote error not propagated")
 	}
 }
@@ -269,7 +269,7 @@ func TestClientExecTimedOverTCP(t *testing.T) {
 		t.Errorf("meta rows = %q, table has %d", meta["rows"], tab.Len())
 	}
 	// Plain Exec still works and graceful shutdown drains cleanly.
-	if _, err := client.Exec("SHOW FUNCTIONS"); err != nil {
+	if _, err := client.Exec(context.Background(), "SHOW FUNCTIONS"); err != nil {
 		t.Errorf("plain exec: %v", err)
 	}
 	if err := srv.Shutdown(time.Second); err != nil {

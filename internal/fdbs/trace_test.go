@@ -1,6 +1,7 @@
 package fdbs
 
 import (
+	"context"
 	"encoding/json"
 	"net/http/httptest"
 	"strings"
@@ -153,7 +154,7 @@ func TestDaemonModeCrossProcessTrace(t *testing.T) {
 
 	// Tail sampling: an error-injected statement is always retained, even
 	// though the client did not request tracing…
-	if _, err := client.Exec("SELECT nonsense FROM nowhere"); err == nil {
+	if _, err := client.Exec(context.Background(), "SELECT nonsense FROM nowhere"); err == nil {
 		t.Fatal("bad statement accepted")
 	}
 	errs := srv.Collector().List(collector.Filter{ErrorsOnly: true})

@@ -401,9 +401,18 @@ func (s *Stack) CallContext(ctx context.Context, task *simlat.Task, name string,
 
 // CallSpec invokes a spec's federated function with one of its sample
 // argument vectors.
+//
+// Deprecated: use CallSpecContext; CallSpec runs without deadline
+// propagation.
 func (s *Stack) CallSpec(task *simlat.Task, spec *Spec, sampleIdx int) (*types.Table, error) {
+	return s.CallSpecContext(context.Background(), task, spec, sampleIdx)
+}
+
+// CallSpecContext invokes a spec's federated function with one of its
+// sample argument vectors under ctx.
+func (s *Stack) CallSpecContext(ctx context.Context, task *simlat.Task, spec *Spec, sampleIdx int) (*types.Table, error) {
 	if sampleIdx < 0 || sampleIdx >= len(spec.SampleArgs) {
 		return nil, fmt.Errorf("fedfunc: %s has no sample %d", spec.Name, sampleIdx)
 	}
-	return s.Call(task, spec.Name, spec.SampleArgs[sampleIdx])
+	return s.CallContext(ctx, task, spec.Name, spec.SampleArgs[sampleIdx])
 }

@@ -1,0 +1,111 @@
+package lintrules
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DeprecatedCall keeps the deprecated shims on a one-way street: a
+// function whose doc comment carries "Deprecated:" may still be called
+// from tests (the loader never loads _test.go files) and from other
+// deprecated shims (they delegate to each other while both exist), but
+// not from live production code — that is how a migration quietly stalls.
+// The rule resolves every callee through the type checker, so it sees
+// cross-package calls, method calls, and same-package calls alike.
+var DeprecatedCall = &Analyzer{
+	Name: "deprecatedcall",
+	Doc:  "non-deprecated code must not call functions marked Deprecated:",
+	Run:  runDeprecatedCall,
+}
+
+func runDeprecatedCall(pass *Pass) {
+	info := pass.Pkg.Info
+	// note caches the Deprecated: notice per callee ("" = not deprecated).
+	note := make(map[*types.Func]string)
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && deprecatedDoc(fd) != "" {
+				// Shims delegating to the next shim down are sanctioned.
+				continue
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				obj := calleeFunc(info, call)
+				if obj == nil {
+					return true
+				}
+				msg, cached := note[obj]
+				if !cached {
+					msg = deprecatedNotice(pass, obj)
+					note[obj] = msg
+				}
+				if msg != "" {
+					pass.Reportf(call.Pos(), "call to deprecated %s.%s: %s",
+						obj.Pkg().Name(), obj.Name(), msg)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// calleeFunc resolves the function or method a call statically invokes,
+// or nil when the callee is not a declared function (a function value, a
+// conversion, a builtin).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || !strings.HasPrefix(fn.Pkg().Path(), modPrefix) {
+		return nil
+	}
+	return fn
+}
+
+// deprecatedNotice returns the callee's deprecation notice, or "" when
+// its declaration carries none (or cannot be found — interface methods
+// have no body to carry a doc comment).
+func deprecatedNotice(pass *Pass, fn *types.Func) string {
+	for _, p := range pass.AllPkgs {
+		if p.Types != fn.Pkg() {
+			continue
+		}
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Name.Pos() != fn.Pos() {
+					continue
+				}
+				return deprecatedDoc(fd)
+			}
+		}
+	}
+	return ""
+}
+
+// deprecatedDoc extracts the first line of a FuncDecl's deprecation
+// notice, or "" when the doc carries none. Following the godoc
+// convention, only a doc line that begins with the marker counts — a
+// passing mention mid-sentence does not deprecate the function.
+func deprecatedDoc(fd *ast.FuncDecl) string {
+	if fd.Doc == nil {
+		return ""
+	}
+	for _, line := range strings.Split(fd.Doc.Text(), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "Deprecated:"); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return ""
+}

@@ -51,6 +51,7 @@ var fixtureTests = []struct {
 }{
 	{"virtualclock", "fedwf/internal/fixturevclock", VirtualClock},
 	{"ctxfirst", "fedwf/internal/fixturectx", CtxFirst},
+	{"deprecatedcall", "fedwf/internal/fixturedep", DeprecatedCall},
 	{"errtaxonomy", "fedwf/internal/fixtureerr", ErrTaxonomy},
 	{"spanend", "fedwf/internal/fixturespan", SpanEnd},
 	{"layering", "fedwf/internal/exec", Layering},

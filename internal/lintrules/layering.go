@@ -61,7 +61,7 @@ var allowedImports = map[string][]string{
 
 	// Harness and tooling. benchharn is additionally restricted to
 	// process-edge importers (cmd/, examples/, the root package).
-	"benchharn": {"appsys", "exec", "fdbs", "fedfunc", "obs", "obs/collector", "obs/journal", "obs/stats", "resil", "simlat", "types", "udtf", "wfms"},
+	"benchharn": {"appsys", "exec", "fdbs", "fedfunc", "obs", "obs/collector", "obs/journal", "obs/stats", "resil", "rpc", "simlat", "types", "udtf", "wfms"},
 	"lintrules": {},
 }
 

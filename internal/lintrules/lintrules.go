@@ -85,6 +85,7 @@ func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		VirtualClock,
 		CtxFirst,
+		DeprecatedCall,
 		ErrTaxonomy,
 		SpanEnd,
 		Layering,

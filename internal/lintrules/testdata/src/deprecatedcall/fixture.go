@@ -1,0 +1,61 @@
+// Package fixture exercises the deprecatedcall rule: live code must not
+// call a function whose doc carries "Deprecated:", while deprecated
+// shims may still delegate to each other.
+package fixture
+
+// Old is the deprecated shim under test.
+//
+// Deprecated: use New; Old runs without deadline propagation.
+func Old(n int) int {
+	return New(n)
+}
+
+// New is the current API.
+func New(n int) int { return n }
+
+// widget carries the method variants of the same pattern.
+type widget struct{}
+
+// OldDo is the deprecated method shim.
+//
+// Deprecated: use Do.
+func (widget) OldDo() int { return widget{}.Do() }
+
+// Do is the current method.
+func (widget) Do() int { return 7 }
+
+// BadCaller is live code still on the old API.
+func BadCaller() int {
+	return Old(1) // want `call to deprecated fixture\.Old: use New; Old runs without deadline propagation\.`
+}
+
+// BadMethodCaller is the same violation through a method selector.
+func BadMethodCaller() int {
+	return widget{}.OldDo() // want `call to deprecated fixture\.OldDo: use Do\.`
+}
+
+// BadLit has the violation inside a function literal.
+var BadLit = func() int {
+	return Old(2) // want `call to deprecated fixture\.Old`
+}
+
+// DeprecatedDelegator is the sanctioned direction: a shim calling the
+// next shim down stays exempt while both exist.
+//
+// Deprecated: use New.
+func DeprecatedDelegator(n int) int {
+	return Old(n)
+}
+
+// GoodCaller is on the current API; calling through a function value
+// never resolves to a declaration, so it is out of scope too.
+func GoodCaller() int {
+	f := Old
+	return New(3) + f(4)
+}
+
+// Suppressed shows a sanctioned leftover call.
+func Suppressed() int {
+	//fedlint:ignore deprecatedcall fixture exercises the suppression path
+	return Old(5)
+}

@@ -41,6 +41,53 @@ type ServerMetrics struct {
 	// PartialResults counts statements answered with degraded (NULL-padded)
 	// optional branches.
 	PartialResults *Counter
+	// Serving is the session/admission bundle of the high-concurrency
+	// front end.
+	Serving *ServingMetrics
+}
+
+// ServingMetrics bundles the metric families of the serving front end:
+// session lifecycle and admission-control outcomes, per tenant. The rpc
+// server's session manager updates it directly, so fdbs and fedserver
+// expose it without extra plumbing.
+type ServingMetrics struct {
+	// SessionsOpen is the number of currently open client sessions, by
+	// tenant (framed and legacy-gob connections both count).
+	SessionsOpen *GaugeVec
+	// SessionsOpened counts accepted sessions, by tenant and negotiated
+	// protocol ("framed" / "gob").
+	SessionsOpened *CounterVec
+	// SessionsRejected counts sessions refused at the handshake because
+	// the tenant's session quota was exhausted, by tenant.
+	SessionsRejected *CounterVec
+	// AdmissionAdmitted counts requests that acquired an execution slot,
+	// by tenant (including those that waited in the queue first).
+	AdmissionAdmitted *CounterVec
+	// AdmissionQueued counts requests that waited in the bounded
+	// admission queue before running, by tenant.
+	AdmissionQueued *CounterVec
+	// AdmissionShed counts requests rejected with
+	// resil.ErrAppSysUnavailable because the queue was full, by tenant.
+	AdmissionShed *CounterVec
+	// AdmissionQueueDepth is the current number of queued requests, by
+	// tenant.
+	AdmissionQueueDepth *GaugeVec
+	// AdmissionQueueWaitMS is the wall-time distribution of queue waits.
+	AdmissionQueueWaitMS *Histogram
+}
+
+// NewServingMetrics registers the serving-layer families on reg.
+func NewServingMetrics(reg *Registry) *ServingMetrics {
+	return &ServingMetrics{
+		SessionsOpen:         reg.GaugeVec("fedwf_sessions_open_total", "Client sessions currently open, by tenant.", "tenant"),
+		SessionsOpened:       reg.CounterVec("fedwf_sessions_opened_total", "Client sessions accepted, by tenant and protocol.", "tenant", "proto"),
+		SessionsRejected:     reg.CounterVec("fedwf_sessions_rejected_total", "Client sessions refused on the tenant session quota, by tenant.", "tenant"),
+		AdmissionAdmitted:    reg.CounterVec("fedwf_admission_admitted_total", "Requests granted an execution slot, by tenant.", "tenant"),
+		AdmissionQueued:      reg.CounterVec("fedwf_admission_queued_total", "Requests that waited in the admission queue, by tenant.", "tenant"),
+		AdmissionShed:        reg.CounterVec("fedwf_admission_shed_total", "Requests shed because the admission queue was full, by tenant.", "tenant"),
+		AdmissionQueueDepth:  reg.GaugeVec("fedwf_admission_queue_depth_total", "Requests currently waiting in the admission queue, by tenant.", "tenant"),
+		AdmissionQueueWaitMS: reg.Histogram("fedwf_admission_queue_wait_ms", "Wall-clock admission queue wait in milliseconds.", LatencyBuckets),
+	}
 }
 
 // NewServerMetrics registers the server's metric families on reg.
@@ -62,5 +109,6 @@ func NewServerMetrics(reg *Registry) *ServerMetrics {
 		BreakerSheds:   reg.CounterVec("fedwf_breaker_sheds_total", "Calls shed unexecuted by an open breaker, by system.", "system"),
 		Timeouts:       reg.CounterVec("fedwf_statement_timeouts_total", "Statements abandoned on their deadline mid-call, by system.", "system"),
 		PartialResults: reg.Counter("fedwf_partial_results_total", "Statements answered with degraded optional branches."),
+		Serving:        NewServingMetrics(reg),
 	}
 }

@@ -49,12 +49,15 @@ const (
 	// KindActivity is one workflow activity transition
 	// (started/completed/skipped/iteration).
 	KindActivity Kind = "wf_activity"
+	// KindSession is a serving-session lifecycle transition
+	// (open/close/reject) of the high-concurrency front end.
+	KindSession Kind = "session"
 )
 
 // Kinds returns the declared enum in a fixed order.
 func Kinds() []Kind {
 	return []Kind{KindStatement, KindCall, KindRetry, KindBreaker,
-		KindShed, KindTimeout, KindInstance, KindActivity}
+		KindShed, KindTimeout, KindInstance, KindActivity, KindSession}
 }
 
 // Event is one wide journal event. Fields that do not apply to a kind stay

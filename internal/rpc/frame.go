@@ -1,0 +1,503 @@
+// The framed binary protocol: the high-concurrency transport negotiated
+// on connect. A framed connection opens with an 8-byte magic preamble the
+// gob transport can never produce, followed by length-prefixed frames:
+//
+//	[4-byte big-endian payload length][payload]
+//
+// The first payload byte is the message type (hello, hello-ack, request,
+// response); the rest is a hand-rolled varint encoding of the same wire
+// shapes the gob transport ships. Requests carry a connection-unique id
+// and the server answers them out of order, so one connection multiplexes
+// many in-flight statements (pipelining). Responses additionally carry an
+// error class so the resil taxonomy survives the process boundary: a shed
+// admission still matches errors.Is(err, resil.ErrAppSysUnavailable) on
+// the client side.
+//
+// The magic's first byte is zero on purpose: a legacy gob server reading
+// it sees a zero-length gob message, fails immediately, and closes the
+// connection — which is what lets DialMux detect an old peer quickly and
+// fall back to the gob transport.
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"fedwf/internal/resil"
+)
+
+const (
+	// muxMagic opens every framed connection. Eight bytes, never a valid
+	// gob stream prefix (gob rejects the zero-length message the leading
+	// zero byte announces).
+	muxMagic = "\x00FEDWFX1"
+	// muxProtoVersion is the framed protocol revision sent in the hello.
+	muxProtoVersion = 1
+	// maxFrameBytes caps a single frame; larger frames are protocol errors.
+	maxFrameBytes = 64 << 20
+)
+
+// Frame message types (first payload byte).
+const (
+	frameHello byte = iota + 1
+	frameHelloAck
+	frameRequest
+	frameResponse
+)
+
+// Error classes carried on hello-acks and responses, so typed resil
+// errors survive the wire. classGeneric covers everything else (semantic
+// SQL errors, unknown functions, ...).
+const (
+	classGeneric uint8 = iota
+	classUnavailable
+	classTimeout
+	classCircuitOpen
+)
+
+// classOf maps a server-side error to its wire class.
+func classOf(err error) uint8 {
+	switch {
+	case err == nil:
+		return classGeneric
+	case errors.Is(err, resil.ErrTimeout):
+		return classTimeout
+	case errors.Is(err, resil.ErrCircuitOpen):
+		return classCircuitOpen
+	case errors.Is(err, resil.ErrAppSysUnavailable):
+		return classUnavailable
+	default:
+		return classGeneric
+	}
+}
+
+// remoteError is a server-reported failure re-typed on the client so the
+// resil taxonomy keeps matching across the wire.
+type remoteError struct {
+	msg      string
+	sentinel error
+}
+
+// Error implements error; the message is the server's verbatim text.
+func (e *remoteError) Error() string { return e.msg }
+
+// Unwrap exposes the taxonomy sentinel for errors.Is.
+func (e *remoteError) Unwrap() error { return e.sentinel }
+
+// errFromWire rebuilds a typed error from a wire class and message.
+func errFromWire(class uint8, msg string) error {
+	switch class {
+	case classUnavailable:
+		return &remoteError{msg, resil.ErrAppSysUnavailable}
+	case classTimeout:
+		return &remoteError{msg, resil.ErrTimeout}
+	case classCircuitOpen:
+		return &remoteError{msg, resil.ErrCircuitOpen}
+	default:
+		return errors.New(msg)
+	}
+}
+
+// ErrTransport marks transport-level failures — send, receive, handshake,
+// cancellation — as opposed to errors the server reported over a healthy
+// connection. Connection pools use it to decide whether a connection is
+// still reusable.
+var ErrTransport = errors.New("rpc: transport failure")
+
+// transportError wraps a transport failure with its operation.
+type transportError struct {
+	op  string
+	err error
+}
+
+// Error implements error.
+func (e *transportError) Error() string { return "rpc: " + e.op + ": " + e.err.Error() }
+
+// Unwrap exposes the cause (e.g. context.Canceled).
+func (e *transportError) Unwrap() error { return e.err }
+
+// Is matches ErrTransport.
+func (e *transportError) Is(target error) bool { return target == ErrTransport }
+
+// ------------------------------------------------------------- frame I/O
+
+// writeFrame writes one length-prefixed frame. Callers serialize writes
+// per connection.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxFrameBytes {
+		return fmt.Errorf("rpc: frame of %d bytes exceeds limit %d", len(payload), maxFrameBytes)
+	}
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[4:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrameBytes {
+		return nil, fmt.Errorf("rpc: frame of %d bytes exceeds limit %d", n, maxFrameBytes)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// ------------------------------------------------------------ the codec
+
+// wbuf builds a frame payload. The encoding is varints for integers,
+// length-prefixed bytes for strings, one tag byte per value kind — the
+// binary image of the same wire structs the gob transport registers.
+type wbuf struct{ b []byte }
+
+func (w *wbuf) u64(v uint64) { w.b = binary.AppendUvarint(w.b, v) }
+func (w *wbuf) i64(v int64)  { w.b = binary.AppendVarint(w.b, v) }
+func (w *wbuf) byte1(v byte) { w.b = append(w.b, v) }
+func (w *wbuf) str(s string) { w.u64(uint64(len(s))); w.b = append(w.b, s...) }
+func (w *wbuf) boolv(v bool) {
+	if v {
+		w.byte1(1)
+	} else {
+		w.byte1(0)
+	}
+}
+func (w *wbuf) f64(v float64) { w.b = binary.BigEndian.AppendUint64(w.b, math.Float64bits(v)) }
+
+func (w *wbuf) value(v wireValue) {
+	w.byte1(v.Kind)
+	switch v.Kind {
+	case 1:
+		w.boolv(v.B)
+	case 2:
+		w.i64(v.I)
+	case 3:
+		w.f64(v.F)
+	case 4:
+		w.str(v.S)
+	}
+}
+
+func (w *wbuf) valueRow(row []wireValue) {
+	w.u64(uint64(len(row)))
+	for _, v := range row {
+		w.value(v)
+	}
+}
+
+func (w *wbuf) table(cols []wireColumn, rows [][]wireValue) {
+	w.u64(uint64(len(cols)))
+	for _, c := range cols {
+		w.str(c.Name)
+		w.byte1(c.BaseType)
+		w.i64(int64(c.Length))
+	}
+	w.u64(uint64(len(rows)))
+	for _, r := range rows {
+		w.valueRow(r)
+	}
+}
+
+func (w *wbuf) meta(m map[string]string) {
+	w.u64(uint64(len(m)))
+	for k, v := range m {
+		w.str(k)
+		w.str(v)
+	}
+}
+
+// rbuf consumes a frame payload; the first decode error sticks and turns
+// every further read into a no-op returning zero values.
+type rbuf struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *rbuf) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("rpc: truncated or malformed frame at %s (offset %d)", what, r.off)
+	}
+}
+
+func (r *rbuf) u64(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail(what)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *rbuf) i64(what string) int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail(what)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *rbuf) byte1(what string) byte {
+	if r.err != nil || r.off >= len(r.b) {
+		r.fail(what)
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *rbuf) str(what string) string {
+	n := r.u64(what)
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.b)-r.off) {
+		r.fail(what)
+		return ""
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+func (r *rbuf) boolv(what string) bool { return r.byte1(what) != 0 }
+
+func (r *rbuf) f64(what string) float64 {
+	if r.err != nil || len(r.b)-r.off < 8 {
+		r.fail(what)
+		return 0
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(r.b[r.off:]))
+	r.off += 8
+	return v
+}
+
+// count reads a collection length and bounds it by the bytes remaining,
+// so a corrupt length cannot drive a huge allocation.
+func (r *rbuf) count(what string) int {
+	n := r.u64(what)
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64(len(r.b)-r.off) {
+		r.fail(what)
+		return 0
+	}
+	return int(n)
+}
+
+func (r *rbuf) value(what string) wireValue {
+	var v wireValue
+	v.Kind = r.byte1(what)
+	switch v.Kind {
+	case 0: // NULL
+	case 1:
+		v.B = r.boolv(what)
+	case 2:
+		v.I = r.i64(what)
+	case 3:
+		v.F = r.f64(what)
+	case 4:
+		v.S = r.str(what)
+	default:
+		r.fail(what)
+	}
+	return v
+}
+
+func (r *rbuf) valueRow(what string) []wireValue {
+	n := r.count(what)
+	row := make([]wireValue, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		row = append(row, r.value(what))
+	}
+	return row
+}
+
+func (r *rbuf) table(what string) ([]wireColumn, [][]wireValue) {
+	nc := r.count(what)
+	cols := make([]wireColumn, 0, nc)
+	for i := 0; i < nc && r.err == nil; i++ {
+		var c wireColumn
+		c.Name = r.str(what)
+		c.BaseType = r.byte1(what)
+		c.Length = int(r.i64(what))
+		cols = append(cols, c)
+	}
+	nr := r.count(what)
+	rows := make([][]wireValue, 0, nr)
+	for i := 0; i < nr && r.err == nil; i++ {
+		rows = append(rows, r.valueRow(what))
+	}
+	return cols, rows
+}
+
+func (r *rbuf) meta(what string) map[string]string {
+	n := r.count(what)
+	if n == 0 {
+		return nil
+	}
+	m := make(map[string]string, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		k := r.str(what)
+		m[k] = r.str(what)
+	}
+	return m
+}
+
+// --------------------------------------------------------- the messages
+
+// encodeHello builds the client hello: protocol version and tenant.
+func encodeHello(tenant string) []byte {
+	var w wbuf
+	w.byte1(frameHello)
+	w.u64(muxProtoVersion)
+	w.str(tenant)
+	return w.b
+}
+
+// decodeHello parses a hello payload.
+func decodeHello(p []byte) (version uint64, tenant string, err error) {
+	r := rbuf{b: p}
+	if t := r.byte1("hello type"); t != frameHello && r.err == nil {
+		return 0, "", fmt.Errorf("rpc: expected hello frame, got type %d", t)
+	}
+	version = r.u64("hello version")
+	tenant = r.str("hello tenant")
+	return version, tenant, r.err
+}
+
+// encodeHelloAck builds the server's handshake reply. A non-empty errMsg
+// rejects the session; class types the rejection.
+func encodeHelloAck(sessionID uint64, class uint8, errMsg string) []byte {
+	var w wbuf
+	w.byte1(frameHelloAck)
+	w.u64(muxProtoVersion)
+	w.u64(sessionID)
+	w.byte1(class)
+	w.str(errMsg)
+	return w.b
+}
+
+// decodeHelloAck parses a hello-ack payload.
+func decodeHelloAck(p []byte) (sessionID uint64, class uint8, errMsg string, err error) {
+	r := rbuf{b: p}
+	if t := r.byte1("ack type"); t != frameHelloAck && r.err == nil {
+		return 0, 0, "", fmt.Errorf("rpc: expected hello-ack frame, got type %d", t)
+	}
+	r.u64("ack version")
+	sessionID = r.u64("ack session")
+	class = r.byte1("ack class")
+	errMsg = r.str("ack error")
+	return sessionID, class, errMsg, r.err
+}
+
+// encodeFrameRequest serializes one request under a connection-unique id.
+// Batch rows ride the same message type; a non-empty batch makes Args
+// irrelevant, exactly as on the gob wireRequest.
+func encodeFrameRequest(id uint64, wr *wireRequest) []byte {
+	var w wbuf
+	w.byte1(frameRequest)
+	w.u64(id)
+	w.str(wr.System)
+	w.str(wr.Function)
+	w.valueRow(wr.Args)
+	w.str(wr.TraceID)
+	w.str(wr.SpanID)
+	w.boolv(wr.Sampled)
+	w.i64(wr.DeadlineMS)
+	w.u64(uint64(len(wr.BatchRows)))
+	for _, row := range wr.BatchRows {
+		w.valueRow(row)
+	}
+	return w.b
+}
+
+// decodeFrameRequest parses a request payload.
+func decodeFrameRequest(p []byte) (uint64, *wireRequest, error) {
+	r := rbuf{b: p}
+	if t := r.byte1("request type"); t != frameRequest && r.err == nil {
+		return 0, nil, fmt.Errorf("rpc: expected request frame, got type %d", t)
+	}
+	id := r.u64("request id")
+	wr := &wireRequest{}
+	wr.System = r.str("request system")
+	wr.Function = r.str("request function")
+	wr.Args = r.valueRow("request args")
+	wr.TraceID = r.str("request trace id")
+	wr.SpanID = r.str("request span id")
+	wr.Sampled = r.boolv("request sampled")
+	wr.DeadlineMS = r.i64("request deadline")
+	nb := r.count("request batch")
+	if nb > 0 {
+		wr.BatchRows = make([][]wireValue, 0, nb)
+		for i := 0; i < nb && r.err == nil; i++ {
+			wr.BatchRows = append(wr.BatchRows, r.valueRow("request batch row"))
+		}
+	}
+	return id, wr, r.err
+}
+
+// encodeFrameResponse serializes one response for request id. class types
+// a non-empty Err; per-row batch errors stay strings (they are semantic,
+// not transport, failures).
+func encodeFrameResponse(id uint64, class uint8, wr *wireResponse) []byte {
+	var w wbuf
+	w.byte1(frameResponse)
+	w.u64(id)
+	w.byte1(class)
+	w.str(wr.Err)
+	w.table(wr.Columns, wr.Rows)
+	w.meta(wr.Meta)
+	w.u64(uint64(len(wr.Batch)))
+	for _, e := range wr.Batch {
+		w.str(e.Err)
+		w.table(e.Columns, e.Rows)
+	}
+	return w.b
+}
+
+// decodeFrameResponse parses a response payload.
+func decodeFrameResponse(p []byte) (uint64, uint8, *wireResponse, error) {
+	r := rbuf{b: p}
+	if t := r.byte1("response type"); t != frameResponse && r.err == nil {
+		return 0, 0, nil, fmt.Errorf("rpc: expected response frame, got type %d", t)
+	}
+	id := r.u64("response id")
+	class := r.byte1("response class")
+	wr := &wireResponse{}
+	wr.Err = r.str("response error")
+	wr.Columns, wr.Rows = r.table("response table")
+	wr.Meta = r.meta("response meta")
+	nb := r.count("response batch")
+	if nb > 0 {
+		wr.Batch = make([]wireBatchEntry, 0, nb)
+		for i := 0; i < nb && r.err == nil; i++ {
+			var e wireBatchEntry
+			e.Err = r.str("response batch error")
+			e.Columns, e.Rows = r.table("response batch table")
+			wr.Batch = append(wr.Batch, e)
+		}
+	}
+	return id, class, wr, r.err
+}

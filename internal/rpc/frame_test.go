@@ -1,0 +1,253 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fedwf/internal/resil"
+)
+
+// sampleRequest exercises every field of the wire shape: args of all five
+// value kinds, trace context, deadline, and batch rows.
+func sampleRequest() *wireRequest {
+	return &wireRequest{
+		System:   "stock-keeping",
+		Function: "GetSuppQual",
+		Args: []wireValue{
+			{Kind: 0},                            // NULL
+			{Kind: 1, B: true},                   // bool
+			{Kind: 2, I: -42},                    // int (negative: varint zig-zag)
+			{Kind: 3, F: 3.25},                   // float
+			{Kind: 4, S: "supplier-\x00-binary"}, // string with embedded NUL
+		},
+		TraceID:    "trace-1",
+		SpanID:     "span-9",
+		Sampled:    true,
+		DeadlineMS: 1500,
+		BatchRows: [][]wireValue{
+			{{Kind: 2, I: 1}, {Kind: 4, S: "a"}},
+			{{Kind: 2, I: 2}, {Kind: 0}},
+		},
+	}
+}
+
+func sampleResponse() *wireResponse {
+	return &wireResponse{
+		Err: "",
+		Columns: []wireColumn{
+			{Name: "QUALITY", BaseType: 2, Length: 0},
+			{Name: "NAME", BaseType: 4, Length: 30},
+		},
+		Rows: [][]wireValue{
+			{{Kind: 2, I: 7}, {Kind: 4, S: "ACME"}},
+			{{Kind: 0}, {Kind: 1, B: false}},
+		},
+		Meta: map[string]string{"server_ms": "239.4", "cache": "hit"},
+		Batch: []wireBatchEntry{
+			{Err: "", Columns: []wireColumn{{Name: "N", BaseType: 2}}, Rows: [][]wireValue{{{Kind: 2, I: 1}}}},
+			{Err: "row 2 failed", Columns: []wireColumn{}, Rows: [][]wireValue{}},
+		},
+	}
+}
+
+func TestFrameRequestRoundTrip(t *testing.T) {
+	want := sampleRequest()
+	payload := encodeFrameRequest(77, want)
+	id, got, err := decodeFrameRequest(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 77 {
+		t.Errorf("id = %d, want 77", id)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("request round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestFrameResponseRoundTrip(t *testing.T) {
+	want := sampleResponse()
+	payload := encodeFrameResponse(99, classTimeout, want)
+	id, class, got, err := decodeFrameResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 99 || class != classTimeout {
+		t.Errorf("id, class = %d, %d, want 99, %d", id, class, classTimeout)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("response round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	version, tenant, err := decodeHello(encodeHello("acme"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != muxProtoVersion || tenant != "acme" {
+		t.Errorf("hello = (%d, %q), want (%d, %q)", version, tenant, muxProtoVersion, "acme")
+	}
+	// Empty tenant survives too: the server substitutes DefaultTenant.
+	if _, tenant, err = decodeHello(encodeHello("")); err != nil || tenant != "" {
+		t.Errorf("empty tenant = (%q, %v)", tenant, err)
+	}
+}
+
+func TestHelloAckRoundTrip(t *testing.T) {
+	sid, class, errMsg, err := decodeHelloAck(encodeHelloAck(12, classGeneric, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sid != 12 || class != classGeneric || errMsg != "" {
+		t.Errorf("ack = (%d, %d, %q)", sid, class, errMsg)
+	}
+	// A typed rejection (session quota) carries its class and message.
+	sid, class, errMsg, err = decodeHelloAck(encodeHelloAck(0, classUnavailable, "session quota exhausted"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sid != 0 || class != classUnavailable || errMsg != "session quota exhausted" {
+		t.Errorf("rejection ack = (%d, %d, %q)", sid, class, errMsg)
+	}
+}
+
+func TestWrongFrameTypeRejected(t *testing.T) {
+	if _, _, err := decodeHello(encodeHelloAck(1, classGeneric, "")); err == nil {
+		t.Error("decodeHello accepted a hello-ack payload")
+	}
+	if _, _, _, err := decodeHelloAck(encodeHello("t")); err == nil {
+		t.Error("decodeHelloAck accepted a hello payload")
+	}
+	if _, _, err := decodeFrameRequest(encodeFrameResponse(1, classGeneric, &wireResponse{})); err == nil {
+		t.Error("decodeFrameRequest accepted a response payload")
+	}
+	if _, _, _, err := decodeFrameResponse(encodeFrameRequest(1, sampleRequest())); err == nil {
+		t.Error("decodeFrameResponse accepted a request payload")
+	}
+}
+
+// TestErrorClassRoundTrip proves the resil taxonomy survives the wire:
+// classOf on the server maps a typed error to a class, errFromWire on the
+// client rebuilds an error that still matches errors.Is.
+func TestErrorClassRoundTrip(t *testing.T) {
+	cases := []struct {
+		err      error
+		class    uint8
+		sentinel error
+	}{
+		{fmt.Errorf("shed: %w", resil.ErrAppSysUnavailable), classUnavailable, resil.ErrAppSysUnavailable},
+		{fmt.Errorf("deadline: %w", resil.ErrTimeout), classTimeout, resil.ErrTimeout},
+		{fmt.Errorf("breaker: %w", resil.ErrCircuitOpen), classCircuitOpen, resil.ErrCircuitOpen},
+	}
+	for _, c := range cases {
+		if got := classOf(c.err); got != c.class {
+			t.Errorf("classOf(%v) = %d, want %d", c.err, got, c.class)
+			continue
+		}
+		back := errFromWire(c.class, c.err.Error())
+		if !errors.Is(back, c.sentinel) {
+			t.Errorf("errFromWire(%d) lost the %v sentinel", c.class, c.sentinel)
+		}
+		if back.Error() != c.err.Error() {
+			t.Errorf("errFromWire message = %q, want %q", back.Error(), c.err.Error())
+		}
+	}
+	if classOf(nil) != classGeneric {
+		t.Error("classOf(nil) != classGeneric")
+	}
+	if classOf(errors.New("plain")) != classGeneric {
+		t.Error("classOf(plain) != classGeneric")
+	}
+	generic := errFromWire(classGeneric, "semantic failure")
+	if errors.Is(generic, resil.ErrAppSysUnavailable) || errors.Is(generic, resil.ErrTimeout) {
+		t.Error("generic wire error must not match a taxonomy sentinel")
+	}
+}
+
+func TestTransportErrorMatching(t *testing.T) {
+	cause := context.Canceled
+	var err error = &transportError{"call cancelled", cause}
+	if !errors.Is(err, ErrTransport) {
+		t.Error("transportError does not match ErrTransport")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Error("transportError does not unwrap to its cause")
+	}
+	if !strings.Contains(err.Error(), "call cancelled") {
+		t.Errorf("transportError message = %q", err.Error())
+	}
+	// Server-reported errors are NOT transport errors: pools keep the
+	// connection when errors.Is(err, ErrTransport) is false.
+	if errors.Is(errFromWire(classUnavailable, "shed"), ErrTransport) {
+		t.Error("a typed server error must not look like a transport failure")
+	}
+}
+
+// TestTruncatedFramesFailCleanly feeds every prefix of valid payloads to
+// the decoders: each must return an error, never panic or fabricate data.
+func TestTruncatedFramesFailCleanly(t *testing.T) {
+	reqPayload := encodeFrameRequest(5, sampleRequest())
+	for n := 0; n < len(reqPayload); n++ {
+		if _, _, err := decodeFrameRequest(reqPayload[:n]); err == nil {
+			t.Fatalf("decodeFrameRequest accepted a %d/%d-byte prefix", n, len(reqPayload))
+		}
+	}
+	resPayload := encodeFrameResponse(5, classGeneric, sampleResponse())
+	for n := 0; n < len(resPayload); n++ {
+		if _, _, _, err := decodeFrameResponse(resPayload[:n]); err == nil {
+			t.Fatalf("decodeFrameResponse accepted a %d/%d-byte prefix", n, len(resPayload))
+		}
+	}
+}
+
+// TestCorruptCountBoundsAllocation: a frame declaring a huge collection
+// length must fail instead of driving a multi-gigabyte allocation.
+func TestCorruptCountBoundsAllocation(t *testing.T) {
+	var w wbuf
+	w.byte1(frameRequest)
+	w.u64(1)       // id
+	w.str("sys")   // system
+	w.str("fn")    // function
+	w.u64(1 << 40) // args length: absurd
+	if _, _, err := decodeFrameRequest(w.b); err == nil {
+		t.Error("absurd collection count decoded without error")
+	}
+}
+
+func TestReadWriteFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{{}, []byte("x"), bytes.Repeat([]byte("ab"), 1000)}
+	for _, p := range payloads {
+		if err := writeFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range payloads {
+		got, err := readFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("frame payload = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	if err := writeFrame(&bytes.Buffer{}, make([]byte, maxFrameBytes+1)); err == nil {
+		t.Error("writeFrame accepted an oversized payload")
+	}
+	// An incoming header declaring an oversized frame is rejected before
+	// the payload is allocated or read.
+	var hdr bytes.Buffer
+	hdr.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := readFrame(&hdr); err == nil {
+		t.Error("readFrame accepted an oversized length header")
+	}
+}

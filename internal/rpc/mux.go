@@ -1,0 +1,332 @@
+// The multiplexed TCP client for the framed binary protocol.
+//
+// One connection carries many concurrent calls: every request gets a
+// connection-unique id, a single reader goroutine dispatches responses to
+// the waiting calls by id, and responses may return out of order — so N
+// goroutines pipelining statements share one socket instead of N. Dialing
+// negotiates the protocol by sending the magic preamble; a legacy gob
+// server rejects it instantly (the preamble is an invalid gob stream) and
+// DialMux transparently falls back to the serialized gob transport, so
+// new clients work against old servers and vice versa.
+package rpc
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"fedwf/internal/obs"
+	"fedwf/internal/resil"
+	"fedwf/internal/simlat"
+	"fedwf/internal/types"
+)
+
+// DialOption configures DialMux.
+type DialOption func(*dialConfig)
+
+type dialConfig struct {
+	tenant    string
+	fallback  bool
+	handshake time.Duration
+}
+
+// WithTenant sets the tenant the session is accounted under; the server's
+// per-tenant quotas and metrics key on it. Default: "default".
+func WithTenant(tenant string) DialOption {
+	return func(c *dialConfig) { c.tenant = tenant }
+}
+
+// WithoutFallback disables the automatic downgrade to the gob transport
+// when the server does not speak the framed protocol; dialing an old
+// server then fails instead. Useful in tests and strict deployments.
+func WithoutFallback() DialOption {
+	return func(c *dialConfig) { c.fallback = false }
+}
+
+// WithHandshakeTimeout bounds the protocol negotiation (not the calls).
+// Default: 5s.
+func WithHandshakeTimeout(d time.Duration) DialOption {
+	return func(c *dialConfig) { c.handshake = d }
+}
+
+// DialMux connects to a server with the framed multiplexed protocol. The
+// returned client is safe for concurrent use: calls are pipelined over
+// the single connection and responses return out of order. Against a
+// server that predates the framed protocol, it falls back to the
+// serialized gob transport (unless WithoutFallback); a handshake the
+// server answers with a typed rejection (e.g. session quota exhausted)
+// fails without fallback, since the server did speak the protocol.
+func DialMux(addr string, opts ...DialOption) (Client, error) {
+	cfg := dialConfig{tenant: DefaultTenant, fallback: true, handshake: 5 * time.Second}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	RegisterWireTypes() // the fallback path is gob
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mc, negotiated, err := tryMux(conn, cfg)
+	if err == nil {
+		return mc, nil
+	}
+	conn.Close()
+	if negotiated || !cfg.fallback {
+		// The server spoke the framed protocol and refused us, or the
+		// caller wants no downgrade.
+		return nil, err
+	}
+	return Dial(addr)
+}
+
+// tryMux performs the framed handshake on conn. negotiated reports that
+// the server answered with a well-formed hello-ack (so a failure is a
+// protocol-level rejection, not an old peer).
+func tryMux(conn net.Conn, cfg dialConfig) (c *muxClient, negotiated bool, err error) {
+	// The handshake deadline is real network plumbing, not a measured
+	// federation path; it is what detects a legacy peer that neither acks
+	// nor hangs up.
+	//fedlint:ignore virtualclock handshake guard against peers that never answer is wall-protocol plumbing
+	deadline := time.Now().Add(cfg.handshake)
+	if cfg.handshake > 0 {
+		if err := conn.SetDeadline(deadline); err != nil {
+			return nil, false, &transportError{"handshake", err}
+		}
+	}
+	// Send magic + hello in one write so the negotiation is one segment.
+	hello := encodeHello(cfg.tenant)
+	buf := make([]byte, 0, len(muxMagic)+4+len(hello))
+	buf = append(buf, muxMagic...)
+	var hdr [4]byte
+	putFrameLen(hdr[:], len(hello))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, hello...)
+	if _, err := conn.Write(buf); err != nil {
+		return nil, false, &transportError{"handshake send", err}
+	}
+	br := bufio.NewReader(conn)
+	payload, err := readFrame(br)
+	if err != nil {
+		// EOF / reset: a legacy gob server choked on the magic and hung
+		// up; a timeout means the peer never answered.
+		return nil, false, &transportError{"handshake receive", err}
+	}
+	_, class, errMsg, err := decodeHelloAck(payload)
+	if err != nil {
+		return nil, false, &transportError{"handshake decode", err}
+	}
+	if errMsg != "" {
+		return nil, true, errFromWire(class, errMsg)
+	}
+	if cfg.handshake > 0 {
+		if err := conn.SetDeadline(time.Time{}); err != nil {
+			return nil, true, &transportError{"handshake", err}
+		}
+	}
+	mc := &muxClient{conn: conn, br: br, pending: make(map[uint64]chan muxReply), done: make(chan struct{})}
+	go mc.readLoop()
+	return mc, true, nil
+}
+
+// putFrameLen writes the 4-byte big-endian frame length header.
+func putFrameLen(dst []byte, n int) {
+	dst[0] = byte(n >> 24)
+	dst[1] = byte(n >> 16)
+	dst[2] = byte(n >> 8)
+	dst[3] = byte(n)
+}
+
+// muxReply is one dispatched response.
+type muxReply struct {
+	class uint8
+	res   *wireResponse
+}
+
+type muxClient struct {
+	conn net.Conn
+	br   *bufio.Reader
+	wmu  sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	pending map[uint64]chan muxReply
+	nextID  uint64
+	closed  bool
+	readErr error
+	done    chan struct{} // closed when the reader dies
+}
+
+// readLoop dispatches response frames to the pending calls by request id.
+func (c *muxClient) readLoop() {
+	for {
+		payload, err := readFrame(c.br)
+		if err != nil {
+			c.fail(&transportError{"receive", err})
+			return
+		}
+		id, class, wres, err := decodeFrameResponse(payload)
+		if err != nil {
+			c.fail(&transportError{"receive", err})
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- muxReply{class, wres}
+		}
+	}
+}
+
+// fail terminates the connection: every in-flight and future call gets
+// the terminal error.
+func (c *muxClient) fail(err error) {
+	c.mu.Lock()
+	if !c.closed {
+		c.closed = true
+		c.readErr = err
+		close(c.done)
+	}
+	c.mu.Unlock()
+	c.conn.Close()
+}
+
+// roundTrip sends one request frame and waits for its response. Unlike
+// the gob transport, cancellation only abandons this call — the
+// connection and its other in-flight calls stay healthy; the reader drops
+// the late response by its id.
+func (c *muxClient) roundTrip(ctx context.Context, wreq *wireRequest) (*wireResponse, uint8, error) {
+	c.mu.Lock()
+	if c.closed {
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = &transportError{"send", net.ErrClosed}
+		}
+		return nil, 0, err
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan muxReply, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+	frame := encodeFrameRequest(id, wreq)
+	c.wmu.Lock()
+	err := writeFrame(c.conn, frame)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, 0, &transportError{"send", err}
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case r := <-ch:
+		return r.res, r.class, nil
+	case <-done:
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, 0, &transportError{"call cancelled", ctx.Err()}
+	case <-c.done:
+		// The reader died; drain a response that may have been dispatched
+		// before the failure.
+		select {
+		case r := <-ch:
+			return r.res, r.class, nil
+		default:
+		}
+		c.mu.Lock()
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, 0, err
+	}
+}
+
+// Call implements Client.
+func (c *muxClient) Call(ctx context.Context, task *simlat.Task, req Request) (*types.Table, error) {
+	res, _, err := c.CallMeta(ctx, task, req)
+	return res, err
+}
+
+// CallMeta implements MetaCaller over the framed protocol. Trace and
+// deadline propagation follow the gob transport; server-reported failures
+// come back typed (errors.Is against the resil taxonomy works across the
+// wire), which the gob transport cannot offer.
+func (c *muxClient) CallMeta(ctx context.Context, task *simlat.Task, req Request) (*types.Table, map[string]string, error) {
+	if err := resil.Check(ctx, task); err != nil {
+		return nil, nil, err
+	}
+	sp := obs.StartSpan(task, "rpc.call", obs.Attr{Key: "system", Value: req.System}, obs.Attr{Key: "function", Value: req.Function})
+	defer sp.End(task)
+	wreq := &wireRequest{System: req.System, Function: req.Function, Args: make([]wireValue, len(req.Args))}
+	for i, v := range req.Args {
+		wreq.Args[i] = toWireValue(v)
+	}
+	fillTraceDeadline(ctx, task, wreq, req.Trace)
+	wres, class, err := c.roundTrip(ctx, wreq)
+	if err != nil {
+		return nil, nil, err
+	}
+	graftReplyFragment(sp, wres.Meta)
+	if wres.Err != "" {
+		sp.SetAttr("error", wres.Err)
+		return nil, wres.Meta, errFromWire(class, wres.Err)
+	}
+	return fromWireTable(wres.Columns, wres.Rows), wres.Meta, nil
+}
+
+// CallBatch implements BatchCaller over the framed protocol.
+func (c *muxClient) CallBatch(ctx context.Context, task *simlat.Task, req BatchRequest) ([]*types.Table, error) {
+	if err := resil.Check(ctx, task); err != nil {
+		return nil, err
+	}
+	sp := obs.StartSpan(task, "rpc.call.batch",
+		obs.Attr{Key: "system", Value: req.System},
+		obs.Attr{Key: "function", Value: req.Function},
+		obs.Attr{Key: "batch_size", Value: fmt.Sprintf("%d", len(req.Rows))})
+	defer sp.End(task)
+	wreq := &wireRequest{System: req.System, Function: req.Function, BatchRows: make([][]wireValue, len(req.Rows))}
+	for i, row := range req.Rows {
+		wr := make([]wireValue, len(row))
+		for j, v := range row {
+			wr[j] = toWireValue(v)
+		}
+		wreq.BatchRows[i] = wr
+	}
+	fillTraceDeadline(ctx, task, wreq, req.Trace)
+	wres, class, err := c.roundTrip(ctx, wreq)
+	if err != nil {
+		return nil, err
+	}
+	graftReplyFragment(sp, wres.Meta)
+	if wres.Err != "" {
+		sp.SetAttr("error", wres.Err)
+		return nil, errFromWire(class, wres.Err)
+	}
+	if len(wres.Batch) != len(req.Rows) {
+		return nil, fmt.Errorf("rpc: batch reply has %d entries for %d rows", len(wres.Batch), len(req.Rows))
+	}
+	out := make([]*types.Table, len(wres.Batch))
+	for i, e := range wres.Batch {
+		if e.Err != "" {
+			return nil, errors.New(e.Err)
+		}
+		out[i] = fromWireTable(e.Columns, e.Rows)
+	}
+	return out, nil
+}
+
+// Close implements Client.
+func (c *muxClient) Close() error {
+	c.fail(&transportError{"send", net.ErrClosed})
+	return nil
+}

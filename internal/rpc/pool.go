@@ -1,0 +1,158 @@
+// Connection pooling from the engine to controllers and application
+// systems. A Pool is itself a Client: each call borrows a pooled
+// connection (dialing lazily up to the size cap), so N parallel lateral
+// workers share a bounded set of sockets instead of serializing on one or
+// dialing per call. Connections that suffered a transport failure are
+// discarded instead of returned; server-reported errors leave the
+// connection healthy and reusable.
+package rpc
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"fedwf/internal/simlat"
+	"fedwf/internal/types"
+)
+
+// ErrPoolClosed is returned by calls on a closed Pool.
+var ErrPoolClosed = errors.New("rpc: pool closed")
+
+// Pool is a bounded pool of client connections, itself a Client (and
+// MetaCaller/BatchCaller — batch and metadata calls degrade per
+// connection exactly as the underlying transport does).
+type Pool struct {
+	dial func() (Client, error)
+	sem  chan struct{} // counting semaphore: connections in use or idle
+
+	mu     sync.Mutex
+	idle   []Client
+	closed bool
+}
+
+// NewPool builds a pool of up to size connections produced by dial (e.g.
+// func() (Client, error) { return DialMux(addr) }). Connections are
+// dialed on demand and kept for reuse; when all are busy, calls wait
+// until one frees up or their context is cancelled.
+func NewPool(size int, dial func() (Client, error)) *Pool {
+	if size <= 0 {
+		size = 1
+	}
+	return &Pool{dial: dial, sem: make(chan struct{}, size)}
+}
+
+// acquire borrows a connection, dialing a fresh one when no idle
+// connection exists and the size cap allows.
+func (p *Pool) acquire(ctx context.Context) (Client, error) {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case p.sem <- struct{}{}:
+	case <-done:
+		return nil, ctx.Err()
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		<-p.sem
+		return nil, ErrPoolClosed
+	}
+	var c Client
+	if n := len(p.idle); n > 0 {
+		c = p.idle[n-1]
+		p.idle = p.idle[:n-1]
+	}
+	p.mu.Unlock()
+	if c != nil {
+		return c, nil
+	}
+	c, err := p.dial()
+	if err != nil {
+		<-p.sem
+		return nil, err
+	}
+	return c, nil
+}
+
+// put returns a connection after a call: transport failures retire it,
+// anything else keeps it for reuse.
+func (p *Pool) put(c Client, callErr error) {
+	defer func() { <-p.sem }()
+	if callErr != nil && errors.Is(callErr, ErrTransport) {
+		c.Close()
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		c.Close()
+		return
+	}
+	p.idle = append(p.idle, c)
+	p.mu.Unlock()
+}
+
+// Call implements Client.
+func (p *Pool) Call(ctx context.Context, task *simlat.Task, req Request) (*types.Table, error) {
+	c, err := p.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.Call(ctx, task, req)
+	p.put(c, err)
+	return res, err
+}
+
+// CallMeta implements MetaCaller; against a pooled transport without
+// metadata support it degrades to Call with an empty map, like Guard.
+func (p *Pool) CallMeta(ctx context.Context, task *simlat.Task, req Request) (*types.Table, map[string]string, error) {
+	c, err := p.acquire(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	var res *types.Table
+	var meta map[string]string
+	if mc, ok := c.(MetaCaller); ok {
+		res, meta, err = mc.CallMeta(ctx, task, req)
+	} else {
+		res, err = c.Call(ctx, task, req)
+		if err == nil {
+			meta = map[string]string{}
+		}
+	}
+	p.put(c, err)
+	return res, meta, err
+}
+
+// CallBatch implements BatchCaller; row-oriented pooled transports
+// degrade via CallBatch's per-row fallback.
+func (p *Pool) CallBatch(ctx context.Context, task *simlat.Task, req BatchRequest) ([]*types.Table, error) {
+	c, err := p.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	res, err := CallBatch(ctx, task, c, req)
+	p.put(c, err)
+	return res, err
+}
+
+// Close closes every idle connection and fails subsequent calls; borrowed
+// connections close as their calls return them.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	idle := p.idle
+	p.idle = nil
+	p.mu.Unlock()
+	for _, c := range idle {
+		c.Close()
+	}
+	return nil
+}

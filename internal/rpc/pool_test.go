@@ -1,0 +1,208 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"fedwf/internal/simlat"
+	"fedwf/internal/types"
+)
+
+// stubConn is a scriptable pooled connection: nextErr is returned (and
+// cleared) by the next call; closes counts Close invocations.
+type stubConn struct {
+	id int
+
+	mu      sync.Mutex
+	nextErr error
+	closes  int
+
+	entered chan<- int    // non-nil: Call reports its connection id on entry
+	block   chan struct{} // non-nil: Call waits on it (or ctx)
+}
+
+func (s *stubConn) Call(ctx context.Context, _ *simlat.Task, req Request) (*types.Table, error) {
+	if s.entered != nil {
+		s.entered <- s.id
+	}
+	if s.block != nil {
+		select {
+		case <-s.block:
+		case <-ctx.Done():
+			return nil, &transportError{"call cancelled", ctx.Err()}
+		}
+	}
+	s.mu.Lock()
+	err := s.nextErr
+	s.nextErr = nil
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	tab := types.NewTable(types.Schema{{Name: "ConnID", Type: types.Integer}})
+	tab.MustAppend(types.Row{types.NewInt(int64(s.id))})
+	return tab, nil
+}
+
+func (s *stubConn) failNext(err error) {
+	s.mu.Lock()
+	s.nextErr = err
+	s.mu.Unlock()
+}
+
+func (s *stubConn) Close() error {
+	s.mu.Lock()
+	s.closes++
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *stubConn) closeCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closes
+}
+
+// stubDialer hands out numbered stubConns and remembers them.
+type stubDialer struct {
+	mu      sync.Mutex
+	conns   []*stubConn
+	entered chan<- int
+	block   chan struct{}
+}
+
+func (d *stubDialer) dial() (Client, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c := &stubConn{id: len(d.conns) + 1, entered: d.entered, block: d.block}
+	d.conns = append(d.conns, c)
+	return c, nil
+}
+
+func (d *stubDialer) dialCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.conns)
+}
+
+func (d *stubDialer) conn(i int) *stubConn {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.conns[i]
+}
+
+func TestPoolReusesIdleConnections(t *testing.T) {
+	d := &stubDialer{}
+	p := NewPool(4, d.dial)
+	defer p.Close()
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		tab, err := p.Call(ctx, simlat.Free(), Request{Function: "f"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tab.Rows[0][0].Int() != 1 {
+			t.Fatalf("call %d served by connection %d, want 1 (reuse)", i, tab.Rows[0][0].Int())
+		}
+	}
+	if got := d.dialCount(); got != 1 {
+		t.Errorf("sequential calls dialed %d connections, want 1", got)
+	}
+}
+
+func TestPoolRetiresConnectionOnTransportError(t *testing.T) {
+	d := &stubDialer{}
+	p := NewPool(2, d.dial)
+	defer p.Close()
+	ctx := context.Background()
+	if _, err := p.Call(ctx, simlat.Free(), Request{}); err != nil {
+		t.Fatal(err)
+	}
+	d.conn(0).failNext(&transportError{"receive", errors.New("connection reset")})
+	if _, err := p.Call(ctx, simlat.Free(), Request{}); !errors.Is(err, ErrTransport) {
+		t.Fatalf("transport failure = %v", err)
+	}
+	if got := d.conn(0).closeCount(); got != 1 {
+		t.Errorf("failed connection closed %d times, want 1", got)
+	}
+	// The next call dials a replacement instead of reusing the dead conn.
+	tab, err := p.Call(ctx, simlat.Free(), Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows[0][0].Int() != 2 {
+		t.Errorf("call after retirement served by connection %d, want 2", tab.Rows[0][0].Int())
+	}
+}
+
+func TestPoolKeepsConnectionOnServerError(t *testing.T) {
+	d := &stubDialer{}
+	p := NewPool(2, d.dial)
+	defer p.Close()
+	ctx := context.Background()
+	if _, err := p.Call(ctx, simlat.Free(), Request{}); err != nil {
+		t.Fatal(err)
+	}
+	// A server-reported (semantic) error travels over a healthy connection.
+	d.conn(0).failNext(errFromWire(classUnavailable, "shed"))
+	if _, err := p.Call(ctx, simlat.Free(), Request{}); err == nil {
+		t.Fatal("server error swallowed")
+	}
+	if _, err := p.Call(ctx, simlat.Free(), Request{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.dialCount(); got != 1 {
+		t.Errorf("server error caused %d dials, want 1 (connection kept)", got)
+	}
+	if got := d.conn(0).closeCount(); got != 0 {
+		t.Errorf("healthy connection closed %d times", got)
+	}
+}
+
+func TestPoolCapWaitsAndHonoursCancellation(t *testing.T) {
+	entered := make(chan int, 1)
+	block := make(chan struct{})
+	d := &stubDialer{entered: entered, block: block}
+	p := NewPool(1, d.dial)
+	defer p.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Call(context.Background(), simlat.Free(), Request{})
+		done <- err
+	}()
+	<-entered // the single connection is borrowed and executing
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Call(ctx, simlat.Free(), Request{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("call on exhausted pool with cancelled ctx = %v, want Canceled", err)
+	}
+	close(block)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := d.dialCount(); got != 1 {
+		t.Errorf("dials = %d, want 1 (cap respected)", got)
+	}
+}
+
+func TestPoolClose(t *testing.T) {
+	d := &stubDialer{}
+	p := NewPool(2, d.dial)
+	if _, err := p.Call(context.Background(), simlat.Free(), Request{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.conn(0).closeCount(); got != 1 {
+		t.Errorf("idle connection closed %d times on pool close, want 1", got)
+	}
+	if _, err := p.Call(context.Background(), simlat.Free(), Request{}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("call on closed pool = %v, want ErrPoolClosed", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}

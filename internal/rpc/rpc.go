@@ -2,18 +2,30 @@
 // Java RMI: the hops between integration UDTFs, the controller, the
 // workflow engine, and the application systems.
 //
-// Two transports exist:
+// Three transports exist:
 //
 //   - in-process (NewInProc): a direct call that threads the caller's
 //     simlat.Task through, so simulated costs charged inside the callee
 //     land on the caller's meter. All virtual-clock experiments use it.
-//   - TCP with gob framing (Serve/Dial): real remote processes for the
-//     daemon and the examples. The callee cannot charge the caller's
-//     virtual meter across a wire, so TCP is meaningful in wall mode,
-//     where server-side sleeps are observed by the blocked client.
+//   - TCP with gob framing (Serve/Dial): the legacy remote transport —
+//     one request at a time per connection. The callee cannot charge the
+//     caller's virtual meter across a wire, so TCP is meaningful in wall
+//     mode, where server-side sleeps are observed by the blocked client.
+//   - TCP with the framed binary protocol (DialMux): length-prefixed
+//     frames, request ids, out-of-order responses — many concurrent
+//     calls multiplexed over one connection. Negotiated on connect by a
+//     magic preamble; the server falls back to the gob loop for legacy
+//     clients, and DialMux falls back to the gob client against legacy
+//     servers.
+//
+// The server additionally runs session management and admission control
+// (see Admission): per-tenant session quotas at the handshake and a
+// bounded per-tenant admission queue per request, shedding the excess
+// with resil.ErrAppSysUnavailable instead of queueing unboundedly.
 package rpc
 
 import (
+	"bufio"
 	"context"
 	"encoding/gob"
 	"errors"
@@ -455,11 +467,16 @@ func fromWireTable(cols []wireColumn, rows [][]wireValue) *types.Table {
 
 // ------------------------------------------------------------ TCP server
 
-// Server serves RPC requests over TCP.
+// Server serves RPC requests over TCP: framed multiplexed sessions for
+// clients that open with the protocol magic, the legacy one-at-a-time gob
+// loop for everyone else.
 type Server struct {
-	h  MetaHandler
-	bh BatchHandler
-	ln net.Listener
+	h   MetaHandler
+	bh  BatchHandler
+	ln  net.Listener
+	adm *Admission // nil admits everything
+
+	sessionSeq atomic.Uint64 // framed session ids
 
 	mu        sync.Mutex
 	conns     map[net.Conn]struct{}
@@ -507,6 +524,14 @@ func NewServerMeta(h MetaHandler) *Server {
 // per-row reply, just without server-side amortization. Install it at
 // wiring time, before Listen.
 func (s *Server) SetBatchHandler(bh BatchHandler) { s.bh = bh }
+
+// SetAdmission installs the session manager / admission controller
+// consulted at every handshake and request; nil (the default) admits
+// everything. Install it at wiring time, before Listen.
+func (s *Server) SetAdmission(a *Admission) { s.adm = a }
+
+// Admission returns the installed admission controller, or nil.
+func (s *Server) Admission() *Admission { return s.adm }
 
 // SetDrainHook installs a function Shutdown runs once after the graceful
 // drain completes (listener closed, in-flight requests finished or cut,
@@ -560,6 +585,10 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// serveConn negotiates the protocol for one accepted connection: clients
+// that open with the framed magic get a multiplexed session; everyone
+// else gets the legacy gob loop (the peeked bytes stay in the buffered
+// reader, so old clients are served byte-identically).
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -568,84 +597,187 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	dec := gob.NewDecoder(conn)
+	br := bufio.NewReader(conn)
+	peek, err := br.Peek(len(muxMagic))
+	if err == nil && string(peek) == muxMagic {
+		br.Discard(len(muxMagic))
+		s.serveFramed(conn, br)
+		return
+	}
+	s.serveGob(conn, br)
+}
+
+// serveGob is the legacy transport loop: one gob request at a time,
+// answered in order. The connection is one session of the default tenant;
+// over the session quota the server simply hangs up (the gob protocol has
+// no pre-request channel for a typed refusal).
+func (s *Server) serveGob(conn net.Conn, br *bufio.Reader) {
+	closeSession, err := s.adm.OpenSession(DefaultTenant, "gob")
+	if err != nil {
+		return
+	}
+	defer closeSession()
+	dec := gob.NewDecoder(br)
 	enc := gob.NewEncoder(conn)
 	for {
 		var wreq wireRequest
 		if err := dec.Decode(&wreq); err != nil {
 			return
 		}
-		args := make([]types.Value, len(wreq.Args))
-		for i, w := range wreq.Args {
-			args[i] = fromWireValue(w)
-		}
 		s.beginRequest()
-		req := Request{System: wreq.System, Function: wreq.Function, Args: args,
-			Trace: obs.TraceContext{TraceID: wreq.TraceID, SpanID: wreq.SpanID, Sampled: wreq.Sampled}}
 		//fedlint:ignore ctxfirst the connection handler is a request root; there is no caller context to thread
 		ctx := context.Background()
-		if wreq.DeadlineMS > 0 {
-			// Re-arm the remaining statement time as a relative timeout;
-			// the handler anchors it to whatever task it runs under.
-			ctx = resil.WithTimeout(ctx, time.Duration(wreq.DeadlineMS)*simlat.PaperMS)
-		}
-		task := simlat.Free()
-		var tr *obs.Tracer
-		if req.Trace.Sampled {
-			// A sampled request gets a real-time meter (scale 0: Elapsed
-			// reads the wall clock, simulated charges never sleep) so the
-			// server-side spans carry true serving durations, and a local
-			// root under the remote parent's trace.
-			task = simlat.NewWallTask(0)
-			tr = obs.Trace(task, "rpc.serve",
-				obs.Attr{Key: "system", Value: req.System},
-				obs.Attr{Key: "function", Value: req.Function})
-			tr.Root().SetTraceID(req.Trace.TraceID)
-		}
-		var wres wireResponse
-		var meta map[string]string
-		var err error
-		if len(wreq.BatchRows) > 0 {
-			rows := make([][]types.Value, len(wreq.BatchRows))
-			for i, wr := range wreq.BatchRows {
-				row := make([]types.Value, len(wr))
-				for j, w := range wr {
-					row[j] = fromWireValue(w)
-				}
-				rows[i] = row
-			}
-			var tables []*types.Table
-			tables, err = s.serveBatch(ctx, task, BatchRequest{
-				System: req.System, Function: req.Function, Rows: rows, Trace: req.Trace})
-			if err != nil {
-				wres.Err = err.Error()
-			} else {
-				wres.Batch = make([]wireBatchEntry, len(tables))
-				for i, t := range tables {
-					var e wireBatchEntry
-					e.Columns, e.Rows = toWireTable(t)
-					wres.Batch[i] = e
-				}
-			}
-		} else {
-			var res *types.Table
-			res, meta, err = s.h(ctx, task, req)
-			if err != nil {
-				wres.Err = err.Error()
-			} else {
-				wres.Columns, wres.Rows = toWireTable(res)
-			}
-		}
-		if tr != nil {
-			meta = s.finishServeTrace(tr, req.Trace, meta, err)
-		}
-		wres.Meta = meta
-		encErr := enc.Encode(&wres)
+		wres, _ := s.handleWire(ctx, DefaultTenant, &wreq)
+		encErr := enc.Encode(wres)
 		s.endRequest()
 		if encErr != nil {
 			return
 		}
 	}
+}
+
+// serveFramed is the multiplexed transport loop: after the hello/ack
+// handshake (which enforces the tenant session quota), every request
+// frame is handled on its own goroutine and answered whenever it
+// finishes — responses return out of order, keyed by request id.
+func (s *Server) serveFramed(conn net.Conn, br *bufio.Reader) {
+	payload, err := readFrame(br)
+	if err != nil {
+		return
+	}
+	_, tenant, err := decodeHello(payload)
+	if err != nil {
+		return
+	}
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	var wmu sync.Mutex // serializes response frames on conn
+	closeSession, serr := s.adm.OpenSession(tenant, "framed")
+	if serr != nil {
+		wmu.Lock()
+		_ = writeFrame(conn, encodeHelloAck(0, classOf(serr), serr.Error()))
+		wmu.Unlock()
+		return
+	}
+	defer closeSession()
+	sid := s.sessionSeq.Add(1)
+	wmu.Lock()
+	err = writeFrame(conn, encodeHelloAck(sid, classGeneric, ""))
+	wmu.Unlock()
+	if err != nil {
+		return
+	}
+	// One context per connection: when the read loop exits (client hung
+	// up), in-flight handlers and queued admission waits are cancelled.
+	//fedlint:ignore ctxfirst the connection handler is a request root; there is no caller context to thread
+	connCtx, cancel := context.WithCancel(context.Background())
+	var reqWG sync.WaitGroup
+	defer reqWG.Wait()
+	defer cancel()
+	for {
+		payload, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		id, wreq, err := decodeFrameRequest(payload)
+		if err != nil {
+			return
+		}
+		s.beginRequest()
+		reqWG.Add(1)
+		go func(id uint64, wreq *wireRequest) {
+			defer reqWG.Done()
+			defer s.endRequest()
+			wres, herr := s.handleWire(connCtx, tenant, wreq)
+			frame := encodeFrameResponse(id, classOf(herr), wres)
+			wmu.Lock()
+			werr := writeFrame(conn, frame)
+			wmu.Unlock()
+			if werr != nil {
+				cancel() // the connection is dead; unblock siblings
+			}
+		}(id, wreq)
+	}
+}
+
+// handleWire executes one decoded wire request — admission, deadline
+// re-arming, tracing, row or batch dispatch — and returns the wire
+// response plus the handler error (for the framed path's error class).
+// Both transport loops share it, so admission and tracing behave
+// identically regardless of protocol.
+func (s *Server) handleWire(ctx context.Context, tenant string, wreq *wireRequest) (*wireResponse, error) {
+	wres := &wireResponse{}
+	req := Request{System: wreq.System, Function: wreq.Function,
+		Trace: obs.TraceContext{TraceID: wreq.TraceID, SpanID: wreq.SpanID, Sampled: wreq.Sampled}}
+	if wreq.DeadlineMS > 0 {
+		// Re-arm the remaining statement time as a relative timeout;
+		// the handler anchors it to whatever task it runs under. The
+		// admission wait below burns the same budget.
+		ctx = resil.WithTimeout(ctx, time.Duration(wreq.DeadlineMS)*simlat.PaperMS)
+	}
+	release, aerr := s.adm.Admit(ctx, tenant)
+	if aerr != nil {
+		wres.Err = aerr.Error()
+		return wres, aerr
+	}
+	defer release()
+	args := make([]types.Value, len(wreq.Args))
+	for i, w := range wreq.Args {
+		args[i] = fromWireValue(w)
+	}
+	req.Args = args
+	task := simlat.Free()
+	var tr *obs.Tracer
+	if req.Trace.Sampled {
+		// A sampled request gets a real-time meter (scale 0: Elapsed
+		// reads the wall clock, simulated charges never sleep) so the
+		// server-side spans carry true serving durations, and a local
+		// root under the remote parent's trace.
+		task = simlat.NewWallTask(0)
+		tr = obs.Trace(task, "rpc.serve",
+			obs.Attr{Key: "system", Value: req.System},
+			obs.Attr{Key: "function", Value: req.Function})
+		tr.Root().SetTraceID(req.Trace.TraceID)
+	}
+	var meta map[string]string
+	var err error
+	if len(wreq.BatchRows) > 0 {
+		rows := make([][]types.Value, len(wreq.BatchRows))
+		for i, wr := range wreq.BatchRows {
+			row := make([]types.Value, len(wr))
+			for j, w := range wr {
+				row[j] = fromWireValue(w)
+			}
+			rows[i] = row
+		}
+		var tables []*types.Table
+		tables, err = s.serveBatch(ctx, task, BatchRequest{
+			System: req.System, Function: req.Function, Rows: rows, Trace: req.Trace})
+		if err != nil {
+			wres.Err = err.Error()
+		} else {
+			wres.Batch = make([]wireBatchEntry, len(tables))
+			for i, t := range tables {
+				var e wireBatchEntry
+				e.Columns, e.Rows = toWireTable(t)
+				wres.Batch[i] = e
+			}
+		}
+	} else {
+		var res *types.Table
+		res, meta, err = s.h(ctx, task, req)
+		if err != nil {
+			wres.Err = err.Error()
+		} else {
+			wres.Columns, wres.Rows = toWireTable(res)
+		}
+	}
+	if tr != nil {
+		meta = s.finishServeTrace(tr, req.Trace, meta, err)
+	}
+	wres.Meta = meta
+	return wres, err
 }
 
 // serveBatch dispatches a set-oriented request to the batch handler, or —
@@ -780,6 +912,34 @@ func (s *Server) Shutdown(grace time.Duration) error {
 
 // ------------------------------------------------------------ TCP client
 
+// fillTraceDeadline stamps the trace context and the remaining statement
+// deadline onto an outgoing wire request; both remote transports share it.
+func fillTraceDeadline(ctx context.Context, task *simlat.Task, wreq *wireRequest, tc obs.TraceContext) {
+	if !tc.Sampled {
+		tc = obs.ContextFrom(task)
+	}
+	wreq.TraceID, wreq.SpanID, wreq.Sampled = tc.TraceID, tc.SpanID, tc.Sampled
+	if rem, ok := resil.Remaining(ctx, task); ok && rem > 0 {
+		wreq.DeadlineMS = int64(rem / simlat.PaperMS)
+	}
+}
+
+// graftReplyFragment grafts a server-side span fragment shipped in the
+// response metadata under the local call span, and strips it from the
+// map; both remote transports share it.
+func graftReplyFragment(sp *obs.Span, meta map[string]string) {
+	enc, ok := meta[obs.MetaTraceFragment]
+	if !ok {
+		return
+	}
+	if sp != nil {
+		if frag, err := obs.DecodeFragment(enc); err == nil && frag.Root != nil {
+			obs.Graft(sp, obs.SpanFromData(frag.Root, sp.Start()))
+		}
+	}
+	delete(meta, obs.MetaTraceFragment)
+}
+
 type tcpClient struct {
 	mu   sync.Mutex
 	conn net.Conn
@@ -824,16 +984,9 @@ func (c *tcpClient) CallMeta(ctx context.Context, task *simlat.Task, req Request
 	for i, v := range req.Args {
 		wreq.Args[i] = toWireValue(v)
 	}
-	tc := req.Trace
-	if !tc.Sampled {
-		tc = obs.ContextFrom(task)
-	}
-	wreq.TraceID, wreq.SpanID, wreq.Sampled = tc.TraceID, tc.SpanID, tc.Sampled
-	if rem, ok := resil.Remaining(ctx, task); ok && rem > 0 {
-		wreq.DeadlineMS = int64(rem / simlat.PaperMS)
-	}
+	fillTraceDeadline(ctx, task, &wreq, req.Trace)
 	if err := c.enc.Encode(&wreq); err != nil {
-		return nil, nil, fmt.Errorf("rpc: send: %w", err)
+		return nil, nil, &transportError{"send", err}
 	}
 	var watchDone chan struct{}
 	if ctx != nil && ctx.Done() != nil {
@@ -855,18 +1008,11 @@ func (c *tcpClient) CallMeta(ctx context.Context, task *simlat.Task, req Request
 	}
 	if err != nil {
 		if ctx != nil && ctx.Err() != nil {
-			return nil, nil, fmt.Errorf("rpc: call cancelled: %w", ctx.Err())
+			return nil, nil, &transportError{"call cancelled", ctx.Err()}
 		}
-		return nil, nil, fmt.Errorf("rpc: receive: %w", err)
+		return nil, nil, &transportError{"receive", err}
 	}
-	if enc, ok := wres.Meta[obs.MetaTraceFragment]; ok {
-		if sp != nil {
-			if frag, err := obs.DecodeFragment(enc); err == nil && frag.Root != nil {
-				obs.Graft(sp, obs.SpanFromData(frag.Root, sp.Start()))
-			}
-		}
-		delete(wres.Meta, obs.MetaTraceFragment)
-	}
+	graftReplyFragment(sp, wres.Meta)
 	if wres.Err != "" {
 		sp.SetAttr("error", wres.Err)
 		return nil, wres.Meta, errors.New(wres.Err)
@@ -898,16 +1044,9 @@ func (c *tcpClient) CallBatch(ctx context.Context, task *simlat.Task, req BatchR
 		}
 		wreq.BatchRows[i] = wr
 	}
-	tc := req.Trace
-	if !tc.Sampled {
-		tc = obs.ContextFrom(task)
-	}
-	wreq.TraceID, wreq.SpanID, wreq.Sampled = tc.TraceID, tc.SpanID, tc.Sampled
-	if rem, ok := resil.Remaining(ctx, task); ok && rem > 0 {
-		wreq.DeadlineMS = int64(rem / simlat.PaperMS)
-	}
+	fillTraceDeadline(ctx, task, &wreq, req.Trace)
 	if err := c.enc.Encode(&wreq); err != nil {
-		return nil, fmt.Errorf("rpc: send: %w", err)
+		return nil, &transportError{"send", err}
 	}
 	var watchDone chan struct{}
 	if ctx != nil && ctx.Done() != nil {
@@ -927,17 +1066,11 @@ func (c *tcpClient) CallBatch(ctx context.Context, task *simlat.Task, req BatchR
 	}
 	if err != nil {
 		if ctx != nil && ctx.Err() != nil {
-			return nil, fmt.Errorf("rpc: call cancelled: %w", ctx.Err())
+			return nil, &transportError{"call cancelled", ctx.Err()}
 		}
-		return nil, fmt.Errorf("rpc: receive: %w", err)
+		return nil, &transportError{"receive", err}
 	}
-	if enc, ok := wres.Meta[obs.MetaTraceFragment]; ok {
-		if sp != nil {
-			if frag, ferr := obs.DecodeFragment(enc); ferr == nil && frag.Root != nil {
-				obs.Graft(sp, obs.SpanFromData(frag.Root, sp.Start()))
-			}
-		}
-	}
+	graftReplyFragment(sp, wres.Meta)
 	if wres.Err != "" {
 		sp.SetAttr("error", wres.Err)
 		return nil, errors.New(wres.Err)

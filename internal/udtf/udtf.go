@@ -180,7 +180,7 @@ func RegisterSQLIntegrationUDTF(eng *engine.Engine, ins *Instrument, createFunct
 		return fmt.Errorf("udtf: not a CREATE FUNCTION statement: %q", createFunctionSQL)
 	}
 	name := create.Name
-	if _, err := eng.NewSession().ExecStmt(stmt); err != nil {
+	if _, err := eng.DeclareFunction(create); err != nil {
 		return err
 	}
 	fn, err := eng.Catalog().Func(name)
