@@ -7,15 +7,21 @@
 // Usage:
 //
 //	go run ./cmd/fedlint ./...
+//	go run ./cmd/fedlint -json ./...
 //	go run ./cmd/fedlint -list
+//	go run ./cmd/fedlint -update-wireschema
 //
 // The only supported pattern is ./... (the whole module); fedlint's rules
 // are cross-package (layering, harness restrictions), so partial loads
-// would weaken them. Findings print as file:line:col: message [rule] and
-// can be suppressed in place with //fedlint:ignore <rule> <reason>.
+// would weaken them. Findings print as file:line:col: message [rule] —
+// or, with -json, as a JSON array of {file,line,col,rule,message} for
+// editor and CI integration — and can be suppressed in place with
+// //fedlint:ignore <rule> <reason>. -update-wireschema regenerates the
+// wireschema.json goldens that the wirecompat rule checks drift against.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,8 +32,10 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzer rules and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array of {file,line,col,rule,message}")
+	updateWire := flag.Bool("update-wireschema", false, "regenerate the wireschema.json goldens and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: fedlint [-list] ./...\n\nrules:\n")
+		fmt.Fprintf(os.Stderr, "usage: fedlint [-list] [-json] [-update-wireschema] ./...\n\nrules:\n")
 		for _, a := range lintrules.Analyzers() {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -63,14 +71,55 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fedlint:", err)
 		os.Exit(2)
 	}
+
+	if *updateWire {
+		written, err := lintrules.UpdateWireSchemas(pkgs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fedlint:", err)
+			os.Exit(2)
+		}
+		for _, path := range written {
+			if rel, err := filepath.Rel(root, path); err == nil {
+				path = rel
+			}
+			fmt.Println("wrote", path)
+		}
+		return
+	}
+
 	diags := lintrules.RunAnalyzers(pkgs, lintrules.Analyzers())
-	for _, d := range diags {
+	for i := range diags {
 		// Print module-relative paths so the output is stable across
 		// machines and clickable from the repo root.
-		if rel, err := filepath.Rel(root, d.Position.Filename); err == nil {
-			d.Position.Filename = rel
+		if rel, err := filepath.Rel(root, diags[i].Position.Filename); err == nil {
+			diags[i].Position.Filename = rel
 		}
-		fmt.Println(d)
+	}
+	if *asJSON {
+		type finding struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+			Rule    string `json:"rule"`
+			Message string `json:"message"`
+		}
+		out := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, finding{
+				File: d.Position.Filename, Line: d.Position.Line, Col: d.Position.Column,
+				Rule: d.Rule, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "fedlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "fedlint: %d finding(s)\n", len(diags))

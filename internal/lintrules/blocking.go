@@ -1,0 +1,189 @@
+package lintrules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Blocking-call summaries: which functions of the load may block the
+// calling goroutine. A function blocks directly when its body contains a
+// channel send or receive, a select without a default, a range over a
+// channel, or a call to a known blocking primitive (sync.WaitGroup.Wait,
+// sync.Cond.Wait, time.Sleep, net dials, subprocess waits) — or when it
+// calls an interface method whose name marks a federation blocking point
+// (RPC Call/Exec/Wait/Accept/...), which can never be resolved to a body.
+// The summary then propagates over the intra-repo static call graph to a
+// fixpoint: a caller of a blocking function blocks. Function literals are
+// not summarized (they run at an unknown time); sync.Mutex.Lock is
+// deliberately not "blocking" here — holding one lock while taking
+// another is lockorder's domain, not lockheld's.
+
+// blockCause is the root primitive that makes a function blocking.
+type blockCause struct {
+	what string    // human description of the primitive
+	pos  token.Pos // where the primitive is (for debugging, not messages)
+}
+
+// blockingIfaceNames are interface-method names treated as blocking calls
+// when the callee cannot be resolved to a body: the federation's RPC and
+// execution surfaces.
+var blockingIfaceNames = map[string]bool{
+	"Call": true, "CallMeta": true, "CallBatch": true, "CallContext": true,
+	"Exec": true, "ExecContext": true, "ExecTimed": true,
+	"Wait": true, "Accept": true, "Serve": true, "RoundTrip": true,
+}
+
+// primitiveBlockCause classifies a call as a directly blocking primitive.
+func primitiveBlockCause(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := staticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	switch fn.Pkg().Path() {
+	case "sync":
+		if fn.Name() == "Wait" { // WaitGroup.Wait, Cond.Wait
+			return "a sync " + shortFuncName(fn) + " wait", true
+		}
+	case "time":
+		if fn.Name() == "Sleep" {
+			return "time.Sleep", true
+		}
+	case "net":
+		switch fn.Name() {
+		case "Dial", "DialTimeout", "DialContext", "DialTCP", "DialUDP", "DialUnix", "DialIP":
+			return "a net dial (" + shortFuncName(fn) + ")", true
+		}
+	case "os/exec":
+		switch fn.Name() {
+		case "Run", "Wait", "Output", "CombinedOutput":
+			return "a subprocess wait (" + shortFuncName(fn) + ")", true
+		}
+	}
+	if recvOfIface(fn) && blockingIfaceNames[fn.Name()] {
+		return "the interface call " + shortFuncName(fn), true
+	}
+	return "", false
+}
+
+// funcScan is the per-function summary input: the first direct blocking
+// primitive and the intra-repo functions the body statically calls.
+type funcScan struct {
+	fn      *types.Func
+	pos     token.Pos
+	direct  *blockCause
+	callees []*types.Func
+}
+
+// scanFuncBody finds the first direct blocking primitive of a declared
+// function body and collects its static intra-repo callees. Function
+// literals nested in the body are skipped: they execute at an unknown
+// time (goroutine, callback), not at the call site being summarized.
+func scanFuncBody(st *deepState, pkg *Package, body *ast.BlockStmt) (direct *blockCause, callees []*types.Func) {
+	info := pkg.Info
+	comms := selectComms(body)
+	seenCallee := make(map[*types.Func]bool)
+	note := func(what string, pos token.Pos) {
+		if direct == nil {
+			direct = &blockCause{what: what, pos: pos}
+		}
+	}
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == nil {
+				return false
+			}
+			if comms[m] {
+				return false // a select's comm op blocks as the select, not alone
+			}
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.SendStmt:
+				note("a channel send", m.Arrow)
+			case *ast.UnaryExpr:
+				if m.Op == token.ARROW {
+					note("a channel receive", m.OpPos)
+				}
+			case *ast.RangeStmt:
+				if isChanType(info, m.X) {
+					note("a range over a channel", m.For)
+				}
+			case *ast.SelectStmt:
+				if !selectHasDefault(m) {
+					note("a select with no default", m.Select)
+				}
+			case *ast.CallExpr:
+				if what, ok := primitiveBlockCause(info, m); ok {
+					note(what, m.Pos())
+				} else if fn := staticCallee(info, m); fn != nil && !seenCallee[fn] {
+					if _, intra := st.decls[fn]; intra {
+						seenCallee[fn] = true
+						callees = append(callees, fn)
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body)
+	return direct, callees
+}
+
+// blockingSummaries computes (once) the may-block set over every declared
+// function of the load, propagated to a fixpoint over static calls.
+func (st *deepState) blockingSummaries() (map[*types.Func]*blockCause, map[*types.Func]*types.Func) {
+	st.blockingOnce.Do(func() {
+		var scans []*funcScan
+		for fn, site := range st.decls {
+			direct, callees := scanFuncBody(st, site.pkg, site.decl.Body)
+			scans = append(scans, &funcScan{fn: fn, pos: site.decl.Pos(), direct: direct, callees: callees})
+		}
+		// Deterministic rounds: position order within each fixpoint pass.
+		sort.Slice(scans, func(i, j int) bool { return scans[i].pos < scans[j].pos })
+
+		blocking := make(map[*types.Func]*blockCause)
+		via := make(map[*types.Func]*types.Func)
+		for _, s := range scans {
+			if s.direct != nil {
+				blocking[s.fn] = s.direct
+			}
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, s := range scans {
+				if blocking[s.fn] != nil {
+					continue
+				}
+				for _, callee := range s.callees {
+					if root := blocking[callee]; root != nil {
+						blocking[s.fn] = root
+						via[s.fn] = callee
+						changed = true
+						break
+					}
+				}
+			}
+		}
+		st.blocking = blocking
+		st.blockingVia = via
+	})
+	return st.blocking, st.blockingVia
+}
+
+// describeBlockingCall renders why a resolved call blocks, for diagnostics:
+// either the root primitive, or the chain through the callee that reaches
+// it.
+func describeBlockingCall(fn *types.Func, blocking map[*types.Func]*blockCause, via map[*types.Func]*types.Func) string {
+	cause := blocking[fn]
+	if cause == nil {
+		return ""
+	}
+	msg := "call to " + shortFuncName(fn) + ", which blocks on " + cause.what
+	if v := via[fn]; v != nil && v != fn {
+		msg = "call to " + shortFuncName(fn) + ", which blocks on " + cause.what + " via " + shortFuncName(v)
+	}
+	return msg
+}

@@ -1,0 +1,294 @@
+package lintrules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"fedwf/internal/lintrules/flow"
+)
+
+// CtxFlow checks that a function's context.Context parameter actually
+// reaches the calls made under it. ctxfirst pins the signature shape;
+// this rule follows the value: inside a function that *has* a ctx
+// parameter, every call that accepts a context must receive either that
+// parameter or a context derived from it (context.WithTimeout(ctx, ...),
+// a rebound variable, ...). A callee handed context.Background() or
+// context.TODO() — or a context variable rooted in one — silently
+// detaches from the caller's deadline and cancellation: the statement
+// timeout stops propagating exactly one hop below the function that
+// dropped it, which is how a cancelled federation statement keeps
+// running inside the controller. Derivation is computed as a forward
+// def-use dataflow over the function's CFG, so rebinding through
+// branches and loops is followed; values the analysis cannot see through
+// (struct fields, function results that take no context) are trusted
+// rather than flagged.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "a function's ctx parameter must be the context threaded into context-taking callees (not Background/TODO or an unrelated context)",
+	Run:  runCtxFlow,
+}
+
+// ctxFact is the def-use fact: context-typed objects known derived from
+// the function's ctx parameter(s), and those known detached (rooted in
+// Background/TODO or another non-parameter source).
+type ctxFact struct {
+	derived  map[types.Object]bool
+	detached map[types.Object]bool
+}
+
+func (f ctxFact) clone() ctxFact {
+	out := ctxFact{derived: make(map[types.Object]bool, len(f.derived)), detached: make(map[types.Object]bool, len(f.detached))}
+	for k := range f.derived {
+		out.derived[k] = true
+	}
+	for k := range f.detached {
+		out.detached[k] = true
+	}
+	return out
+}
+
+func runCtxFlow(pass *Pass) {
+	st := deepStateFor(pass.AllPkgs)
+	info := pass.Pkg.Info
+	funcBodies(pass.Pkg, func(fn *types.Func, name string, body *ast.BlockStmt, ftype *ast.FuncType) {
+		params := ctxParams(info, ftype)
+		if len(params) == 0 {
+			return
+		}
+		checkCtxFlow(pass, st, body, params)
+	})
+}
+
+// ctxParams returns the context.Context parameter objects of a signature.
+func ctxParams(info *types.Info, ftype *ast.FuncType) []types.Object {
+	var out []types.Object
+	if ftype.Params == nil {
+		return nil
+	}
+	for _, field := range ftype.Params.List {
+		if !isContextType(info, field.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+func checkCtxFlow(pass *Pass, st *deepState, body *ast.BlockStmt, params []types.Object) {
+	info := pass.Pkg.Info
+	g := st.cfg(body)
+
+	entry := ctxFact{derived: make(map[types.Object]bool), detached: make(map[types.Object]bool)}
+	for _, p := range params {
+		entry.derived[p] = true
+	}
+
+	join := func(a, b ctxFact) ctxFact {
+		if a.derived == nil {
+			return b
+		}
+		if b.derived == nil {
+			return a
+		}
+		out := a.clone()
+		for k := range b.derived {
+			out.derived[k] = true
+		}
+		for k := range b.detached {
+			out.detached[k] = true
+		}
+		// On conflicting paths, derived wins: flag only what is detached on
+		// every path (may-derived is the forgiving direction).
+		for k := range out.derived {
+			delete(out.detached, k)
+		}
+		return out
+	}
+	equal := func(a, b ctxFact) bool {
+		if len(a.derived) != len(b.derived) || len(a.detached) != len(b.detached) {
+			return false
+		}
+		for k := range a.derived {
+			if !b.derived[k] {
+				return false
+			}
+		}
+		for k := range a.detached {
+			if !b.detached[k] {
+				return false
+			}
+		}
+		return true
+	}
+	transfer := func(blk *flow.Block, in ctxFact) ctxFact {
+		out := in.clone()
+		if out.derived == nil {
+			out = ctxFact{derived: make(map[types.Object]bool), detached: make(map[types.Object]bool)}
+		}
+		for _, n := range blk.Nodes {
+			applyCtxDefs(info, n, &out)
+		}
+		return out
+	}
+	in := flow.Forward(g, entry, transfer, join, equal)
+
+	// Report pass: walk each block under its entry fact.
+	for _, blk := range g.Blocks {
+		fact := in[blk].clone()
+		if fact.derived == nil {
+			continue
+		}
+		for _, n := range blk.Nodes {
+			reportCtxSites(pass, info, n, fact)
+			applyCtxDefs(info, n, &fact)
+		}
+	}
+}
+
+// applyCtxDefs tracks assignments of context-typed variables inside node
+// n: an assignment from a derived source marks the target derived, one
+// from Background/TODO (or a detached variable) marks it detached.
+// Function literals are opaque.
+func applyCtxDefs(info *types.Info, n ast.Node, fact *ctxFact) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for i, lhs := range m.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil || !isContextObj(obj) {
+					continue
+				}
+				var rhs ast.Expr
+				if len(m.Rhs) == len(m.Lhs) {
+					rhs = m.Rhs[i]
+				} else if len(m.Rhs) == 1 {
+					rhs = m.Rhs[0] // ctx, cancel := context.WithX(...)
+				}
+				switch classifyCtxExpr(info, rhs, *fact) {
+				case ctxDerived:
+					fact.derived[obj] = true
+					delete(fact.detached, obj)
+				case ctxDetached:
+					fact.detached[obj] = true
+					delete(fact.derived, obj)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// ctxClass is the verdict on a context-typed expression.
+type ctxClass int
+
+const (
+	ctxUnknown ctxClass = iota
+	ctxDerived
+	ctxDetached
+)
+
+// classifyCtxExpr decides whether a context expression is derived from
+// the tracked ctx, detached from it, or unknowable (fields, results of
+// context-free calls — trusted).
+func classifyCtxExpr(info *types.Info, e ast.Expr, fact ctxFact) ctxClass {
+	if e == nil {
+		return ctxUnknown
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		switch {
+		case obj == nil:
+			return ctxUnknown
+		case fact.derived[obj]:
+			return ctxDerived
+		case fact.detached[obj]:
+			return ctxDetached
+		}
+		return ctxUnknown
+	case *ast.CallExpr:
+		if name := ctxRootCall(info, e); name != "" {
+			return ctxDetached
+		}
+		// A call that itself consumes a context: the result inherits the
+		// argument's class (context.WithTimeout(ctx, d), obs wrappers, ...).
+		for _, arg := range e.Args {
+			if tv, ok := info.Types[arg]; ok && tv.Type != nil && isContextTypeT(tv.Type) {
+				return classifyCtxExpr(info, arg, fact)
+			}
+		}
+	}
+	return ctxUnknown
+}
+
+// reportCtxSites flags context-taking calls inside n whose context
+// argument is Background/TODO or a detached variable.
+func reportCtxSites(pass *Pass, info *types.Info, n ast.Node, fact ctxFact) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			for _, arg := range m.Args {
+				tv, ok := info.Types[arg]
+				if !ok || tv.Type == nil || !isContextTypeT(tv.Type) {
+					continue
+				}
+				if name := ctxRootCall(info, arg); name != "" {
+					// context.WithX(context.Background(), ...) or a callee
+					// handed a fresh root directly.
+					pass.Reportf(arg.Pos(),
+						"ctx dropped: callee receives context.%s while the enclosing function's ctx is in scope", name)
+					continue
+				}
+				if classifyCtxExpr(info, arg, fact) == ctxDetached {
+					pass.Reportf(arg.Pos(),
+						"ctx replaced: callee receives a context rooted in Background/TODO, detaching it from the caller's deadline and cancellation")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// ctxRootCall reports whether e is a direct context.Background()/TODO()
+// call, returning the function name.
+func ctxRootCall(info *types.Info, e ast.Expr) string {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	return usedPkgObject(info, sel.Sel, "context", ctxRootFuncs)
+}
+
+// isContextObj reports whether an object has context.Context type.
+func isContextObj(obj types.Object) bool {
+	return obj.Type() != nil && isContextTypeT(obj.Type())
+}
+
+// isContextTypeT reports whether a type is context.Context.
+func isContextTypeT(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

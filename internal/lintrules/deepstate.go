@@ -1,0 +1,208 @@
+package lintrules
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"sync"
+
+	"fedwf/internal/lintrules/flow"
+)
+
+// deepState is the cross-package state the dataflow analyzers (lockheld,
+// lockorder, goleak, ctxflow) share: the index of every function
+// declaration in the load, memoized control-flow graphs, the blocking
+// call summaries, and the lock-acquisition analysis results. It is
+// computed once per loaded package set — every Pass of one RunAnalyzers
+// call carries the same AllPkgs slice, which keys the cache.
+type deepState struct {
+	pkgs  []*Package
+	decls map[*types.Func]declSite
+
+	cfgMu sync.Mutex
+	cfgs  map[*ast.BlockStmt]*flow.Graph
+
+	blockingOnce sync.Once
+	blocking     map[*types.Func]*blockCause
+	blockingVia  map[*types.Func]*types.Func
+
+	lockOnce    sync.Once
+	lockReports []lockReport
+	lockEdges   []lockEdge
+}
+
+// declSite locates one function declaration.
+type declSite struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+var (
+	deepMu    sync.Mutex
+	deepCache = map[*Package]*deepState{}
+)
+
+// deepStateFor returns (building on first use) the shared state for a
+// loaded package set. The cache key is the first package of the slice:
+// RunAnalyzers hands every pass the same slice, and distinct loads
+// (module vs. fixture) start from distinct packages.
+func deepStateFor(pkgs []*Package) *deepState {
+	if len(pkgs) == 0 {
+		return &deepState{cfgs: map[*ast.BlockStmt]*flow.Graph{}, decls: map[*types.Func]declSite{}}
+	}
+	deepMu.Lock()
+	defer deepMu.Unlock()
+	if st, ok := deepCache[pkgs[0]]; ok && len(st.pkgs) == len(pkgs) {
+		return st
+	}
+	st := &deepState{
+		pkgs:  pkgs,
+		decls: make(map[*types.Func]declSite),
+		cfgs:  make(map[*ast.BlockStmt]*flow.Graph),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					st.decls[fn] = declSite{pkg: pkg, decl: fd}
+				}
+			}
+		}
+	}
+	deepCache[pkgs[0]] = st
+	return st
+}
+
+// cfg returns the memoized control-flow graph of a function body.
+func (st *deepState) cfg(body *ast.BlockStmt) *flow.Graph {
+	st.cfgMu.Lock()
+	defer st.cfgMu.Unlock()
+	g := st.cfgs[body]
+	if g == nil {
+		g = flow.New(body)
+		st.cfgs[body] = g
+	}
+	return g
+}
+
+// funcBodies yields every function and function literal body of a
+// package, with the declared *types.Func for declarations (nil for
+// literals), in source order.
+func funcBodies(pkg *Package, visit func(fn *types.Func, name string, body *ast.BlockStmt, ftype *ast.FuncType)) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					fn, _ := pkg.Info.Defs[n.Name].(*types.Func)
+					visit(fn, n.Name.Name, n.Body, n.Type)
+				}
+			case *ast.FuncLit:
+				visit(nil, "func literal", n.Body, n.Type)
+			}
+			return true
+		})
+	}
+}
+
+// staticCallee resolves the static callee of a call — stdlib included —
+// a declared function or method, including interface methods. Nil for
+// builtins, conversions, and calls of function-typed values. (calleeFunc,
+// by contrast, resolves module-internal callees only.)
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// recvOfIface reports whether fn is declared on an interface (so a call
+// can only be resolved by name, not to a body).
+func recvOfIface(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+// shortFuncName renders a function for diagnostics: pkg.Name or
+// pkg.Type.Name for methods, with the module prefix stripped.
+func shortFuncName(fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		name = fn.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+// selectComms collects the communication statements of every select in a
+// body. Inside their clause blocks these are not independent blocking
+// points — the select is — so site scans skip them.
+func selectComms(body *ast.BlockStmt) map[ast.Node]bool {
+	set := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, cs := range sel.Body.List {
+			if cc, ok := cs.(*ast.CommClause); ok && cc.Comm != nil {
+				set[cc.Comm] = true
+			}
+		}
+		return true
+	})
+	return set
+}
+
+// selectHasDefault reports whether a select statement has a default
+// clause (making it non-blocking).
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, cs := range sel.Body.List {
+		if cc, ok := cs.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// isChanType reports whether an expression has channel type.
+func isChanType(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+// sortedKeys returns the map's keys sorted.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -60,6 +60,12 @@ var fixtureTests = []struct {
 	{"gobwire", "fedwf/internal/fixturegob", GobWire},
 	{"metricname", "fedwf/internal/fixturemetric", MetricName},
 	{"eventkind", "fedwf/internal/fixturekind", EventKind},
+	{"lockheld", "fedwf/internal/fixturelock", LockHeld},
+	{"lockorder", "fedwf/internal/fixtureorder", LockOrder},
+	{"goleak", "fedwf/internal/fixtureleak", GoLeak},
+	{"ctxflow", "fedwf/internal/fixturectxflow", CtxFlow},
+	{"wirecompat", "fedwf/internal/fixturewire", WireCompat},
+	{"suppress_span", "fedwf/internal/fixturesuppress", VirtualClock},
 }
 
 // TestFixtures runs each analyzer over its golden fixture and matches

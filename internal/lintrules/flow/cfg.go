@@ -1,0 +1,417 @@
+// Package flow builds intraprocedural control-flow graphs over go/ast
+// function bodies and runs forward dataflow analyses on them. It is the
+// foundation the deep fedlint analyzers (lockheld, lockorder, goleak,
+// ctxflow) stand on: where the original rules inspect one AST node at a
+// time, these need to reason about *paths* — a mutex held from a Lock to
+// a blocking call, a goroutine body with no edge to its exit, a context
+// value flowing (or not) into a callee.
+//
+// The graph is deliberately simple: basic blocks of statements and
+// expressions in source order, with edges for if/for/range/switch/
+// type-switch/select/return/break/continue/fallthrough. Three modelling
+// choices matter to the analyzers:
+//
+//   - a `for` with no condition contributes no edge from its header to
+//     the block after the loop, so the function exit is reachable only
+//     through an explicit break, return, or terminal call — which is
+//     exactly the "termination edge" goleak looks for;
+//   - a select statement appears as its own node (the blocking point),
+//     and each communication clause becomes a successor block, so a
+//     `case <-done: return` contributes an exit path;
+//   - panic, runtime.Goexit, os.Exit, and log.Fatal* terminate the block
+//     with an edge to the exit: a goroutine that dies is not a leak.
+//
+// goto is rare in this codebase (currently absent) and is modelled
+// conservatively as an edge to the exit, which can only under-report.
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block: a maximal run of nodes with a single entry.
+// Nodes holds statements and the control expressions (if/for conditions,
+// switch tags, range operands) in source order.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// Graph is the control-flow graph of one function body. Entry is where
+// execution starts; Exit is the single synthetic exit block every return
+// path reaches. Exit carries no nodes.
+type Graph struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// New builds the control-flow graph of a function body.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{g: g}
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	b.cur = g.Entry
+	b.stmtList(body.List)
+	if b.cur != nil {
+		b.edge(b.cur, g.Exit)
+	}
+	return g
+}
+
+// Reachable returns the set of blocks reachable from `from` along edges.
+func (g *Graph) Reachable(from *Block) map[*Block]bool {
+	seen := map[*Block]bool{from: true}
+	work := []*Block{from}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range blk.Succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return seen
+}
+
+// ExitReachable reports whether any path leads from the entry to the
+// exit — i.e. whether the function can terminate without an escape hatch
+// like panic. A goroutine body for which this is false runs forever.
+func (g *Graph) ExitReachable() bool {
+	return g.Reachable(g.Entry)[g.Exit]
+}
+
+// loopTarget is one enclosing breakable construct on the builder's stack.
+type loopTarget struct {
+	label string // enclosing label, "" when unlabeled
+	brk   *Block // where break jumps
+	cont  *Block // where continue jumps; nil for switch/select
+}
+
+type builder struct {
+	g           *Graph
+	cur         *Block // nil while the current point is unreachable
+	targets     []loopTarget
+	fallTargets []*Block // stack of fallthrough destinations inside switches
+	label       string   // pending label for the next loop/switch/select
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+// add appends a node to the current block, creating an unreachable block
+// for dead code after a terminator so building can continue.
+func (b *builder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock() // dead code; no predecessors
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// takeLabel consumes the pending label for the construct being built.
+func (b *builder) takeLabel() string {
+	l := b.label
+	b.label = ""
+	return l
+}
+
+// findTarget resolves a break (wantCont=false) or continue (wantCont=true)
+// to its target block.
+func (b *builder) findTarget(label string, wantCont bool) *Block {
+	for i := len(b.targets) - 1; i >= 0; i-- {
+		t := b.targets[i]
+		if wantCont && t.cont == nil {
+			continue // switch/select: continue passes through
+		}
+		if label != "" && t.label != label {
+			continue
+		}
+		if wantCont {
+			return t.cont
+		}
+		return t.brk
+	}
+	return b.g.Exit // malformed program; be conservative
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		b.label = s.Label.Name
+		// A label is also a jump target for backward goto; since goto is
+		// modelled as an edge to exit, the labeled statement just builds
+		// normally.
+		b.stmt(s.Stmt)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		after := b.newBlock()
+		thenBlk := b.newBlock()
+		if cond != nil {
+			b.edge(cond, thenBlk)
+		}
+		b.cur = thenBlk
+		b.stmt(s.Body)
+		if b.cur != nil {
+			b.edge(b.cur, after)
+		}
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			if cond != nil {
+				b.edge(cond, elseBlk)
+			}
+			b.cur = elseBlk
+			b.stmt(s.Else)
+			if b.cur != nil {
+				b.edge(b.cur, after)
+			}
+		} else if cond != nil {
+			b.edge(cond, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		header := b.newBlock()
+		if b.cur != nil {
+			b.edge(b.cur, header)
+		}
+		after := b.newBlock()
+		post := b.newBlock()
+		b.cur = header
+		if s.Cond != nil {
+			b.add(s.Cond)
+			b.edge(header, after) // condition false: leave the loop
+		}
+		// No condition: the only ways out are break/return/terminal —
+		// deliberately no header→after edge.
+		body := b.newBlock()
+		b.edge(header, body)
+		b.targets = append(b.targets, loopTarget{label: label, brk: after, cont: post})
+		b.cur = body
+		b.stmt(s.Body)
+		b.targets = b.targets[:len(b.targets)-1]
+		if b.cur != nil {
+			b.edge(b.cur, post)
+		}
+		b.cur = post
+		if s.Post != nil {
+			b.add(s.Post)
+		}
+		b.edge(post, header)
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		header := b.newBlock()
+		if b.cur != nil {
+			b.edge(b.cur, header)
+		}
+		b.cur = header
+		b.add(s) // the range operand (and per-iteration assignment)
+		after := b.newBlock()
+		b.edge(header, after) // ranges terminate (a channel range on close)
+		body := b.newBlock()
+		b.edge(header, body)
+		b.targets = append(b.targets, loopTarget{label: label, brk: after, cont: header})
+		b.cur = body
+		b.stmt(s.Body)
+		b.targets = b.targets[:len(b.targets)-1]
+		if b.cur != nil {
+			b.edge(b.cur, header)
+		}
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.buildSwitch(label, s.Body, nil)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.buildSwitch(label, s.Body, nil)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		b.add(s) // the select itself is the (potentially) blocking point
+		b.buildSwitch(label, s.Body, s)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		if b.cur != nil {
+			b.edge(b.cur, b.g.Exit)
+		}
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		b.add(s)
+		from := b.cur
+		b.cur = nil
+		if from == nil {
+			return
+		}
+		switch s.Tok {
+		case token.BREAK:
+			b.edge(from, b.findTarget(labelName(s.Label), false))
+		case token.CONTINUE:
+			b.edge(from, b.findTarget(labelName(s.Label), true))
+		case token.GOTO:
+			b.edge(from, b.g.Exit) // conservative: can only under-report
+		case token.FALLTHROUGH:
+			if n := len(b.fallTargets); n > 0 && b.fallTargets[n-1] != nil {
+				b.edge(from, b.fallTargets[n-1])
+			}
+		}
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && isTerminalCall(call) {
+			if b.cur != nil {
+				b.edge(b.cur, b.g.Exit)
+			}
+			b.cur = nil
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Assign, Decl, Send, IncDec, Defer, Go, ...: straight-line nodes.
+		b.add(s)
+	}
+}
+
+// buildSwitch builds the clause blocks shared by switch, type switch, and
+// select. sel is non-nil for a select, whose CommClause comm statements
+// join their clause blocks.
+func (b *builder) buildSwitch(label string, body *ast.BlockStmt, sel *ast.SelectStmt) {
+	cond := b.cur
+	after := b.newBlock()
+	b.targets = append(b.targets, loopTarget{label: label, brk: after})
+
+	// Collect the clauses and create their blocks up front so fallthrough
+	// can point at the next clause.
+	type clause struct {
+		blk  *Block
+		list []ast.Expr // case expressions (nil for default / comm clauses)
+		comm ast.Stmt   // select communication statement
+		body []ast.Stmt
+		dflt bool
+	}
+	var clauses []clause
+	for _, cs := range body.List {
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			clauses = append(clauses, clause{blk: b.newBlock(), list: cs.List, body: cs.Body, dflt: cs.List == nil})
+		case *ast.CommClause:
+			clauses = append(clauses, clause{blk: b.newBlock(), comm: cs.Comm, body: cs.Body, dflt: cs.Comm == nil})
+		}
+	}
+	hasDefault := false
+	for _, c := range clauses {
+		if cond != nil {
+			b.edge(cond, c.blk)
+		}
+		if c.dflt {
+			hasDefault = true
+		}
+	}
+	// A switch without a default can match nothing; a select without a
+	// default blocks until a clause fires (no edge needed: an empty
+	// select{} simply has no successors).
+	if !hasDefault && sel == nil && cond != nil {
+		b.edge(cond, after)
+	}
+	for i, c := range clauses {
+		var next *Block
+		if i+1 < len(clauses) {
+			next = clauses[i+1].blk
+		}
+		b.fallTargets = append(b.fallTargets, next)
+		b.cur = c.blk
+		for _, e := range c.list {
+			b.add(e)
+		}
+		if c.comm != nil {
+			b.stmt(c.comm)
+		}
+		b.stmtList(c.body)
+		b.fallTargets = b.fallTargets[:len(b.fallTargets)-1]
+		if b.cur != nil {
+			b.edge(b.cur, after)
+		}
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = after
+}
+
+func labelName(id *ast.Ident) string {
+	if id == nil {
+		return ""
+	}
+	return id.Name
+}
+
+// isTerminalCall recognizes calls that never return, purely syntactically:
+// panic(...), runtime.Goexit(), os.Exit(...), log.Fatal*(...). Shadowing
+// these names would fool the check, which at worst under-reports.
+func isTerminalCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch {
+		case pkg.Name == "runtime" && fun.Sel.Name == "Goexit":
+			return true
+		case pkg.Name == "os" && fun.Sel.Name == "Exit":
+			return true
+		case pkg.Name == "log" && (fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf" || fun.Sel.Name == "Fatalln"):
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,174 @@
+package flow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses `src` as the body of function f in a scratch file.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	file := "package p\nfunc f() {\n" + src + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", file, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+func TestExitReachable(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want bool
+	}{
+		{"straight line", `x := 1; _ = x`, true},
+		{"plain return", `return`, true},
+		{"bare infinite loop", `for { }`, false},
+		{"infinite loop with work", `x := 0; for { x++ }; _ = x`, false},
+		{"infinite loop with break", `for { break }`, true},
+		{"infinite loop with return", `for { if true { return } }`, true},
+		{"conditioned loop", `for i := 0; i < 3; i++ { }`, true},
+		{"range loop", `for range []int{1} { }`, true},
+		{"labeled break out of nested", "outer:\nfor { for { break outer } }", true},
+		{"inner break only", `for { for { break } }`, false},
+		{"continue never exits", `for { continue }`, false},
+		{"empty select", `select { }`, false},
+		{"select with return case", `ch := make(chan int); select { case <-ch: return }`, true},
+		{"select loop no exit", `ch := make(chan int); for { select { case <-ch: } }`, false},
+		{"select loop done exit", `ch := make(chan int); done := make(chan int); for { select { case <-ch: case <-done: return } }`, true},
+		{"loop ends in panic", `for { panic("boom") }`, true},
+		{"loop ends in goexit", `for { runtime.Goexit() }`, true},
+		{"switch without default", `switch 1 { case 1: }`, true},
+		{"switch without default may skip", `switch 1 { case 1: for { } }`, true},
+		{"infinite loop behind default", `switch 1 { default: for { } }`, false},
+		{"goto is conservative", "for { goto out }\nout:\nreturn", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := New(parseBody(t, tc.src))
+			if got := g.ExitReachable(); got != tc.want {
+				t.Errorf("ExitReachable = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestForwardLoopFixpoint checks that facts propagate around a loop's back
+// edge: an assignment inside the loop body must be visible at the loop
+// header on the second visit.
+func TestForwardLoopFixpoint(t *testing.T) {
+	body := parseBody(t, `
+x := 1
+for i := 0; i < 3; i++ {
+	y := 2
+	_ = y
+}
+_ = x
+`)
+	g := New(body)
+
+	assigned := func(blk *Block, in map[string]bool) map[string]bool {
+		out := make(map[string]bool, len(in))
+		for k := range in {
+			out[k] = true
+		}
+		for _, n := range blk.Nodes {
+			ast.Inspect(n, func(m ast.Node) bool {
+				if as, ok := m.(*ast.AssignStmt); ok && as.Tok == token.DEFINE {
+					for _, lhs := range as.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							out[id.Name] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+		return out
+	}
+	join := func(a, b map[string]bool) map[string]bool {
+		out := make(map[string]bool, len(a)+len(b))
+		for k := range a {
+			out[k] = true
+		}
+		for k := range b {
+			out[k] = true
+		}
+		return out
+	}
+	equal := func(a, b map[string]bool) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k := range a {
+			if !b[k] {
+				return false
+			}
+		}
+		return true
+	}
+
+	in := Forward(g, map[string]bool{}, assigned, join, equal)
+	at := in[g.Exit]
+	for _, want := range []string{"x", "i", "y"} {
+		if !at[want] {
+			t.Errorf("fact %q not propagated to exit; got %v", want, at)
+		}
+	}
+
+	// The loop header must see y (defined in the body) via the back edge.
+	var header *Block
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if be, ok := n.(*ast.BinaryExpr); ok && be.Op == token.LSS {
+				header = blk
+			}
+		}
+	}
+	if header == nil {
+		t.Fatal("loop header (i < 3) not found in any block")
+	}
+	if !in[header]["y"] {
+		t.Errorf("loop header entry fact misses y (back edge not propagated): %v", in[header])
+	}
+}
+
+// TestSwitchFallthrough checks the fallthrough edge links adjacent cases.
+func TestSwitchFallthrough(t *testing.T) {
+	body := parseBody(t, `
+switch 1 {
+case 1:
+	fallthrough
+case 2:
+	return
+}
+`)
+	g := New(body)
+	if !g.ExitReachable() {
+		t.Fatal("exit must be reachable")
+	}
+	// The block holding the fallthrough must have the case-2 block (which
+	// returns) among its successors' reachable set.
+	var fallBlk *Block
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if br, ok := n.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallBlk = blk
+			}
+		}
+	}
+	if fallBlk == nil {
+		t.Fatal("fallthrough block not found")
+	}
+	if len(fallBlk.Succs) != 1 {
+		t.Fatalf("fallthrough block has %d successors, want 1", len(fallBlk.Succs))
+	}
+	reach := g.Reachable(fallBlk)
+	if !reach[g.Exit] {
+		t.Error("exit not reachable from the fallthrough block")
+	}
+}

@@ -1,0 +1,69 @@
+package flow
+
+// Forward runs an iterative forward dataflow analysis to a fixpoint and
+// returns the fact holding at the *entry* of every block. The fact
+// lattice is supplied by the caller:
+//
+//   - entry is the fact at the function entry;
+//   - transfer applies one block's nodes to an incoming fact and returns
+//     the fact at the block's end (it must not mutate its input);
+//   - join merges the facts of converging paths (set union for a
+//     may-analysis, intersection for a must-analysis);
+//   - equal detects stabilization.
+//
+// Blocks with no predecessors other than the entry start from nil facts;
+// transfer and join must accept the zero value of F as "no information".
+func Forward[F any](g *Graph, entry F, transfer func(*Block, F) F, join func(a, b F) F, equal func(a, b F) bool) map[*Block]F {
+	in := make(map[*Block]F, len(g.Blocks))
+	out := make(map[*Block]F, len(g.Blocks))
+	in[g.Entry] = entry
+
+	preds := make(map[*Block][]*Block, len(g.Blocks))
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			preds[s] = append(preds[s], blk)
+		}
+	}
+
+	// Worklist seeded in index order (roughly topological for the builder's
+	// construction order), iterated to fixpoint.
+	work := make([]*Block, len(g.Blocks))
+	copy(work, g.Blocks)
+	queued := make(map[*Block]bool, len(g.Blocks))
+	for _, blk := range work {
+		queued[blk] = true
+	}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+
+		fact := in[blk]
+		if blk != g.Entry {
+			var merged F
+			first := true
+			for _, p := range preds[blk] {
+				if first {
+					merged = out[p]
+					first = false
+				} else {
+					merged = join(merged, out[p])
+				}
+			}
+			fact = merged
+		}
+		in[blk] = fact
+		next := transfer(blk, fact)
+		if prev, ok := out[blk]; ok && equal(prev, next) {
+			continue
+		}
+		out[blk] = next
+		for _, s := range blk.Succs {
+			if !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}

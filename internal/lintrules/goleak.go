@@ -1,0 +1,63 @@
+package lintrules
+
+import (
+	"go/ast"
+)
+
+// GoLeak flags a `go` statement whose goroutine has no termination edge:
+// the exit of the spawned body's control-flow graph is unreachable — no
+// conditioned loop, no break or return out of the hot loop, no
+// ctx.Done()/done-channel case that leads out, no terminal panic. Such a
+// goroutine survives every shutdown path, holds its captured references
+// forever, and under the serving layer's churn (one mux reader and one
+// admission queue per session) compounds into a leak the race detector
+// never sees. The body analyzed is the spawned function literal, or — for
+// `go x.method()` / `go fn()` — the statically resolved declaration,
+// wherever in the repo it lives. Unresolvable callees (interface methods,
+// function values, stdlib) are skipped: the rule under-reports rather
+// than guesses.
+//
+// A `for range ch` loop counts as terminating (it ends when the channel
+// closes), and panic/runtime.Goexit/os.Exit/log.Fatal count as exits —
+// see the flow package's CFG model.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "every spawned goroutine needs a termination edge (conditioned/broken loop, done-channel case, or return)",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(pass *Pass) {
+	st := deepStateFor(pass.AllPkgs)
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var body *ast.BlockStmt
+			var what string
+			switch fun := ast.Unparen(gs.Call.Fun).(type) {
+			case *ast.FuncLit:
+				body = fun.Body
+				what = "goroutine"
+			default:
+				fn := staticCallee(info, gs.Call)
+				if fn == nil {
+					return true
+				}
+				site, ok := st.decls[fn]
+				if !ok {
+					return true // interface method or external: unresolvable
+				}
+				body = site.decl.Body
+				what = "goroutine running " + shortFuncName(fn)
+			}
+			if !st.cfg(body).ExitReachable() {
+				pass.Reportf(gs.Pos(),
+					"%s has no termination edge: no path reaches the function exit (add a done/ctx case, a break, or a bounded loop)", what)
+			}
+			return true
+		})
+	}
+}

@@ -61,8 +61,9 @@ var allowedImports = map[string][]string{
 
 	// Harness and tooling. benchharn is additionally restricted to
 	// process-edge importers (cmd/, examples/, the root package).
-	"benchharn": {"appsys", "exec", "fdbs", "fedfunc", "obs", "obs/collector", "obs/journal", "obs/stats", "resil", "rpc", "simlat", "types", "udtf", "wfms"},
-	"lintrules": {},
+	"benchharn":      {"appsys", "exec", "fdbs", "fedfunc", "obs", "obs/collector", "obs/journal", "obs/stats", "resil", "rpc", "simlat", "types", "udtf", "wfms"},
+	"lintrules":      {"lintrules/flow"},
+	"lintrules/flow": {},
 }
 
 // harnessOnly lists internal packages that only process-edge packages

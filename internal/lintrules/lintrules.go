@@ -92,6 +92,11 @@ func Analyzers() []*Analyzer {
 		GobWire,
 		MetricName,
 		EventKind,
+		LockHeld,
+		LockOrder,
+		GoLeak,
+		CtxFlow,
+		WireCompat,
 	}
 }
 

@@ -1,0 +1,130 @@
+package lintrules
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree lays out a temp module: path -> contents, relative to root.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// loadErrFor builds a loader over the tree and returns LoadModule's error.
+func loadErrFor(t *testing.T, files map[string]string) error {
+	t.Helper()
+	loader, err := NewLoader(writeTree(t, files))
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	_, err = loader.LoadModule()
+	return err
+}
+
+func TestNewLoaderErrors(t *testing.T) {
+	if _, err := NewLoader(t.TempDir()); err == nil {
+		t.Error("NewLoader on a directory without go.mod: want error, got nil")
+	}
+	root := writeTree(t, map[string]string{"go.mod": "go 1.24\n"})
+	if _, err := NewLoader(root); err == nil || !strings.Contains(err.Error(), "no module line") {
+		t.Errorf("NewLoader without a module line: want 'no module line' error, got %v", err)
+	}
+}
+
+func TestLoadModuleParseError(t *testing.T) {
+	err := loadErrFor(t, map[string]string{
+		"go.mod":       "module tempmod\n\ngo 1.24\n",
+		"broken/b.go":  "package broken\n\nfunc oops( {\n",
+		"healthy/h.go": "package healthy\n",
+	})
+	if err == nil || !strings.Contains(err.Error(), "lintrules:") {
+		t.Fatalf("want wrapped parse error, got %v", err)
+	}
+}
+
+func TestLoadModuleImportCycle(t *testing.T) {
+	err := loadErrFor(t, map[string]string{
+		"go.mod": "module tempmod\n\ngo 1.24\n",
+		"a/a.go": "package a\n\nimport _ \"tempmod/b\"\n",
+		"b/b.go": "package b\n\nimport _ \"tempmod/a\"\n",
+	})
+	if err == nil || !strings.Contains(err.Error(), "import cycle") {
+		t.Fatalf("want import cycle error, got %v", err)
+	}
+	if err != nil && !strings.Contains(err.Error(), "->") {
+		t.Errorf("cycle error should spell out the chain, got %v", err)
+	}
+}
+
+func TestLoadModuleMissingPackage(t *testing.T) {
+	err := loadErrFor(t, map[string]string{
+		"go.mod": "module tempmod\n\ngo 1.24\n",
+		"a/a.go": "package a\n\nimport _ \"tempmod/nowhere\"\n",
+	})
+	if err == nil || !strings.Contains(err.Error(), "type errors in tempmod/a") {
+		t.Fatalf("want type errors for the unresolvable import, got %v", err)
+	}
+}
+
+func TestLoadModuleTypeErrors(t *testing.T) {
+	err := loadErrFor(t, map[string]string{
+		"go.mod": "module tempmod\n\ngo 1.24\n",
+		"a/a.go": "package a\n\nvar X = undefinedIdentifier\n",
+	})
+	if err == nil || !strings.Contains(err.Error(), "type errors in tempmod/a") {
+		t.Fatalf("want type errors, got %v", err)
+	}
+}
+
+func TestLoadDirNoGoFiles(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":      "module tempmod\n\ngo 1.24\n",
+		"a/a.go":      "package a\n",
+		"empty/x.txt": "not go\n",
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader.LoadDir(filepath.Join(root, "empty"), "tempmod/empty"); err == nil ||
+		!strings.Contains(err.Error(), "no Go files") {
+		t.Fatalf("want 'no Go files' error, got %v", err)
+	}
+}
+
+func TestLoadModuleOrdersDependencies(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":   "module tempmod\n\ngo 1.24\n",
+		"low/l.go": "package low\n\ntype T struct{}\n",
+		"hi/h.go":  "package hi\n\nimport \"tempmod/low\"\n\nvar X low.T\n",
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("want 2 packages, got %d", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		if pkg.Types == nil || pkg.Info == nil {
+			t.Errorf("package %s missing type information", pkg.PkgPath)
+		}
+	}
+}

@@ -1,0 +1,326 @@
+package lintrules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"fedwf/internal/lintrules/flow"
+)
+
+// The lock dataflow underlying lockheld and lockorder: a forward
+// may-analysis over each function's CFG tracking the set of sync.Mutex /
+// sync.RWMutex / sync.Locker instances held at every program point. A
+// lock is keyed two ways — a local key (the receiver expression, e.g.
+// "c.mu"), which matches Lock to Unlock within one function, and a
+// global key (package.Type.field for struct fields, package.var for
+// package-level locks), which correlates acquisition order across the
+// whole repository. Deferred unlocks release at function exit and so
+// never remove a lock mid-flow — by design: the lock *is* held across
+// whatever follows.
+
+// heldLock is one lock in the may-held set.
+type heldLock struct {
+	local  string // receiver rendering, function-local identity
+	global string // repo-wide identity; "" when the lock is a local variable
+	pos    token.Pos
+	read   bool // RLock rather than Lock
+}
+
+// lockFact is the dataflow fact: locks that may be held, by local key.
+type lockFact map[string]heldLock
+
+func (f lockFact) clone() lockFact {
+	out := make(lockFact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+func joinLockFacts(a, b lockFact) lockFact {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := a.clone()
+	for k, v := range b {
+		if _, ok := out[k]; !ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func equalLockFacts(a, b lockFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// lockReport is one lockheld finding: a blocking site reached while at
+// least one lock may be held.
+type lockReport struct {
+	pkg  *Package
+	pos  token.Pos
+	held []string // local keys, sorted
+	site string   // description of the blocking operation
+}
+
+// lockEdge is one acquisition-order observation: `to` was acquired while
+// `from` was held, at pos. Only globally identifiable locks form edges.
+type lockEdge struct {
+	from, to string
+	pkg      *Package
+	pos      token.Pos
+}
+
+// lockOp classifies a call as a lock or unlock on a receiver expression.
+type lockOp struct {
+	recv    ast.Expr
+	acquire bool
+	read    bool
+}
+
+// classifyLockOp recognizes calls to sync's Lock/RLock/Unlock/RUnlock
+// (including promoted methods of embedded mutexes and sync.Locker values).
+func classifyLockOp(info *types.Info, call *ast.CallExpr) *lockOp {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil
+	}
+	switch fn.Name() {
+	case "Lock":
+		return &lockOp{recv: sel.X, acquire: true}
+	case "RLock":
+		return &lockOp{recv: sel.X, acquire: true, read: true}
+	case "Unlock", "RUnlock":
+		return &lockOp{recv: sel.X}
+	}
+	return nil
+}
+
+// lockKeys derives the local and global identity of a lock receiver.
+func lockKeys(pkg *Package, recv ast.Expr) (local, global string) {
+	local = types.ExprString(recv)
+	switch e := ast.Unparen(recv).(type) {
+	case *ast.SelectorExpr:
+		if selx := pkg.Info.Selections[e]; selx != nil && selx.Kind() == types.FieldVal {
+			t := selx.Recv()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+				global = named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + selx.Obj().Name()
+			}
+		}
+	case *ast.Ident:
+		if v, ok := pkg.Info.Uses[e].(*types.Var); ok && v.Pkg() != nil &&
+			v.Parent() == v.Pkg().Scope() {
+			global = v.Pkg().Path() + "." + v.Name()
+		}
+	}
+	return local, global
+}
+
+// lockResults runs the lock dataflow over every function of the load
+// (once), producing lockheld reports and lockorder acquisition edges.
+func (st *deepState) lockResults() ([]lockReport, []lockEdge) {
+	st.lockOnce.Do(func() {
+		blocking, via := st.blockingSummaries()
+		for _, pkg := range st.pkgs {
+			pkg := pkg
+			funcBodies(pkg, func(fn *types.Func, name string, body *ast.BlockStmt, ftype *ast.FuncType) {
+				reports, edges := analyzeLocks(st, pkg, body, blocking, via)
+				st.lockReports = append(st.lockReports, reports...)
+				st.lockEdges = append(st.lockEdges, edges...)
+			})
+		}
+		sort.Slice(st.lockReports, func(i, j int) bool { return st.lockReports[i].pos < st.lockReports[j].pos })
+		sort.Slice(st.lockEdges, func(i, j int) bool { return st.lockEdges[i].pos < st.lockEdges[j].pos })
+	})
+	return st.lockReports, st.lockEdges
+}
+
+// analyzeLocks runs the may-held dataflow over one function body and
+// scans each block under its entry fact for blocking sites and nested
+// acquisitions.
+func analyzeLocks(st *deepState, pkg *Package, body *ast.BlockStmt,
+	blocking map[*types.Func]*blockCause, via map[*types.Func]*types.Func) ([]lockReport, []lockEdge) {
+
+	// Fast path: a function that never locks needs no dataflow.
+	hasLock := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if op := classifyLockOp(pkg.Info, call); op != nil && op.acquire {
+				hasLock = true
+			}
+		}
+		return !hasLock
+	})
+	if !hasLock {
+		return nil, nil
+	}
+
+	g := st.cfg(body)
+	comms := selectComms(body)
+
+	transfer := func(blk *flow.Block, in lockFact) lockFact {
+		out := in.clone()
+		for _, n := range blk.Nodes {
+			applyLockOps(pkg, n, out, nil)
+		}
+		return out
+	}
+	in := flow.Forward(g, lockFact{}, transfer, joinLockFacts, equalLockFacts)
+
+	var reports []lockReport
+	var edges []lockEdge
+	for _, blk := range g.Blocks {
+		fact := in[blk].clone()
+		for _, n := range blk.Nodes {
+			// Blocking sites are scanned against the fact *before* this
+			// node's own lock ops apply (mu.Lock() itself is not "held
+			// across" anything yet), except that acquisition edges see the
+			// previously held set, which is what applyLockOps records.
+			if len(fact) > 0 {
+				for _, site := range blockingSites(pkg, n, comms, blocking, via) {
+					reports = append(reports, lockReport{
+						pkg: pkg, pos: site.pos, held: sortedKeys(fact), site: site.what,
+					})
+				}
+			}
+			applyLockOps(pkg, n, fact, func(acq heldLock, held lockFact) {
+				for _, h := range held {
+					if h.global != "" && acq.global != "" && h.global != acq.global {
+						edges = append(edges, lockEdge{from: h.global, to: acq.global, pkg: pkg, pos: acq.pos})
+					}
+				}
+			})
+		}
+	}
+	return reports, edges
+}
+
+// applyLockOps updates the fact with every lock/unlock inside node n, in
+// source order, calling onAcquire (if non-nil) with the previously held
+// set at each acquisition. Function literals, go statements, and defers
+// are opaque: their calls do not run at this program point (a deferred
+// unlock releases at exit, which for a may-held analysis means the lock
+// stays held through the body — intended). Select statements and range
+// headers are opaque too; the CFG expands their operative parts into
+// separate blocks.
+func applyLockOps(pkg *Package, n ast.Node, fact lockFact, onAcquire func(heldLock, lockFact)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt, *ast.SelectStmt:
+			return false
+		case *ast.RangeStmt:
+			// Header node: only the operand expression evaluates here.
+			applyLockOps(pkg, m.X, fact, onAcquire)
+			return false
+		case *ast.CallExpr:
+			op := classifyLockOp(pkg.Info, m)
+			if op == nil {
+				return true
+			}
+			local, global := lockKeys(pkg, op.recv)
+			if op.acquire {
+				h := heldLock{local: local, global: global, pos: m.Pos(), read: op.read}
+				if onAcquire != nil {
+					onAcquire(h, fact)
+				}
+				fact[local] = h
+			} else {
+				delete(fact, local)
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// blockSite is one blocking operation inside a statement.
+type blockSite struct {
+	pos  token.Pos
+	what string
+}
+
+// blockingSites finds the blocking operations that execute as part of
+// node n, honoring the same opacity rules as applyLockOps. Lock/unlock
+// calls themselves are not sites (nested acquisition is lockorder's
+// concern).
+func blockingSites(pkg *Package, n ast.Node, comms map[ast.Node]bool,
+	blocking map[*types.Func]*blockCause, via map[*types.Func]*types.Func) []blockSite {
+
+	info := pkg.Info
+	var sites []blockSite
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		if comms[m] {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+			return false
+		case *ast.SelectStmt:
+			if !selectHasDefault(m) {
+				sites = append(sites, blockSite{pos: m.Select, what: "a select with no default"})
+			}
+			return false // clause internals run in their own blocks
+		case *ast.RangeStmt:
+			if isChanType(info, m.X) {
+				sites = append(sites, blockSite{pos: m.For, what: "a range over a channel"})
+			}
+			for _, s := range blockingSites(pkg, m.X, comms, blocking, via) {
+				sites = append(sites, s)
+			}
+			return false
+		case *ast.SendStmt:
+			sites = append(sites, blockSite{pos: m.Arrow, what: "a channel send"})
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW {
+				sites = append(sites, blockSite{pos: m.OpPos, what: "a channel receive"})
+			}
+		case *ast.CallExpr:
+			if classifyLockOp(info, m) != nil {
+				return true
+			}
+			if what, ok := primitiveBlockCause(info, m); ok {
+				sites = append(sites, blockSite{pos: m.Pos(), what: what})
+				return true
+			}
+			if fn := staticCallee(info, m); fn != nil {
+				if desc := describeBlockingCall(fn, blocking, via); desc != "" {
+					sites = append(sites, blockSite{pos: m.Pos(), what: desc})
+				}
+			}
+		}
+		return true
+	})
+	return sites
+}
+
+// heldString renders a held-lock list for diagnostics.
+func heldString(held []string) string {
+	return strings.Join(held, ", ")
+}

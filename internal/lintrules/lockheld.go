@@ -1,0 +1,30 @@
+package lintrules
+
+// LockHeld flags a mutex or RWMutex that may be held across a blocking
+// operation: a channel send or receive, a select without a default, a
+// range over a channel, a sync wait, a net dial, or a call — resolved
+// through the whole-repo blocking summary table — that transitively
+// reaches one of those. Holding a lock across a blocking point couples
+// every other goroutine contending for that lock to the blocked
+// operation's latency, and in the serving layer it turns one slow RPC
+// into a stalled session manager. The analysis is a forward may-held
+// dataflow over the function's CFG (internal/lintrules/flow): a lock is
+// "held" at a point when any path from a Lock/RLock reaches it without
+// the matching Unlock/RUnlock; deferred unlocks release at function exit
+// and therefore keep the lock held through the body, which is the point.
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc:  "no mutex may be held across a blocking operation (channel op, select, sync wait, net dial, blocking call)",
+	Run:  runLockHeld,
+}
+
+func runLockHeld(pass *Pass) {
+	st := deepStateFor(pass.AllPkgs)
+	reports, _ := st.lockResults()
+	for _, r := range reports {
+		if r.pkg != pass.Pkg {
+			continue
+		}
+		pass.Reportf(r.pos, "%s held across %s", heldString(r.held), r.site)
+	}
+}

@@ -1,0 +1,79 @@
+package lintrules
+
+import "strings"
+
+// LockOrder builds the whole-repo lock-acquisition graph — an edge A→B
+// for every point where lock B is acquired while A may be held, with
+// locks identified globally (package.Type.field for struct-field
+// mutexes, package.var for package-level ones) — and flags every
+// pairwise inconsistency: if one code path takes A then B and another
+// takes B then A, two goroutines can each hold one lock and wait forever
+// for the other. Both acquisition sites are reported, each pointing at
+// the opposite order's location. Locks that are local variables have no
+// cross-function identity and do not participate.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "lock pairs must be acquired in one consistent order everywhere (potential deadlock)",
+	Run:  runLockOrder,
+}
+
+func runLockOrder(pass *Pass) {
+	st := deepStateFor(pass.AllPkgs)
+	_, edges := st.lockResults()
+
+	// Index the first edge per ordered pair for the cross-reference.
+	first := make(map[[2]string]*lockEdge, len(edges))
+	for i := range edges {
+		e := &edges[i]
+		key := [2]string{e.from, e.to}
+		if first[key] == nil {
+			first[key] = e
+		}
+	}
+	reported := make(map[[2]string]bool)
+	for i := range edges {
+		e := &edges[i]
+		if e.pkg != pass.Pkg {
+			continue
+		}
+		rev := first[[2]string{e.to, e.from}]
+		if rev == nil {
+			continue
+		}
+		// One finding per (pair, package-local direction).
+		key := [2]string{e.from, e.to}
+		if reported[key] {
+			continue
+		}
+		reported[key] = true
+		revPos := rev.pkg.Fset.Position(rev.pos)
+		pass.Reportf(e.pos, "%s acquired while holding %s, but %s:%d acquires them in the opposite order (potential deadlock)",
+			shortLockName(e.to), shortLockName(e.from), relFile(revPos.Filename), revPos.Line)
+	}
+}
+
+// shortLockName trims the module path prefix from a global lock key.
+func shortLockName(key string) string {
+	if rest, ok := strings.CutPrefix(key, internalPfx); ok {
+		return rest
+	}
+	if rest, ok := strings.CutPrefix(key, modPrefix); ok {
+		return rest
+	}
+	return key
+}
+
+// relFile trims leading path segments down to the last two, so messages
+// stay stable across checkouts.
+func relFile(name string) string {
+	seen := 0
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '/' {
+			seen++
+			if seen == 2 {
+				return name[i+1:]
+			}
+		}
+	}
+	return name
+}

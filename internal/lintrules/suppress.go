@@ -26,7 +26,10 @@ type ignoreDirective struct {
 
 // collectIgnores parses every suppression directive in the files,
 // returning them keyed by (filename, line) for both the directive's own
-// line and the following line, plus diagnostics for malformed directives.
+// line and the following line — extended to the full span of a simple
+// statement that starts there, so a directive above a call broken across
+// several lines suppresses findings anywhere in that statement — plus
+// diagnostics for malformed directives.
 func collectIgnores(fset *token.FileSet, files []*ast.File, known map[string]bool) (map[string][]ignoreDirective, []Diagnostic) {
 	index := make(map[string][]ignoreDirective)
 	var bad []Diagnostic
@@ -63,7 +66,40 @@ func collectIgnores(fset *token.FileSet, files []*ast.File, known map[string]boo
 			}
 		}
 	}
+	extendToStatementSpans(fset, files, index)
 	return index, bad
+}
+
+// extendToStatementSpans widens each directive's coverage from "the line
+// it anchors to" to "the statement that starts on that line": a finding
+// can be reported on any line of a multi-line call or assignment, and a
+// directive placed above the statement must cover all of it. Only simple
+// statements extend — a directive above an if or for must not blanket the
+// whole block.
+func extendToStatementSpans(fset *token.FileSet, files []*ast.File, index map[string][]ignoreDirective) {
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.AssignStmt, *ast.ExprStmt, *ast.ReturnStmt, *ast.DeferStmt,
+				*ast.GoStmt, *ast.DeclStmt, *ast.SendStmt, *ast.IncDecStmt:
+			default:
+				return true
+			}
+			start := fset.Position(n.Pos())
+			end := fset.Position(n.End())
+			if end.Line == start.Line {
+				return true
+			}
+			anchored := index[ignoreKey(start.Filename, start.Line)]
+			for _, d := range anchored {
+				for line := start.Line + 1; line <= end.Line; line++ {
+					key := ignoreKey(start.Filename, line)
+					index[key] = append(index[key], d)
+				}
+			}
+			return true
+		})
+	}
 }
 
 func ignoreKey(filename string, line int) string {

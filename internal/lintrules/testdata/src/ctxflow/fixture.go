@@ -1,0 +1,68 @@
+// Package fixture exercises the ctxflow rule: inside a function that has
+// a ctx parameter, every context-taking callee must receive that ctx or a
+// context derived from it. Handing a callee context.Background() or
+// context.TODO() detaches it from the caller's deadline and cancellation.
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+func helper(ctx context.Context) error {
+	_ = ctx
+	return nil
+}
+
+// dropsCtx hands the callee a fresh root with ctx in scope.
+func dropsCtx(ctx context.Context) {
+	_ = helper(context.Background()) // want `ctx dropped: callee receives context\.Background while the enclosing function's ctx is in scope`
+}
+
+// replacesCtx launders the root through a variable first.
+func replacesCtx(ctx context.Context) {
+	ctx2 := context.TODO()
+	_ = helper(ctx2) // want `ctx replaced: callee receives a context rooted in Background/TODO`
+}
+
+// threadsCtx is the good path: the parameter and contexts derived from it.
+func threadsCtx(ctx context.Context) {
+	_ = helper(ctx)
+	sub, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	_ = helper(sub)
+}
+
+// rebindsCtx follows derivation through branches and rebinding.
+func rebindsCtx(ctx context.Context, narrow bool) {
+	c := ctx
+	if narrow {
+		c2, cancel := context.WithCancel(c)
+		defer cancel()
+		c = c2
+	}
+	_ = helper(c)
+}
+
+// derivedWinsOnJoin: on paths where the variable may be derived, the
+// forgiving direction applies — no finding.
+func derivedWinsOnJoin(ctx context.Context, cond bool) {
+	c := context.TODO()
+	if cond {
+		c = ctx
+	}
+	_ = helper(c)
+}
+
+// detachedRootInDerive flags the root even inside a With* derivation.
+func detachedRootInDerive(ctx context.Context) {
+	sub, cancel := context.WithTimeout(context.Background(), time.Second) // want `ctx dropped: callee receives context\.Background while the enclosing function's ctx is in scope`
+	defer cancel()
+	_ = helper(sub) // want `ctx replaced: callee receives a context rooted in Background/TODO`
+}
+
+// noCtxParam is out of scope: fresh roots at the top of a call tree are
+// ctxfirst's business, not ctxflow's.
+func noCtxParam() {
+	_ = helper(context.Background())
+}

@@ -1,0 +1,69 @@
+// Package fixture exercises the goleak rule: every spawned goroutine
+// needs a termination edge — a conditioned or broken loop, a done/ctx
+// case that leads out, a close-terminated range, or a plain return.
+package fixture
+
+type pump struct {
+	ch   chan int
+	done chan struct{}
+}
+
+// spin loops forever with no exit; spawning it leaks.
+func (p *pump) spin() {
+	for {
+		_ = p
+	}
+}
+
+func (p *pump) start() {
+	go p.spin() // want `goroutine running fixture\.pump\.spin has no termination edge`
+
+	go func() { // want `goroutine has no termination edge`
+		for {
+		}
+	}()
+
+	go func() { // ok: the done case returns out of the loop
+		for {
+			select {
+			case <-p.done:
+				return
+			case v := <-p.ch:
+				_ = v
+			}
+		}
+	}()
+
+	go func() { // ok: a range over a channel ends when it closes
+		for range p.ch {
+		}
+	}()
+
+	go func() { // ok: bounded loop, falls through to the exit
+		for i := 0; i < 10; i++ {
+			_ = i
+		}
+	}()
+
+	go func() { // ok: the break edge reaches the exit
+		for {
+			if _, open := <-p.ch; !open {
+				break
+			}
+		}
+	}()
+}
+
+// drain resolves through the repo-wide declaration index even though the
+// callee lives on a different type.
+type drainer struct{ src chan int }
+
+func (d *drainer) forever() {
+	for {
+		<-d.src
+	}
+}
+
+func launch(d *drainer) {
+	go d.forever() // want `goroutine running fixture\.drainer\.forever has no termination edge`
+}

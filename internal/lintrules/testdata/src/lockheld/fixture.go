@@ -1,0 +1,150 @@
+// Package fixture exercises the lockheld rule: no mutex may be held
+// across a blocking operation — channel ops, selects without a default,
+// sync waits, wall-clock sleeps, or calls that transitively block.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// sendHeld blocks on a channel send with the lock held.
+func (s *server) sendHeld() {
+	s.mu.Lock()
+	s.ch <- 1 // want `s\.mu held across a channel send`
+	s.mu.Unlock()
+}
+
+// sendReleased unlocks before the send: no finding.
+func (s *server) sendReleased() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- 1
+}
+
+// deferHeld shows the point of exit-time release: a deferred unlock keeps
+// the lock held through the whole body.
+func (s *server) deferHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	<-s.ch // want `s\.mu held across a channel receive`
+}
+
+// selectHeld blocks on the select as a whole, not its comm clauses.
+func (s *server) selectHeld(done chan struct{}) {
+	s.mu.Lock()
+	select { // want `s\.mu held across a select with no default`
+	case <-done:
+	case v := <-s.ch:
+		_ = v
+	}
+	s.mu.Unlock()
+}
+
+// selectDefaultOK never blocks: the select has a default.
+func (s *server) selectDefaultOK() {
+	s.mu.Lock()
+	select {
+	case <-s.ch:
+	default:
+	}
+	s.mu.Unlock()
+}
+
+// waitHeld parks on a WaitGroup with the lock held.
+func (s *server) waitHeld(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait() // want `s\.mu held across a sync sync\.WaitGroup\.Wait wait`
+}
+
+// sleepHeld holds the lock across a wall-clock sleep.
+func (s *server) sleepHeld() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `s\.mu held across time\.Sleep`
+	s.mu.Unlock()
+}
+
+// rangeHeld holds the lock across a channel drain.
+func (s *server) rangeHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for range s.ch { // want `s\.mu held across a range over a channel`
+	}
+}
+
+// mayHeld demonstrates may-analysis: the lock is held on one path only,
+// which is enough — the blocked goroutine does not know which path ran.
+func (s *server) mayHeld(cond bool) {
+	if cond {
+		s.mu.Lock()
+	}
+	<-s.ch // want `s\.mu held across a channel receive`
+	if cond {
+		s.mu.Unlock()
+	}
+}
+
+// blockingCallee blocks directly; the summary table records it.
+func (s *server) blockingCallee() {
+	<-s.ch
+}
+
+// middle blocks only transitively, through blockingCallee.
+func (s *server) middle() {
+	s.blockingCallee()
+}
+
+// callHeld blocks through a one-hop intra-repo call.
+func (s *server) callHeld() {
+	s.mu.Lock()
+	s.blockingCallee() // want `s\.mu held across call to fixture\.server\.blockingCallee, which blocks on a channel receive`
+	s.mu.Unlock()
+}
+
+// transHeld blocks two hops down; the diagnostic names the chain.
+func (s *server) transHeld() {
+	s.mu.Lock()
+	s.middle() // want `s\.mu held across call to fixture\.server\.middle, which blocks on a channel receive via fixture\.server\.blockingCallee`
+	s.mu.Unlock()
+}
+
+// caller is an unresolvable federation surface: Call is blocking by name.
+type caller interface {
+	Call(arg string) error
+}
+
+// ifaceHeld blocks on an interface method the summary cannot see into.
+func (s *server) ifaceHeld(c caller) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = c.Call("x") // want `s\.mu held across the interface call fixture\.caller\.Call`
+}
+
+type pair struct {
+	a sync.Mutex
+	b sync.RWMutex
+}
+
+// bothHeld reports every lock in the may-held set, sorted.
+func (p *pair) bothHeld(ch chan int) {
+	p.a.Lock()
+	p.b.RLock()
+	ch <- 1 // want `p\.a, p\.b held across a channel send`
+	p.b.RUnlock()
+	p.a.Unlock()
+}
+
+// goStmtOK: the spawned literal blocks, but not at this program point.
+func (s *server) goStmtOK() {
+	s.mu.Lock()
+	go func() {
+		<-s.ch
+	}()
+	s.mu.Unlock()
+}

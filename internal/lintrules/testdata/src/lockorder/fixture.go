@@ -1,0 +1,79 @@
+// Package fixture exercises the lockorder rule: a pair of globally
+// identifiable locks must be acquired in one consistent order everywhere
+// in the repository. Package-level mutexes and struct-field mutexes both
+// carry a global identity; locks in local variables do not participate.
+package fixture
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+// lockAB takes the package locks A then B.
+func lockAB() {
+	muA.Lock()
+	muB.Lock() // want `fixtureorder\.muB acquired while holding fixtureorder\.muA, but lockorder/fixture\.go:\d+ acquires them in the opposite order`
+	muB.Unlock()
+	muA.Unlock()
+}
+
+// lockBA takes the same pair B then A: each side points at the other.
+func lockBA() {
+	muB.Lock()
+	muA.Lock() // want `fixtureorder\.muA acquired while holding fixtureorder\.muB, but lockorder/fixture\.go:\d+ acquires them in the opposite order`
+	muA.Unlock()
+	muB.Unlock()
+}
+
+type engine struct {
+	stateMu sync.Mutex
+	statsMu sync.Mutex
+	logMu   sync.Mutex
+}
+
+// fieldAB inverts against fieldBA on struct-field locks.
+func (e *engine) fieldAB() {
+	e.stateMu.Lock()
+	e.statsMu.Lock() // want `fixtureorder\.engine\.statsMu acquired while holding fixtureorder\.engine\.stateMu, but lockorder/fixture\.go:\d+ acquires them in the opposite order`
+	e.statsMu.Unlock()
+	e.stateMu.Unlock()
+}
+
+func (e *engine) fieldBA() {
+	e.statsMu.Lock()
+	e.stateMu.Lock() // want `fixtureorder\.engine\.stateMu acquired while holding fixtureorder\.engine\.statsMu, but lockorder/fixture\.go:\d+ acquires them in the opposite order`
+	e.stateMu.Unlock()
+	e.statsMu.Unlock()
+}
+
+// consistent1 and consistent2 take logMu then stateMu in the same order:
+// nesting alone is not a finding.
+func (e *engine) consistent1() {
+	e.logMu.Lock()
+	e.stateMu.Lock()
+	e.stateMu.Unlock()
+	e.logMu.Unlock()
+}
+
+func (e *engine) consistent2() {
+	e.logMu.Lock()
+	e.stateMu.Lock()
+	e.stateMu.Unlock()
+	e.logMu.Unlock()
+}
+
+// localLocks have no global identity: opposite orders on local variables
+// are two different locks per call, not a deadlock.
+func localLocks() {
+	var x, y sync.Mutex
+	x.Lock()
+	y.Lock()
+	y.Unlock()
+	x.Unlock()
+	y.Lock()
+	x.Lock()
+	x.Unlock()
+	y.Unlock()
+}

@@ -1,0 +1,36 @@
+// Package fixture is the regression fixture for statement-span
+// suppression: a //fedlint:ignore directive placed above a statement that
+// spans several lines must suppress findings reported on any of those
+// lines, not only the first. (The finding inside covered() lands on the
+// time.Now line, two lines below the directive.)
+package fixture
+
+import "time"
+
+func use(args ...any) {}
+
+// covered: the directive anchors to the full statement span.
+func covered() {
+	//fedlint:ignore virtualclock regression fixture for statement-span suppression
+	use(
+		time.Now(),
+	)
+}
+
+// uncovered has no directive: the finding on the last line survives.
+func uncovered() {
+	use(
+		time.Now(), // want `call to time\.Now on a measured path`
+	)
+}
+
+// notBlanketed: a directive above an if must not blanket the block —
+// control-flow statements do not extend.
+func notBlanketed(cond bool) {
+	//fedlint:ignore virtualclock directive above control flow covers only its own two lines
+	if cond {
+		use(
+			time.Now(), // want `call to time\.Now on a measured path`
+		)
+	}
+}

@@ -1,0 +1,30 @@
+// Package fixture exercises the wirecompat rule against a deliberately
+// stale wireschema.json: one pinned struct is gone, one field changed its
+// encoding, one was renamed, one was appended, and one struct still
+// matches. The golden beside this file is the contract.
+package fixture // want `wire struct wireGone is pinned by wireschema\.json but gone from the code: old peers still send it \(breaking\)`
+
+import "encoding/gob"
+
+type wireMsg struct {
+	ID   string // want `wire struct wireMsg field ID changed encoding varint -> bytes: old peers decode the wrong bytes \(breaking\)`
+	Seq  int64
+	Note string // want `wire struct wireMsg appended field Note, not yet pinned: run .go run \./cmd/fedlint -update-wireschema.`
+}
+
+type wireEvt struct {
+	Kind uint8 // want `wire struct wireEvt field 0 is "Kind" but the golden pins "Sort": renamed or reordered fields break old peers`
+	At   int64
+}
+
+type wireOK struct {
+	Name string
+}
+
+// Register pins these types to the gob wire; wirecompat derives their
+// schema from here.
+func Register() {
+	gob.Register(wireMsg{})
+	gob.Register(wireEvt{})
+	gob.Register(wireOK{})
+}

@@ -1,0 +1,367 @@
+package lintrules
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// WireCompat pins the wire image of every struct that crosses the rpc
+// boundary to a committed golden, internal/rpc/wireschema.json. gobwire
+// checks that a type *can* cross the wire; this rule checks that it still
+// crosses it the *same way*: field names (gob matches by name), field
+// order (the framed codec is positional), declared types, and the wire
+// encoding class each type maps to (varint, uvarint, fixed64, byte,
+// length-prefixed bytes). A renamed field silently becomes zero on old
+// peers; a reordered or retyped one makes the framed decoder read the
+// wrong bytes. Any drift from the golden is a finding: breaking drift
+// (rename, reorder, removal, encoding change) stays a finding until the
+// code is fixed or the protocol is versioned; additive drift (new struct,
+// appended field — which old peers tolerate) is reported as a stale
+// golden and clears once the golden is regenerated with
+//
+//	go run ./cmd/fedlint -update-wireschema
+//
+// The rule activates in any package that gob-registers wire types or
+// carries a wireschema.json beside its sources.
+var WireCompat = &Analyzer{
+	Name: "wirecompat",
+	Doc:  "gob/framed wire structs must match the committed wireschema.json golden (regenerate with -update-wireschema on compatible change)",
+	Run:  runWireCompat,
+}
+
+// WireSchemaFile is the golden's file name, beside the package sources.
+const WireSchemaFile = "wireschema.json"
+
+// WireSchema is the committed wire image of one package.
+type WireSchema struct {
+	Package string       `json:"package"`
+	Structs []WireStruct `json:"structs"`
+}
+
+// WireStruct is the wire image of one struct: its fields in declaration
+// order, which is wire order for the framed codec.
+type WireStruct struct {
+	Name   string      `json:"name"`
+	Fields []WireField `json:"fields"`
+}
+
+// WireField is one field's wire image.
+type WireField struct {
+	Name string `json:"name"` // gob matches by this
+	Type string `json:"type"` // declared Go type, package-relative
+	Wire string `json:"wire"` // encoding class on the wire
+}
+
+// Encode renders the schema as deterministic, committed-friendly JSON.
+func (ws *WireSchema) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(ws, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WireSchemaFor derives the current wire schema of a package: every named
+// struct type declared in it that is gob-registered (or gob-encoded), plus
+// every same-package struct reachable from those through fields. The bool
+// is false when the package puts nothing on the wire.
+func WireSchemaFor(pkg *Package) (*WireSchema, bool) {
+	roots := wireRootStructs(pkg)
+	if len(roots) == 0 {
+		return nil, false
+	}
+	// Transitive closure over same-package struct fields.
+	closed := make(map[*types.Named]bool)
+	var work []*types.Named
+	for _, n := range roots {
+		if !closed[n] {
+			closed[n] = true
+			work = append(work, n)
+		}
+	}
+	for len(work) > 0 {
+		n := work[0]
+		work = work[1:]
+		st, ok := n.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			for _, ref := range samePkgStructs(st.Field(i).Type(), pkg.Types) {
+				if !closed[ref] {
+					closed[ref] = true
+					work = append(work, ref)
+				}
+			}
+		}
+	}
+
+	ws := &WireSchema{Package: pkg.PkgPath}
+	for n := range closed {
+		st, ok := n.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		s := WireStruct{Name: n.Obj().Name()}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			s.Fields = append(s.Fields, WireField{
+				Name: f.Name(),
+				Type: types.TypeString(f.Type(), types.RelativeTo(pkg.Types)),
+				Wire: wireClassOf(f.Type(), pkg.Types),
+			})
+		}
+		ws.Structs = append(ws.Structs, s)
+	}
+	sort.Slice(ws.Structs, func(i, j int) bool { return ws.Structs[i].Name < ws.Structs[j].Name })
+	return ws, true
+}
+
+// wireRootStructs finds the named struct types of this package that enter
+// the gob wire at some call site in this package.
+func wireRootStructs(pkg *Package) []*types.Named {
+	info := pkg.Info
+	var roots []*types.Named
+	seen := make(map[*types.Named]bool)
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			arg := gobWireArg(info, call, sel)
+			if arg == nil {
+				return true
+			}
+			tv, ok := info.Types[arg]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			for _, named := range samePkgStructs(tv.Type, pkg.Types) {
+				if !seen[named] {
+					seen[named] = true
+					roots = append(roots, named)
+				}
+			}
+			return true
+		})
+	}
+	return roots
+}
+
+// samePkgStructs collects the named struct types declared in pkg that t
+// is, points to, or contains as slice/array/map element.
+func samePkgStructs(t types.Type, pkg *types.Package) []*types.Named {
+	switch u := t.(type) {
+	case *types.Pointer:
+		return samePkgStructs(u.Elem(), pkg)
+	case *types.Slice:
+		return samePkgStructs(u.Elem(), pkg)
+	case *types.Array:
+		return samePkgStructs(u.Elem(), pkg)
+	case *types.Map:
+		return append(samePkgStructs(u.Key(), pkg), samePkgStructs(u.Elem(), pkg)...)
+	case *types.Named:
+		if u.Obj().Pkg() == pkg {
+			if _, ok := u.Underlying().(*types.Struct); ok {
+				return []*types.Named{u}
+			}
+		}
+	}
+	return nil
+}
+
+// wireClassOf maps a field type to its encoding class on the wire — the
+// thing old peers actually parse. Signed integers travel as zigzag
+// varints, unsigned as uvarints, floats as fixed 8-byte words, strings
+// and byte slices as length-prefixed bytes, and composites as
+// length-prefixed sequences of their element class.
+func wireClassOf(t types.Type, pkg *types.Package) string {
+	switch u := t.(type) {
+	case *types.Basic:
+		switch u.Kind() {
+		case types.Bool, types.Int8, types.Uint8:
+			return "byte"
+		case types.Int, types.Int16, types.Int32, types.Int64:
+			return "varint"
+		case types.Uint, types.Uint16, types.Uint32, types.Uint64, types.Uintptr:
+			return "uvarint"
+		case types.Float32, types.Float64:
+			return "fixed64"
+		case types.String:
+			return "bytes"
+		}
+		return "opaque"
+	case *types.Pointer:
+		return wireClassOf(u.Elem(), pkg)
+	case *types.Slice:
+		if b, ok := u.Elem().(*types.Basic); ok && b.Kind() == types.Uint8 {
+			return "bytes"
+		}
+		return "seq(" + wireClassOf(u.Elem(), pkg) + ")"
+	case *types.Array:
+		return "seq(" + wireClassOf(u.Elem(), pkg) + ")"
+	case *types.Map:
+		return "map(" + wireClassOf(u.Key(), pkg) + "," + wireClassOf(u.Elem(), pkg) + ")"
+	case *types.Named:
+		if u.Obj().Pkg() == pkg {
+			if _, ok := u.Underlying().(*types.Struct); ok {
+				return "struct(" + u.Obj().Name() + ")"
+			}
+		}
+		return wireClassOf(u.Underlying(), pkg)
+	case *types.Struct:
+		return "struct"
+	case *types.Interface:
+		return "any"
+	}
+	return "opaque"
+}
+
+func runWireCompat(pass *Pass) {
+	pkg := pass.Pkg
+	cur, hasWire := WireSchemaFor(pkg)
+	goldenPath := filepath.Join(pkg.Dir, WireSchemaFile)
+	raw, readErr := os.ReadFile(goldenPath)
+
+	pkgPos := token.NoPos
+	if len(pkg.Files) > 0 {
+		pkgPos = pkg.Files[0].Name.Pos()
+	}
+
+	switch {
+	case !hasWire && readErr != nil:
+		return // nothing on the wire, nothing pinned
+	case !hasWire:
+		pass.Reportf(pkgPos, "wireschema.json present but the package no longer puts any struct on the wire: delete the golden or restore the registration")
+		return
+	case readErr != nil:
+		pass.Reportf(pkgPos, "package puts %d struct(s) on the wire but has no %s golden: run `go run ./cmd/fedlint -update-wireschema`", len(cur.Structs), WireSchemaFile)
+		return
+	}
+
+	var golden WireSchema
+	if err := json.Unmarshal(raw, &golden); err != nil {
+		pass.Reportf(pkgPos, "%s is not valid JSON: %v", WireSchemaFile, err)
+		return
+	}
+
+	curByName := make(map[string]WireStruct, len(cur.Structs))
+	for _, s := range cur.Structs {
+		curByName[s.Name] = s
+	}
+	goldenByName := make(map[string]WireStruct, len(golden.Structs))
+	for _, s := range golden.Structs {
+		goldenByName[s.Name] = s
+	}
+
+	// Structs the golden pins but the code no longer serves: breaking.
+	for _, g := range golden.Structs {
+		if _, ok := curByName[g.Name]; !ok {
+			pass.Reportf(pkgPos, "wire struct %s is pinned by %s but gone from the code: old peers still send it (breaking)", g.Name, WireSchemaFile)
+		}
+	}
+
+	for _, s := range cur.Structs {
+		declPos := structDeclPos(pkg, s.Name, pkgPos)
+		g, pinned := goldenByName[s.Name]
+		if !pinned {
+			pass.Reportf(declPos, "new wire struct %s is not recorded in %s: run `go run ./cmd/fedlint -update-wireschema`", s.Name, WireSchemaFile)
+			continue
+		}
+		compareWireStruct(pass, pkg, s, g, declPos)
+	}
+}
+
+// compareWireStruct reports the drift between one struct's current wire
+// image and its golden. Field comparison is positional: wire order is
+// declaration order.
+func compareWireStruct(pass *Pass, pkg *Package, cur, golden WireStruct, declPos token.Pos) {
+	n := len(cur.Fields)
+	if len(golden.Fields) < n {
+		n = len(golden.Fields)
+	}
+	for i := 0; i < n; i++ {
+		c, g := cur.Fields[i], golden.Fields[i]
+		pos := fieldDeclPos(pkg, cur.Name, c.Name, declPos)
+		switch {
+		case c.Name != g.Name:
+			pass.Reportf(pos, "wire struct %s field %d is %q but the golden pins %q: renamed or reordered fields break old peers (gob matches by name, the framed codec by position)", cur.Name, i, c.Name, g.Name)
+		case c.Wire != g.Wire:
+			pass.Reportf(pos, "wire struct %s field %s changed encoding %s -> %s: old peers decode the wrong bytes (breaking)", cur.Name, c.Name, g.Wire, c.Wire)
+		case c.Type != g.Type:
+			pass.Reportf(pos, "wire struct %s field %s changed declared type %s -> %s (same wire class): run `go run ./cmd/fedlint -update-wireschema` to re-pin", cur.Name, c.Name, g.Type, c.Type)
+		}
+	}
+	for _, g := range golden.Fields[n:] {
+		pass.Reportf(declPos, "wire struct %s dropped field %s (%s): old peers still send it and new frames omit it (breaking)", cur.Name, g.Name, g.Wire)
+	}
+	for _, c := range cur.Fields[n:] {
+		pos := fieldDeclPos(pkg, cur.Name, c.Name, declPos)
+		pass.Reportf(pos, "wire struct %s appended field %s, not yet pinned: run `go run ./cmd/fedlint -update-wireschema`", cur.Name, c.Name)
+	}
+}
+
+// structDeclPos locates the type declaration of a named struct in the
+// package sources, falling back to fb.
+func structDeclPos(pkg *Package, name string, fb token.Pos) token.Pos {
+	if obj := pkg.Types.Scope().Lookup(name); obj != nil && obj.Pos().IsValid() {
+		return obj.Pos()
+	}
+	return fb
+}
+
+// fieldDeclPos locates a struct field's declaration, falling back to fb.
+func fieldDeclPos(pkg *Package, structName, fieldName string, fb token.Pos) token.Pos {
+	obj := pkg.Types.Scope().Lookup(structName)
+	if obj == nil {
+		return fb
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		return fb
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return fb
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Name() == fieldName && f.Pos().IsValid() {
+			return f.Pos()
+		}
+	}
+	return fb
+}
+
+// UpdateWireSchemas writes (or rewrites) the wireschema.json golden of
+// every package that puts structs on the wire, returning the files
+// written. cmd/fedlint's -update-wireschema calls this.
+func UpdateWireSchemas(pkgs []*Package) ([]string, error) {
+	var written []string
+	for _, pkg := range pkgs {
+		ws, ok := WireSchemaFor(pkg)
+		if !ok {
+			continue
+		}
+		b, err := ws.Encode()
+		if err != nil {
+			return written, fmt.Errorf("lintrules: encoding wire schema for %s: %w", pkg.PkgPath, err)
+		}
+		path := filepath.Join(pkg.Dir, WireSchemaFile)
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			return written, fmt.Errorf("lintrules: %w", err)
+		}
+		written = append(written, path)
+	}
+	return written, nil
+}

@@ -1,0 +1,133 @@
+package lintrules
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// rpcPackage finds fedwf/internal/rpc in the shared module load.
+func rpcPackage(t *testing.T) (*Package, []*Package) {
+	t.Helper()
+	_, pkgs := moduleLoad(t)
+	for _, pkg := range pkgs {
+		if pkg.PkgPath == "fedwf/internal/rpc" {
+			return pkg, pkgs
+		}
+	}
+	t.Fatal("module load has no fedwf/internal/rpc package")
+	return nil, nil
+}
+
+// TestWireSchemaGoldenCurrent pins the committed wireschema.json to the
+// code: if a wire struct changes, this fails alongside the wirecompat
+// rule until the golden is regenerated.
+func TestWireSchemaGoldenCurrent(t *testing.T) {
+	rpcPkg, _ := rpcPackage(t)
+	ws, ok := WireSchemaFor(rpcPkg)
+	if !ok {
+		t.Fatal("internal/rpc puts no structs on the wire?")
+	}
+	want, err := ws.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(rpcPkg.Dir, WireSchemaFile))
+	if err != nil {
+		t.Fatalf("reading committed golden: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("committed %s is stale: run `go run ./cmd/fedlint -update-wireschema`", WireSchemaFile)
+	}
+	if len(ws.Structs) < 5 {
+		t.Errorf("expected at least the 5 wire structs, schema has %d", len(ws.Structs))
+	}
+}
+
+// runWireCompatAt runs the wirecompat analyzer over the rpc package with
+// its golden redirected to dir, returning the raw findings.
+func runWireCompatAt(t *testing.T, dir string) []Diagnostic {
+	t.Helper()
+	rpcPkg, pkgs := rpcPackage(t)
+	redirected := *rpcPkg
+	redirected.Dir = dir
+	var raw []Diagnostic
+	pass := &Pass{Analyzer: WireCompat, Pkg: &redirected, AllPkgs: pkgs, diags: &raw}
+	WireCompat.Run(pass)
+	return raw
+}
+
+// TestWireCompatPerturbedGolden mutates one field's pinned encoding and
+// type: the analyzer must fail until the golden is regenerated, and the
+// regenerated golden must silence it.
+func TestWireCompatPerturbedGolden(t *testing.T) {
+	rpcPkg, _ := rpcPackage(t)
+	raw, err := os.ReadFile(filepath.Join(rpcPkg.Dir, WireSchemaFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var golden WireSchema
+	if err := json.Unmarshal(raw, &golden); err != nil {
+		t.Fatal(err)
+	}
+	perturbed := false
+	for si := range golden.Structs {
+		if golden.Structs[si].Name != "wireValue" {
+			continue
+		}
+		for fi := range golden.Structs[si].Fields {
+			if golden.Structs[si].Fields[fi].Name == "I" {
+				golden.Structs[si].Fields[fi].Type = "float64"
+				golden.Structs[si].Fields[fi].Wire = "fixed64"
+				perturbed = true
+			}
+		}
+	}
+	if !perturbed {
+		t.Fatal("golden has no wireValue.I field to perturb")
+	}
+	dir := t.TempDir()
+	b, err := golden.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, WireSchemaFile), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	diags := runWireCompatAt(t, dir)
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "wireValue field I changed encoding fixed64 -> varint") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("perturbed golden produced no encoding-drift finding; got %v", diags)
+	}
+
+	// Regenerating the golden clears the findings.
+	ws, _ := WireSchemaFor(rpcPkg)
+	fresh, err := ws.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, WireSchemaFile), fresh, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if diags := runWireCompatAt(t, dir); len(diags) != 0 {
+		t.Errorf("regenerated golden should be clean, got %v", diags)
+	}
+}
+
+// TestWireCompatMissingGolden: a wire-bearing package without a committed
+// golden is itself a finding.
+func TestWireCompatMissingGolden(t *testing.T) {
+	diags := runWireCompatAt(t, t.TempDir())
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "has no wireschema.json golden") {
+		t.Errorf("want one missing-golden finding, got %v", diags)
+	}
+}

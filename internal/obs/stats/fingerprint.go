@@ -106,7 +106,13 @@ func Normalize(sql string) string {
 			emit(strings.ToLower(sql[i:j]))
 			i = j
 		default:
-			emit(string(c))
+			// Byte-preserving: string(c) would UTF-8-encode bytes >= 0x80
+			// and re-encode (grow) non-ASCII text on every pass.
+			if pendingSpace && b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			pendingSpace = false
+			b.WriteByte(c)
 			i++
 		}
 	}

@@ -137,19 +137,31 @@ func writeFrame(w io.Writer, payload []byte) error {
 	return err
 }
 
-// readFrame reads one length-prefixed frame.
+// readFrameChunk bounds how much readFrame allocates ahead of the bytes
+// actually arriving: the length header is untrusted input, and a peer
+// announcing a near-limit frame and then hanging up must not cost a 64 MB
+// allocation per connection attempt.
+const readFrameChunk = 64 << 10
+
+// readFrame reads one length-prefixed frame, growing the buffer in bounded
+// chunks as payload bytes actually arrive.
 func readFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := int(binary.BigEndian.Uint32(hdr[:]))
 	if n > maxFrameBytes {
 		return nil, fmt.Errorf("rpc: frame of %d bytes exceeds limit %d", n, maxFrameBytes)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, err
+	payload := make([]byte, 0, min(n, readFrameChunk))
+	for len(payload) < n {
+		grab := min(n-len(payload), readFrameChunk)
+		start := len(payload)
+		payload = append(payload, make([]byte, grab)...)
+		if _, err := io.ReadFull(r, payload[start:]); err != nil {
+			return nil, err
+		}
 	}
 	return payload, nil
 }

@@ -161,6 +161,7 @@ func (r *RemoteServer) call(ctx context.Context, task *simlat.Task, fn string, a
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	//fedlint:ignore lockheld the lock exists to serialize this call: the plain TCP client shares one gob stream and is not safe for concurrent round-trips
 	return r.client.Call(ctx, task, rpc.Request{System: r.name, Function: fn, Args: []types.Value{arg}})
 }
 
